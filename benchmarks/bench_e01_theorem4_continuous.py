@@ -1,0 +1,15 @@
+"""E01 — Theorem 4: continuous Algorithm 1 versus its round bound."""
+
+from conftest import run_once
+
+from repro.experiments.e01_theorem4_continuous import run
+
+
+def test_e01_theorem4_table(benchmark, show):
+    table = run_once(benchmark, run, eps=1e-6)
+    show(table)
+    # Theorem 4 must hold on every family.
+    assert all(v is True for v in table.column("within_bound"))
+    # The bound is meaningful: measured rounds within (0, bound].
+    for ratio in table.column("meas/bound"):
+        assert ratio is not None and 0 < ratio <= 1.0

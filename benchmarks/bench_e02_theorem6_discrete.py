@@ -1,0 +1,13 @@
+"""E02 — Theorem 6: discrete Algorithm 1 versus its threshold and bound."""
+
+from conftest import run_once
+
+from repro.experiments.e02_theorem6_discrete import run
+
+
+def test_e02_theorem6_table(benchmark, show):
+    table = run_once(benchmark, run, ratio=1e4)
+    show(table)
+    assert all(v is True for v in table.column("lemma5_holds"))
+    for meas, bound in zip(table.column("T_meas"), table.column("T_bound")):
+        assert meas is not None and meas <= bound

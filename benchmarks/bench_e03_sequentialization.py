@@ -1,0 +1,19 @@
+"""E03 — Lemmas 1-2: sequentialization decomposition and concurrency gap."""
+
+from conftest import run_once
+
+from repro.experiments.e03_sequentialization import run
+
+
+def test_e03_continuous_table(benchmark, show):
+    table = run_once(benchmark, run, trials=20)
+    show(table)
+    assert all(v == 0 for v in table.column("lemma1_viol"))
+    assert all(v >= 1.0 for v in table.column("drop/lemma2_lb_min"))
+    assert all(v is True for v in table.column("gap>=0.5"))
+
+
+def test_e03_discrete_table(benchmark, show):
+    table = run_once(benchmark, run, trials=20, discrete=True)
+    show(table)
+    assert all(v == 0 for v in table.column("lemma1_viol"))

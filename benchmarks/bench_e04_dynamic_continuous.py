@@ -1,0 +1,13 @@
+"""E04 — Theorem 7: continuous diffusion on dynamic networks."""
+
+from conftest import run_once
+
+from repro.experiments.e04_dynamic_continuous import run
+
+
+def test_e04_theorem7_table(benchmark, show):
+    table = run_once(benchmark, run, eps=1e-4)
+    show(table)
+    assert all(v is True for v in table.column("within_bound"))
+    # Every scenario must actually converge.
+    assert all(k is not None for k in table.column("K_meas"))

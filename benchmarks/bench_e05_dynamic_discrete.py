@@ -1,0 +1,12 @@
+"""E05 — Theorem 8: discrete diffusion on dynamic networks (new result)."""
+
+from conftest import run_once
+
+from repro.experiments.e05_dynamic_discrete import run
+
+
+def test_e05_theorem8_table(benchmark, show):
+    table = run_once(benchmark, run, ratio=1e3)
+    show(table)
+    assert all(v is True for v in table.column("within_bound"))
+    assert all(k is not None for k in table.column("K_meas"))

@@ -1,0 +1,14 @@
+"""E06 — Lemma 9: partner-degree statistics of Algorithm 2's link graphs."""
+
+from conftest import run_once
+
+from repro.experiments.e06_lemma9_partners import run
+
+
+def test_e06_lemma9_table(benchmark, show):
+    table = run_once(benchmark, run, sizes=(64, 256, 1024, 4096), rounds=100)
+    show(table)
+    assert all(v is True for v in table.column("holds"))
+    # Balls-into-bins: the max-degree over prediction ratio stays O(1).
+    ratios = table.column("max/pred")
+    assert max(ratios) < 4.0

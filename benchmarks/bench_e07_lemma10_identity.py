@@ -1,0 +1,12 @@
+"""E07 — Lemma 10: the pairwise-square identity at float64 noise level."""
+
+from conftest import run_once
+
+from repro.experiments.e07_lemma10_identity import run
+
+
+def test_e07_lemma10_table(benchmark, show):
+    table = run_once(benchmark, run, sizes=(8, 64, 256, 1024), trials=25)
+    show(table)
+    assert all(v is True for v in table.column("identity_holds"))
+    assert max(table.column("max_rel_error")) < 1e-9

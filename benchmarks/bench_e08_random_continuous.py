@@ -1,0 +1,16 @@
+"""E08 — Lemma 11 + Theorem 12: continuous Algorithm 2 (random partners)."""
+
+from conftest import run_once
+
+from repro.experiments.e08_random_continuous import run
+
+
+def test_e08_random_partner_table(benchmark, show):
+    table = run_once(benchmark, run, sizes=(64, 256, 1024), trials=20)
+    show(table)
+    assert all(v is True for v in table.column("lemma11_holds"))
+    for frac, guar in zip(table.column("success_frac"), table.column("guar_prob")):
+        assert frac >= guar - 1e-9
+    # Theorem 12's logarithmic scaling: median rounds grow slowly with n.
+    medians = table.column("T_meas_med")
+    assert medians[-1] < 3 * medians[0]

@@ -1,0 +1,13 @@
+"""E09 — Lemma 13 + Theorem 14: discrete Algorithm 2 (random partners)."""
+
+from conftest import run_once
+
+from repro.experiments.e09_random_discrete import run
+
+
+def test_e09_random_partner_discrete_table(benchmark, show):
+    table = run_once(benchmark, run, sizes=(64, 256), ratio=1e4, trials=20)
+    show(table)
+    assert all(v is True for v in table.column("lemma13_holds"))
+    for frac, guar in zip(table.column("success_frac"), table.column("guar_prob")):
+        assert frac >= guar - 1e-9

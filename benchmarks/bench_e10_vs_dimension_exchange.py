@@ -1,0 +1,14 @@
+"""E10 — Section 3: Algorithm 1 versus dimension exchange [GM94]."""
+
+from conftest import run_once
+
+from repro.experiments.e10_vs_dimension_exchange import run
+
+
+def test_e10_dimension_exchange_table(benchmark, show):
+    table = run_once(benchmark, run, eps=1e-4)
+    show(table)
+    # The paper's comparator is the [GM94] two-stage scheme.
+    assert all(v is True for v in table.column("diffusion_wins"))
+    speedups = [s for s in table.column("speedup_gm94") if s is not None]
+    assert all(s > 1.0 for s in speedups)

@@ -1,0 +1,14 @@
+"""E11 — Lemma 5 remark: linear-in-n stall threshold (vs quadratic)."""
+
+from conftest import run_once
+
+from repro.experiments.e11_threshold_scaling import run
+
+
+def test_e11_threshold_scaling_table(benchmark, show):
+    table = run_once(benchmark, run, sizes=(32, 64, 128, 256))
+    show(table)
+    assert all(v is True for v in table.column("below_linear"))
+    # The stalled/quadratic ratio must decay with n (remark's point).
+    ratios = table.column("stall/quadratic")
+    assert ratios[-1] < ratios[0] / 2

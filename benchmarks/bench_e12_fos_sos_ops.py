@@ -1,0 +1,17 @@
+"""E12 — Section 2 baselines: FOS vs SOS vs OPS vs Algorithm 1."""
+
+from conftest import run_once
+
+from repro.experiments.e12_fos_sos_ops import run
+
+
+def test_e12_baseline_comparison_table(benchmark, show):
+    table = run_once(benchmark, run, eps=1e-6)
+    show(table)
+    assert all(v is True for v in table.column("ordering_holds"))
+    # SOS advantage is largest on the cycle (the badly connected family).
+    ratios = table.column("fos/sos")
+    assert ratios[0] == max(r for r in ratios if r is not None)
+    # OPS finishes within its m-1 prediction everywhere.
+    for t_ops, pred in zip(table.column("T_ops"), table.column("ops_pred(m-1)")):
+        assert t_ops is not None and t_ops <= pred

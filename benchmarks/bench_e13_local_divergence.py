@@ -1,0 +1,14 @@
+"""E13 — [RSW98]: local divergence Psi and discrete-vs-ideal deviation."""
+
+from conftest import run_once
+
+from repro.experiments.e13_local_divergence import run
+
+
+def test_e13_local_divergence_table(benchmark, show):
+    table = run_once(benchmark, run)
+    show(table)
+    assert all(v is True for v in table.column("dev<=Psi"))
+    # Psi/bound stays O(1) while mu spans two orders of magnitude.
+    ratios = table.column("Psi/bound")
+    assert max(ratios) / max(min(ratios), 1e-9) < 100

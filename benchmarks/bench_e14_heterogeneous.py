@@ -1,0 +1,13 @@
+"""E14 — extension: heterogeneous (speed-weighted) diffusion [EMP02]."""
+
+from conftest import run_once
+
+from repro.experiments.e14_heterogeneous import run
+
+
+def test_e14_heterogeneous_table(benchmark, show):
+    table = run_once(benchmark, run)
+    show(table)
+    assert all(v is True for v in table.column("converged"))
+    matches = [v for v in table.column("matches_alg1") if v is not None]
+    assert matches and all(v is True for v in matches)

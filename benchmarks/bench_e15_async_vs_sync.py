@@ -1,0 +1,14 @@
+"""E15 — extension: asynchronous vs synchronous diffusion [Cortes02]."""
+
+from conftest import run_once
+
+from repro.experiments.e15_async_vs_sync import run
+
+
+def test_e15_async_vs_sync_table(benchmark, show):
+    table = run_once(benchmark, run, eps=1e-6)
+    show(table)
+    assert all(v is True for v in table.column("constant_factor"))
+    # Work-normalized async never costs more than 2x sync on these families.
+    ratios = [r for r in table.column("rand/sync") if r is not None]
+    assert max(ratios) < 2.0

@@ -1,0 +1,17 @@
+"""E16 — Theorem 4 tightness: the slack is exactly Lemma 1's factor 2."""
+
+from conftest import run_once
+
+from repro.experiments.e16_bound_tightness import run
+
+
+def test_e16_bound_tightness_table(benchmark, show):
+    table = run_once(benchmark, run)
+    show(table)
+    assert all(v is True for v in table.column("slack~2"))
+    assert all(v is True for v in table.column("respects_diam"))
+    # The Fiedler rows pin the slack near 2 (the Lemma 1 giveaway).
+    fiedler_slacks = [
+        s for w, s in zip(table.column("workload"), table.column("slack")) if w == "fiedler"
+    ]
+    assert all(1.7 <= s <= 2.3 for s in fiedler_slacks)

@@ -1,0 +1,19 @@
+"""E17 — token-identity migration cost (systems view of Algorithm 1)."""
+
+from conftest import run_once
+
+from repro.experiments.e17_token_migration import run
+
+
+def test_e17_token_migration_table(benchmark, show):
+    table = run_once(benchmark, run)
+    show(table)
+    rows = list(zip(table.column("graph"), table.column("policy"),
+                    table.column("max_per_token"), table.column("never_moved")))
+    by_graph: dict[str, dict[str, tuple]] = {}
+    for graph, policy, mx, never in rows:
+        by_graph.setdefault(graph, {})[policy] = (mx, never)
+    for graph, policies in by_graph.items():
+        # LIFO concentrates churn; FIFO spreads it.
+        assert policies["lifo"][0] >= policies["fifo"][0], graph
+        assert policies["lifo"][1] >= policies["fifo"][1], graph

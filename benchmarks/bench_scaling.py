@@ -1,0 +1,33 @@
+"""Scaling study: round-kernel cost versus problem size.
+
+The engine claims O(m) per round (vectorized edge sweeps).  This bench
+times the discrete Algorithm 1 kernel across two orders of magnitude of
+torus sizes; pytest-benchmark's comparison output makes super-linear
+regressions obvious.  (Spectral setup costs are excluded — the kernels
+never touch the eigensolver.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import diffusion_round_discrete
+from repro.graphs.generators import torus_2d
+
+SIZES = [(16, 16), (32, 32), (64, 64), (128, 128)]
+
+
+@pytest.mark.parametrize("dims", SIZES, ids=[f"torus{r}x{c}" for r, c in SIZES])
+def test_kernel_scaling_torus(benchmark, dims):
+    topo = torus_2d(*dims)
+    loads = np.random.default_rng(0).integers(0, 10_000, topo.n).astype(np.int64)
+    out = benchmark(diffusion_round_discrete, loads, topo)
+    assert out.sum() == loads.sum()
+
+
+def test_partner_sampling_scaling_100k(benchmark):
+    """Algorithm 2's per-round partner sampling at fleet scale (100k nodes)."""
+    from repro.core.random_partner import sample_partner_links
+
+    rng = np.random.default_rng(1)
+    links = benchmark(sample_partner_links, 100_000, rng)
+    assert 50_000 <= links.shape[0] <= 100_000

@@ -1,0 +1,34 @@
+"""Benchmark-suite fixtures.
+
+Every bench regenerates one experiment table (the "rows the paper
+reports"), prints it, and asserts the qualitative claim so a regression
+in either performance or correctness is caught here.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a Table to the real terminal even under pytest capture."""
+
+    def _show(table) -> None:
+        with capsys.disabled():
+            print()
+            print(table.to_text())
+
+    return _show
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiment functions are deterministic end-to-end runs (seconds,
+    not microseconds), so a single timed round is the meaningful number;
+    pytest-benchmark still records it in the comparison table.
+    """
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

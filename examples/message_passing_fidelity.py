@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fidelity demo: the BSP message-passing substrate vs the fast engine.
+
+The vectorized engine computes rounds with global NumPy operations; the
+superstep substrate runs the *actual distributed protocol* — every node
+an object with a mailbox, three supersteps per round (publish loads,
+send transfers, apply), no global state.  This example runs both on the
+same inputs and shows they agree bit-for-bit in discrete mode, round by
+round — evidence that the fast engine simulates the protocol the paper
+analyzes, not an approximation of it.
+
+Usage::
+
+    python examples/message_passing_fidelity.py
+"""
+
+import numpy as np
+
+from repro import graphs, simulation
+from repro.analysis.reporting import Table
+from repro.core.diffusion import diffusion_round_continuous, diffusion_round_discrete
+from repro.core.potential import potential
+from repro.simulation.superstep import run_superstep_diffusion
+
+SEED = 3
+
+
+def main() -> None:
+    topo = graphs.hypercube(4)  # 16 nodes, degree 4
+    rng = np.random.default_rng(SEED)
+    loads = rng.integers(0, 500, topo.n).astype(np.int64)
+    rounds = 25
+
+    print(f"graph: {topo.name} (n={topo.n}); {rounds} rounds from random integer loads")
+    print()
+
+    # Message-passing run (ground truth protocol).
+    history = run_superstep_diffusion(topo, loads, rounds, discrete=True)
+
+    # Vectorized run.
+    table = Table(
+        "discrete Algorithm 1: superstep protocol vs vectorized engine",
+        ["round", "Phi (superstep)", "Phi (vectorized)", "identical loads"],
+    )
+    x = loads.copy()
+    for r in range(rounds + 1):
+        if r > 0:
+            x = diffusion_round_discrete(x, topo)
+        if r in (0, 1, 2, 3, 5, 10, 15, 20, 25):
+            table.add_row(r, potential(history[r]), potential(x), bool(np.array_equal(history[r], x)))
+    print(table.to_text())
+    print()
+
+    # Continuous agreement is float-exact up to accumulation order.
+    f_hist = run_superstep_diffusion(topo, loads.astype(np.float64), rounds, discrete=False)
+    y = loads.astype(np.float64)
+    worst = 0.0
+    for r in range(1, rounds + 1):
+        y = diffusion_round_continuous(y, topo)
+        worst = max(worst, float(np.max(np.abs(f_hist[r] - y))))
+    print(f"continuous mode: max per-node deviation over {rounds} rounds = {worst:.3e}")
+    print("(pure summation-order noise; the protocols are the same)")
+
+    # Message complexity: what a real deployment would pay.
+    msgs_per_round = 2 * topo.m * 2  # publish both directions + transfers (upper bound)
+    print()
+    print(f"message complexity: <= {msgs_per_round} point-to-point messages per round "
+          f"({2 * topo.m} publishes + at most {2 * topo.m} transfers)")
+
+
+if __name__ == "__main__":
+    main()

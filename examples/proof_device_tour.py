@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Tour of the paper's proof device: the sequentialization decomposition.
+
+Takes one concurrent round of Algorithm 1 on a small ring and shows it
+as the paper's analysis sees it: a sequence of single-edge activations in
+increasing weight order, each with its exact potential drop and its
+Lemma 1 lower bound.  Then measures the concurrency gap (Section 3's
+"factor of at most two") on random states.
+
+Usage::
+
+    python examples/proof_device_tour.py
+"""
+
+import numpy as np
+
+from repro import graphs
+from repro.analysis.reporting import Table
+from repro.core.potential import potential
+from repro.core.sequential import (
+    concurrency_gap,
+    greedy_sequential_round,
+    sequentialize_round,
+)
+
+SEED = 5
+
+
+def main() -> None:
+    topo = graphs.cycle(8)
+    rng = np.random.default_rng(SEED)
+    loads = rng.integers(0, 100, topo.n).astype(float)
+    print(f"graph: {topo.name}; loads = {loads.astype(int).tolist()}")
+    print(f"Phi(L) = {potential(loads):.2f}")
+    print()
+
+    report = sequentialize_round(loads, topo)
+    table = Table(
+        "one concurrent round, decomposed into weight-ordered activations",
+        ["order", "edge", "sender->receiver", "weight w", "|diff|", "drop", "Lemma1 bound w*|diff|", "ok"],
+    )
+    for act in report.activations:
+        u, v = topo.edges[act.edge_id]
+        table.add_row(
+            act.order,
+            f"({u},{v})",
+            f"{act.sender}->{act.receiver}",
+            act.weight,
+            act.initial_diff,
+            act.drop,
+            act.lemma1_bound,
+            act.satisfies_lemma1,
+        )
+    print(table.to_text())
+    print()
+    print(f"sum of drops            = {report.total_drop:.4f}  (== concurrent round drop, an identity)")
+    print(f"sum of Lemma 1 bounds   = {report.lemma2_lower_bound:.4f}  (Lemma 2 lower bound)")
+    lam2 = graphs.lambda_2(topo)
+    guaranteed = lam2 / (4 * topo.max_degree)
+    print(f"relative drop           = {report.total_drop / report.initial_potential:.4f}  "
+          f"(Theorem 4 guarantees >= lambda2/4delta = {guaranteed:.4f})")
+    print()
+
+    # Concurrency gap on random states: concurrent drop / sequential drop.
+    gaps = []
+    for _ in range(200):
+        state = rng.uniform(0, 1000, topo.n)
+        g = concurrency_gap(state, topo)
+        if np.isfinite(g):
+            gaps.append(g)
+    print("concurrency gap (concurrent / idealized-sequential drop) over 200 random states:")
+    print(f"  min = {min(gaps):.4f}, mean = {np.mean(gaps):.4f}, max = {max(gaps):.4f}")
+    print("  the paper proves the gap never falls below 0.5 — concurrency costs at most 2x.")
+
+    # Show the idealized sequential endpoint differs from the concurrent one.
+    seq_loads, seq_drop = greedy_sequential_round(loads, topo)
+    print()
+    print(f"concurrent round final Phi = {report.final_potential:.4f}")
+    print(f"sequential round final Phi = {potential(seq_loads):.4f} (drop {seq_drop:.4f})")
+
+
+if __name__ == "__main__":
+    main()

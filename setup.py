@@ -1,0 +1,9 @@
+"""Legacy entry point so editable installs work without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on minimal/offline environments.
+"""
+
+from setuptools import setup
+
+setup()

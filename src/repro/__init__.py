@@ -1,0 +1,39 @@
+"""repro — parallel, diffusion-type load balancing.
+
+A production-quality reproduction of
+
+    Petra Berenbrink, Tom Friedetzky, Zengjian Hu.
+    "A New Analytical Method for Parallel, Diffusion-type Load Balancing."
+    IPPS/IPDPS 2006.
+
+The package provides
+
+- the paper's algorithms — **Algorithm 1** (concurrent diffusion on a
+  fixed or dynamic network, continuous and discrete) and **Algorithm 2**
+  (random balancing partners) — plus the baselines they are compared to
+  (first-/second-order diffusion, random-matching dimension exchange,
+  the Optimal Polynomial Scheme, randomized-rounding discrete diffusion);
+- the *sequentialization* proof technique as executable code
+  (:mod:`repro.core.sequential`);
+- every quantitative bound of the paper (:mod:`repro.core.bounds`);
+- graph substrates, simulation engines (vectorized and message-passing),
+  Monte-Carlo replication, and the experiment suite reproducing each
+  theorem/lemma (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import graphs, core, simulation
+
+    topo = graphs.torus_2d(8, 8)
+    loads = simulation.point_load(topo.n, total=6400)
+    bal = core.DiffusionBalancer(topo, mode="discrete")
+    trace = simulation.run_balancer(bal, loads, rounds=200)
+    print(trace.summary())
+"""
+
+from repro import analysis, baselines, core, extensions, graphs, simulation
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "baselines", "core", "extensions", "graphs", "simulation", "__version__"]

@@ -1,0 +1,101 @@
+"""Empirical convergence-rate analysis.
+
+Theorem 4 predicts geometric potential decay with per-round factor at
+most ``1 - lambda_2 / (4 delta)``.  :func:`fit_contraction_rate` recovers
+the realized factor from a trace by log-linear least squares (robust to
+the noisy first rounds via an optional burn-in), and
+:func:`compare_to_bound` packages measured-vs-predicted round counts the
+way every experiment table reports them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.trace import Trace
+
+__all__ = ["fit_contraction_rate", "BoundComparison", "compare_to_bound", "crossover_round"]
+
+
+def fit_contraction_rate(trace: Trace, burn_in: int = 0, floor: float = 1e-12) -> float:
+    """Least-squares per-round contraction factor of the potential.
+
+    Fits ``log Phi_t ~ log Phi_0 + t log r`` over rounds after ``burn_in``
+    where ``Phi > floor`` (zero potential carries no rate information) and
+    returns ``r``.  NaN when fewer than two usable points exist.
+    """
+    pots = trace.potential_array
+    t = np.arange(pots.size, dtype=np.float64)
+    mask = pots > floor
+    mask[: min(burn_in, pots.size)] = False
+    if mask.sum() < 2:
+        return math.nan
+    x, y = t[mask], np.log(pots[mask])
+    slope = np.polyfit(x, y, 1)[0]
+    return float(np.exp(slope))
+
+
+@dataclass(frozen=True)
+class BoundComparison:
+    """Measured rounds versus a theoretical bound."""
+
+    label: str
+    measured_rounds: int | None  #: None = target never reached
+    bound_rounds: float
+    measured_rate: float  #: fitted per-round contraction
+    guaranteed_rate: float  #: the bound's per-round contraction
+
+    @property
+    def within_bound(self) -> bool:
+        """True when the run reached the target no later than the bound."""
+        return self.measured_rounds is not None and self.measured_rounds <= math.ceil(self.bound_rounds)
+
+    @property
+    def tightness(self) -> float:
+        """measured / bound — how loose the bound is (NaN if unreached)."""
+        if self.measured_rounds is None or self.bound_rounds <= 0:
+            return math.nan
+        return self.measured_rounds / self.bound_rounds
+
+
+def compare_to_bound(
+    trace: Trace,
+    target_potential: float,
+    bound_rounds: float,
+    guaranteed_drop: float,
+    label: str = "",
+) -> BoundComparison:
+    """Build a :class:`BoundComparison` for "reach ``Phi <= target``".
+
+    ``guaranteed_drop`` is the per-round relative drop the theory promises
+    (e.g. ``lambda2 / 4 delta``); the stored guaranteed *rate* is
+    ``1 - guaranteed_drop``.
+    """
+    measured = trace.rounds_to_potential(target_potential)
+    return BoundComparison(
+        label=label or trace.balancer_name,
+        measured_rounds=measured,
+        bound_rounds=float(bound_rounds),
+        measured_rate=fit_contraction_rate(trace),
+        guaranteed_rate=1.0 - guaranteed_drop,
+    )
+
+
+def crossover_round(trace_a: Trace, trace_b: Trace) -> int | None:
+    """First round where trace_a's potential goes below trace_b's.
+
+    Useful for "scheme A starts slower but overtakes scheme B" plots
+    (e.g. SOS vs FOS).  None when no crossover happens within the common
+    recorded horizon.
+    """
+    a, b = trace_a.potential_array, trace_b.potential_array
+    horizon = min(a.size, b.size)
+    if horizon == 0:
+        return None
+    below = a[:horizon] < b[:horizon]
+    if not below.any():
+        return None
+    return int(np.argmax(below))

@@ -1,0 +1,114 @@
+"""Aligned text and markdown tables.
+
+Every experiment returns a :class:`Table`; benches print it, the CLI
+prints it, and EXPERIMENTS.md embeds the markdown rendering.  Keeping a
+single tiny formatter (instead of pulling in a dataframe library) means
+the "rows the paper reports" are produced by exactly one code path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_number", "Table", "markdown_table"]
+
+
+def format_number(value: Any, digits: int = 4) -> str:
+    """Human-friendly scalar formatting used across all reports.
+
+    Integers print exactly; floats use up to ``digits`` significant
+    digits with scientific notation outside [1e-3, 1e6); None/NaN print
+    as a dash; everything else via ``str``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.{digits}g}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, column-aligned results table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(f"row has {len(values)} cells for {len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line printed under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All raw values of a named column (for assertions in tests/benches)."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}; have {list(self.columns)}") from None
+        return [row[idx] for row in self.rows]
+
+    def _rendered_cells(self) -> list[list[str]]:
+        return [[format_number(v) for v in row] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Monospace rendering with a title rule and aligned columns."""
+        cells = self._rendered_cells()
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * max(len(self.title), 1)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (used by EXPERIMENTS.md)."""
+        cells = self._rendered_cells()
+        headers = [str(c) for c in self.columns]
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in cells:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"_note: {note}_")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def markdown_table(title: str, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """One-shot markdown table (for callers without a Table instance)."""
+    t = Table(title, list(columns))
+    for row in rows:
+        t.add_row(*row)
+    return t.to_markdown()

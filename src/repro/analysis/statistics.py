@@ -1,0 +1,138 @@
+"""Statistical utilities for the probabilistic experiments.
+
+Theorems 12 and 14 make *probability* claims ("with probability at least
+1 - Phi_0^{-c/4}"), and Lemmas 9/11/13 bound *expectations*.  Verifying
+them from finitely many trials needs interval estimates, not just point
+estimates:
+
+- :func:`wilson_interval` — CI for a Bernoulli success probability
+  (used for the success fractions of E08/E09; Wilson, not Wald, because
+  success counts sit near 100% where Wald degenerates);
+- :func:`bootstrap_mean_interval` — nonparametric CI for a mean (drop
+  ratios are bounded but skewed, so normal approximations are dubious);
+- :func:`geometric_rate` — MLE of a per-round contraction factor from a
+  potential trace with its log-space standard error;
+- :func:`one_sided_mean_test` — "is E[X] <= bound?" via a one-sided
+  t-statistic, the exact shape of the Lemma 11/13 claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "wilson_interval",
+    "bootstrap_mean_interval",
+    "geometric_rate",
+    "one_sided_mean_test",
+    "RateEstimate",
+    "MeanTest",
+]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the boundaries (0 or 100% successes), unlike the Wald
+    interval — exactly the regime the Theorem 12/14 success fractions
+    live in.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def bootstrap_mean_interval(
+    samples: np.ndarray,
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the mean of ``samples``."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """Per-round contraction factor with a log-space standard error."""
+
+    rate: float
+    log_se: float
+    rounds_used: int
+
+    def interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Approximate CI for the rate (lognormal error model)."""
+        if self.rounds_used < 2:
+            return (math.nan, math.nan)
+        lo = self.rate * math.exp(-z * self.log_se)
+        hi = self.rate * math.exp(z * self.log_se)
+        return lo, hi
+
+
+def geometric_rate(potentials: np.ndarray, floor: float = 1e-12) -> RateEstimate:
+    """MLE of the geometric contraction factor of a potential trace.
+
+    Uses the per-round log-ratios (mean = log rate); the standard error
+    is the sample SE of those ratios.  Rounds at or below ``floor`` are
+    excluded (no rate information).
+    """
+    pots = np.asarray(potentials, dtype=np.float64)
+    mask = pots > floor
+    usable = pots[mask]
+    if usable.size < 2:
+        return RateEstimate(math.nan, math.nan, 0)
+    ratios = np.log(usable[1:] / usable[:-1])
+    rate = float(np.exp(ratios.mean()))
+    se = float(ratios.std(ddof=1) / math.sqrt(ratios.size)) if ratios.size > 1 else math.inf
+    return RateEstimate(rate=rate, log_se=se, rounds_used=int(usable.size))
+
+
+@dataclass(frozen=True)
+class MeanTest:
+    """Outcome of a one-sided 'is E[X] <= bound?' test."""
+
+    sample_mean: float
+    bound: float
+    t_statistic: float  #: (mean - bound) / se; very negative = comfortably below
+    consistent: bool  #: True when the data do NOT refute E[X] <= bound
+
+    @property
+    def margin(self) -> float:
+        """How far below the bound the sample mean sits (positive = below)."""
+        return self.bound - self.sample_mean
+
+
+def one_sided_mean_test(samples: np.ndarray, bound: float, z_crit: float = 2.33) -> MeanTest:
+    """Test ``E[X] <= bound`` from i.i.d. samples.
+
+    ``consistent`` is False only when the sample mean exceeds the bound
+    by more than ``z_crit`` standard errors (~99th percentile one-sided)
+    — i.e. when the data actively refute the lemma, which is the event
+    the experiment suite must flag.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return MeanTest(mean, bound, math.nan, mean <= bound)
+    se = float(arr.std(ddof=1) / math.sqrt(arr.size))
+    t = (mean - bound) / se if se > 0 else (math.inf if mean > bound else -math.inf)
+    return MeanTest(sample_mean=mean, bound=bound, t_statistic=t, consistent=t <= z_crit)

@@ -1,0 +1,166 @@
+"""Executable checks of the paper's lemmas on concrete states and runs.
+
+Every function here turns a proof step into a measurement:
+
+- :func:`check_lemma1_on_state` — decompose one round and verify the
+  per-activation drop bound ``DeltaPhi_e >= w_e |l_i - l_j|``;
+- :func:`check_lemma10_identity` — the algebraic identity
+  ``sum_ij (l_i - l_j)^2 = 2 n Phi`` against the naive O(n^2) evaluation;
+- :func:`empirical_lemma9` — Monte-Carlo estimate of
+  ``Pr[max(d_i, d_j) <= 5 | (i,j) in E]`` in Algorithm 2's link graph;
+- :func:`partner_degree_statistics` — the balls-into-bins side claim: the
+  maximum partner degree grows like ``Theta(log n / log log n)``;
+- :func:`measure_drop_factors` — per-round relative potential drops of a
+  run, compared against a guaranteed factor (Theorem 4 / Lemma 5 / ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.potential import pairwise_square_sum, pairwise_square_sum_naive, potential
+from repro.core.random_partner import link_degrees, sample_partner_links
+from repro.core.sequential import SequentializationReport, sequentialize_round
+from repro.graphs.topology import Topology
+from repro.simulation.trace import Trace
+
+__all__ = [
+    "check_lemma1_on_state",
+    "check_lemma10_identity",
+    "empirical_lemma9",
+    "partner_degree_statistics",
+    "DropFactorStats",
+    "measure_drop_factors",
+]
+
+
+def check_lemma1_on_state(loads: np.ndarray, topo: Topology, discrete: bool = False) -> SequentializationReport:
+    """Decompose one round; raises ``AssertionError`` on a Lemma 1 violation.
+
+    Returns the full report so callers can additionally inspect the
+    Lemma 2 aggregate.
+    """
+    report = sequentialize_round(loads, topo, discrete=discrete)
+    violations = report.lemma1_violations
+    if violations:
+        worst = min(violations, key=lambda a: a.drop - a.lemma1_bound)
+        raise AssertionError(
+            f"Lemma 1 violated on edge {worst.edge_id} "
+            f"(drop {worst.drop:.6g} < bound {worst.lemma1_bound:.6g})"
+        )
+    return report
+
+
+def check_lemma10_identity(loads: np.ndarray, rtol: float = 1e-9) -> tuple[float, float]:
+    """Evaluate both sides of Lemma 10; raises on mismatch.
+
+    Returns ``(closed_form, naive)`` — the O(n) identity value and the
+    O(n^2) literal double sum.
+    """
+    closed = pairwise_square_sum(loads)
+    naive = pairwise_square_sum_naive(loads)
+    scale = max(abs(closed), abs(naive), 1.0)
+    if abs(closed - naive) > rtol * scale:
+        raise AssertionError(f"Lemma 10 identity violated: {closed} vs {naive}")
+    return closed, naive
+
+
+def empirical_lemma9(n: int, rng: np.random.Generator, rounds: int = 200) -> dict[str, float]:
+    """Monte-Carlo estimate of Lemma 9's conditional probability.
+
+    Samples ``rounds`` independent partner rounds on ``n`` nodes, and over
+    all realized links measures ``Pr[max(d_i, d_j) <= 5]``.  Also reports
+    the unconditional mean and max link-degree for context.
+
+    The lemma guarantees the probability exceeds 1/2; empirically it is
+    far higher (the union bound in the proof is loose), which the
+    experiment tables show.
+    """
+    favourable = 0
+    total = 0
+    max_deg = 0
+    deg_sum = 0.0
+    deg_count = 0
+    for _ in range(rounds):
+        links = sample_partner_links(n, rng)
+        deg = link_degrees(n, links)
+        u, v = links[:, 0], links[:, 1]
+        pair_max = np.maximum(deg[u], deg[v])
+        favourable += int(np.count_nonzero(pair_max <= 5))
+        total += int(links.shape[0])
+        max_deg = max(max_deg, int(deg.max()))
+        deg_sum += float(deg.sum())
+        deg_count += n
+    return {
+        "probability": favourable / total if total else float("nan"),
+        "links_sampled": float(total),
+        "mean_degree": deg_sum / deg_count if deg_count else float("nan"),
+        "max_degree": float(max_deg),
+    }
+
+
+def partner_degree_statistics(n: int, rng: np.random.Generator, rounds: int = 50) -> dict[str, float]:
+    """Max/mean link degree of Algorithm 2's round graphs, plus the
+    balls-into-bins prediction ``log n / log log n`` for comparison."""
+    max_degs = np.empty(rounds)
+    for r in range(rounds):
+        links = sample_partner_links(n, rng)
+        deg = link_degrees(n, links)
+        max_degs[r] = deg.max()
+    log_n = np.log(n)
+    prediction = log_n / np.log(log_n) if log_n > 1 else 1.0
+    return {
+        "mean_max_degree": float(max_degs.mean()),
+        "p95_max_degree": float(np.quantile(max_degs, 0.95)),
+        "bins_prediction": float(prediction),
+        "ratio": float(max_degs.mean() / prediction),
+    }
+
+
+@dataclass(frozen=True)
+class DropFactorStats:
+    """Per-round relative drops of a run versus a guaranteed floor."""
+
+    guaranteed: float  #: e.g. lambda2/(4 delta) for Theorem 4
+    measured_min: float
+    measured_mean: float
+    rounds_checked: int
+    rounds_violating: int
+
+    @property
+    def holds(self) -> bool:
+        """True when no checked round dropped less than guaranteed."""
+        return self.rounds_violating == 0
+
+
+def measure_drop_factors(
+    trace: Trace,
+    guaranteed: float,
+    min_potential: float = 0.0,
+    rtol: float = 1e-9,
+) -> DropFactorStats:
+    """Compare each round's relative drop ``(Phi_{t-1}-Phi_t)/Phi_{t-1}``
+    against a guaranteed floor, ignoring rounds with ``Phi < min_potential``
+    (discrete guarantees only hold above a threshold).
+    """
+    pots = trace.potential_array
+    drops: list[float] = []
+    violations = 0
+    for before, after in zip(pots[:-1], pots[1:]):
+        if before <= min_potential or before <= 0:
+            continue
+        rel = (before - after) / before
+        drops.append(rel)
+        if rel < guaranteed * (1.0 - rtol) - rtol:
+            violations += 1
+    if not drops:
+        return DropFactorStats(guaranteed, float("nan"), float("nan"), 0, 0)
+    return DropFactorStats(
+        guaranteed=guaranteed,
+        measured_min=float(min(drops)),
+        measured_mean=float(np.mean(drops)),
+        rounds_checked=len(drops),
+        rounds_violating=violations,
+    )

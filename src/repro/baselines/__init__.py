@@ -1,0 +1,39 @@
+"""Baseline schemes the paper compares against or builds upon.
+
+- :mod:`repro.baselines.first_order` — Cybenko's first-order diffusion
+  ``L_{t+1} = M L_t`` with continuous, floor-discrete and
+  randomized-rounding-discrete (Elsässer–Monien) variants;
+- :mod:`repro.baselines.second_order` — the Muthukrishnan–Ghosh–Schultz
+  second-order scheme with the optimal ``beta``;
+- :mod:`repro.baselines.dimension_exchange` — Ghosh–Muthukrishnan random
+  matching dimension exchange and the deterministic round-robin variant;
+- :mod:`repro.baselines.ops` — Diekmann–Frommer–Monien's Optimal
+  Polynomial Scheme (OPS), which balances exactly in ``m - 1`` rounds
+  where ``m`` is the number of distinct Laplacian eigenvalues.
+"""
+
+from repro.baselines.first_order import (
+    FirstOrderBalancer,
+    fos_round_continuous,
+    fos_round_discrete_floor,
+    fos_round_discrete_randomized,
+)
+from repro.baselines.second_order import SecondOrderBalancer, optimal_beta
+from repro.baselines.dimension_exchange import (
+    DimensionExchangeBalancer,
+    exchange_along_matching,
+)
+from repro.baselines.ops import OptimalPolynomialBalancer, leja_order
+
+__all__ = [
+    "FirstOrderBalancer",
+    "fos_round_continuous",
+    "fos_round_discrete_floor",
+    "fos_round_discrete_randomized",
+    "SecondOrderBalancer",
+    "optimal_beta",
+    "DimensionExchangeBalancer",
+    "exchange_along_matching",
+    "OptimalPolynomialBalancer",
+    "leja_order",
+]

@@ -1,0 +1,123 @@
+"""The Optimal Polynomial Scheme (OPS) of Diekmann, Frommer & Monien.
+
+[DFM99] observe that any "local" iterative scheme computes
+``L_t = p_t(L_lap) L_0`` for a degree-``t`` polynomial ``p_t`` with
+``p_t(0) = 1``, and that choosing
+
+    p(x) = prod_{k=2..m} (1 - x / lambda_k)
+
+— one factor per *distinct non-zero* Laplacian eigenvalue — annihilates
+every error eigencomponent.  Executed as the iteration
+
+    L_{t+1} = L_t - (1 / lambda_{k_t}) * Lap @ L_t,
+
+the scheme balances **exactly** after ``m - 1`` rounds (``m`` = number of
+distinct Laplacian eigenvalues, counting 0).  Each round is still a
+nearest-neighbour operation: node ``i`` moves ``(l_i - l_j)/lambda_{k_t}``
+along each incident edge.
+
+Numerics: the factors applied in ascending eigenvalue order amplify
+intermediate error components by up to ``prod (lambda_max/lambda_k - 1)``,
+which overflows for graphs with tiny ``lambda_2`` (long paths).  The
+standard fix is **Leja ordering** of the eigenvalues, implemented in
+:func:`leja_order` and used by default.
+
+OPS requires global spectral knowledge, so it is not a distributed
+protocol in the paper's sense — it serves as the "how fast could any
+polynomial scheme possibly be" yardstick in E12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocols import CONTINUOUS, Balancer, register_balancer
+from repro.graphs.spectral import distinct_laplacian_eigenvalues, laplacian_matrix
+from repro.graphs.topology import Topology
+
+__all__ = ["leja_order", "OptimalPolynomialBalancer"]
+
+
+def leja_order(values: np.ndarray) -> np.ndarray:
+    """Order values for numerically stable polynomial product application.
+
+    Leja ordering greedily picks the value maximizing the product of
+    distances to the already-picked ones (starting from the largest
+    magnitude).  For Richardson-type iterations this keeps intermediate
+    polynomial values bounded.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size == 0:
+        return vals
+    remaining = list(range(vals.size))
+    order: list[int] = []
+    start = int(np.argmax(np.abs(vals)))
+    order.append(start)
+    remaining.remove(start)
+    while remaining:
+        picked_vals = vals[order]
+        # log-distance products to avoid under/overflow in the selection
+        best_idx, best_score = remaining[0], -np.inf
+        for idx in remaining:
+            dists = np.abs(vals[idx] - picked_vals)
+            score = float(np.sum(np.log(np.maximum(dists, 1e-300))))
+            if score > best_score:
+                best_idx, best_score = idx, score
+        order.append(best_idx)
+        remaining.remove(best_idx)
+    return vals[np.asarray(order)]
+
+
+class OptimalPolynomialBalancer(Balancer):
+    """OPS adapted to the :class:`Balancer` interface (continuous only).
+
+    After the schedule of ``m - 1`` eigenvalue rounds is exhausted the
+    scheme idles (identity steps): it has already balanced exactly, up to
+    floating-point error.
+
+    Parameters
+    ----------
+    topology:
+        The fixed network (connected; spectral factorization is computed
+        once at construction).
+    use_leja:
+        Apply Leja ordering to the eigenvalue schedule (default True; the
+        ascending order is kept available for the numerics ablation).
+    """
+
+    def __init__(self, topology: Topology, use_leja: bool = True):
+        super().__init__()
+        self.topology = topology
+        eigs = distinct_laplacian_eigenvalues(topology)
+        nonzero = eigs[eigs > 1e-9]
+        if nonzero.size == 0:
+            raise ValueError("OPS needs a graph with at least one edge")
+        self.schedule = leja_order(nonzero) if use_leja else nonzero
+        self._lap = laplacian_matrix(topology)
+        self.mode = CONTINUOUS
+        self.name = f"ops[{'leja' if use_leja else 'asc'}]@{topology.name}"
+
+    @property
+    def rounds_to_exact(self) -> int:
+        """Rounds after which OPS has balanced exactly (``m - 1``)."""
+        return int(self.schedule.size)
+
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        loads = self.validate_loads(loads)
+        r = self.advance_round()
+        if r >= self.schedule.size:
+            return loads.copy()  # already exact; idle
+        lam = self.schedule[r]
+        return loads - (self._lap @ loads) / lam
+
+    def validate_loads(self, loads: np.ndarray) -> np.ndarray:
+        """Accept transiently negative loads (polynomial overshoot)."""
+        arr = np.asarray(loads, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError(f"loads must be a non-empty 1-D vector, got shape {arr.shape}")
+        return arr
+
+
+@register_balancer("ops")
+def _make_ops(topology: Topology, **kwargs) -> OptimalPolynomialBalancer:
+    return OptimalPolynomialBalancer(topology, **kwargs)

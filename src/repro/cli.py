@@ -1,0 +1,222 @@
+"""Command-line interface: ``repro-lb`` (or ``python -m repro``).
+
+Subcommands
+-----------
+- ``topologies`` — list the graph families and their spectral profiles;
+- ``run`` — run one balancer on one topology and print the trace summary;
+- ``compare`` — run several balancers on one topology side by side;
+- ``verify`` — execute the lemma checks on random states;
+- ``experiment`` — regenerate one or all experiment tables (E01..E13);
+- ``bounds`` — print every theorem bound for a given topology.
+
+The CLI is a thin layer: every command resolves to a library call that
+the tests exercise directly, so the CLI tests only assert wiring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.core.bounds import (
+    theorem4_rounds,
+    theorem6_rounds,
+    theorem6_threshold,
+    theorem12_rounds,
+    theorem14_threshold,
+)
+from repro.core.potential import potential
+from repro.core.protocols import get_balancer, registered_balancers
+from repro.graphs.generators import FAMILIES, by_name
+from repro.graphs.spectral import lambda_2, spectral_profile
+from repro.simulation.engine import Simulator
+from repro.simulation.initial import GENERATORS, make_loads
+from repro.simulation.stopping import MaxRounds, PotentialFractionBelow
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lb",
+        description="Parallel diffusion-type load balancing (Berenbrink-Friedetzky-Hu, IPPS 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("topologies", help="list graph families and spectral profiles")
+    p_topo.add_argument("--spec", nargs="*", default=None, help='e.g. "torus:8x8" "cycle:32"')
+
+    p_run = sub.add_parser("run", help="run one balancer")
+    p_run.add_argument("--balancer", required=True, choices=registered_balancers())
+    p_run.add_argument("--topology", required=True, help='e.g. "torus:8x8"')
+    p_run.add_argument("--loads", default="point", choices=sorted(GENERATORS))
+    p_run.add_argument("--rounds", type=int, default=1000)
+    p_run.add_argument("--eps", type=float, default=None, help="stop at Phi <= eps*Phi0")
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_cmp = sub.add_parser("compare", help="run several balancers side by side")
+    p_cmp.add_argument("--topology", required=True)
+    p_cmp.add_argument("--balancers", nargs="+", required=True)
+    p_cmp.add_argument("--eps", type=float, default=1e-4)
+    p_cmp.add_argument("--max-rounds", type=int, default=100_000)
+    p_cmp.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser("sweep", help="grid-evaluate balancers across topologies")
+    p_sweep.add_argument("--topologies", nargs="+", required=True)
+    p_sweep.add_argument("--balancers", nargs="+", required=True)
+    p_sweep.add_argument("--loads", default="point", choices=sorted(GENERATORS))
+    p_sweep.add_argument("--eps", type=float, default=1e-4)
+    p_sweep.add_argument("--max-rounds", type=int, default=100_000)
+    p_sweep.add_argument("--seed", type=int, default=0)
+
+    p_ver = sub.add_parser("verify", help="run the lemma checks on random states")
+    p_ver.add_argument("--topology", default="torus:8x8")
+    p_ver.add_argument("--trials", type=int, default=10)
+    p_ver.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser("experiment", help="regenerate experiment tables")
+    p_exp.add_argument("ids", nargs="*", default=[], help="e01..e13; empty = all")
+    p_exp.add_argument("--markdown", action="store_true", help="emit markdown instead of text")
+
+    p_bounds = sub.add_parser("bounds", help="print the paper's bounds for a topology")
+    p_bounds.add_argument("--topology", required=True)
+    p_bounds.add_argument("--eps", type=float, default=1e-6)
+    p_bounds.add_argument("--tokens", type=int, default=None, help="point-load size for Phi0")
+    return parser
+
+
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    table = Table("Topologies", ["name", "n", "m", "delta", "lambda2", "gamma", "mu", "#distinct eig"])
+    specs = args.spec or ["cycle:32", "path:32", "torus:8x8", "hypercube:6", "debruijn:6", "complete:16", "star:32", "petersen"]
+    for spec in specs:
+        prof = spectral_profile(by_name(spec))
+        table.add_row(prof.name, prof.n, prof.m, prof.delta, prof.lambda2, prof.gamma, prof.mu, prof.distinct_eigenvalues)
+    print(table.to_text())
+    print()
+    print("families:")
+    for fam, syntax in sorted(FAMILIES.items()):
+        print(f"  {syntax}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    topo = by_name(args.topology)
+    bal = get_balancer(args.balancer, topo)
+    discrete = bal.mode == "discrete"
+    rng = np.random.default_rng(args.seed)
+    loads = make_loads(args.loads, topo.n, rng=rng, discrete=discrete)
+    stopping = [MaxRounds(args.rounds)]
+    if args.eps is not None:
+        stopping.insert(0, PotentialFractionBelow(args.eps))
+    trace = Simulator(bal, stopping=stopping).run(loads, args.seed)
+    for key, value in trace.summary().items():
+        print(f"{key:>20}: {value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    topo = by_name(args.topology)
+    table = Table(
+        f"Compare on {topo.name} (rounds to Phi <= {args.eps:g}*Phi0)",
+        ["balancer", "rounds", "phi_final", "mean_drop_factor", "stopped_by"],
+    )
+    for name in args.balancers:
+        bal = get_balancer(name, topo)
+        rng = np.random.default_rng(args.seed)
+        loads = make_loads("point", topo.n, rng=rng, discrete=bal.mode == "discrete")
+        sim = Simulator(bal, stopping=[PotentialFractionBelow(args.eps), MaxRounds(args.max_rounds)])
+        trace = sim.run(loads, args.seed)
+        s = trace.summary()
+        table.add_row(name, s["rounds"], s["phi_final"], s["mean_drop_factor"], s["stopped_by"])
+    print(table.to_text())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.simulation.sweep import sweep
+
+    table, _ = sweep(
+        args.topologies,
+        args.balancers,
+        load_kind=args.loads,
+        eps=args.eps,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+    )
+    print(table.to_text())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.verify import check_lemma1_on_state, check_lemma10_identity, empirical_lemma9
+
+    topo = by_name(args.topology)
+    rng = np.random.default_rng(args.seed)
+    for trial in range(args.trials):
+        state = rng.uniform(0, 10_000, topo.n)
+        check_lemma1_on_state(state, topo)
+        check_lemma10_identity(state)
+    est = empirical_lemma9(max(topo.n, 64), rng, rounds=50)
+    print(f"Lemma 1: OK on {args.trials} random states of {topo.name} ({topo.m} edges each)")
+    print(f"Lemma 10: identity verified on {args.trials} random states")
+    print(f"Lemma 9: Pr[max(di,dj)<=5 | link] = {est['probability']:.4f} (> 0.5: {est['probability'] > 0.5})")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    ids = args.ids or sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}; known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for eid in ids:
+        table = EXPERIMENTS[eid]()
+        print(table.to_markdown() if args.markdown else table.to_text())
+        print()
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    topo = by_name(args.topology)
+    lam2 = lambda_2(topo)
+    tokens = args.tokens if args.tokens is not None else 100 * topo.n
+    loads = np.zeros(topo.n)
+    loads[0] = tokens
+    phi0 = potential(loads)
+    print(f"{topo.name}: n={topo.n} delta={topo.max_degree} lambda2={lam2:.6g} Phi0(point,{tokens})={phi0:.6g}")
+    for report in (
+        theorem4_rounds(topo.max_degree, lam2, args.eps),
+        theorem6_threshold(topo.n, topo.max_degree, lam2),
+        theorem6_rounds(topo.n, topo.max_degree, lam2, phi0),
+        theorem12_rounds(phi0, 1.0),
+        theorem14_threshold(topo.n),
+    ):
+        print("  " + report.describe())
+    return 0
+
+
+_COMMANDS = {
+    "topologies": _cmd_topologies,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+    "verify": _cmd_verify,
+    "experiment": _cmd_experiment,
+    "bounds": _cmd_bounds,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""The paper's primary contribution.
+
+- :mod:`repro.core.potential` — the quadratic potential ``Phi`` and the
+  other imbalance measures used across the literature;
+- :mod:`repro.core.diffusion` — **Algorithm 1** (``diff-balancing``),
+  continuous and discrete;
+- :mod:`repro.core.random_partner` — **Algorithm 2** (randomly chosen
+  balancing partners), continuous and discrete;
+- :mod:`repro.core.sequential` — the sequentialization engine: the paper's
+  proof device (activate edges one-by-one in increasing weight order)
+  turned into executable, measurable code;
+- :mod:`repro.core.bounds` — every theorem/lemma bound as a callable;
+- :mod:`repro.core.protocols` — the :class:`Balancer` interface all
+  schemes (core and baselines) implement.
+"""
+
+from repro.core.potential import (
+    average_load,
+    discrepancy,
+    error_vector,
+    l2_error,
+    pairwise_square_sum,
+    potential,
+    potential_drop,
+)
+from repro.core.diffusion import (
+    DiffusionBalancer,
+    diffusion_flows,
+    diffusion_round_continuous,
+    diffusion_round_discrete,
+)
+from repro.core.random_partner import (
+    RandomPartnerBalancer,
+    link_degrees,
+    partner_round_continuous,
+    partner_round_discrete,
+    sample_partner_links,
+)
+from repro.core.sequential import (
+    SequentialActivation,
+    SequentializationReport,
+    edge_weights,
+    sequentialize_round,
+    concurrency_gap,
+)
+from repro.core.bounds import (
+    BoundReport,
+    lemma5_drop_factor,
+    lemma9_probability_bound,
+    lemma11_drop_factor,
+    lemma13_drop_factor,
+    theorem4_rounds,
+    theorem6_rounds,
+    theorem6_threshold,
+    theorem7_rounds,
+    theorem8_rounds,
+    theorem8_threshold,
+    theorem12_rounds,
+    theorem12_success_probability,
+    theorem14_rounds,
+    theorem14_threshold,
+    ghosh_muthukrishnan_drop_factor,
+)
+from repro.core.protocols import Balancer, BalancerState, get_balancer, registered_balancers
+
+__all__ = [
+    # potential
+    "average_load",
+    "discrepancy",
+    "error_vector",
+    "l2_error",
+    "pairwise_square_sum",
+    "potential",
+    "potential_drop",
+    # diffusion (Algorithm 1)
+    "DiffusionBalancer",
+    "diffusion_flows",
+    "diffusion_round_continuous",
+    "diffusion_round_discrete",
+    # random partners (Algorithm 2)
+    "RandomPartnerBalancer",
+    "link_degrees",
+    "partner_round_continuous",
+    "partner_round_discrete",
+    "sample_partner_links",
+    # sequentialization
+    "SequentialActivation",
+    "SequentializationReport",
+    "edge_weights",
+    "sequentialize_round",
+    "concurrency_gap",
+    # bounds
+    "BoundReport",
+    "lemma5_drop_factor",
+    "lemma9_probability_bound",
+    "lemma11_drop_factor",
+    "lemma13_drop_factor",
+    "theorem4_rounds",
+    "theorem6_rounds",
+    "theorem6_threshold",
+    "theorem7_rounds",
+    "theorem8_rounds",
+    "theorem8_threshold",
+    "theorem12_rounds",
+    "theorem12_success_probability",
+    "theorem14_rounds",
+    "theorem14_threshold",
+    "ghosh_muthukrishnan_drop_factor",
+    # protocols
+    "Balancer",
+    "BalancerState",
+    "get_balancer",
+    "registered_balancers",
+]

@@ -1,0 +1,286 @@
+"""Every quantitative bound of the paper as a callable.
+
+The experiments compare *measured* convergence against these formulas, so
+each function implements exactly the expression printed in the paper,
+with the constants untouched:
+
+===========  ========================================================
+Theorem 4    ``T = 4 delta ln(1/eps) / lambda_2``
+Lemma 5      per-round relative drop ``lambda_2 / (8 delta)`` while
+             ``Phi >= 64 delta^3 n / lambda_2``
+Theorem 6    ``T = (8 delta / lambda_2) ln(lambda_2 Phi_0 / (64 delta^3 n))``
+Theorem 7    ``K = 4 ln(1/eps) / A_K``  (stated as O(ln(1/eps)/A_K);
+             the constant 4 is inherited from Theorem 4's machinery)
+Theorem 8    threshold ``Phi* = 64 n max_k (delta_k^3 / lambda_2,k)`` and
+             ``K = 8 ln(Phi_0/Phi*) / A_K``
+Lemma 9      ``Pr[max(d_i, d_j) <= 5 | (i,j) in E] > 1/2``
+Lemma 11     ``E[Phi'] <= (19/20) Phi``
+Theorem 12   ``T = 120 c ln Phi_0``, success prob ``>= 1 - Phi_0^{-c/4}``
+Lemma 13     ``E[Phi'] <= (39/40) Phi`` while ``Phi >= 3200 n``
+Theorem 14   ``T = 240 c ln(Phi_0 / 3200 n)``, success prob
+             ``>= 1 - (Phi_0/3200n)^{-c/4}``
+[GM94]       matching dimension exchange: expected relative drop
+             ``lambda_2 / (16 delta)`` (the comparison constant of Sec. 3)
+===========  ========================================================
+
+Each returns a :class:`BoundReport` carrying the inputs alongside the
+value so that report tables are self-describing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "BoundReport",
+    "theorem4_rounds",
+    "lemma5_drop_factor",
+    "theorem6_threshold",
+    "theorem6_rounds",
+    "theorem7_rounds",
+    "theorem8_threshold",
+    "theorem8_rounds",
+    "lemma9_probability_bound",
+    "lemma11_drop_factor",
+    "theorem12_rounds",
+    "theorem12_success_probability",
+    "lemma13_drop_factor",
+    "theorem14_rounds",
+    "theorem14_threshold",
+    "theorem14_success_probability",
+    "ghosh_muthukrishnan_drop_factor",
+]
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """A theoretical bound together with its provenance."""
+
+    statement: str
+    value: float
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def describe(self) -> str:
+        """Human-readable ``statement: value  (params)`` line."""
+        ps = ", ".join(f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}" for k, v in self.params.items())
+        return f"{self.statement}: {self.value:.6g}  ({ps})"
+
+
+def _require_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if not value > 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+# ----------------------------------------------------------------------
+# Fixed network (Section 4)
+# ----------------------------------------------------------------------
+
+def theorem4_rounds(delta: int, lam2: float, eps: float) -> BoundReport:
+    """Theorem 4: rounds to reduce ``Phi`` to ``eps * Phi_0`` (continuous).
+
+    ``T = 4 delta ln(1/eps) / lambda_2``.
+    """
+    _require_positive(delta=delta, lam2=lam2, eps=eps)
+    if eps >= 1:
+        raise ValueError("eps must be < 1")
+    t = 4.0 * delta * math.log(1.0 / eps) / lam2
+    return BoundReport("Theorem 4: T = 4*delta*ln(1/eps)/lambda2", t, {"delta": delta, "lambda2": lam2, "eps": eps})
+
+
+def lemma5_drop_factor(delta: int, lam2: float) -> BoundReport:
+    """Lemma 5: guaranteed relative per-round drop ``lambda_2 / (8 delta)``
+    while ``Phi >= 64 delta^3 n / lambda_2`` (discrete case)."""
+    _require_positive(delta=delta, lam2=lam2)
+    return BoundReport(
+        "Lemma 5: drop/Phi >= lambda2/(8*delta)",
+        lam2 / (8.0 * delta),
+        {"delta": delta, "lambda2": lam2},
+    )
+
+
+def theorem6_threshold(n: int, delta: int, lam2: float) -> BoundReport:
+    """Theorem 6's stall threshold ``Phi* = 64 delta^3 n / lambda_2``.
+
+    Below this potential the discrete rounding error can dominate and the
+    analysis stops guaranteeing progress.  Note it is *linear* in ``n``,
+    the improvement over [MGS98]'s quadratic threshold.
+    """
+    _require_positive(n=n, delta=delta, lam2=lam2)
+    return BoundReport(
+        "Theorem 6: Phi* = 64*delta^3*n/lambda2",
+        64.0 * delta**3 * n / lam2,
+        {"n": n, "delta": delta, "lambda2": lam2},
+    )
+
+
+def theorem6_rounds(n: int, delta: int, lam2: float, phi0: float) -> BoundReport:
+    """Theorem 6: rounds for the discrete algorithm to reach ``Phi < Phi*``.
+
+    ``T = (8 delta / lambda_2) * ln(lambda_2 Phi_0 / (64 delta^3 n))``;
+    zero when already below the threshold.
+    """
+    _require_positive(n=n, delta=delta, lam2=lam2)
+    phi_star = theorem6_threshold(n, delta, lam2).value
+    if phi0 <= phi_star:
+        t = 0.0
+    else:
+        t = (8.0 * delta / lam2) * math.log(phi0 / phi_star)
+    return BoundReport(
+        "Theorem 6: T = 8*delta/lambda2 * ln(Phi0/Phi*)",
+        t,
+        {"n": n, "delta": delta, "lambda2": lam2, "Phi0": phi0, "Phi*": phi_star},
+    )
+
+
+# ----------------------------------------------------------------------
+# Dynamic networks (Section 5)
+# ----------------------------------------------------------------------
+
+def theorem7_rounds(average_gap: float, eps: float, constant: float = 4.0) -> BoundReport:
+    """Theorem 7: ``K = O(ln(1/eps) / A_K)`` for dynamic networks.
+
+    ``A_K`` is the average of ``lambda_2^(k)/delta^(k)`` over the first K
+    rounds.  The theorem is asymptotic; ``constant`` defaults to the 4
+    carried over from Theorem 4's per-round drop ``lambda_2/(4 delta)``.
+    """
+    _require_positive(average_gap=average_gap, eps=eps)
+    if eps >= 1:
+        raise ValueError("eps must be < 1")
+    k = constant * math.log(1.0 / eps) / average_gap
+    return BoundReport(
+        "Theorem 7: K = c*ln(1/eps)/A_K",
+        k,
+        {"A_K": average_gap, "eps": eps, "c": constant},
+    )
+
+
+def theorem8_threshold(n: int, worst_term: float) -> BoundReport:
+    """Theorem 8's threshold ``Phi* = 64 n max_k (delta_k^3 / lambda_2,k)``."""
+    _require_positive(n=n, worst_term=worst_term)
+    return BoundReport(
+        "Theorem 8: Phi* = 64*n*max_k(delta_k^3/lambda2_k)",
+        64.0 * n * worst_term,
+        {"n": n, "max_k delta^3/lambda2": worst_term},
+    )
+
+
+def theorem8_rounds(average_gap: float, phi0: float, phi_star: float, constant: float = 8.0) -> BoundReport:
+    """Theorem 8: ``K = O(ln(Phi_0/Phi*) / A_K)`` (discrete, dynamic).
+
+    The constant 8 mirrors Lemma 5's per-round drop ``lambda_2/(8 delta)``.
+    Zero when already below threshold.
+    """
+    _require_positive(average_gap=average_gap, phi_star=phi_star)
+    k = 0.0 if phi0 <= phi_star else constant * math.log(phi0 / phi_star) / average_gap
+    return BoundReport(
+        "Theorem 8: K = c*ln(Phi0/Phi*)/A_K",
+        k,
+        {"A_K": average_gap, "Phi0": phi0, "Phi*": phi_star, "c": constant},
+    )
+
+
+# ----------------------------------------------------------------------
+# Random balancing partners (Section 6)
+# ----------------------------------------------------------------------
+
+def lemma9_probability_bound() -> BoundReport:
+    """Lemma 9: ``Pr[max(d_i, d_j) <= 5 | (i,j) in E] > 1/2``."""
+    return BoundReport("Lemma 9: Pr[max(di,dj)<=5 | link] > 1/2", 0.5, {})
+
+
+def lemma11_drop_factor() -> BoundReport:
+    """Lemma 11: one continuous Algorithm-2 round keeps at most 19/20 of Phi."""
+    return BoundReport("Lemma 11: E[Phi']/Phi <= 19/20", 19.0 / 20.0, {})
+
+
+def theorem12_rounds(phi0: float, c: float) -> BoundReport:
+    """Theorem 12: ``T = 120 c ln(Phi_0)`` rounds suffice w.h.p.
+
+    Requires ``Phi_0 > 1`` (otherwise the logarithm is non-positive and
+    the statement is vacuous — the system is already balanced to O(1)).
+    """
+    _require_positive(c=c)
+    if phi0 <= 1.0:
+        raise ValueError("Theorem 12 needs Phi0 > 1")
+    return BoundReport(
+        "Theorem 12: T = 120*c*ln(Phi0)",
+        120.0 * c * math.log(phi0),
+        {"Phi0": phi0, "c": c},
+    )
+
+
+def theorem12_success_probability(phi0: float, c: float) -> BoundReport:
+    """Theorem 12's success probability ``1 - Phi_0^{-c/4}``."""
+    _require_positive(c=c)
+    if phi0 <= 1.0:
+        raise ValueError("Theorem 12 needs Phi0 > 1")
+    return BoundReport(
+        "Theorem 12: Pr[success] >= 1 - Phi0^(-c/4)",
+        1.0 - phi0 ** (-c / 4.0),
+        {"Phi0": phi0, "c": c},
+    )
+
+
+def lemma13_drop_factor() -> BoundReport:
+    """Lemma 13: discrete Algorithm-2 keeps at most 39/40 of Phi while
+    ``Phi >= 3200 n``."""
+    return BoundReport("Lemma 13: E[Phi']/Phi <= 39/40 while Phi >= 3200n", 39.0 / 40.0, {})
+
+
+def theorem14_threshold(n: int) -> BoundReport:
+    """Theorem 14's threshold ``3200 n``."""
+    _require_positive(n=n)
+    return BoundReport("Theorem 14: Phi* = 3200*n", 3200.0 * n, {"n": n})
+
+
+def theorem14_rounds(phi0: float, n: int, c: float) -> BoundReport:
+    """Theorem 14: ``T = 240 c ln(Phi_0 / 3200 n)`` rounds suffice w.h.p."""
+    _require_positive(c=c, n=n)
+    ratio = phi0 / (3200.0 * n)
+    if ratio <= 1.0:
+        t = 0.0
+    else:
+        t = 240.0 * c * math.log(ratio)
+    return BoundReport(
+        "Theorem 14: T = 240*c*ln(Phi0/3200n)",
+        t,
+        {"Phi0": phi0, "n": n, "c": c},
+    )
+
+
+def theorem14_success_probability(phi0: float, n: int, c: float) -> BoundReport:
+    """Theorem 14's success probability ``1 - (Phi_0/3200n)^{-c/4}``."""
+    _require_positive(c=c, n=n)
+    ratio = phi0 / (3200.0 * n)
+    if ratio <= 1.0:
+        raise ValueError("Theorem 14 needs Phi0 > 3200*n")
+    return BoundReport(
+        "Theorem 14: Pr[success] >= 1 - (Phi0/3200n)^(-c/4)",
+        1.0 - ratio ** (-c / 4.0),
+        {"Phi0": phi0, "n": n, "c": c},
+    )
+
+
+# ----------------------------------------------------------------------
+# Comparison constants (Section 3 / related work)
+# ----------------------------------------------------------------------
+
+def ghosh_muthukrishnan_drop_factor(delta: int, lam2: float) -> BoundReport:
+    """[GM94] random-matching dimension exchange: expected relative
+    potential drop ``lambda_2 / (16 delta)`` per round.
+
+    Section 3's claim that Algorithm 1 "converges a constant times faster"
+    is this constant versus Theorem 4's ``lambda_2 / (4 delta)``.
+    """
+    _require_positive(delta=delta, lam2=lam2)
+    return BoundReport(
+        "[GM94]: E[drop]/Phi >= lambda2/(16*delta)",
+        lam2 / (16.0 * delta),
+        {"delta": delta, "lambda2": lam2},
+    )

@@ -1,0 +1,155 @@
+"""Algorithm 1 of the paper: ``diff-balancing(G)``.
+
+Every round, **concurrently** for every edge ``(i, j)``, the more loaded
+endpoint sends
+
+    continuous:  (l_i - l_j) / (4 max(d_i, d_j))
+    discrete:    floor( |l_i - l_j| / (4 max(d_i, d_j)) )   tokens
+
+to the other endpoint.  The unusual ``4 max(d_i, d_j)`` damping (rather
+than Cybenko's ``delta + 1``) is what makes the sequentialization argument
+work: a node can lose at most a quarter of its surplus to *all* neighbours
+combined before any given edge activates (Lemma 1's inequalities).
+
+Implementation notes (hpc-parallel guide idioms):
+
+- Flows for all edges are computed in one vectorized expression over the
+  canonical ``(m, 2)`` edge array; the scatter-apply uses ``np.add.at`` /
+  ``np.subtract.at`` so nodes incident to many edges accumulate correctly.
+- The round kernels never mutate their input and allocate exactly one
+  output vector; an optional ``out`` parameter allows the engine to reuse
+  a buffer.
+- Discrete arithmetic stays in ``int64`` end-to-end; conservation is then
+  *exact*, which the property tests assert.
+
+``DiffusionBalancer`` adapts the kernels to the :class:`Balancer`
+interface and accepts either a fixed :class:`Topology` or a
+:class:`~repro.graphs.dynamic.DynamicNetwork` (Section 5: the graph used
+in round ``k`` is ``topology_at(k)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocols import CONTINUOUS, DISCRETE, Balancer, register_balancer
+from repro.graphs.dynamic import DynamicNetwork
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "edge_denominators",
+    "diffusion_flows",
+    "diffusion_round_continuous",
+    "diffusion_round_discrete",
+    "apply_edge_flows",
+    "DiffusionBalancer",
+]
+
+
+def edge_denominators(topo: Topology) -> np.ndarray:
+    """Per-edge damping ``4 * max(d_u, d_v)`` as float64, shape ``(m,)``."""
+    deg = topo.degrees
+    u, v = topo.edges[:, 0], topo.edges[:, 1]
+    return 4.0 * np.maximum(deg[u], deg[v]).astype(np.float64)
+
+
+def diffusion_flows(loads: np.ndarray, topo: Topology, discrete: bool = False) -> np.ndarray:
+    """Signed per-edge flow for one round, along canonical direction u -> v.
+
+    ``flow[e] > 0`` means the canonical tail ``u`` sends to head ``v``.
+    In discrete mode the magnitude is floored and the result is int64.
+    """
+    u, v = topo.edges[:, 0], topo.edges[:, 1]
+    if discrete:
+        l = np.asarray(loads, dtype=np.int64)
+        diff = l[u] - l[v]
+        denom = 4 * np.maximum(topo.degrees[u], topo.degrees[v])
+        mag = np.abs(diff) // denom
+        return np.sign(diff) * mag
+    l = np.asarray(loads, dtype=np.float64)
+    diff = l[u] - l[v]
+    return diff / edge_denominators(topo)
+
+
+def apply_edge_flows(
+    loads: np.ndarray,
+    topo: Topology,
+    flows: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply signed per-edge flows; returns the new load vector.
+
+    ``out`` may alias a preallocated buffer (not the input) to avoid the
+    allocation in hot loops.
+    """
+    u, v = topo.edges[:, 0], topo.edges[:, 1]
+    if out is None:
+        out = loads.copy()
+    else:
+        if out is loads:
+            raise ValueError("out must not alias the input vector")
+        np.copyto(out, loads)
+    np.subtract.at(out, u, flows)
+    np.add.at(out, v, flows)
+    return out
+
+
+def diffusion_round_continuous(loads: np.ndarray, topo: Topology, out: np.ndarray | None = None) -> np.ndarray:
+    """One concurrent continuous round of Algorithm 1."""
+    flows = diffusion_flows(loads, topo, discrete=False)
+    return apply_edge_flows(np.asarray(loads, dtype=np.float64), topo, flows, out)
+
+
+def diffusion_round_discrete(loads: np.ndarray, topo: Topology, out: np.ndarray | None = None) -> np.ndarray:
+    """One concurrent discrete round of Algorithm 1 (integer tokens)."""
+    l = np.asarray(loads, dtype=np.int64)
+    flows = diffusion_flows(l, topo, discrete=True)
+    return apply_edge_flows(l, topo, flows, out)
+
+
+class DiffusionBalancer(Balancer):
+    """Algorithm 1 adapted to the :class:`Balancer` interface.
+
+    Parameters
+    ----------
+    network:
+        A fixed :class:`Topology`, or a :class:`DynamicNetwork` whose
+        ``topology_at(k)`` provides round ``k``'s graph (Section 5).
+    mode:
+        ``"continuous"`` or ``"discrete"``.
+    """
+
+    def __init__(self, network: Topology | DynamicNetwork, mode: str = CONTINUOUS):
+        super().__init__()
+        if mode not in (CONTINUOUS, DISCRETE):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.network = network
+        self.mode = mode
+        self.dynamic = isinstance(network, DynamicNetwork)
+        label = network.name if isinstance(network, Topology) else type(network).__name__
+        self.name = f"diffusion[{mode}]@{label}"
+
+    def topology_for_round(self, k: int) -> Topology:
+        """Graph used in round ``k``."""
+        if self.dynamic:
+            return self.network.topology_at(k)  # type: ignore[union-attr]
+        return self.network  # type: ignore[return-value]
+
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        loads = self.validate_loads(loads)
+        topo = self.topology_for_round(self.advance_round())
+        if topo.n != loads.size:
+            raise ValueError(f"topology has {topo.n} nodes but loads has {loads.size}")
+        if self.mode == DISCRETE:
+            return diffusion_round_discrete(loads, topo)
+        return diffusion_round_continuous(loads, topo)
+
+
+@register_balancer("diffusion")
+def _make_diffusion(topology: Topology | DynamicNetwork, **kwargs) -> DiffusionBalancer:
+    return DiffusionBalancer(topology, mode=CONTINUOUS, **kwargs)
+
+
+@register_balancer("diffusion-discrete")
+def _make_diffusion_discrete(topology: Topology | DynamicNetwork, **kwargs) -> DiffusionBalancer:
+    return DiffusionBalancer(topology, mode=DISCRETE, **kwargs)

@@ -1,0 +1,172 @@
+"""The common interface every balancing scheme implements.
+
+A :class:`Balancer` maps a load vector to the next round's load vector.
+Schemes differ in
+
+- *mode*: ``"continuous"`` (arbitrarily divisible load, float64) versus
+  ``"discrete"`` (indivisible unit tokens, int64);
+- *statefulness*: the second-order scheme needs the previous two load
+  vectors, OPS and round-robin dimension exchange track a round index,
+  Algorithm 2 draws fresh random partners each round.
+
+The engine contract is:
+
+1. ``reset()`` before a run (clears history/round counters);
+2. ``step(loads, rng)`` once per round — must **not** mutate its input and
+   must conserve total load exactly (integer-exact in discrete mode,
+   float-exact up to accumulation error in continuous mode);
+3. deterministic given the ``rng`` stream.
+
+A string registry maps scheme names to factories so the CLI and the
+experiment configs can construct balancers declaratively.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "Balancer",
+    "BalancerState",
+    "register_balancer",
+    "get_balancer",
+    "registered_balancers",
+    "CONTINUOUS",
+    "DISCRETE",
+]
+
+CONTINUOUS = "continuous"
+DISCRETE = "discrete"
+
+
+class BalancerState:
+    """Mutable per-run state shared by stateful balancers.
+
+    Keeps the round index and an optional history dict.  Factored out so
+    `reset` semantics are uniform and tests can inspect scheme internals
+    without reaching into private attributes.
+    """
+
+    def __init__(self) -> None:
+        self.round: int = 0
+        self.history: dict[str, np.ndarray] = {}
+
+    def clear(self) -> None:
+        self.round = 0
+        self.history.clear()
+
+
+class Balancer(ABC):
+    """Abstract balancing scheme; see module docstring for the contract."""
+
+    #: scheme name used in reports (subclasses override)
+    name: str = "balancer"
+    #: CONTINUOUS or DISCRETE
+    mode: str = CONTINUOUS
+
+    def __init__(self) -> None:
+        self.state = BalancerState()
+
+    # -- engine contract ------------------------------------------------
+    def reset(self) -> None:
+        """Forget all per-run state (round counter, history)."""
+        self.state.clear()
+
+    @abstractmethod
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the next round's loads; must not mutate the input."""
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype load vectors must have in this mode."""
+        return np.dtype(np.int64) if self.mode == DISCRETE else np.dtype(np.float64)
+
+    def validate_loads(self, loads: np.ndarray) -> np.ndarray:
+        """Coerce/validate a load vector for this scheme's mode.
+
+        Discrete schemes require an integer-valued vector (float inputs
+        holding integers are accepted and cast); continuous schemes cast
+        to float64.  Negative loads are rejected — the model has tokens,
+        not debts.
+        """
+        arr = np.asarray(loads)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError(f"loads must be a non-empty 1-D vector, got shape {arr.shape}")
+        if np.issubdtype(arr.dtype, np.floating) and not np.isfinite(arr).all():
+            raise ValueError("loads must be finite (no NaN/inf)")
+        if (arr < 0).any():
+            raise ValueError("loads must be non-negative")
+        if self.mode == DISCRETE:
+            cast = arr.astype(np.int64)
+            if not np.array_equal(cast.astype(arr.dtype, copy=False), arr):
+                raise ValueError("discrete balancer requires integer loads")
+            return cast
+        return arr.astype(np.float64)
+
+    def advance_round(self) -> int:
+        """Bump and return the 0-based index of the round being computed."""
+        r = self.state.round
+        self.state.round += 1
+        return r
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, mode={self.mode!r})"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+BalancerFactory = Callable[..., Balancer]
+_REGISTRY: dict[str, BalancerFactory] = {}
+
+
+def register_balancer(name: str) -> Callable[[BalancerFactory], BalancerFactory]:
+    """Class decorator registering a factory under ``name`` (unique)."""
+
+    def deco(factory: BalancerFactory) -> BalancerFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"balancer {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def registered_balancers() -> list[str]:
+    """Sorted names of all registered schemes (imports the providers)."""
+    _ensure_providers_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_balancer(name: str, topology: Topology | None = None, **kwargs) -> Balancer:
+    """Instantiate a registered scheme by name.
+
+    Schemes that need a topology (everything except Algorithm 2) receive
+    it as the first argument; Algorithm 2 factories ignore ``topology``.
+    """
+    _ensure_providers_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown balancer {name!r}; known: {registered_balancers()}")
+    factory = _REGISTRY[name]
+    if topology is not None:
+        return factory(topology, **kwargs)
+    return factory(**kwargs)
+
+
+def _ensure_providers_loaded() -> None:
+    """Import the modules whose import side-effect registers factories."""
+    import repro.core.diffusion  # noqa: F401
+    import repro.core.random_partner  # noqa: F401
+    import repro.baselines.first_order  # noqa: F401
+    import repro.baselines.second_order  # noqa: F401
+    import repro.baselines.dimension_exchange  # noqa: F401
+    import repro.baselines.ops  # noqa: F401
+    import repro.extensions.asynchronous  # noqa: F401
+    import repro.extensions.heterogeneous  # noqa: F401

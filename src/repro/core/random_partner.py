@@ -1,0 +1,144 @@
+"""Algorithm 2 of the paper: randomly chosen balancing partners.
+
+Each round every node picks one partner uniformly at random from the
+*other* ``n - 1`` nodes; the picks define a link set ``E`` (a random graph
+that changes every round).  Load then moves concurrently along every link
+with the same damped rate as Algorithm 1,
+
+    (l_i - l_j) / (4 max(d_i, d_j)),
+
+where ``d_i`` is the number of links incident to ``i`` *this round* (own
+pick plus picks by others).  A popular node can be chosen by many peers —
+the classic balls-into-bins bound says some node has
+``Theta(log n / log log n)`` partners w.h.p. — which is exactly the
+concurrency the sequentialization technique tames.  Lemma 9 shows a fixed
+link rarely has a high-degree endpoint, giving the per-round expected
+drop of Lemma 11 / Theorem 12 (and Lemma 13 / Theorem 14 discretely).
+
+The link set follows the paper's ``E <- E u (i, j)`` *set* semantics:
+mutual picks (i chooses j and j chooses i) collapse into a single link.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocols import CONTINUOUS, DISCRETE, Balancer, register_balancer
+
+__all__ = [
+    "sample_partners",
+    "sample_partner_links",
+    "link_degrees",
+    "partner_flows",
+    "partner_round_continuous",
+    "partner_round_discrete",
+    "RandomPartnerBalancer",
+]
+
+
+def sample_partners(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Each node's uniformly random partner, guaranteed ``partner[i] != i``.
+
+    Uses the shift trick: draw from ``{0, ..., n-2}`` and bump values
+    ``>= i`` so the distribution over the other ``n - 1`` nodes is exactly
+    uniform.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes to pick partners")
+    draw = rng.integers(0, n - 1, size=n)
+    ids = np.arange(n)
+    return np.where(draw >= ids, draw + 1, draw).astype(np.int64)
+
+
+def sample_partner_links(n: int, rng: np.random.Generator) -> np.ndarray:
+    """One round's link set: canonical, deduplicated ``(m, 2)`` array.
+
+    ``n <= m <= n`` picks collapse to ``m in [n/2, n]`` distinct links
+    (mutual picks merge).
+    """
+    partners = sample_partners(n, rng)
+    ids = np.arange(n, dtype=np.int64)
+    lo = np.minimum(ids, partners)
+    hi = np.maximum(ids, partners)
+    return np.unique(np.stack([lo, hi], axis=1), axis=0)
+
+
+def link_degrees(n: int, links: np.ndarray) -> np.ndarray:
+    """Number of links incident to each node this round, shape ``(n,)``.
+
+    Every node has degree >= 1 (its own pick always produces a link).
+    """
+    return np.bincount(links.ravel(), minlength=n).astype(np.int64)
+
+
+def partner_flows(loads: np.ndarray, links: np.ndarray, degrees: np.ndarray, discrete: bool = False) -> np.ndarray:
+    """Signed per-link flow along canonical direction u -> v."""
+    u, v = links[:, 0], links[:, 1]
+    denom = 4 * np.maximum(degrees[u], degrees[v])
+    if discrete:
+        l = np.asarray(loads, dtype=np.int64)
+        diff = l[u] - l[v]
+        return np.sign(diff) * (np.abs(diff) // denom)
+    l = np.asarray(loads, dtype=np.float64)
+    return (l[u] - l[v]) / denom.astype(np.float64)
+
+
+def _apply(loads: np.ndarray, links: np.ndarray, flows: np.ndarray) -> np.ndarray:
+    out = loads.copy()
+    np.subtract.at(out, links[:, 0], flows)
+    np.add.at(out, links[:, 1], flows)
+    return out
+
+
+def partner_round_continuous(loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One concurrent continuous round of Algorithm 2."""
+    l = np.asarray(loads, dtype=np.float64)
+    links = sample_partner_links(l.size, rng)
+    deg = link_degrees(l.size, links)
+    return _apply(l, links, partner_flows(l, links, deg, discrete=False))
+
+
+def partner_round_discrete(loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One concurrent discrete round of Algorithm 2 (integer tokens)."""
+    l = np.asarray(loads, dtype=np.int64)
+    links = sample_partner_links(l.size, rng)
+    deg = link_degrees(l.size, links)
+    return _apply(l, links, partner_flows(l, links, deg, discrete=True))
+
+
+class RandomPartnerBalancer(Balancer):
+    """Algorithm 2 adapted to the :class:`Balancer` interface.
+
+    Needs no topology: the communication graph is resampled every round
+    from the uniform partner distribution.  The last sampled link set and
+    degrees are kept on the instance (``last_links``, ``last_degrees``)
+    so experiments can inspect the realized concurrency.
+    """
+
+    def __init__(self, mode: str = CONTINUOUS):
+        super().__init__()
+        if mode not in (CONTINUOUS, DISCRETE):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.name = f"random-partner[{mode}]"
+        self.last_links: np.ndarray | None = None
+        self.last_degrees: np.ndarray | None = None
+
+    def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        loads = self.validate_loads(loads)
+        self.advance_round()
+        links = sample_partner_links(loads.size, rng)
+        deg = link_degrees(loads.size, links)
+        self.last_links, self.last_degrees = links, deg
+        flows = partner_flows(loads, links, deg, discrete=self.mode == DISCRETE)
+        return _apply(loads, links, flows)
+
+
+@register_balancer("random-partner")
+def _make_partner(topology=None, **kwargs) -> RandomPartnerBalancer:
+    return RandomPartnerBalancer(mode=CONTINUOUS, **kwargs)
+
+
+@register_balancer("random-partner-discrete")
+def _make_partner_discrete(topology=None, **kwargs) -> RandomPartnerBalancer:
+    return RandomPartnerBalancer(mode=DISCRETE, **kwargs)

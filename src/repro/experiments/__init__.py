@@ -1,0 +1,68 @@
+"""The experiment suite: one module per reproduced result.
+
+Each module documents the paper claim it reproduces and exposes
+``run(...) -> Table`` with laptop-scale defaults.  ``EXPERIMENTS`` maps
+the experiment ids to their run callables for the CLI and the benches.
+
+===========  =========================================================
+E01          Theorem 4 — continuous Algorithm 1, fixed networks
+E02          Theorem 6 — discrete Algorithm 1, fixed networks
+E03          Lemmas 1-2 — sequentialization decomposition & gap
+E04          Theorem 7 — continuous Algorithm 1, dynamic networks
+E05          Theorem 8 — discrete Algorithm 1, dynamic networks
+E06          Lemma 9 — partner-degree probabilities (Algorithm 2)
+E07          Lemma 10 — pairwise-square identity
+E08          Lemma 11 + Theorem 12 — continuous Algorithm 2
+E09          Lemma 13 + Theorem 14 — discrete Algorithm 2
+E10          Section 3 — Algorithm 1 vs dimension exchange [GM94]
+E11          Lemma 5 remark — linear vs quadratic stall threshold
+E12          Section 2 — FOS vs SOS vs OPS baselines [MGS98]/[DFM99]
+E13          Section 2 — local divergence [RSW98]
+E14          extension — heterogeneous diffusion [EMP02]
+E15          extension — asynchronous balancing [Cortes02]
+E16          analysis — Theorem 4 tightness via Fiedler workloads
+E17          systems — token-identity migration cost
+===========  =========================================================
+"""
+
+from repro.experiments import (
+    e01_theorem4_continuous,
+    e02_theorem6_discrete,
+    e03_sequentialization,
+    e04_dynamic_continuous,
+    e05_dynamic_discrete,
+    e06_lemma9_partners,
+    e07_lemma10_identity,
+    e08_random_continuous,
+    e09_random_discrete,
+    e10_vs_dimension_exchange,
+    e11_threshold_scaling,
+    e12_fos_sos_ops,
+    e13_local_divergence,
+    e14_heterogeneous,
+    e15_async_vs_sync,
+    e16_bound_tightness,
+    e17_token_migration,
+)
+
+EXPERIMENTS = {
+    "e01": e01_theorem4_continuous.run,
+    "e02": e02_theorem6_discrete.run,
+    "e03": e03_sequentialization.run,
+    "e04": e04_dynamic_continuous.run,
+    "e05": e05_dynamic_discrete.run,
+    "e06": e06_lemma9_partners.run,
+    "e07": e07_lemma10_identity.run,
+    "e08": e08_random_continuous.run,
+    "e09": e09_random_discrete.run,
+    "e10": e10_vs_dimension_exchange.run,
+    "e11": e11_threshold_scaling.run,
+    "e12": e12_fos_sos_ops.run,
+    "e13": e13_local_divergence.run,
+    "e14": e14_heterogeneous.run,
+    "e15": e15_async_vs_sync.run,
+    "e16": e16_bound_tightness.run,
+    "e17": e17_token_migration.run,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,89 @@
+"""E10 — Section 3's comparison: diffusion vs dimension exchange.
+
+Claim
+-----
+"Due to the concurrent load balancing actions, our algorithm converges a
+constant times faster than the dimension exchange algorithm in [GM94]."
+Analytically: Algorithm 1's guaranteed per-round drop is
+``lambda_2 / (4 delta)`` versus the matching scheme's expected
+``lambda_2 / (16 delta)`` — a factor-4 gap in the guarantees.
+
+Experiment
+----------
+On each topology, run from the same point load to the same target
+(``Phi <= eps * Phi_0``):
+
+- continuous Algorithm 1,
+- random-matching dimension exchange (Luby matchings),
+- random-matching dimension exchange ([GM94] two-stage matchings),
+
+and report round counts and the measured speedup (DE rounds / diffusion
+rounds).  Expected shape: against the paper's comparator — the [GM94]
+two-stage matchings — the speedup is > 1 on every family.  An honest
+extra finding: the *stronger* Luby matching generator (matching
+probability ~1/(2 delta) instead of ~1/(8 delta)) combined with full
+pair equalization can actually beat the conservatively damped diffusion
+on degree-2 graphs; the paper's claim concerns the analyses' guaranteed
+constants (4x), not uniform empirical dominance over every matching
+generator, and the table shows both.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+from repro.baselines.dimension_exchange import DimensionExchangeBalancer
+from repro.core.bounds import ghosh_muthukrishnan_drop_factor
+from repro.core.diffusion import DiffusionBalancer
+from repro.experiments.common import SEED, run_to_fraction, standard_suite
+from repro.graphs.spectral import lambda_2
+from repro.graphs.topology import Topology
+from repro.simulation.initial import point_load
+
+__all__ = ["run"]
+
+
+def run(
+    eps: float = 1e-4,
+    topologies: list[Topology] | None = None,
+    seed: int = SEED,
+    max_rounds: int = 200_000,
+) -> Table:
+    """Regenerate the diffusion-vs-dimension-exchange table."""
+    topologies = standard_suite(seed) if topologies is None else topologies
+    table = Table(
+        title=f"E10 / Section 3 - Algorithm 1 vs dimension exchange (eps={eps:g})",
+        columns=[
+            "graph", "T_diffusion", "T_de_luby", "T_de_gm94",
+            "speedup_luby", "speedup_gm94", "guar_factor", "diffusion_wins",
+        ],
+    )
+    for topo in topologies:
+        loads = point_load(topo.n, total=100 * topo.n, discrete=False)
+        t_diff = run_to_fraction(
+            DiffusionBalancer(topo, mode="continuous"), loads, eps, max_rounds, seed
+        ).rounds_to_fraction(eps)
+        t_luby = run_to_fraction(
+            DimensionExchangeBalancer(topo, partner_rule="luby"), loads, eps, max_rounds, seed
+        ).rounds_to_fraction(eps)
+        t_gm = run_to_fraction(
+            DimensionExchangeBalancer(topo, partner_rule="two-stage"), loads, eps, max_rounds, seed
+        ).rounds_to_fraction(eps)
+        lam2 = lambda_2(topo)
+        # guaranteed-rate ratio: (lambda2/4delta) / (lambda2/16delta) = 4
+        guar = (lam2 / (4 * topo.max_degree)) / ghosh_muthukrishnan_drop_factor(topo.max_degree, lam2).value
+        speed_luby = (t_luby / t_diff) if (t_diff and t_luby) else None
+        speed_gm = (t_gm / t_diff) if (t_diff and t_gm) else None
+        table.add_row(
+            topo.name,
+            t_diff,
+            t_luby,
+            t_gm,
+            speed_luby,
+            speed_gm,
+            guar,
+            bool(t_diff is not None and (t_gm is None or t_diff <= t_gm)),
+        )
+    table.add_note("Section 3's claim targets [GM94]: holds iff speedup_gm94 > 1 (diffusion_wins = yes).")
+    table.add_note("speedup_luby < 1 on degree-2 graphs is expected: Luby matches ~4x more edges than [GM94]")
+    table.add_note("and matched pairs fully equalize, while diffusion is damped by 1/(4*max degree).")
+    return table

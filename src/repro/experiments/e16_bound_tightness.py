@@ -1,0 +1,100 @@
+"""E16 — how tight is Theorem 4?  Worst-case workloads and lower bounds.
+
+Motivation
+----------
+E01 shows Theorem 4's round bound holds with measured/bound around
+0.3-0.4 for point loads.  Where exactly is the slack?  Two candidate
+sources:
+
+1. *workload slack* — a point load mixes all eigencomponents, most of
+   which decay faster than the slowest (Fiedler) mode;
+2. *proof slack* — Lemma 1 credits each activation only ``w |Delta|``
+   of potential drop, while the exact drop is ``2 w (Delta - w)``
+   (approximately ``2 w Delta``): a deliberate factor-2 giveaway that
+   buys the concurrency argument.
+
+Experiment
+----------
+For each topology, run continuous Algorithm 1 from three workloads
+(point, uniform random, **Fiedler-aligned** — the slowest mode) and
+report the fitted per-round potential contraction against the
+guaranteed ``1 - lambda_2/(4 delta)``, as the slack factor
+``(1 - rate_meas)/(1 - rate_guar)`` (measured progress per round over
+guaranteed).  Also reports the diameter — the universal information
+lower bound for point loads.
+
+Measured shape (and its reading): the slack factor is **~2.0 for every
+workload, including Fiedler** — the workload contributes almost nothing;
+the factor 2 is exactly Lemma 1's giveaway.  On a regular graph the
+round map is linear (``I - L/(4 delta)``) and the Fiedler mode's
+*potential* contracts at ``(1 - lambda_2/4delta)^2 ~ 1 - lambda_2/(2 delta)``
+— twice the guaranteed drop.  So Theorem 4 is tight up to, and only up
+to, the concurrency factor 2 the paper itself points at.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.convergence import fit_contraction_rate
+from repro.analysis.reporting import Table
+from repro.core.diffusion import DiffusionBalancer
+from repro.experiments.common import SEED, run_to_fraction
+from repro.graphs import generators as g
+from repro.graphs.metrics import diameter
+from repro.graphs.spectral import lambda_2
+from repro.graphs.topology import Topology
+from repro.simulation.initial import fiedler_load, point_load, uniform_random_load
+
+__all__ = ["run"]
+
+
+def run(
+    eps: float = 1e-8,
+    topologies: list[Topology] | None = None,
+    seed: int = SEED,
+    max_rounds: int = 200_000,
+) -> Table:
+    """Regenerate the bound-tightness table; see module docstring."""
+    topologies = topologies or [g.cycle(32), g.torus_2d(8, 8), g.hypercube(6)]
+    table = Table(
+        title=f"E16 / Theorem 4 tightness - slack factor by workload (eps={eps:g})",
+        columns=[
+            "graph", "workload", "T_meas", "rate_meas", "rate_guar",
+            "slack", "slack~2", "diam_lower_bound", "respects_diam",
+        ],
+    )
+    rng = np.random.default_rng(seed)
+    for topo in topologies:
+        lam2 = lambda_2(topo)
+        guar_rate = 1.0 - lam2 / (4.0 * topo.max_degree)
+        diam = diameter(topo)
+        workloads = {
+            "point": point_load(topo.n, total=100 * topo.n, discrete=False),
+            "random": uniform_random_load(topo.n, rng, discrete=False),
+            "fiedler": fiedler_load(topo, amplitude=100.0),
+        }
+        for label, loads in workloads.items():
+            trace = run_to_fraction(
+                DiffusionBalancer(topo, mode="continuous"), loads, eps, max_rounds, seed
+            )
+            t_meas = trace.rounds_to_fraction(eps)
+            rate = fit_contraction_rate(trace, burn_in=5)
+            slack = (1.0 - rate) / (1.0 - guar_rate) if guar_rate < 1.0 else float("nan")
+            respects = label != "point" or (t_meas is not None and t_meas >= diam // 2)
+            table.add_row(
+                topo.name,
+                label,
+                t_meas,
+                rate,
+                guar_rate,
+                slack,
+                bool(1.0 <= slack <= 3.0),
+                diam if label == "point" else None,
+                bool(respects),
+            )
+    table.add_note("slack = measured per-round potential progress / guaranteed drop lambda2/(4 delta).")
+    table.add_note("slack ~ 2.0 on ALL workloads (incl. the slowest, Fiedler) localizes Theorem 4's")
+    table.add_note("looseness to Lemma 1's deliberate factor-2 concurrency giveaway, nothing else.")
+    table.add_note("point loads must take at least ~diameter/2 rounds to reach eps (information bound).")
+    return table

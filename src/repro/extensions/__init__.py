@@ -1,0 +1,35 @@
+"""Extensions beyond the paper's core results.
+
+Implementations of the two related-work directions the paper cites but
+does not analyze, built on the same substrates so they compose with the
+engine, traces and experiments:
+
+- :mod:`repro.extensions.heterogeneous` — speed-weighted diffusion
+  (Elsässer–Monien–Preis, Theory Comput. Syst. 2002 — the paper's
+  reference [9]): nodes have processing speeds and the balanced state is
+  load *proportional to speed*;
+- :mod:`repro.extensions.asynchronous` — asynchronous single-node
+  balancing (Cortés et al., JPDC 2002 — the paper's reference [5]): one
+  node at a time balances with its neighbourhood, the regime where the
+  sequentialization view *is* the algorithm.
+"""
+
+from repro.extensions.heterogeneous import (
+    HeterogeneousDiffusionBalancer,
+    heterogeneous_potential,
+    proportional_target,
+    weighted_round,
+)
+from repro.extensions.asynchronous import (
+    AsyncDiffusionBalancer,
+    async_tick,
+)
+
+__all__ = [
+    "HeterogeneousDiffusionBalancer",
+    "heterogeneous_potential",
+    "proportional_target",
+    "weighted_round",
+    "AsyncDiffusionBalancer",
+    "async_tick",
+]

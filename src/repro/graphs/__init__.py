@@ -1,0 +1,137 @@
+"""Graph substrate: topologies, spectra, expansions, matchings, dynamics.
+
+Every load-balancing scheme in this package runs on a :class:`Topology`,
+an immutable CSR-backed undirected graph.  The submodules provide
+
+- :mod:`repro.graphs.topology` — the core container,
+- :mod:`repro.graphs.generators` — the graph families used throughout the
+  diffusion load-balancing literature (cycle, torus, hypercube, de Bruijn,
+  expanders, ...),
+- :mod:`repro.graphs.spectral` — Laplacian / diffusion-matrix spectra
+  (``lambda_2``, ``gamma``, eigenvalue gap) with closed forms for the
+  standard families,
+- :mod:`repro.graphs.expansion` — edge expansion (exact for small ``n``,
+  Cheeger-style spectral bounds otherwise),
+- :mod:`repro.graphs.matchings` — random matchings for dimension-exchange
+  baselines, and greedy edge colorings for round-robin schemes,
+- :mod:`repro.graphs.dynamic` — dynamic-network models for Section 5 of the
+  paper.
+"""
+
+from repro.graphs.topology import Topology
+from repro.graphs.generators import (
+    barbell,
+    binary_tree,
+    complete,
+    cycle,
+    de_bruijn,
+    erdos_renyi,
+    grid_2d,
+    hypercube,
+    k_ary_tree,
+    lollipop,
+    path,
+    petersen,
+    random_regular,
+    star,
+    torus_2d,
+    wheel,
+    by_name,
+    FAMILIES,
+)
+from repro.graphs.spectral import (
+    adjacency_matrix,
+    diffusion_matrix,
+    eigenvalue_gap,
+    fiedler_vector,
+    gamma,
+    lambda_2,
+    laplacian_eigenvalues,
+    laplacian_matrix,
+    spectral_profile,
+)
+from repro.graphs.metrics import (
+    all_pairs_distances,
+    bfs_distances,
+    diameter,
+    eccentricity,
+    radius,
+)
+from repro.graphs.expansion import (
+    cheeger_bounds,
+    edge_expansion_exact,
+    edge_expansion,
+)
+from repro.graphs.matchings import (
+    greedy_edge_coloring,
+    is_matching,
+    luby_matching,
+    round_robin_matchings,
+    two_stage_matching,
+)
+from repro.graphs.dynamic import (
+    AdversarialDynamics,
+    AlternatingDynamics,
+    DynamicNetwork,
+    EdgeSamplingDynamics,
+    MarkovEdgeDynamics,
+    StaticDynamics,
+    average_normalized_gap,
+)
+
+__all__ = [
+    "Topology",
+    # generators
+    "barbell",
+    "binary_tree",
+    "complete",
+    "cycle",
+    "de_bruijn",
+    "erdos_renyi",
+    "grid_2d",
+    "hypercube",
+    "k_ary_tree",
+    "lollipop",
+    "path",
+    "petersen",
+    "random_regular",
+    "star",
+    "torus_2d",
+    "wheel",
+    "by_name",
+    "FAMILIES",
+    # spectral
+    "adjacency_matrix",
+    "diffusion_matrix",
+    "eigenvalue_gap",
+    "fiedler_vector",
+    "gamma",
+    "lambda_2",
+    "laplacian_eigenvalues",
+    "laplacian_matrix",
+    "spectral_profile",
+    # metrics
+    "all_pairs_distances",
+    "bfs_distances",
+    "diameter",
+    "eccentricity",
+    "radius",
+    # expansion
+    "cheeger_bounds",
+    "edge_expansion_exact",
+    "edge_expansion",
+    # matchings
+    "greedy_edge_coloring",
+    "is_matching",
+    "luby_matching",
+    "round_robin_matchings",
+    "two_stage_matching",
+    # dynamics
+    "AdversarialDynamics",
+    "AlternatingDynamics",
+    "DynamicNetwork",
+    "EdgeSamplingDynamics",
+    "MarkovEdgeDynamics",
+    "StaticDynamics",
+    "average_normalized_gap",
+]

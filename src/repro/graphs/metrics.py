@@ -1,0 +1,76 @@
+"""Distance metrics of a topology.
+
+Balancing time is lower-bounded by information propagation: a point load
+on node ``v`` cannot reach a node at hop-distance ``k`` before round
+``k``, so the **diameter** is a universal lower bound on the rounds any
+neighbourhood scheme needs to bring the discrepancy down from a point
+load.  E16 uses this as the sanity floor when probing how tight
+Theorem 4's upper bound is.
+
+All computations are unweighted BFS over the CSR structure — O(n m) for
+all-pairs, fine at the scales of this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.topology import Topology
+
+__all__ = ["bfs_distances", "all_pairs_distances", "eccentricity", "diameter", "radius"]
+
+
+def bfs_distances(topo: Topology, source: int) -> np.ndarray:
+    """Hop distances from ``source`` (``-1`` for unreachable nodes)."""
+    if not 0 <= source < topo.n:
+        raise IndexError(f"source {source} out of range")
+    indptr, indices = topo.indptr, topo.indices
+    dist = np.full(topo.n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    d = 0
+    while frontier:
+        d += 1
+        nxt: list[int] = []
+        for node in frontier:
+            for nb in indices[indptr[node] : indptr[node + 1]]:
+                if dist[nb] < 0:
+                    dist[nb] = d
+                    nxt.append(int(nb))
+        frontier = nxt
+    return dist
+
+
+def all_pairs_distances(topo: Topology) -> np.ndarray:
+    """All-pairs hop distances, shape ``(n, n)`` (``-1`` unreachable)."""
+    return np.stack([bfs_distances(topo, s) for s in range(topo.n)])
+
+
+def eccentricity(topo: Topology, node: int) -> int:
+    """Maximum distance from ``node`` to any reachable node.
+
+    Raises ``ValueError`` on disconnected graphs — eccentricity is only
+    meaningful within a component, and silently ignoring unreachable
+    nodes would understate it.
+    """
+    dist = bfs_distances(topo, node)
+    if (dist < 0).any():
+        raise ValueError("graph is disconnected; eccentricity undefined")
+    return int(dist.max())
+
+
+def diameter(topo: Topology) -> int:
+    """Maximum eccentricity — the universal balancing-time lower bound."""
+    best = 0
+    for node in range(topo.n):
+        best = max(best, eccentricity(topo, node))
+    return best
+
+
+def radius(topo: Topology) -> int:
+    """Minimum eccentricity."""
+    best: int | None = None
+    for node in range(topo.n):
+        e = eccentricity(topo, node)
+        best = e if best is None else min(best, e)
+    return int(best or 0)

@@ -1,0 +1,73 @@
+"""Execution substrate: initial loads, stopping rules, traces, engines.
+
+- :mod:`repro.simulation.initial` — the workload generators (point load,
+  bimodal, uniform random, ramp, zipf, adversarial);
+- :mod:`repro.simulation.stopping` — declarative stopping criteria;
+- :mod:`repro.simulation.trace` — per-round records and convergence-time
+  extraction;
+- :mod:`repro.simulation.engine` — the fast vectorized round loop;
+- :mod:`repro.simulation.superstep` — the BSP / message-passing substrate
+  in which each node runs the *local* protocol with mailboxes (fidelity
+  reference for the vectorized engine);
+- :mod:`repro.simulation.montecarlo` — seed sweeps, serially or on a
+  process pool.
+"""
+
+from repro.simulation.initial import (
+    adversarial_linear,
+    bimodal_load,
+    fiedler_load,
+    make_loads,
+    point_load,
+    ramp_load,
+    uniform_random_load,
+    zipf_load,
+)
+from repro.simulation.stopping import (
+    DiscrepancyBelow,
+    MaxRounds,
+    PotentialBelow,
+    PotentialFractionBelow,
+    Stagnation,
+    StoppingRule,
+    first_satisfied,
+)
+from repro.simulation.trace import Trace
+from repro.simulation.engine import Simulator, run_balancer
+from repro.simulation.superstep import (
+    SuperstepNetwork,
+    SuperstepPartnerNetwork,
+    run_superstep_diffusion,
+    run_superstep_partners,
+)
+from repro.simulation.montecarlo import MonteCarloResult, monte_carlo
+from repro.simulation.sweep import SweepCell, sweep
+
+__all__ = [
+    "adversarial_linear",
+    "bimodal_load",
+    "fiedler_load",
+    "make_loads",
+    "point_load",
+    "ramp_load",
+    "uniform_random_load",
+    "zipf_load",
+    "DiscrepancyBelow",
+    "MaxRounds",
+    "PotentialBelow",
+    "PotentialFractionBelow",
+    "Stagnation",
+    "StoppingRule",
+    "first_satisfied",
+    "Trace",
+    "Simulator",
+    "run_balancer",
+    "SuperstepNetwork",
+    "SuperstepPartnerNetwork",
+    "run_superstep_diffusion",
+    "run_superstep_partners",
+    "MonteCarloResult",
+    "monte_carlo",
+    "SweepCell",
+    "sweep",
+]

@@ -1,0 +1,115 @@
+"""The vectorized round loop.
+
+`Simulator` wires a :class:`~repro.core.protocols.Balancer` to an initial
+load vector, a list of stopping rules and an RNG, and produces a
+:class:`~repro.simulation.trace.Trace`.  It owns exactly the
+orchestration concerns — recording, stopping, RNG threading, conservation
+auditing — so the balancers stay pure round kernels.
+
+Determinism: a run is fully determined by ``(balancer, loads, seed)``.
+The RNG handed to the balancer each round is a single generator advanced
+across rounds (not reseeded), matching how a long-lived distributed
+system would consume randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.protocols import Balancer
+from repro.simulation.stopping import MaxRounds, StoppingRule, first_satisfied
+from repro.simulation.trace import Trace
+
+__all__ = ["Simulator", "run_balancer"]
+
+
+class Simulator:
+    """Run a balancer until a stopping rule fires.
+
+    Parameters
+    ----------
+    balancer:
+        Any :class:`Balancer`; it is ``reset()`` at the start of each run.
+    stopping:
+        Stopping rules checked in order after every round.  A
+        :class:`MaxRounds` safety net is appended automatically if absent.
+    keep_snapshots:
+        Record the full load vector after every round (memory-heavy).
+    check_conservation:
+        After every round, assert the total load is conserved (exact for
+        discrete balancers, tolerance ``cons_tol`` for continuous ones).
+        On violation the run raises immediately — a conservation bug must
+        never silently skew an experiment.
+    """
+
+    DEFAULT_MAX_ROUNDS = 1_000_000
+
+    def __init__(
+        self,
+        balancer: Balancer,
+        stopping: Sequence[StoppingRule] | None = None,
+        keep_snapshots: bool = False,
+        check_conservation: bool = True,
+        cons_tol: float = 1e-6,
+    ) -> None:
+        self.balancer = balancer
+        rules = list(stopping) if stopping else []
+        if not any(isinstance(r, MaxRounds) for r in rules):
+            rules.append(MaxRounds(self.DEFAULT_MAX_ROUNDS))
+        self.stopping = rules
+        self.keep_snapshots = keep_snapshots
+        self.check_conservation = check_conservation
+        self.cons_tol = cons_tol
+
+    def run(self, loads: np.ndarray, seed: int | np.random.Generator = 0) -> Trace:
+        """Execute rounds until a rule fires; returns the trace."""
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.balancer.reset()
+        current = self.balancer.validate_loads(loads)
+        trace = Trace(balancer_name=self.balancer.name, keep_snapshots=self.keep_snapshots)
+        trace.record(current)
+        initial_sum = float(np.asarray(current, dtype=np.float64).sum())
+
+        rule = first_satisfied(self.stopping, trace)
+        while rule is None:
+            current = self.balancer.step(current, rng)
+            trace.record(current)
+            if self.check_conservation:
+                self._audit_conservation(current, initial_sum)
+            rule = first_satisfied(self.stopping, trace)
+        trace.stopped_by = rule.reason
+        return trace
+
+    def _audit_conservation(self, loads: np.ndarray, initial_sum: float) -> None:
+        s = float(np.asarray(loads, dtype=np.float64).sum())
+        if not np.isfinite(s):
+            raise AssertionError(
+                f"{self.balancer.name} leaked load: non-finite sum {s} (NaN/inf in loads)"
+            )
+        if np.issubdtype(np.asarray(loads).dtype, np.integer):
+            if s != initial_sum:
+                raise AssertionError(
+                    f"{self.balancer.name} leaked load: sum {s} != initial {initial_sum}"
+                )
+        else:
+            scale = max(abs(initial_sum), 1.0)
+            if abs(s - initial_sum) > self.cons_tol * scale:
+                raise AssertionError(
+                    f"{self.balancer.name} leaked load: sum {s} != initial {initial_sum} "
+                    f"(tol {self.cons_tol * scale:.3g})"
+                )
+
+
+def run_balancer(
+    balancer: Balancer,
+    loads: np.ndarray,
+    rounds: int,
+    seed: int | np.random.Generator = 0,
+    keep_snapshots: bool = False,
+) -> Trace:
+    """Convenience wrapper: run exactly ``rounds`` rounds (or until the
+    default engine safety rules fire)."""
+    sim = Simulator(balancer, stopping=[MaxRounds(rounds)], keep_snapshots=keep_snapshots)
+    return sim.run(loads, seed)

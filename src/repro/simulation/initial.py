@@ -1,0 +1,192 @@
+"""Initial load distributions (the workload generators).
+
+The diffusion literature exercises balancers from a few canonical initial
+states; all are provided, parameterized by total volume so continuous and
+discrete runs are comparable:
+
+- :func:`point_load` — all tokens on one node: the worst case for the
+  discrepancy and the state the intro's "tokens appear at one server"
+  motivation produces;
+- :func:`bimodal_load` — half the nodes loaded, half empty (maximizes the
+  potential for a given discrepancy across a cut);
+- :func:`uniform_random_load` — i.i.d. uniform integers/floats;
+- :func:`ramp_load` — load proportional to node id; on the path this is
+  the paper's own example of a discrete fixed point that is *not* fully
+  balanced (neighbours differ by 1, so no tokens move);
+- :func:`zipf_load` — heavy-tailed skew, the realistic "a few hot
+  shards" scenario;
+- :func:`adversarial_linear` — the ramp scaled to a chosen per-step gap,
+  used to probe discrete stalling.
+
+Discrete variants always return int64 vectors whose exact sum equals the
+requested total, fixing up rounding remainders deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "point_load",
+    "bimodal_load",
+    "uniform_random_load",
+    "ramp_load",
+    "zipf_load",
+    "adversarial_linear",
+    "fiedler_load",
+    "make_loads",
+    "GENERATORS",
+]
+
+
+def _check(n: int, total: float) -> None:
+    if n < 1:
+        raise ValueError("need n >= 1")
+    if total < 0:
+        raise ValueError("total load must be non-negative")
+
+
+def point_load(n: int, total: int | float = None, discrete: bool = True) -> np.ndarray:
+    """All load on node 0.  Default total is ``100 n`` tokens."""
+    if total is None:
+        total = 100 * n
+    _check(n, total)
+    dtype = np.int64 if discrete else np.float64
+    out = np.zeros(n, dtype=dtype)
+    out[0] = total
+    return out
+
+
+def bimodal_load(n: int, total: int | float = None, discrete: bool = True) -> np.ndarray:
+    """First half of the nodes share the load evenly; second half empty."""
+    if total is None:
+        total = 100 * n
+    _check(n, total)
+    half = max(n // 2, 1)
+    if discrete:
+        out = np.zeros(n, dtype=np.int64)
+        base, rem = divmod(int(total), half)
+        out[:half] = base
+        out[:rem] += 1
+        return out
+    out = np.zeros(n, dtype=np.float64)
+    out[:half] = total / half
+    return out
+
+
+def uniform_random_load(
+    n: int, rng: np.random.Generator, high: int = 200, discrete: bool = True
+) -> np.ndarray:
+    """I.i.d. uniform loads in ``[0, high]`` (integers when discrete)."""
+    _check(n, 0)
+    if discrete:
+        return rng.integers(0, high + 1, size=n).astype(np.int64)
+    return rng.uniform(0.0, float(high), size=n)
+
+
+def ramp_load(n: int, step: int = 1, discrete: bool = True) -> np.ndarray:
+    """Load ``i * step`` on node ``i`` — the paper's discrete fixed point
+    on the path when ``step`` is small."""
+    _check(n, 0)
+    if step < 0:
+        raise ValueError("step must be non-negative")
+    ramp = np.arange(n) * step
+    return ramp.astype(np.int64) if discrete else ramp.astype(np.float64)
+
+
+def zipf_load(
+    n: int, rng: np.random.Generator, exponent: float = 1.2, total: int | None = None, discrete: bool = True
+) -> np.ndarray:
+    """Zipf-skewed loads: node ``i`` weighted ``(i+1)^-exponent``, shuffled.
+
+    The total is distributed proportionally to the weights; when discrete,
+    remainders are assigned to the heaviest nodes so the sum is exact.
+    """
+    _check(n, 0)
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    if total is None:
+        total = 100 * n
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-exponent)
+    weights /= weights.sum()
+    perm = rng.permutation(n)
+    weights = weights[perm]
+    if not discrete:
+        return total * weights
+    raw = np.floor(total * weights).astype(np.int64)
+    shortfall = int(total) - int(raw.sum())
+    if shortfall > 0:
+        top = np.argsort(-weights)[:shortfall]
+        raw[top] += 1
+    return raw
+
+
+def adversarial_linear(n: int, gap: int = 1) -> np.ndarray:
+    """Discrete ramp with per-neighbour gap ``gap``.
+
+    With ``gap <= 4 max-degree`` on a path, no edge moves a single token:
+    a *stalled* state exhibiting why discrete balancing cannot finish —
+    the paper's introductory example has ``gap = 1``.
+    """
+    _check(n, 0)
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    return (np.arange(n, dtype=np.int64) * gap).astype(np.int64)
+
+
+def fiedler_load(topo, amplitude: float = 100.0, discrete: bool = False) -> np.ndarray:
+    """Worst-case workload: imbalance aligned with the Fiedler vector.
+
+    The error component along the Laplacian's ``lambda_2`` eigenvector is
+    the slowest to diffuse, so this load makes the measured convergence
+    rate meet the spectral bounds as tightly as the scheme allows (used
+    by E16).  The vector is shifted positive and scaled so the peak
+    deviation from the mean is ``amplitude``.
+
+    ``topo`` is a :class:`~repro.graphs.topology.Topology` (imported
+    lazily to keep this module free of a graphs dependency for the other
+    generators).
+    """
+    from repro.graphs.spectral import fiedler_vector
+
+    if amplitude <= 0:
+        raise ValueError("amplitude must be positive")
+    vec = fiedler_vector(topo)
+    peak = np.abs(vec).max()
+    scaled = vec / peak * amplitude
+    base = amplitude + 1.0  # keep everything strictly positive
+    loads = base + scaled
+    if discrete:
+        out = np.rint(loads).astype(np.int64)
+        return out
+    return loads
+
+
+GENERATORS = {
+    "point": point_load,
+    "bimodal": bimodal_load,
+    "uniform": uniform_random_load,
+    "ramp": ramp_load,
+    "zipf": zipf_load,
+}
+
+
+def make_loads(
+    kind: str,
+    n: int,
+    rng: np.random.Generator | None = None,
+    discrete: bool = True,
+    **kwargs,
+) -> np.ndarray:
+    """Construct a named initial distribution (CLI / config entry point).
+
+    ``kind`` is one of ``point``, ``bimodal``, ``uniform``, ``ramp``,
+    ``zipf``.  Random kinds require ``rng``.
+    """
+    if kind not in GENERATORS:
+        raise ValueError(f"unknown load kind {kind!r}; known: {sorted(GENERATORS)}")
+    if kind in ("uniform", "zipf"):
+        if rng is None:
+            raise ValueError(f"load kind {kind!r} requires an rng")
+        return GENERATORS[kind](n, rng, discrete=discrete, **kwargs)
+    return GENERATORS[kind](n, discrete=discrete, **kwargs)

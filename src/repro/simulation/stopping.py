@@ -1,0 +1,145 @@
+"""Declarative stopping rules for simulation runs.
+
+A :class:`StoppingRule` examines the running :class:`~repro.simulation.trace.Trace`
+after every round and reports whether (and why) to stop.  Rules compose:
+the engine takes a list and stops at the first satisfied rule, recording
+its reason — so an experiment can say "stop when the potential is below
+the Theorem 6 threshold, or after 10x the theoretical bound, whichever
+comes first" and later distinguish which one fired.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "StoppingRule",
+    "MaxRounds",
+    "PotentialBelow",
+    "PotentialFractionBelow",
+    "DiscrepancyBelow",
+    "Stagnation",
+    "first_satisfied",
+]
+
+
+class StoppingRule(ABC):
+    """Predicate over the evolving trace; see module docstring."""
+
+    @abstractmethod
+    def should_stop(self, trace) -> bool:
+        """True when the run should end after the just-recorded round."""
+
+    @property
+    def reason(self) -> str:
+        """Short label recorded in the trace when this rule fires."""
+        return type(self).__name__
+
+
+@dataclass
+class MaxRounds(StoppingRule):
+    """Stop after ``rounds`` balancing rounds (safety net; always include one)."""
+
+    rounds: int
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ValueError("rounds must be >= 0")
+
+    def should_stop(self, trace) -> bool:
+        return trace.rounds >= self.rounds
+
+    @property
+    def reason(self) -> str:
+        return f"max-rounds({self.rounds})"
+
+
+@dataclass
+class PotentialBelow(StoppingRule):
+    """Stop once ``Phi <= threshold`` (e.g. Theorem 6's ``Phi*``)."""
+
+    threshold: float
+
+    def should_stop(self, trace) -> bool:
+        return trace.last_potential <= self.threshold
+
+    @property
+    def reason(self) -> str:
+        return f"potential<={self.threshold:.6g}"
+
+
+@dataclass
+class PotentialFractionBelow(StoppingRule):
+    """Stop once ``Phi <= eps * Phi_0`` (Theorem 4's criterion)."""
+
+    eps: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.eps < 1.0:
+            raise ValueError("eps must be in (0, 1)")
+
+    def should_stop(self, trace) -> bool:
+        return trace.last_potential <= self.eps * trace.initial_potential
+
+    @property
+    def reason(self) -> str:
+        return f"potential<={self.eps:.3g}*Phi0"
+
+
+@dataclass
+class DiscrepancyBelow(StoppingRule):
+    """Stop once ``max load - min load <= threshold`` (RSW's criterion)."""
+
+    threshold: float
+
+    def should_stop(self, trace) -> bool:
+        return trace.last_discrepancy <= self.threshold
+
+    @property
+    def reason(self) -> str:
+        return f"discrepancy<={self.threshold:.6g}"
+
+
+@dataclass
+class Stagnation(StoppingRule):
+    """Stop when the potential has not improved for ``patience`` rounds.
+
+    Detects discrete fixed points (the paper's stalled-ramp example)
+    without waiting for the max-round cap.  ``min_rel_drop`` is the
+    relative improvement below which a round counts as stagnant.
+    """
+
+    patience: int = 10
+    min_rel_drop: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.min_rel_drop < 0:
+            raise ValueError("min_rel_drop must be >= 0")
+
+    def should_stop(self, trace) -> bool:
+        pots = trace.potentials
+        if len(pots) <= self.patience:
+            return False
+        window = pots[-(self.patience + 1) :]
+        for before, after in zip(window[:-1], window[1:]):
+            if before <= 0:
+                continue
+            if (before - after) / before > self.min_rel_drop:
+                return False
+        return True
+
+    @property
+    def reason(self) -> str:
+        return f"stagnation({self.patience})"
+
+
+def first_satisfied(rules: Sequence[StoppingRule], trace) -> StoppingRule | None:
+    """First rule (in order) whose predicate holds, else None."""
+    for rule in rules:
+        if rule.should_stop(trace):
+            return rule
+    return None

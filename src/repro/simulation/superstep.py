@@ -1,0 +1,377 @@
+"""BSP / message-passing substrate: the protocol as nodes actually run it.
+
+The vectorized engine computes rounds with global array operations — fast,
+but it *assumes* the concurrent semantics are implemented faithfully.
+This module removes the assumption: each node is an object that knows only
+its id, its neighbour list and its own load, and a round is three
+supersteps of an MPI-like exchange:
+
+1. **publish** — every node sends its current load to every neighbour;
+2. **transfer** — every node compares its load with each received value
+   and, where it is larger, sends ``(l_i - l_j) / (4 max(d_i, d_j))``
+   (floored in discrete mode) tokens to that neighbour.  Neighbour
+   degrees are learned once, in a setup superstep — static information a
+   real deployment would exchange at join time;
+3. **apply** — every node adds received tokens to its load.
+
+Messages are delivered only between supersteps (bulk-synchronous), so no
+node ever reads another node's state directly.  The integration tests
+assert byte-for-byte agreement with the vectorized kernels, round by
+round — which is the strongest statement that the fast engine computes
+the distributed protocol the paper analyzes.
+
+**Algorithm 2** (random balancing partners) gets the same treatment:
+:class:`SuperstepPartnerNetwork` runs the five-superstep per-round
+protocol (pick partner -> resolve links -> exchange degree+load ->
+transfer -> apply), with the link-degree discovery that the fixed-network
+protocol doesn't need, and is likewise tested bit-for-bit against the
+vectorized kernel.
+
+This substrate favours clarity over speed (Python loops); use it for
+fidelity checks and demos, not for large sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "Message",
+    "DiffusionNode",
+    "SuperstepNetwork",
+    "run_superstep_diffusion",
+    "PartnerNode",
+    "SuperstepPartnerNetwork",
+    "run_superstep_partners",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message (src, dst, tag, payload)."""
+
+    src: int
+    dst: int
+    tag: str
+    payload: float
+
+
+@dataclass
+class DiffusionNode:
+    """A node running Algorithm 1 with purely local knowledge."""
+
+    node_id: int
+    load: float
+    neighbors: list[int]
+    discrete: bool = False
+    neighbor_degrees: dict[int, int] = field(default_factory=dict)
+    _inbox: list[Message] = field(default_factory=list)
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    def deliver(self, msg: Message) -> None:
+        self._inbox.append(msg)
+
+    def drain_inbox(self) -> list[Message]:
+        msgs, self._inbox = self._inbox, []
+        return msgs
+
+    # -- setup superstep -------------------------------------------------
+    def announce_degree(self) -> list[Message]:
+        """Setup: tell each neighbour my degree (runs once)."""
+        return [Message(self.node_id, nb, "degree", float(self.degree)) for nb in self.neighbors]
+
+    def learn_degrees(self) -> None:
+        for msg in self.drain_inbox():
+            if msg.tag == "degree":
+                self.neighbor_degrees[msg.src] = int(msg.payload)
+
+    # -- per-round supersteps ----------------------------------------------
+    def publish_load(self) -> list[Message]:
+        """Superstep 1: broadcast my load to all neighbours."""
+        return [Message(self.node_id, nb, "load", float(self.load)) for nb in self.neighbors]
+
+    def compute_transfers(self) -> list[Message]:
+        """Superstep 2: decide and send per-neighbour transfers.
+
+        Only the richer endpoint of each edge sends (the paper's
+        ``if l_i > l_j``); equal loads move nothing, so exactly one side
+        acts per unbalanced edge.
+        """
+        out: list[Message] = []
+        for msg in self.drain_inbox():
+            if msg.tag != "load":
+                continue
+            their_load = msg.payload
+            if self.load > their_load:
+                denom = 4 * max(self.degree, self.neighbor_degrees[msg.src])
+                if self.discrete:
+                    # Integer arithmetic end-to-end: float loads hold exact
+                    # integers (< 2^53), so int() is lossless and the floor
+                    # division matches the vectorized int64 kernel exactly.
+                    amount = float(int(self.load - their_load) // denom)
+                else:
+                    amount = (self.load - their_load) / denom
+                if amount > 0.0:
+                    out.append(Message(self.node_id, msg.src, "tokens", amount))
+        # Deduct everything sent this round (concurrently with receiving).
+        for msg in out:
+            self.load -= msg.payload
+        return out
+
+    def apply_transfers(self) -> None:
+        """Superstep 3: absorb received tokens."""
+        for msg in self.drain_inbox():
+            if msg.tag == "tokens":
+                self.load += msg.payload
+
+
+class SuperstepNetwork:
+    """Bulk-synchronous executor over :class:`DiffusionNode` objects."""
+
+    def __init__(self, topo: Topology, loads: np.ndarray, discrete: bool = False):
+        loads = np.asarray(loads)
+        if loads.size != topo.n:
+            raise ValueError(f"loads has {loads.size} entries for an n={topo.n} topology")
+        if discrete and not np.issubdtype(loads.dtype, np.integer):
+            raise ValueError("discrete superstep network needs integer loads")
+        self.topo = topo
+        self.discrete = discrete
+        self.nodes = [
+            DiffusionNode(
+                node_id=i,
+                load=float(loads[i]),
+                neighbors=[int(x) for x in topo.neighbors(i)],
+                discrete=discrete,
+            )
+            for i in range(topo.n)
+        ]
+        self._setup()
+
+    def _setup(self) -> None:
+        self._exchange([msg for node in self.nodes for msg in node.announce_degree()])
+        for node in self.nodes:
+            node.learn_degrees()
+
+    def _exchange(self, messages: list[Message]) -> None:
+        """Deliver a fully materialized batch (the superstep barrier).
+
+        Taking a list, not a generator, is essential: computing a node's
+        outgoing messages must finish for *all* nodes before any delivery,
+        otherwise a node could observe (and drain) messages from the
+        current superstep — exactly the read-your-neighbour's-future race
+        the BSP model forbids.
+        """
+        for msg in messages:
+            self.nodes[msg.dst].deliver(msg)
+
+    def round(self) -> None:
+        """One full balancing round (three supersteps)."""
+        self._exchange([msg for node in self.nodes for msg in node.publish_load()])
+        self._exchange([msg for node in self.nodes for msg in node.compute_transfers()])
+        for node in self.nodes:
+            node.apply_transfers()
+
+    def loads(self) -> np.ndarray:
+        """Current global load vector (gather)."""
+        vec = np.asarray([node.load for node in self.nodes], dtype=np.float64)
+        if self.discrete:
+            rounded = np.rint(vec)
+            if not np.allclose(vec, rounded):
+                raise AssertionError("discrete superstep produced fractional loads")
+            return rounded.astype(np.int64)
+        return vec
+
+
+def run_superstep_diffusion(
+    topo: Topology, loads: np.ndarray, rounds: int, discrete: bool = False
+) -> list[np.ndarray]:
+    """Run Algorithm 1 on the message-passing substrate.
+
+    Returns the load vector after 0, 1, ..., ``rounds`` rounds (so the
+    list has ``rounds + 1`` entries, aligned with a Trace's recording).
+    """
+    net = SuperstepNetwork(topo, loads, discrete=discrete)
+    history = [net.loads()]
+    for _ in range(rounds):
+        net.round()
+        history.append(net.loads())
+    return history
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2 (random balancing partners) as a message-passing protocol
+# ----------------------------------------------------------------------
+
+@dataclass
+class PartnerNode:
+    """A node running Algorithm 2 with purely local knowledge.
+
+    Per round, five supersteps:
+
+    1. **pick** — send a "link" message to the chosen partner;
+    2. **link resolution** — the local link set is (own pick) + (ids that
+       picked me), deduplicated (the paper's set semantics merge mutual
+       picks);
+    3. **degree exchange** — tell every link partner this round's local
+       link count (degrees change every round, unlike Algorithm 1's);
+    4. **transfer** — for each link where I am richer, ship
+       ``(l_i - l_j) / (4 max(d_i, d_j))`` (floored when discrete)
+       — knowing the partner's load from the degree message, which
+       carries it too;
+    5. **apply** — absorb received tokens.
+    """
+
+    node_id: int
+    load: float
+    discrete: bool = False
+    _inbox: list[Message] = field(default_factory=list)
+    links: set[int] = field(default_factory=set)
+    partner_info: dict[int, tuple[int, float]] = field(default_factory=dict)
+
+    def deliver(self, msg: Message) -> None:
+        self._inbox.append(msg)
+
+    def drain_inbox(self) -> list[Message]:
+        msgs, self._inbox = self._inbox, []
+        return msgs
+
+    def pick_partner(self, partner: int) -> list[Message]:
+        """Superstep 1: announce my pick (payload unused)."""
+        self.links = {partner}
+        self.partner_info = {}
+        return [Message(self.node_id, partner, "pick", 0.0)]
+
+    def resolve_links(self) -> None:
+        """Superstep 2: merge incoming picks into the link set."""
+        for msg in self.drain_inbox():
+            if msg.tag == "pick":
+                self.links.add(msg.src)
+
+    @property
+    def degree(self) -> int:
+        return len(self.links)
+
+    def announce_state(self) -> list[Message]:
+        """Superstep 3: send (my degree, my load) over every link.
+
+        Encoded as ``degree + load / BIG`` would be lossy; instead two
+        messages keep payloads exact floats.
+        """
+        out: list[Message] = []
+        for peer in self.links:
+            out.append(Message(self.node_id, peer, "degree", float(self.degree)))
+            out.append(Message(self.node_id, peer, "load", float(self.load)))
+        return out
+
+    def learn_states(self) -> None:
+        degrees: dict[int, int] = {}
+        loads: dict[int, float] = {}
+        for msg in self.drain_inbox():
+            if msg.tag == "degree":
+                degrees[msg.src] = int(msg.payload)
+            elif msg.tag == "load":
+                loads[msg.src] = msg.payload
+        self.partner_info = {p: (degrees[p], loads[p]) for p in self.links}
+
+    def compute_transfers(self) -> list[Message]:
+        """Superstep 4: richer endpoint of each link ships the damped amount."""
+        out: list[Message] = []
+        for peer, (their_deg, their_load) in self.partner_info.items():
+            if self.load > their_load:
+                denom = 4 * max(self.degree, their_deg)
+                if self.discrete:
+                    amount = float(int(self.load - their_load) // denom)
+                else:
+                    amount = (self.load - their_load) / denom
+                if amount > 0.0:
+                    out.append(Message(self.node_id, peer, "tokens", amount))
+        for msg in out:
+            self.load -= msg.payload
+        return out
+
+    def apply_transfers(self) -> None:
+        """Superstep 5: absorb received tokens."""
+        for msg in self.drain_inbox():
+            if msg.tag == "tokens":
+                self.load += msg.payload
+
+
+class SuperstepPartnerNetwork:
+    """Bulk-synchronous executor for Algorithm 2 (random partners).
+
+    Partner picks are injected per round (an ``(n,)`` array with
+    ``partners[i] != i``) so the same draws can drive both this protocol
+    and the vectorized kernel for exact comparison; production use draws
+    them with :func:`repro.core.random_partner.sample_partners`.
+    """
+
+    def __init__(self, loads: np.ndarray, discrete: bool = False):
+        loads = np.asarray(loads)
+        if loads.ndim != 1 or loads.size < 2:
+            raise ValueError("need a 1-D load vector on >= 2 nodes")
+        if discrete and not np.issubdtype(loads.dtype, np.integer):
+            raise ValueError("discrete partner network needs integer loads")
+        self.discrete = discrete
+        self.nodes = [
+            PartnerNode(node_id=i, load=float(loads[i]), discrete=discrete)
+            for i in range(loads.size)
+        ]
+
+    def _exchange(self, messages: list[Message]) -> None:
+        for msg in messages:
+            self.nodes[msg.dst].deliver(msg)
+
+    def round(self, partners: np.ndarray) -> None:
+        """One full Algorithm 2 round from the given picks."""
+        partners = np.asarray(partners, dtype=np.int64)
+        if partners.shape != (len(self.nodes),):
+            raise ValueError("partners must have one pick per node")
+        if (partners == np.arange(len(self.nodes))).any():
+            raise ValueError("a node may not pick itself")
+        self._exchange(
+            [m for node, p in zip(self.nodes, partners) for m in node.pick_partner(int(p))]
+        )
+        for node in self.nodes:
+            node.resolve_links()
+        self._exchange([m for node in self.nodes for m in node.announce_state()])
+        for node in self.nodes:
+            node.learn_states()
+        self._exchange([m for node in self.nodes for m in node.compute_transfers()])
+        for node in self.nodes:
+            node.apply_transfers()
+
+    def loads(self) -> np.ndarray:
+        vec = np.asarray([node.load for node in self.nodes], dtype=np.float64)
+        if self.discrete:
+            rounded = np.rint(vec)
+            if not np.allclose(vec, rounded):
+                raise AssertionError("discrete partner protocol produced fractional loads")
+            return rounded.astype(np.int64)
+        return vec
+
+
+def run_superstep_partners(
+    loads: np.ndarray, rounds: int, rng: np.random.Generator, discrete: bool = False
+) -> list[np.ndarray]:
+    """Run Algorithm 2 on the message-passing substrate.
+
+    Draws partners with the same sampler the vectorized engine uses, so
+    feeding both the same ``rng`` state yields identical trajectories.
+    Returns loads after 0, 1, ..., ``rounds`` rounds.
+    """
+    from repro.core.random_partner import sample_partners
+
+    net = SuperstepPartnerNetwork(loads, discrete=discrete)
+    history = [net.loads()]
+    for _ in range(rounds):
+        picks = sample_partners(len(net.nodes), rng)
+        net.round(picks)
+        history.append(net.loads())
+    return history

@@ -1,0 +1,94 @@
+"""Unit tests for convergence-rate fitting and bound comparison."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    compare_to_bound,
+    crossover_round,
+    fit_contraction_rate,
+)
+from repro.simulation.trace import Trace
+
+
+def geometric_trace(phi0=1e6, rate=0.8, rounds=40):
+    t = Trace(balancer_name="geo")
+    for i in range(rounds + 1):
+        half = math.sqrt(phi0 * rate**i / 2)
+        t.record(np.asarray([half, -half]))
+    return t
+
+
+class TestRateFitting:
+    def test_recovers_exact_geometric_rate(self):
+        t = geometric_trace(rate=0.7)
+        assert fit_contraction_rate(t) == pytest.approx(0.7, rel=1e-6)
+
+    def test_burn_in_skips_transient(self):
+        # Two-phase decay: slow 5 rounds then fast; burn-in isolates the tail.
+        t = Trace()
+        phi = 1e9
+        for i in range(30):
+            rate = 0.99 if i < 5 else 0.5
+            half = math.sqrt(phi / 2)
+            t.record(np.asarray([half, -half]))
+            phi *= rate
+        fitted = fit_contraction_rate(t, burn_in=6)
+        assert fitted == pytest.approx(0.5, rel=0.05)
+
+    def test_nan_for_too_short(self):
+        t = Trace()
+        t.record(np.asarray([1.0, 3.0]))
+        assert math.isnan(fit_contraction_rate(t))
+
+    def test_zero_potential_ignored(self):
+        t = Trace()
+        t.record(np.asarray([0.0, 2.0]))
+        t.record(np.asarray([1.0, 1.0]))
+        t.record(np.asarray([1.0, 1.0]))
+        assert math.isnan(fit_contraction_rate(t))  # only one positive point
+
+
+class TestBoundComparison:
+    def test_within_bound(self):
+        t = geometric_trace(phi0=1e6, rate=0.5, rounds=40)
+        cmp = compare_to_bound(t, target_potential=1.0, bound_rounds=100, guaranteed_drop=0.1)
+        assert cmp.within_bound
+        assert cmp.measured_rounds == 20  # 1e6 * 0.5^20 ~ 0.95 <= 1
+        assert cmp.tightness == pytest.approx(0.2)
+        assert cmp.guaranteed_rate == pytest.approx(0.9)
+
+    def test_unreached_target(self):
+        t = geometric_trace(rounds=5, rate=0.9)
+        cmp = compare_to_bound(t, target_potential=1e-9, bound_rounds=3.0, guaranteed_drop=0.1)
+        assert not cmp.within_bound
+        assert cmp.measured_rounds is None
+        assert math.isnan(cmp.tightness)
+
+
+class TestCrossover:
+    def test_detects_crossover(self):
+        slow_start = Trace()
+        fast = Trace()
+        # fast: 100 * 0.5^t ; slow_start: 90 * 0.9^t -> crosses when
+        # 100*0.5^t < 90*0.9^t.
+        for i in range(15):
+            a = 100 * 0.5**i
+            b = 90 * 0.9**i
+            fast.record(np.asarray([math.sqrt(a / 2), -math.sqrt(a / 2)]))
+            slow_start.record(np.asarray([math.sqrt(b / 2), -math.sqrt(b / 2)]))
+        r = crossover_round(fast, slow_start)
+        assert r is not None and r >= 1
+        assert fast.potentials[r] < slow_start.potentials[r]
+
+    def test_none_without_crossover(self):
+        a = geometric_trace(phi0=100, rate=0.9, rounds=10)
+        b = geometric_trace(phi0=10, rate=0.9, rounds=10)
+        assert crossover_round(a, b) is None
+
+    def test_immediate_crossover(self):
+        a = geometric_trace(phi0=10, rate=0.9, rounds=5)
+        b = geometric_trace(phi0=100, rate=0.9, rounds=5)
+        assert crossover_round(a, b) == 0

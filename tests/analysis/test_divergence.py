@@ -1,0 +1,99 @@
+"""Unit tests for RSW local divergence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.divergence import (
+    idealized_trajectory,
+    local_divergence,
+    max_deviation,
+    rsw_divergence_bound,
+)
+from repro.baselines.first_order import fos_round_discrete_floor
+from repro.graphs import generators as g
+from repro.graphs.spectral import diffusion_matrix
+from repro.simulation.initial import point_load
+
+
+class TestIdealizedTrajectory:
+    def test_matches_matrix_powers(self, torus, rng):
+        loads = rng.uniform(0, 10, torus.n)
+        traj = idealized_trajectory(torus, loads, 5)
+        m = diffusion_matrix(torus)
+        expected = loads.copy()
+        for t in range(6):
+            assert np.allclose(traj[t], expected, atol=1e-9)
+            expected = m @ expected
+
+    def test_shape(self, torus):
+        traj = idealized_trajectory(torus, np.ones(torus.n), 7)
+        assert traj.shape == (8, torus.n)
+
+    def test_conserves_mean(self, torus, rng):
+        loads = rng.uniform(0, 10, torus.n)
+        traj = idealized_trajectory(torus, loads, 10)
+        assert np.allclose(traj.sum(axis=1), loads.sum())
+
+
+class TestLocalDivergence:
+    def test_zero_for_balanced_start(self, torus):
+        assert local_divergence(torus, np.full(torus.n, 3.0), 20) == pytest.approx(0.0)
+
+    def test_saturates_with_horizon(self, cube4):
+        loads = point_load(cube4.n, total=cube4.n, discrete=False)
+        psi_short = local_divergence(cube4, loads, 30)
+        psi_long = local_divergence(cube4, loads, 200)
+        # Edge differences decay geometrically: doubling the horizon adds
+        # almost nothing once past the mixing time.
+        assert psi_long == pytest.approx(psi_short, rel=0.01)
+
+    def test_scales_linearly_with_load(self, cube4):
+        a = local_divergence(cube4, point_load(cube4.n, total=16, discrete=False), 100)
+        b = local_divergence(cube4, point_load(cube4.n, total=160, discrete=False), 100)
+        assert b == pytest.approx(10 * a, rel=1e-9)
+
+    def test_monotone_in_horizon(self, torus):
+        loads = point_load(torus.n, total=torus.n, discrete=False)
+        assert local_divergence(torus, loads, 10) <= local_divergence(torus, loads, 20)
+
+
+class TestDeviation:
+    def test_zero_for_identical(self, rng):
+        states = rng.uniform(0, 5, (4, 7))
+        assert max_deviation(states, states) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 3))
+        b = np.zeros((2, 3))
+        b[1, 2] = 4.0
+        assert max_deviation(a, b) == 4.0
+
+    def test_discrete_fos_tracks_idealized(self, cube4):
+        """The RSW claim in action: floor-FOS stays within Psi of ideal."""
+        loads = point_load(cube4.n, total=100 * cube4.n, discrete=True)
+        horizon = 60
+        ideal = idealized_trajectory(cube4, loads.astype(float), horizon)
+        states = [loads.astype(float)]
+        x = loads.copy()
+        for _ in range(horizon):
+            x = fos_round_discrete_floor(x, cube4)
+            states.append(x.astype(float))
+        dev = max_deviation(np.asarray(states), ideal)
+        psi = local_divergence(cube4, loads.astype(float), horizon)
+        assert 0 < dev <= psi
+
+
+class TestBound:
+    def test_formula(self, torus):
+        from repro.graphs.spectral import eigenvalue_gap
+
+        mu = eigenvalue_gap(torus)
+        assert rsw_divergence_bound(torus) == pytest.approx(
+            torus.max_degree * np.log(torus.n) / mu
+        )
+
+    def test_infinite_for_disconnected(self):
+        from repro.graphs.topology import Topology
+
+        t = Topology(4, [(0, 1), (2, 3)])
+        assert rsw_divergence_bound(t) == float("inf")

@@ -1,0 +1,82 @@
+"""Unit tests for table formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import Table, format_number, markdown_table
+
+
+class TestFormatNumber:
+    def test_none_dash(self):
+        assert format_number(None) == "-"
+
+    def test_nan_dash(self):
+        assert format_number(float("nan")) == "-"
+
+    def test_inf(self):
+        assert format_number(float("inf")) == "inf"
+        assert format_number(float("-inf")) == "-inf"
+
+    def test_bool(self):
+        assert format_number(True) == "yes"
+        assert format_number(False) == "no"
+
+    def test_int_exact(self):
+        assert format_number(123456789) == "123456789"
+
+    def test_float_integral(self):
+        assert format_number(42.0) == "42"
+
+    def test_float_sig_digits(self):
+        assert format_number(3.14159265) == "3.142"
+
+    def test_scientific_for_small(self):
+        assert "e" in format_number(1.23e-7)
+
+    def test_string_passthrough(self):
+        assert format_number("torus:8x8") == "torus:8x8"
+
+
+class TestTable:
+    def make(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", None)
+        return t
+
+    def test_row_length_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_access(self):
+        t = self.make()
+        assert t.column("a") == [1, "x"]
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            self.make().column("zzz")
+
+    def test_text_render_aligned(self):
+        text = self.make().to_text()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert set(lines[1]) == {"="}
+        # header and data rows share the same width
+        assert len(lines[2]) == len(lines[4])
+
+    def test_notes_rendered(self):
+        t = self.make()
+        t.add_note("footnote here")
+        assert "note: footnote here" in t.to_text()
+
+    def test_markdown_render(self):
+        md = self.make().to_markdown()
+        assert md.startswith("**demo**")
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+
+    def test_markdown_one_shot(self):
+        md = markdown_table("t", ["x"], [[1], [2]])
+        assert "| 1 |" in md and "| 2 |" in md

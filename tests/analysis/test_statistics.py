@@ -1,0 +1,131 @@
+"""Unit tests for the statistical utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    bootstrap_mean_interval,
+    geometric_rate,
+    one_sided_mean_test,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_contains_true_p_typically(self):
+        rng = np.random.default_rng(0)
+        p_true = 0.8
+        hits = 0
+        for _ in range(200):
+            successes = rng.binomial(50, p_true)
+            lo, hi = wilson_interval(successes, 50)
+            hits += lo <= p_true <= hi
+        assert hits >= 180  # ~95% coverage
+
+    def test_boundary_all_successes(self):
+        lo, hi = wilson_interval(20, 20)
+        assert 0.8 < lo < 1.0
+        assert hi == 1.0
+
+    def test_boundary_no_successes(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.2
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(8, 10)
+        lo2, hi2 = wilson_interval(800, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestBootstrap:
+    def test_contains_mean(self, rng):
+        samples = rng.normal(5.0, 1.0, 200)
+        lo, hi = bootstrap_mean_interval(samples, rng)
+        assert lo < 5.0 < hi
+
+    def test_narrow_for_constant(self, rng):
+        lo, hi = bootstrap_mean_interval(np.full(50, 3.0), rng)
+        assert lo == pytest.approx(3.0) and hi == pytest.approx(3.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval(np.asarray([]), rng)
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval(np.ones(3), rng, confidence=1.0)
+
+
+class TestGeometricRate:
+    def test_exact_geometric(self):
+        pots = 1000.0 * 0.7 ** np.arange(20)
+        est = geometric_rate(pots)
+        assert est.rate == pytest.approx(0.7, rel=1e-9)
+        assert est.log_se == pytest.approx(0.0, abs=1e-12)
+
+    def test_interval_covers_noisy_rate(self, rng):
+        rate = 0.8
+        pots = [1000.0]
+        for _ in range(60):
+            pots.append(pots[-1] * rate * rng.uniform(0.95, 1.05))
+        est = geometric_rate(np.asarray(pots))
+        lo, hi = est.interval()
+        assert lo <= rate <= hi
+
+    def test_floor_excludes_dead_rounds(self):
+        pots = np.asarray([100.0, 10.0, 0.0, 0.0])
+        est = geometric_rate(pots)
+        assert est.rounds_used == 2
+        assert est.rate == pytest.approx(0.1)
+
+    def test_too_short(self):
+        est = geometric_rate(np.asarray([5.0]))
+        assert math.isnan(est.rate)
+
+
+class TestMeanTest:
+    def test_comfortably_below(self, rng):
+        samples = rng.uniform(0.6, 0.7, 100)
+        t = one_sided_mean_test(samples, bound=0.95)
+        assert t.consistent
+        assert t.margin > 0.2
+        assert t.t_statistic < 0
+
+    def test_refuted_when_above(self, rng):
+        samples = rng.uniform(0.97, 0.99, 100)
+        t = one_sided_mean_test(samples, bound=0.95)
+        assert not t.consistent
+
+    def test_borderline_noise_tolerated(self, rng):
+        # Mean just a hair above the bound with large variance: not refuted.
+        samples = rng.uniform(0.0, 1.9001, 2000) / 2 + 0.0  # mean ~0.475
+        t = one_sided_mean_test(samples, bound=0.474)
+        assert t.consistent  # within z_crit standard errors
+
+    def test_single_sample(self):
+        t = one_sided_mean_test(np.asarray([0.5]), bound=0.9)
+        assert t.consistent
+
+    def test_lemma11_real_run(self):
+        """End-to-end: Lemma 11's E[Phi'/Phi] <= 19/20 via the test helper."""
+        from repro.core.potential import potential
+        from repro.core.random_partner import partner_round_continuous
+
+        rng = np.random.default_rng(5)
+        n = 128
+        loads = np.zeros(n)
+        loads[0] = 1000.0
+        ratios = []
+        for _ in range(200):
+            out = partner_round_continuous(loads, rng)
+            ratios.append(potential(out) / potential(loads))
+        t = one_sided_mean_test(np.asarray(ratios), bound=19 / 20)
+        assert t.consistent
+        assert t.sample_mean < 0.9

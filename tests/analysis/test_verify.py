@@ -1,0 +1,104 @@
+"""Unit tests for the lemma-check helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import (
+    check_lemma1_on_state,
+    check_lemma10_identity,
+    empirical_lemma9,
+    measure_drop_factors,
+    partner_degree_statistics,
+)
+from repro.core.diffusion import DiffusionBalancer
+from repro.simulation.engine import run_balancer
+from repro.simulation.initial import point_load
+from repro.simulation.trace import Trace
+
+
+class TestLemma1Check:
+    def test_passes_on_random_state(self, torus, rng):
+        report = check_lemma1_on_state(rng.uniform(0, 100, torus.n), torus)
+        assert report.total_drop >= 0
+
+    def test_passes_discrete(self, torus, rng):
+        report = check_lemma1_on_state(
+            rng.integers(0, 1000, torus.n).astype(np.int64), torus, discrete=True
+        )
+        assert report.lemma1_violations == []
+
+
+class TestLemma10Check:
+    def test_passes(self, rng):
+        closed, naive = check_lemma10_identity(rng.uniform(0, 100, 30))
+        assert closed == pytest.approx(naive, rel=1e-9)
+
+    def test_detects_mismatch_via_tolerance(self, rng):
+        # An absurd tolerance cannot fail; a negative one always fails.
+        with pytest.raises(AssertionError):
+            check_lemma10_identity(rng.uniform(1, 2, 10), rtol=-1.0)
+
+
+class TestLemma9Empirical:
+    def test_probability_above_half(self, rng):
+        est = empirical_lemma9(128, rng, rounds=100)
+        assert est["probability"] > 0.5
+
+    def test_mean_degree_about_two(self, rng):
+        # Each node contributes 1 pick; degrees sum ~ 2 * (#links) with
+        # #links between n/2 and n, so mean in [1, 2].
+        est = empirical_lemma9(256, rng, rounds=50)
+        assert 1.0 <= est["mean_degree"] <= 2.0
+
+    def test_counts_links(self, rng):
+        est = empirical_lemma9(64, rng, rounds=10)
+        assert est["links_sampled"] >= 10 * 32
+
+
+class TestPartnerDegreeStats:
+    def test_max_degree_grows_slowly(self, rng):
+        small = partner_degree_statistics(64, rng, rounds=30)
+        large = partner_degree_statistics(4096, rng, rounds=30)
+        assert large["mean_max_degree"] > small["mean_max_degree"]
+        # sub-logarithmic growth: ratio to log n/log log n stays bounded
+        assert large["ratio"] < 4.0
+
+    def test_fields_present(self, rng):
+        stats = partner_degree_statistics(128, rng, rounds=10)
+        assert {"mean_max_degree", "p95_max_degree", "bins_prediction", "ratio"} <= set(stats)
+
+
+class TestDropFactors:
+    def test_on_real_run_theorem4(self, torus):
+        from repro.graphs.spectral import lambda_2
+
+        bal = DiffusionBalancer(torus, mode="continuous")
+        trace = run_balancer(bal, point_load(torus.n, discrete=False), rounds=50)
+        guaranteed = lambda_2(torus) / (4 * torus.max_degree)
+        stats = measure_drop_factors(trace, guaranteed)
+        assert stats.holds
+        assert stats.measured_min >= guaranteed - 1e-9
+
+    def test_min_potential_filter(self):
+        t = Trace()
+        t.record(np.asarray([0.0, 10.0]))  # phi = 50
+        t.record(np.asarray([4.0, 6.0]))  # phi = 2
+        t.record(np.asarray([4.0, 6.0]))  # no progress, below min_potential
+        stats = measure_drop_factors(t, guaranteed=0.5, min_potential=10.0)
+        assert stats.rounds_checked == 1
+        assert stats.holds
+
+    def test_violation_counted(self):
+        t = Trace()
+        t.record(np.asarray([0.0, 10.0]))
+        t.record(np.asarray([0.0, 10.0]))  # zero drop
+        stats = measure_drop_factors(t, guaranteed=0.1)
+        assert not stats.holds
+        assert stats.rounds_violating == 1
+
+    def test_empty_window_nan(self):
+        t = Trace()
+        t.record(np.asarray([5.0, 5.0]))
+        stats = measure_drop_factors(t, guaranteed=0.1)
+        assert stats.rounds_checked == 0
+        assert np.isnan(stats.measured_min)

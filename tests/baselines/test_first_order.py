@@ -1,0 +1,123 @@
+"""Unit tests for the first-order scheme (FOS) and its discretizations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.first_order import (
+    FirstOrderBalancer,
+    fos_alpha,
+    fos_flows,
+    fos_round_continuous,
+    fos_round_discrete_floor,
+    fos_round_discrete_randomized,
+)
+from repro.core.potential import l2_error, potential
+from repro.graphs import generators as g
+from repro.graphs.spectral import diffusion_matrix, gamma
+from repro.graphs.topology import Topology
+
+
+class TestContinuous:
+    def test_round_equals_matrix_product(self, any_topology, rng):
+        loads = rng.uniform(0, 100, any_topology.n)
+        m = diffusion_matrix(any_topology)
+        assert np.allclose(fos_round_continuous(loads, any_topology), m @ loads, atol=1e-9)
+
+    def test_alpha_default(self, torus):
+        assert fos_alpha(torus) == pytest.approx(1 / (torus.max_degree + 1))
+
+    def test_conservation(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        assert fos_round_continuous(loads, torus).sum() == pytest.approx(loads.sum(), rel=1e-12)
+
+    def test_error_contracts_by_gamma(self, any_topology, rng):
+        """Cybenko: ||e(t+1)|| <= gamma ||e(t)||."""
+        gam = gamma(any_topology)
+        loads = rng.uniform(0, 100, any_topology.n)
+        out = fos_round_continuous(loads, any_topology)
+        assert l2_error(out) <= gam * l2_error(loads) + 1e-9
+
+    def test_converges_on_bipartite_cycle(self, rng):
+        # Even cycles are bipartite; alpha = 1/(delta+1) still converges.
+        topo = g.cycle(6)
+        loads = rng.uniform(0, 100, 6)
+        for _ in range(500):
+            loads = fos_round_continuous(loads, topo)
+        assert np.allclose(loads, loads.mean(), atol=1e-6)
+
+
+class TestDiscreteFloor:
+    def test_conserves_exactly(self, torus, rng):
+        loads = rng.integers(0, 10_000, torus.n).astype(np.int64)
+        out = fos_round_discrete_floor(loads, torus)
+        assert out.sum() == loads.sum()
+        assert out.dtype == np.int64
+
+    def test_two_node_example(self):
+        t = Topology(2, [(0, 1)])
+        # alpha = 1/2; flow = floor(8/2) = 4 -> perfectly balanced.
+        out = fos_round_discrete_floor(np.asarray([9, 1], dtype=np.int64), t)
+        assert out.tolist() == [5, 5]
+
+    def test_small_differences_stall(self):
+        t = g.path(4)
+        loads = np.asarray([2, 1, 1, 0], dtype=np.int64)
+        # alpha = 1/3: all flows floor to zero.
+        out = fos_round_discrete_floor(loads, t)
+        assert np.array_equal(out, loads)
+
+
+class TestDiscreteRandomized:
+    def test_conserves_exactly(self, torus, rng):
+        loads = rng.integers(0, 10_000, torus.n).astype(np.int64)
+        out = fos_round_discrete_randomized(loads, torus, rng)
+        assert out.sum() == loads.sum()
+
+    def test_unbiased_expectation(self):
+        """E[randomized tokens] equals the continuous flow (EM03's point)."""
+        t = Topology(2, [(0, 1)])
+        loads = np.asarray([2, 0], dtype=np.int64)  # continuous flow = 1.0
+        rng = np.random.default_rng(0)
+        outs = np.asarray([fos_round_discrete_randomized(loads, t, rng)[1] for _ in range(3000)])
+        # flow exactly 1.0 -> always ships 1: no variance in this case
+        assert outs.mean() == pytest.approx(1.0)
+
+    def test_fractional_flow_randomizes(self):
+        t = Topology(2, [(0, 1)])
+        loads = np.asarray([3, 0], dtype=np.int64)  # continuous flow = 1.5
+        rng = np.random.default_rng(0)
+        received = np.asarray([fos_round_discrete_randomized(loads, t, rng)[1] for _ in range(4000)])
+        assert set(np.unique(received)) == {1, 2}
+        assert received.mean() == pytest.approx(1.5, abs=0.05)
+
+    def test_escapes_floor_stall(self):
+        """Randomized rounding keeps making progress where floor stalls."""
+        t = g.path(4)
+        loads = np.asarray([2, 1, 1, 0], dtype=np.int64)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            loads = fos_round_discrete_randomized(loads, t, rng)
+        assert potential(loads) <= potential(np.asarray([2, 1, 1, 0]))
+
+
+class TestBalancer:
+    def test_variant_validation(self, torus):
+        with pytest.raises(ValueError):
+            FirstOrderBalancer(torus, variant="stochastic")
+
+    def test_alpha_stability_guard(self, torus):
+        with pytest.raises(ValueError, match="stable range"):
+            FirstOrderBalancer(torus, alpha=1.0)
+
+    def test_modes(self, torus):
+        assert FirstOrderBalancer(torus).mode == "continuous"
+        assert FirstOrderBalancer(torus, variant="floor").mode == "discrete"
+        assert FirstOrderBalancer(torus, variant="randomized").mode == "discrete"
+
+    def test_step_dispatch(self, torus, rng):
+        loads = rng.integers(0, 500, torus.n).astype(np.int64)
+        floor_bal = FirstOrderBalancer(torus, variant="floor")
+        assert np.array_equal(
+            floor_bal.step(loads, np.random.default_rng(0)),
+            fos_round_discrete_floor(loads, torus),
+        )

@@ -1,0 +1,98 @@
+"""Unit tests for the Optimal Polynomial Scheme."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ops import OptimalPolynomialBalancer, leja_order
+from repro.core.potential import potential
+from repro.graphs import generators as g
+from repro.graphs.spectral import distinct_laplacian_eigenvalues
+from repro.simulation.engine import run_balancer
+from repro.simulation.initial import point_load
+
+
+class TestLejaOrder:
+    def test_preserves_multiset(self, rng):
+        vals = rng.uniform(0.1, 10, 12)
+        ordered = leja_order(vals)
+        assert sorted(ordered.tolist()) == pytest.approx(sorted(vals.tolist()))
+
+    def test_starts_with_largest_magnitude(self):
+        ordered = leja_order(np.asarray([1.0, 5.0, 3.0]))
+        assert ordered[0] == 5.0
+
+    def test_empty_input(self):
+        assert leja_order(np.asarray([])).size == 0
+
+    def test_singleton(self):
+        assert leja_order(np.asarray([2.0])).tolist() == [2.0]
+
+
+class TestScheme:
+    def test_exact_after_m_minus_1_rounds_hypercube(self):
+        """[DFM99]: balanced exactly once every distinct eigenvalue used."""
+        topo = g.hypercube(4)  # eigenvalues 0,2,4,6,8 -> 4 rounds
+        bal = OptimalPolynomialBalancer(topo)
+        assert bal.rounds_to_exact == 4
+        loads = point_load(topo.n, total=1600, discrete=False)
+        trace = run_balancer(bal, loads, rounds=bal.rounds_to_exact)
+        assert trace.last_potential < 1e-12 * trace.initial_potential
+
+    def test_exact_on_complete_in_one_round(self):
+        topo = g.complete(9)  # eigenvalues {0, 9} -> 1 round
+        bal = OptimalPolynomialBalancer(topo)
+        assert bal.rounds_to_exact == 1
+        loads = point_load(9, total=900, discrete=False)
+        trace = run_balancer(bal, loads, rounds=1)
+        assert trace.last_potential < 1e-18 * trace.initial_potential + 1e-9
+
+    def test_exact_on_cycle(self):
+        topo = g.cycle(16)
+        bal = OptimalPolynomialBalancer(topo)
+        m = distinct_laplacian_eigenvalues(topo).shape[0]
+        assert bal.rounds_to_exact == m - 1
+        loads = point_load(16, total=1600, discrete=False)
+        trace = run_balancer(bal, loads, rounds=bal.rounds_to_exact)
+        assert trace.last_potential < 1e-8 * trace.initial_potential
+
+    def test_idles_after_schedule(self, torus, rng):
+        bal = OptimalPolynomialBalancer(torus)
+        loads = rng.uniform(0, 10, torus.n)
+        r = np.random.default_rng(0)
+        x = loads
+        for _ in range(bal.rounds_to_exact + 3):
+            x = bal.step(x, r)
+        # Extra steps must be identity (already exact).
+        y = bal.step(x, r)
+        assert np.array_equal(x, y)
+
+    def test_conservation(self, torus, rng):
+        bal = OptimalPolynomialBalancer(torus)
+        loads = rng.uniform(0, 100, torus.n)
+        r = np.random.default_rng(0)
+        x = loads
+        for _ in range(bal.rounds_to_exact):
+            x = bal.step(x, r)
+            assert x.sum() == pytest.approx(loads.sum(), rel=1e-9)
+
+    def test_leja_beats_ascending_on_path(self):
+        """The numerics ablation: ascending order amplifies error on graphs
+        with tiny lambda_2; Leja ordering keeps OPS exact."""
+        topo = g.path(24)
+        loads = point_load(24, total=2400, discrete=False)
+        leja = OptimalPolynomialBalancer(topo, use_leja=True)
+        asc = OptimalPolynomialBalancer(topo, use_leja=False)
+        t_leja = run_balancer(leja, loads, rounds=leja.rounds_to_exact)
+        t_asc = run_balancer(asc, loads, rounds=asc.rounds_to_exact, )
+        assert t_leja.last_potential <= t_asc.last_potential
+
+    def test_edgeless_graph_rejected(self):
+        from repro.graphs.topology import Topology
+
+        with pytest.raises(ValueError):
+            OptimalPolynomialBalancer(Topology(3, []))
+
+    def test_accepts_transient_negative(self, torus):
+        bal = OptimalPolynomialBalancer(torus)
+        out = bal.validate_loads(np.asarray([-1.0, 2.0]))
+        assert out.dtype == np.float64

@@ -1,0 +1,100 @@
+"""Unit tests for the second-order scheme (SOS)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.first_order import FirstOrderBalancer
+from repro.baselines.second_order import SecondOrderBalancer, optimal_beta
+from repro.core.potential import potential
+from repro.graphs import generators as g
+from repro.graphs.spectral import gamma as spectral_gamma
+from repro.simulation.engine import run_balancer
+from repro.simulation.initial import point_load
+
+
+class TestOptimalBeta:
+    def test_gamma_zero_gives_one(self):
+        assert optimal_beta(0.0) == pytest.approx(1.0)
+
+    def test_monotone_in_gamma(self):
+        assert optimal_beta(0.9) > optimal_beta(0.5) > optimal_beta(0.1)
+
+    def test_approaches_two(self):
+        assert 1.9 < optimal_beta(0.999) < 2.0
+
+    def test_domain_checked(self):
+        with pytest.raises(ValueError):
+            optimal_beta(1.0)
+        with pytest.raises(ValueError):
+            optimal_beta(-0.1)
+
+
+class TestScheme:
+    def test_beta_one_equals_fos(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        sos = SecondOrderBalancer(torus, beta=1.0)
+        fos = FirstOrderBalancer(torus)
+        r = np.random.default_rng(0)
+        a, b = loads.copy(), loads.copy()
+        for _ in range(5):
+            a = sos.step(a, r)
+            b = fos.step(b, r)
+            assert np.allclose(a, b, atol=1e-9)
+
+    def test_first_round_is_fos(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        sos = SecondOrderBalancer(torus)
+        fos = FirstOrderBalancer(torus)
+        assert np.allclose(
+            sos.step(loads, np.random.default_rng(0)),
+            fos.step(loads, np.random.default_rng(0)),
+        )
+
+    def test_conservation(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        bal = SecondOrderBalancer(torus)
+        r = np.random.default_rng(0)
+        x = loads
+        for _ in range(10):
+            x = bal.step(x, r)
+            assert x.sum() == pytest.approx(loads.sum(), rel=1e-9)
+
+    def test_beta_default_from_gamma(self, torus):
+        bal = SecondOrderBalancer(torus)
+        assert bal.beta == pytest.approx(optimal_beta(spectral_gamma(torus)))
+
+    def test_beta_range_checked(self, torus):
+        with pytest.raises(ValueError):
+            SecondOrderBalancer(torus, beta=2.0)
+
+    def test_allows_transient_negative_loads(self, torus):
+        bal = SecondOrderBalancer(torus)
+        # Overshoot can dip below zero; validate_loads must accept it.
+        out = bal.validate_loads(np.asarray([-0.5, 1.0, 2.0]))
+        assert out.dtype == np.float64
+
+    def test_reset_clears_history(self, torus, rng):
+        bal = SecondOrderBalancer(torus)
+        bal.step(rng.uniform(0, 10, torus.n), np.random.default_rng(0))
+        assert "prev" in bal.state.history
+        bal.reset()
+        assert bal.state.history == {}
+
+
+class TestConvergenceClaim:
+    def test_sos_beats_fos_on_cycle(self):
+        """[MGS98]: SOS converges much faster on poorly connected graphs."""
+        topo = g.cycle(24)
+        loads = point_load(topo.n, total=2400, discrete=False)
+        eps = 1e-8
+        fos_trace = run_balancer(FirstOrderBalancer(topo), loads, rounds=20_000)
+        sos_trace = run_balancer(SecondOrderBalancer(topo), loads, rounds=20_000)
+        t_fos = fos_trace.rounds_to_fraction(eps)
+        t_sos = sos_trace.rounds_to_fraction(eps)
+        assert t_sos is not None and t_fos is not None
+        assert t_sos * 2 < t_fos  # at least 2x faster; typically much more
+
+    def test_sos_converges_to_balance(self, torus):
+        loads = point_load(torus.n, total=6400, discrete=False)
+        trace = run_balancer(SecondOrderBalancer(torus), loads, rounds=500)
+        assert trace.last_potential < 1e-6 * trace.initial_potential

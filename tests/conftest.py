@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def torus():
+    return generators.torus_2d(4, 4)
+
+
+@pytest.fixture
+def cycle8():
+    return generators.cycle(8)
+
+
+@pytest.fixture
+def cube4():
+    return generators.hypercube(4)
+
+
+@pytest.fixture(
+    params=["cycle:12", "path:9", "torus:4x4", "hypercube:3", "complete:7", "star:9", "petersen"],
+    ids=lambda s: s,
+)
+def any_topology(request):
+    """A small topology from each family (parametrized fixture)."""
+    return generators.by_name(request.param)

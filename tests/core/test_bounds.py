@@ -1,0 +1,124 @@
+"""Unit tests for the paper's bound formulas."""
+
+import math
+
+import pytest
+
+from repro.core import bounds as B
+
+
+class TestTheorem4:
+    def test_formula(self):
+        # T = 4 * delta * ln(1/eps) / lambda2
+        r = B.theorem4_rounds(delta=4, lam2=0.5, eps=1e-3)
+        assert r.value == pytest.approx(4 * 4 * math.log(1e3) / 0.5)
+
+    def test_monotone_in_eps(self):
+        assert B.theorem4_rounds(4, 0.5, 1e-6).value > B.theorem4_rounds(4, 0.5, 1e-3).value
+
+    def test_monotone_in_delta(self):
+        assert B.theorem4_rounds(8, 0.5, 1e-3).value > B.theorem4_rounds(4, 0.5, 1e-3).value
+
+    def test_eps_must_be_below_one(self):
+        with pytest.raises(ValueError):
+            B.theorem4_rounds(4, 0.5, 1.0)
+
+    def test_positive_params_required(self):
+        with pytest.raises(ValueError):
+            B.theorem4_rounds(0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            B.theorem4_rounds(4, 0.0, 0.1)
+
+    def test_float_conversion_and_describe(self):
+        r = B.theorem4_rounds(4, 0.5, 0.1)
+        assert float(r) == r.value
+        assert "Theorem 4" in r.describe()
+
+
+class TestTheorem6:
+    def test_threshold_formula(self):
+        r = B.theorem6_threshold(n=64, delta=4, lam2=0.5)
+        assert r.value == pytest.approx(64 * 4**3 * 64 / 0.5)
+
+    def test_threshold_linear_in_n(self):
+        a = B.theorem6_threshold(64, 4, 0.5).value
+        b = B.theorem6_threshold(128, 4, 0.5).value
+        assert b == pytest.approx(2 * a)
+
+    def test_rounds_formula(self):
+        phi_star = B.theorem6_threshold(64, 4, 0.5).value
+        r = B.theorem6_rounds(64, 4, 0.5, phi0=phi_star * math.e)
+        assert r.value == pytest.approx(8 * 4 / 0.5)
+
+    def test_rounds_zero_below_threshold(self):
+        phi_star = B.theorem6_threshold(64, 4, 0.5).value
+        assert B.theorem6_rounds(64, 4, 0.5, phi0=phi_star / 2).value == 0.0
+
+    def test_lemma5_drop(self):
+        assert B.lemma5_drop_factor(4, 0.5).value == pytest.approx(0.5 / 32)
+
+
+class TestDynamic:
+    def test_theorem7_formula(self):
+        r = B.theorem7_rounds(average_gap=0.1, eps=1e-2)
+        assert r.value == pytest.approx(4 * math.log(100) / 0.1)
+
+    def test_theorem7_eps_check(self):
+        with pytest.raises(ValueError):
+            B.theorem7_rounds(0.1, 2.0)
+
+    def test_theorem8_threshold(self):
+        assert B.theorem8_threshold(10, worst_term=5.0).value == pytest.approx(3200.0)
+
+    def test_theorem8_rounds(self):
+        r = B.theorem8_rounds(average_gap=0.2, phi0=1e6, phi_star=1e3)
+        assert r.value == pytest.approx(8 * math.log(1e3) / 0.2)
+
+    def test_theorem8_rounds_zero_below_threshold(self):
+        assert B.theorem8_rounds(0.2, phi0=10.0, phi_star=100.0).value == 0.0
+
+
+class TestRandomPartners:
+    def test_lemma9_constant(self):
+        assert B.lemma9_probability_bound().value == 0.5
+
+    def test_lemma11_constant(self):
+        assert B.lemma11_drop_factor().value == pytest.approx(0.95)
+
+    def test_lemma13_constant(self):
+        assert B.lemma13_drop_factor().value == pytest.approx(0.975)
+
+    def test_theorem12_rounds(self):
+        assert B.theorem12_rounds(phi0=math.e**2, c=1.0).value == pytest.approx(240.0)
+
+    def test_theorem12_needs_phi_above_one(self):
+        with pytest.raises(ValueError):
+            B.theorem12_rounds(phi0=0.5, c=1.0)
+
+    def test_theorem12_success_probability(self):
+        p = B.theorem12_success_probability(phi0=10_000.0, c=4.0)
+        assert p.value == pytest.approx(1 - 10_000.0**-1.0)
+
+    def test_theorem14_rounds(self):
+        n = 10
+        phi0 = 3200 * n * math.e
+        assert B.theorem14_rounds(phi0, n, c=1.0).value == pytest.approx(240.0)
+
+    def test_theorem14_rounds_zero_below_threshold(self):
+        assert B.theorem14_rounds(100.0, 10, c=1.0).value == 0.0
+
+    def test_theorem14_threshold(self):
+        assert B.theorem14_threshold(7).value == pytest.approx(22400.0)
+
+    def test_theorem14_success_needs_ratio_above_one(self):
+        with pytest.raises(ValueError):
+            B.theorem14_success_probability(100.0, 10, c=1.0)
+
+
+class TestComparisons:
+    def test_gm94_drop_is_quarter_of_theorem4(self):
+        # Section 3: Algorithm 1's guaranteed drop lambda2/(4 delta) is 4x
+        # the [GM94] expected drop lambda2/(16 delta).
+        gm = B.ghosh_muthukrishnan_drop_factor(4, 0.5).value
+        alg1 = 0.5 / (4 * 4)
+        assert alg1 == pytest.approx(4 * gm)

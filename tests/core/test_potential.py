@@ -1,0 +1,94 @@
+"""Unit tests for imbalance measures (incl. Lemma 10's identity)."""
+
+import numpy as np
+import pytest
+
+import importlib
+
+P = importlib.import_module("repro.core.potential")
+
+
+class TestPotential:
+    def test_balanced_vector_zero(self):
+        assert P.potential(np.full(7, 3.0)) == 0.0
+
+    def test_known_value(self):
+        # loads [0, 2], mean 1: (0-1)^2 + (2-1)^2 = 2.
+        assert P.potential(np.asarray([0.0, 2.0])) == pytest.approx(2.0)
+
+    def test_point_load_closed_form(self):
+        n, w = 10, 50.0
+        loads = np.zeros(n)
+        loads[0] = w
+        # Phi = (w - w/n)^2 + (n-1)(w/n)^2 = w^2 (1 - 1/n).
+        assert P.potential(loads) == pytest.approx(w * w * (1 - 1 / n))
+
+    def test_translation_invariance(self, rng):
+        v = rng.uniform(0, 10, 20)
+        assert P.potential(v + 123.0) == pytest.approx(P.potential(v), rel=1e-9)
+
+    def test_integer_input_no_overflow(self):
+        # Large int64 loads must be computed in float64.
+        v = np.asarray([10**9, 0, 0, 0], dtype=np.int64)
+        assert P.potential(v) == pytest.approx(1e18 * (1 - 0.25), rel=1e-12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            P.potential(np.asarray([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            P.potential(np.zeros((2, 2)))
+
+
+class TestDrop:
+    def test_drop_positive_when_balancing(self):
+        before = np.asarray([10.0, 0.0])
+        after = np.asarray([6.0, 4.0])
+        assert P.potential_drop(before, after) > 0
+
+    def test_drop_zero_for_identical(self, rng):
+        v = rng.uniform(0, 5, 9)
+        assert P.potential_drop(v, v.copy()) == pytest.approx(0.0)
+
+
+class TestDiscrepancyError:
+    def test_discrepancy_known(self):
+        assert P.discrepancy(np.asarray([1, 5, 3])) == 4
+
+    def test_error_vector_sums_to_zero(self, rng):
+        e = P.error_vector(rng.uniform(0, 9, 33))
+        assert e.sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_l2_error_is_sqrt_potential(self, rng):
+        v = rng.uniform(0, 9, 12)
+        assert P.l2_error(v) == pytest.approx(np.sqrt(P.potential(v)), rel=1e-12)
+
+    def test_average_load(self):
+        assert P.average_load(np.asarray([1, 2, 3], dtype=np.int64)) == pytest.approx(2.0)
+
+
+class TestLemma10:
+    """The identity sum_ij (l_i - l_j)^2 = 2 n Phi(L)."""
+
+    def test_identity_on_random_vectors(self, rng):
+        for _ in range(10):
+            v = rng.uniform(-100, 100, 17)
+            closed = P.pairwise_square_sum(v)
+            naive = P.pairwise_square_sum_naive(v)
+            assert closed == pytest.approx(naive, rel=1e-12)
+
+    def test_identity_equals_2n_phi(self, rng):
+        v = rng.uniform(0, 10, 11)
+        assert P.pairwise_square_sum(v) == pytest.approx(2 * 11 * P.potential(v), rel=1e-12)
+
+    def test_identity_two_elements(self):
+        v = np.asarray([0.0, 4.0])
+        # sum_ij = (0-4)^2 + (4-0)^2 = 32; 2*2*Phi = 4*8 = 32.
+        assert P.pairwise_square_sum(v) == pytest.approx(32.0)
+        assert P.pairwise_square_sum_naive(v) == pytest.approx(32.0)
+
+    def test_identity_constant_vector(self):
+        v = np.full(6, 2.5)
+        assert P.pairwise_square_sum(v) == 0.0
+        assert P.pairwise_square_sum_naive(v) == 0.0

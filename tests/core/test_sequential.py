@@ -1,0 +1,127 @@
+"""Unit tests for the sequentialization engine (the proof device)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import diffusion_round_continuous, diffusion_round_discrete
+from repro.core.potential import potential
+from repro.core.sequential import (
+    concurrency_gap,
+    edge_weights,
+    greedy_sequential_round,
+    sequentialize_round,
+)
+from repro.graphs import generators as g
+from repro.graphs.topology import Topology
+
+
+class TestEdgeWeights:
+    def test_continuous_formula(self):
+        t = Topology(2, [(0, 1)])
+        w = edge_weights(np.asarray([10.0, 2.0]), t)
+        assert w[0] == pytest.approx(8 / 4)
+
+    def test_discrete_floors(self):
+        t = Topology(2, [(0, 1)])
+        w = edge_weights(np.asarray([9, 2], dtype=np.int64), t, discrete=True)
+        assert w[0] == 1.0
+
+    def test_weights_nonnegative(self, any_topology, rng):
+        w = edge_weights(rng.uniform(0, 100, any_topology.n), any_topology)
+        assert (w >= 0).all()
+
+
+class TestDecomposition:
+    def test_final_state_equals_concurrent_round(self, any_topology, rng):
+        """The decomposition is an accounting identity: same endpoint."""
+        loads = rng.uniform(0, 100, any_topology.n)
+        report = sequentialize_round(loads, any_topology)
+        concurrent = diffusion_round_continuous(loads, any_topology)
+        assert np.allclose(report.final_loads, concurrent, atol=1e-9)
+
+    def test_final_state_equals_concurrent_round_discrete(self, any_topology, rng):
+        loads = rng.integers(0, 10_000, any_topology.n).astype(np.int64)
+        report = sequentialize_round(loads, any_topology, discrete=True)
+        concurrent = diffusion_round_discrete(loads, any_topology)
+        assert np.allclose(report.final_loads, concurrent.astype(float), atol=1e-9)
+
+    def test_drops_sum_to_total(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        report = sequentialize_round(loads, torus)
+        assert sum(a.drop for a in report.activations) == pytest.approx(report.total_drop, rel=1e-9)
+
+    def test_activations_sorted_by_weight(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        report = sequentialize_round(loads, torus)
+        weights = [a.weight for a in report.activations]
+        assert weights == sorted(weights)
+
+    def test_lemma1_bound_holds_everywhere(self, any_topology, rng):
+        for _ in range(5):
+            loads = rng.uniform(0, 1000, any_topology.n)
+            report = sequentialize_round(loads, any_topology)
+            assert report.lemma1_violations == []
+
+    def test_lemma1_bound_holds_discrete(self, any_topology, rng):
+        for _ in range(5):
+            loads = rng.integers(0, 10_000, any_topology.n).astype(np.int64)
+            report = sequentialize_round(loads, any_topology, discrete=True)
+            assert report.lemma1_violations == []
+
+    def test_lemma2_aggregate(self, torus, rng):
+        # Total drop >= sum of w_e * |diff_e| >= (1/4 delta) sum diff^2.
+        loads = rng.uniform(0, 100, torus.n)
+        report = sequentialize_round(loads, torus)
+        u, v = torus.edges[:, 0], torus.edges[:, 1]
+        sq = float(((loads[u] - loads[v]) ** 2).sum())
+        assert report.total_drop >= report.lemma2_lower_bound - 1e-9
+        assert report.lemma2_lower_bound >= sq / (4 * torus.max_degree) - 1e-9
+
+    def test_balanced_state_all_zero(self, torus):
+        report = sequentialize_round(np.full(torus.n, 5.0), torus)
+        assert report.total_drop == pytest.approx(0.0)
+        assert all(a.weight == 0 for a in report.activations)
+
+    def test_size_mismatch_raises(self, torus):
+        with pytest.raises(ValueError):
+            sequentialize_round(np.ones(torus.n + 2), torus)
+
+    def test_activation_metadata(self):
+        t = Topology(2, [(0, 1)])
+        report = sequentialize_round(np.asarray([10.0, 2.0]), t)
+        act = report.activations[0]
+        assert act.sender == 0 and act.receiver == 1
+        assert act.initial_diff == pytest.approx(8.0)
+        assert act.weight == pytest.approx(2.0)
+        # Exact drop: 2*2*(10-2-2) = 24; bound: 2*8 = 16.
+        assert act.drop == pytest.approx(24.0)
+        assert act.lemma1_bound == pytest.approx(16.0)
+        assert act.satisfies_lemma1
+
+
+class TestSequentialAlgorithm:
+    def test_sequential_drop_positive(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        final, drop = greedy_sequential_round(loads, torus)
+        assert drop > 0
+        assert potential(final) == pytest.approx(potential(loads) - drop, rel=1e-9)
+
+    def test_sequential_conserves(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        final, _ = greedy_sequential_round(loads, torus)
+        assert final.sum() == pytest.approx(loads.sum(), rel=1e-12)
+
+    def test_gap_at_least_half(self, any_topology, rng):
+        """Section 3: concurrency costs at most a factor two."""
+        for _ in range(10):
+            loads = rng.uniform(0, 1000, any_topology.n)
+            gap = concurrency_gap(loads, any_topology)
+            assert gap >= 0.5 - 1e-9
+
+    def test_gap_infinite_when_balanced(self, torus):
+        assert concurrency_gap(np.full(torus.n, 3.0), torus) == float("inf")
+
+    def test_gap_two_nodes_exact(self):
+        # Single edge: concurrent == sequential, gap exactly 1.
+        t = Topology(2, [(0, 1)])
+        assert concurrency_gap(np.asarray([8.0, 0.0]), t) == pytest.approx(1.0)

@@ -1,0 +1,118 @@
+"""Unit tests for asynchronous neighbourhood balancing."""
+
+import numpy as np
+import pytest
+
+from repro.core.potential import potential
+from repro.extensions.asynchronous import AsyncDiffusionBalancer, async_tick
+from repro.graphs import generators as g
+from repro.simulation.engine import run_balancer
+from repro.simulation.initial import point_load
+
+
+class TestTick:
+    def test_node_pushes_to_poorer_neighbours(self):
+        t = g.star(4)  # hub 0 with 3 leaves
+        loads = np.asarray([12.0, 0.0, 0.0, 0.0])
+        out = async_tick(loads, t, node=0)
+        # hub degree 3, leaf degree 1: rate = 12/(4*3) = 1 per leaf
+        assert out.tolist() == [9.0, 1.0, 1.0, 1.0]
+
+    def test_poor_node_does_nothing(self):
+        t = g.star(4)
+        loads = np.asarray([0.0, 5.0, 5.0, 5.0])
+        out = async_tick(loads, t, node=0)
+        assert np.array_equal(out, loads)
+
+    def test_discrete_floors(self):
+        t = g.path(2)
+        out = async_tick(np.asarray([9, 2], dtype=np.int64), t, node=0, discrete=True)
+        assert out.tolist() == [8, 3]  # floor(7/4) = 1
+
+    def test_conservation(self, torus, rng):
+        loads = rng.integers(0, 1000, torus.n).astype(np.int64)
+        for node in range(torus.n):
+            out = async_tick(loads, torus, node, discrete=True)
+            assert out.sum() == loads.sum()
+
+    def test_potential_never_increases(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        for _ in range(50):
+            node = int(rng.integers(0, torus.n))
+            new = async_tick(loads, torus, node)
+            assert potential(new) <= potential(loads) + 1e-9
+            loads = new
+
+    def test_isolated_node_noop(self):
+        from repro.graphs.topology import Topology
+
+        t = Topology(3, [(0, 1)])
+        loads = np.asarray([1.0, 2.0, 9.0])
+        assert np.array_equal(async_tick(loads, t, node=2), loads)
+
+    def test_node_range_checked(self, torus):
+        with pytest.raises(IndexError):
+            async_tick(np.ones(torus.n), torus, torus.n)
+
+    def test_input_not_mutated(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        snap = loads.copy()
+        async_tick(loads, torus, 0)
+        assert np.array_equal(loads, snap)
+
+
+class TestBalancer:
+    def test_validation(self, torus):
+        with pytest.raises(ValueError):
+            AsyncDiffusionBalancer(torus, mode="eventual")
+        with pytest.raises(ValueError):
+            AsyncDiffusionBalancer(torus, schedule="priority")
+        with pytest.raises(ValueError):
+            AsyncDiffusionBalancer(torus, ticks_per_step=0)
+
+    def test_default_ticks_is_n(self, torus):
+        assert AsyncDiffusionBalancer(torus).ticks_per_step == torus.n
+
+    def test_round_robin_covers_all_nodes(self, cycle8):
+        bal = AsyncDiffusionBalancer(cycle8, schedule="round-robin", ticks_per_step=1)
+        rng = np.random.default_rng(0)
+        picked = [bal._pick(rng) for _ in range(cycle8.n)]
+        assert sorted(picked) == list(range(cycle8.n))
+
+    def test_round_robin_reset(self, cycle8):
+        bal = AsyncDiffusionBalancer(cycle8, schedule="round-robin", ticks_per_step=1)
+        rng = np.random.default_rng(0)
+        bal._pick(rng)
+        bal.reset()
+        assert bal._pick(rng) == 0
+
+    def test_converges_continuous(self, torus):
+        bal = AsyncDiffusionBalancer(torus)
+        trace = run_balancer(bal, point_load(torus.n, discrete=False), rounds=500, seed=1)
+        assert trace.last_potential < 1e-6 * trace.initial_potential
+
+    def test_converges_discrete_with_conservation(self, torus):
+        bal = AsyncDiffusionBalancer(torus, mode="discrete")
+        trace = run_balancer(bal, point_load(torus.n, total=64_000), rounds=300, seed=1)
+        assert trace.last_potential < 1e-3 * trace.initial_potential
+        assert trace.conservation_error() == 0.0
+
+    def test_work_comparable_to_sync(self):
+        """n async ticks make progress within a constant of one sync round."""
+        from repro.core.diffusion import DiffusionBalancer
+
+        topo = g.torus_2d(4, 4)
+        loads = point_load(topo.n, discrete=False)
+        eps = 1e-4
+        sync = run_balancer(DiffusionBalancer(topo), loads, rounds=2_000)
+        t_sync = sync.rounds_to_fraction(eps)
+        async_tr = run_balancer(AsyncDiffusionBalancer(topo), loads, rounds=2_000, seed=0)
+        t_async = async_tr.rounds_to_fraction(eps)
+        assert t_async is not None and t_sync is not None
+        assert t_async <= 4 * t_sync
+
+    def test_registered(self, torus):
+        from repro.core.protocols import get_balancer
+
+        assert "async" in get_balancer("async-diffusion", torus).name
+        assert get_balancer("async-diffusion-discrete", torus).mode == "discrete"

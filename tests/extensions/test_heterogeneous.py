@@ -1,0 +1,131 @@
+"""Unit tests for heterogeneous (speed-weighted) diffusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import diffusion_round_continuous
+from repro.extensions.heterogeneous import (
+    HeterogeneousDiffusionBalancer,
+    heterogeneous_potential,
+    proportional_target,
+    weighted_flows,
+    weighted_round,
+)
+from repro.graphs import generators as g
+from repro.simulation.initial import point_load
+
+
+class TestTarget:
+    def test_proportional_split(self):
+        loads = np.asarray([10.0, 0.0])
+        speeds = np.asarray([1.0, 3.0])
+        assert proportional_target(loads, speeds).tolist() == [2.5, 7.5]
+
+    def test_uniform_speeds_give_mean(self):
+        loads = np.asarray([8.0, 0.0, 4.0])
+        target = proportional_target(loads, np.ones(3))
+        assert np.allclose(target, 4.0)
+
+    def test_speeds_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            proportional_target(np.ones(2), np.asarray([1.0, 0.0]))
+        with pytest.raises(ValueError, match="shape"):
+            proportional_target(np.ones(2), np.ones(3))
+
+
+class TestPotential:
+    def test_zero_at_target(self):
+        loads = np.asarray([10.0, 0.0])
+        speeds = np.asarray([1.0, 3.0])
+        target = proportional_target(loads, speeds)
+        assert heterogeneous_potential(target, speeds) == pytest.approx(0.0)
+
+    def test_reduces_to_standard_phi_for_unit_speeds(self, rng):
+        from repro.core.potential import potential
+
+        v = rng.uniform(0, 100, 17)
+        assert heterogeneous_potential(v, np.ones(17)) == pytest.approx(potential(v), rel=1e-12)
+
+    def test_positive_off_target(self):
+        assert heterogeneous_potential(np.asarray([10.0, 0.0]), np.asarray([1.0, 1.0])) > 0
+
+
+class TestRound:
+    def test_unit_speeds_reduce_to_algorithm1(self, any_topology, rng):
+        loads = rng.uniform(0, 100, any_topology.n)
+        ones = np.ones(any_topology.n)
+        assert np.allclose(
+            weighted_round(loads, ones, any_topology),
+            diffusion_round_continuous(loads, any_topology),
+            atol=1e-12,
+        )
+
+    def test_conservation(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        speeds = rng.uniform(0.5, 8.0, torus.n)
+        out = weighted_round(loads, speeds, torus)
+        assert out.sum() == pytest.approx(loads.sum(), rel=1e-12)
+
+    def test_discrete_conserves_exactly(self, torus, rng):
+        loads = rng.integers(0, 10_000, torus.n).astype(np.int64)
+        speeds = rng.uniform(0.5, 8.0, torus.n)
+        out = weighted_round(loads, speeds, torus, discrete=True)
+        assert out.sum() == loads.sum()
+        assert out.dtype == np.int64
+
+    def test_weighted_potential_never_increases(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        speeds = rng.uniform(0.5, 8.0, torus.n)
+        for _ in range(20):
+            new = weighted_round(loads, speeds, torus)
+            assert heterogeneous_potential(new, speeds) <= heterogeneous_potential(loads, speeds) + 1e-9
+            loads = new
+
+    def test_target_is_fixed_point(self, torus, rng):
+        speeds = rng.uniform(0.5, 8.0, torus.n)
+        loads = proportional_target(np.full(torus.n, 10.0), speeds)
+        out = weighted_round(loads, speeds, torus)
+        assert np.allclose(out, loads, atol=1e-9)
+
+    def test_flows_antisymmetric_in_normalized_loads(self):
+        t = g.path(2)
+        speeds = np.asarray([2.0, 1.0])
+        f_ab = weighted_flows(np.asarray([8.0, 1.0]), speeds, t)
+        # w = [4, 1]; flow = min(2,1)*(4-1)/4 = 0.75
+        assert f_ab[0] == pytest.approx(0.75)
+
+    def test_converges_to_proportional_state(self):
+        topo = g.torus_2d(4, 4)
+        rng = np.random.default_rng(0)
+        speeds = rng.uniform(1.0, 5.0, topo.n)
+        x = point_load(topo.n, total=1600, discrete=False)
+        target = proportional_target(x, speeds)
+        for _ in range(2000):
+            x = weighted_round(x, speeds, topo)
+        assert np.allclose(x, target, rtol=1e-4, atol=1e-6)
+
+
+class TestBalancer:
+    def test_step_matches_kernel(self, torus, rng):
+        speeds = rng.uniform(1.0, 4.0, torus.n)
+        bal = HeterogeneousDiffusionBalancer(torus, speeds)
+        loads = rng.uniform(0, 100, torus.n)
+        assert np.allclose(
+            bal.step(loads, np.random.default_rng(0)),
+            weighted_round(loads, speeds, torus),
+        )
+
+    def test_mode_validated(self, torus):
+        with pytest.raises(ValueError):
+            HeterogeneousDiffusionBalancer(torus, np.ones(torus.n), mode="best-effort")
+
+    def test_size_mismatch(self, torus):
+        bal = HeterogeneousDiffusionBalancer(torus, np.ones(torus.n))
+        with pytest.raises(ValueError):
+            bal.step(np.ones(torus.n + 1), np.random.default_rng(0))
+
+    def test_registered(self, torus):
+        from repro.core.protocols import get_balancer
+
+        bal = get_balancer("hetero-diffusion", torus)
+        assert "hetero" in bal.name

@@ -1,0 +1,61 @@
+"""Unit tests for edge expansion."""
+
+import pytest
+
+from repro.graphs import generators as g
+from repro.graphs.expansion import cheeger_bounds, edge_expansion, edge_expansion_exact
+from repro.graphs.topology import Topology
+
+
+class TestExactExpansion:
+    def test_complete_graph(self):
+        # K_n: any |S|=k cut has k(n-k) edges; minimized ratio = ceil(n/2).
+        assert edge_expansion_exact(g.complete(4)) == pytest.approx(2.0)
+        assert edge_expansion_exact(g.complete(6)) == pytest.approx(3.0)
+
+    def test_cycle(self):
+        # Cycle: best cut is a contiguous arc of n/2 nodes: 2 edges / (n/2).
+        assert edge_expansion_exact(g.cycle(8)) == pytest.approx(2 / 4)
+
+    def test_path(self):
+        # Path: cut the middle edge: 1 edge / (n/2).
+        assert edge_expansion_exact(g.path(8)) == pytest.approx(1 / 4)
+
+    def test_star(self):
+        # Star: taking k leaves cuts k edges => ratio 1 for any k <= n/2.
+        assert edge_expansion_exact(g.star(7)) == pytest.approx(1.0)
+
+    def test_barbell_bottleneck(self):
+        # Two K_4 joined by a bridge: S = one clique, 1 edge / 4 nodes.
+        assert edge_expansion_exact(g.barbell(4)) == pytest.approx(1 / 4)
+
+    def test_disconnected_zero(self):
+        t = Topology(4, [(0, 1), (2, 3)])
+        assert edge_expansion_exact(t) == pytest.approx(0.0)
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError, match="exponential"):
+            edge_expansion_exact(g.cycle(30))
+
+    def test_single_node_raises(self):
+        with pytest.raises(ValueError):
+            edge_expansion_exact(Topology(1, []))
+
+
+class TestCheegerBounds:
+    @pytest.mark.parametrize("spec", ["cycle:10", "path:8", "complete:6", "star:8", "petersen", "hypercube:3"])
+    def test_exact_value_within_bounds(self, spec):
+        topo = g.by_name(spec)
+        lo, hi = cheeger_bounds(topo)
+        val = edge_expansion_exact(topo)
+        assert lo - 1e-9 <= val <= hi + 1e-9
+
+    def test_estimate_small_graph_is_exact(self):
+        est = edge_expansion(g.cycle(10))
+        assert est.exact
+        assert est.value == pytest.approx(edge_expansion_exact(g.cycle(10)))
+
+    def test_estimate_large_graph_uses_bounds(self):
+        est = edge_expansion(g.cycle(64))
+        assert not est.exact
+        assert est.lower_bound <= est.value <= est.upper_bound

@@ -1,0 +1,112 @@
+"""Unit tests for random matchings and edge colorings."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as g
+from repro.graphs.matchings import (
+    greedy_edge_coloring,
+    is_matching,
+    luby_matching,
+    round_robin_matchings,
+    two_stage_matching,
+)
+
+
+class TestIsMatching:
+    def test_empty_is_matching(self, torus):
+        assert is_matching(torus, np.empty(0, dtype=np.int64))
+
+    def test_disjoint_edges_are_matching(self):
+        t = g.path(5)  # edges (0,1),(1,2),(2,3),(3,4)
+        assert is_matching(t, np.asarray([0, 2]))
+
+    def test_sharing_endpoint_is_not_matching(self):
+        t = g.path(5)
+        assert not is_matching(t, np.asarray([0, 1]))
+
+
+class TestLubyMatching:
+    def test_always_a_matching(self, any_topology, rng):
+        for _ in range(20):
+            m = luby_matching(any_topology, rng)
+            assert is_matching(any_topology, m)
+
+    def test_nonempty_on_graphs_with_edges(self, torus, rng):
+        # A local-min edge always exists when m > 0.
+        for _ in range(10):
+            assert luby_matching(torus, rng).size > 0
+
+    def test_empty_graph(self, rng):
+        from repro.graphs.topology import Topology
+
+        assert luby_matching(Topology(3, []), rng).size == 0
+
+    def test_edge_probability_at_least_inverse_2delta(self, rng):
+        # Cycle: each edge has 2 neighbours + itself; local-min prob = 1/3
+        # exactly. Check the empirical frequency against 1/(2 delta) = 1/4.
+        topo = g.cycle(12)
+        rounds = 2000
+        hits = np.zeros(topo.m)
+        for _ in range(rounds):
+            hits[luby_matching(topo, rng)] += 1
+        freq = hits / rounds
+        assert (freq > 1.0 / (2 * topo.max_degree)).all()
+
+    def test_single_edge_always_selected(self, rng):
+        from repro.graphs.topology import Topology
+
+        t = Topology(2, [(0, 1)])
+        assert luby_matching(t, rng).tolist() == [0]
+
+
+class TestTwoStageMatching:
+    def test_always_a_matching(self, any_topology, rng):
+        for _ in range(20):
+            m = two_stage_matching(any_topology, rng)
+            assert is_matching(any_topology, m)
+
+    def test_empty_graph(self, rng):
+        from repro.graphs.topology import Topology
+
+        assert two_stage_matching(Topology(3, []), rng).size == 0
+
+    def test_edge_probability_at_least_inverse_8delta(self, rng):
+        # [GM94]'s guarantee: Pr[e in M] >= 1/(8 delta).
+        topo = g.cycle(10)
+        rounds = 4000
+        hits = np.zeros(topo.m)
+        for _ in range(rounds):
+            hits[two_stage_matching(topo, rng)] += 1
+        freq = hits / rounds
+        floor = 1.0 / (8 * topo.max_degree)
+        assert (freq > floor).all(), f"min freq {freq.min():.4f} <= {floor:.4f}"
+
+    def test_matching_nonempty_often(self, torus, rng):
+        nonempty = sum(two_stage_matching(torus, rng).size > 0 for _ in range(50))
+        assert nonempty > 40
+
+
+class TestEdgeColoring:
+    def test_classes_are_matchings(self, any_topology):
+        for cls in greedy_edge_coloring(any_topology):
+            assert is_matching(any_topology, cls)
+
+    def test_classes_partition_edges(self, any_topology):
+        classes = greedy_edge_coloring(any_topology)
+        all_ids = sorted(int(e) for cls in classes for e in cls)
+        assert all_ids == list(range(any_topology.m))
+
+    def test_color_count_within_greedy_bound(self, any_topology):
+        classes = greedy_edge_coloring(any_topology)
+        if any_topology.m:
+            assert len(classes) <= 2 * any_topology.max_degree - 1
+
+    def test_round_robin_drops_empty_classes(self, torus):
+        for cls in round_robin_matchings(torus):
+            assert cls.size > 0
+
+    def test_empty_graph_coloring(self):
+        from repro.graphs.topology import Topology
+
+        assert greedy_edge_coloring(Topology(3, [])) == []

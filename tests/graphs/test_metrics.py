@@ -1,0 +1,85 @@
+"""Unit tests for distance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as g
+from repro.graphs.metrics import (
+    all_pairs_distances,
+    bfs_distances,
+    diameter,
+    eccentricity,
+    radius,
+)
+from repro.graphs.topology import Topology
+
+
+class TestBFS:
+    def test_path_distances(self):
+        dist = bfs_distances(g.path(5), 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_cycle_wraps(self):
+        dist = bfs_distances(g.cycle(6), 0)
+        assert dist.tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_unreachable_marked(self):
+        t = Topology(4, [(0, 1)])
+        dist = bfs_distances(t, 0)
+        assert dist[1] == 1 and dist[2] == -1 and dist[3] == -1
+
+    def test_source_range_checked(self):
+        with pytest.raises(IndexError):
+            bfs_distances(g.path(3), 5)
+
+    def test_all_pairs_symmetric(self, torus):
+        d = all_pairs_distances(torus)
+        assert np.array_equal(d, d.T)
+        assert (np.diag(d) == 0).all()
+
+    def test_all_pairs_triangle_inequality(self, cube4):
+        d = all_pairs_distances(cube4)
+        n = cube4.n
+        # spot-check: d[i,k] <= d[i,j] + d[j,k] on a sample
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            i, j, k = rng.integers(0, n, 3)
+            assert d[i, k] <= d[i, j] + d[j, k]
+
+
+class TestDiameterRadius:
+    @pytest.mark.parametrize(
+        "build,expected",
+        [
+            (lambda: g.path(7), 6),
+            (lambda: g.cycle(8), 4),
+            (lambda: g.complete(5), 1),
+            (lambda: g.star(9), 2),
+            (lambda: g.hypercube(4), 4),
+            (lambda: g.torus_2d(4, 4), 4),
+            (lambda: g.petersen(), 2),
+        ],
+    )
+    def test_known_diameters(self, build, expected):
+        assert diameter(build()) == expected
+
+    def test_radius_le_diameter(self, any_topology):
+        if any_topology.is_connected:
+            assert radius(any_topology) <= diameter(any_topology)
+
+    def test_hypercube_distance_is_hamming(self):
+        t = g.hypercube(4)
+        d = all_pairs_distances(t)
+        for u in range(16):
+            for v in range(16):
+                assert d[u, v] == bin(u ^ v).count("1")
+
+    def test_eccentricity_disconnected_raises(self):
+        t = Topology(4, [(0, 1)])
+        with pytest.raises(ValueError, match="disconnected"):
+            eccentricity(t, 0)
+
+    def test_path_eccentricity_endpoints(self):
+        t = g.path(6)
+        assert eccentricity(t, 0) == 5
+        assert eccentricity(t, 2) == 3

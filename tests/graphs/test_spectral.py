@@ -1,0 +1,130 @@
+"""Unit tests for spectral quantities (with closed-form oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as g
+from repro.graphs import spectral as sp
+
+
+class TestMatrices:
+    def test_adjacency_symmetric(self, torus):
+        a = sp.adjacency_matrix(torus)
+        assert np.array_equal(a, a.T)
+        assert a.sum() == 2 * torus.m
+
+    def test_adjacency_sparse_matches_dense(self, torus):
+        dense = sp.adjacency_matrix(torus)
+        sparse = sp.adjacency_matrix(torus, sparse=True).toarray()
+        assert np.array_equal(dense, sparse)
+
+    def test_laplacian_rows_sum_zero(self, any_topology):
+        lap = sp.laplacian_matrix(any_topology)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_laplacian_diagonal_is_degree(self, any_topology):
+        lap = sp.laplacian_matrix(any_topology)
+        assert np.array_equal(np.diag(lap), any_topology.degrees.astype(float))
+
+    def test_laplacian_sparse_matches_dense(self, torus):
+        dense = sp.laplacian_matrix(torus)
+        sparse = sp.laplacian_matrix(torus, sparse=True).toarray()
+        assert np.array_equal(dense, sparse)
+
+    def test_diffusion_matrix_doubly_stochastic(self, any_topology):
+        m = sp.diffusion_matrix(any_topology)
+        assert np.allclose(m.sum(axis=0), 1.0)
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_diffusion_matrix_nonnegative_with_default_alpha(self, any_topology):
+        m = sp.diffusion_matrix(any_topology)
+        assert (m >= -1e-12).all()
+
+    def test_diffusion_matrix_alpha_validation(self, torus):
+        with pytest.raises(ValueError):
+            sp.diffusion_matrix(torus, alpha=0.0)
+
+
+class TestEigenvalues:
+    def test_spectrum_sorted_and_first_zero(self, any_topology):
+        vals = sp.laplacian_eigenvalues(any_topology)
+        assert vals[0] == pytest.approx(0.0, abs=1e-9)
+        assert (np.diff(vals) >= -1e-9).all()
+
+    def test_spectrum_sums_to_degree_total(self, any_topology):
+        vals = sp.laplacian_eigenvalues(any_topology)
+        assert vals.sum() == pytest.approx(any_topology.degrees.sum(), rel=1e-9)
+
+    def test_lambda2_cycle_closed_form(self):
+        for n in (4, 8, 16, 32):
+            assert sp.lambda_2(g.cycle(n)) == pytest.approx(sp.lambda2_cycle(n), rel=1e-9)
+
+    def test_lambda2_path_closed_form(self):
+        for n in (4, 9, 17):
+            assert sp.lambda_2(g.path(n)) == pytest.approx(sp.lambda2_path(n), rel=1e-9)
+
+    def test_lambda2_complete_closed_form(self):
+        assert sp.lambda_2(g.complete(9)) == pytest.approx(9.0, rel=1e-9)
+
+    def test_lambda2_star_closed_form(self):
+        assert sp.lambda_2(g.star(13)) == pytest.approx(1.0, rel=1e-9)
+
+    def test_lambda2_hypercube_closed_form(self):
+        for d in (2, 3, 5):
+            assert sp.lambda_2(g.hypercube(d)) == pytest.approx(2.0, rel=1e-9)
+
+    def test_lambda2_torus_closed_form(self):
+        assert sp.lambda_2(g.torus_2d(4, 6)) == pytest.approx(sp.lambda2_torus(4, 6), rel=1e-9)
+
+    def test_lambda2_zero_iff_disconnected(self):
+        from repro.graphs.topology import Topology
+
+        disconnected = Topology(4, [(0, 1), (2, 3)])
+        assert sp.lambda_2(disconnected) == pytest.approx(0.0, abs=1e-9)
+        assert sp.lambda_2(g.path(4)) > 0
+
+    def test_distinct_eigenvalues_hypercube(self):
+        # d-cube Laplacian eigenvalues are 2k for k = 0..d.
+        vals = sp.distinct_laplacian_eigenvalues(g.hypercube(4))
+        assert np.allclose(vals, [0, 2, 4, 6, 8])
+
+    def test_distinct_eigenvalues_complete(self):
+        vals = sp.distinct_laplacian_eigenvalues(g.complete(8))
+        assert np.allclose(vals, [0, 8])
+
+
+class TestGammaMu:
+    def test_gamma_in_unit_interval(self, any_topology):
+        gam = sp.gamma(any_topology)
+        assert 0.0 <= gam < 1.0
+
+    def test_gamma_complete_formula(self):
+        # K_n with alpha = 1/n: eigenvalues 1 - n/n = 0 (multiplicity n-1), 1.
+        assert sp.gamma(g.complete(8)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gamma_matches_explicit_eigendecomposition(self, torus):
+        m = sp.diffusion_matrix(torus)
+        eigs = np.sort(np.abs(np.linalg.eigvalsh(m)))[::-1]
+        assert sp.gamma(torus) == pytest.approx(eigs[1], rel=1e-9)
+
+    def test_mu_is_one_minus_gamma(self, torus):
+        assert sp.eigenvalue_gap(torus) == pytest.approx(1.0 - sp.gamma(torus), rel=1e-12)
+
+    def test_single_node_gamma_zero(self):
+        from repro.graphs.topology import Topology
+
+        assert sp.gamma(Topology(1, [])) == 0.0
+
+
+class TestProfile:
+    def test_profile_fields(self, torus):
+        prof = sp.spectral_profile(torus)
+        assert prof.n == torus.n
+        assert prof.delta == torus.max_degree
+        assert prof.lambda2 == pytest.approx(sp.lambda_2(torus))
+        assert prof.mu == pytest.approx(1.0 - prof.gamma)
+        assert "torus" in prof.describe()
+
+    def test_profile_cached_spectrum_reused(self, torus):
+        # Two calls must agree exactly (cache hit, same array).
+        assert sp.spectral_profile(torus) == sp.spectral_profile(torus)

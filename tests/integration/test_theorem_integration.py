@@ -1,0 +1,143 @@
+"""Integration tests: the theorems checked end-to-end through the engine.
+
+Unlike the experiment-table tests (which assert on report columns), these
+drive the public API the way a user would and assert the raw guarantees.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    theorem4_rounds,
+    theorem6_rounds,
+    theorem6_threshold,
+    theorem12_rounds,
+    theorem14_threshold,
+)
+from repro.core.diffusion import DiffusionBalancer
+from repro.core.random_partner import RandomPartnerBalancer
+from repro.graphs import generators as g
+from repro.graphs.dynamic import AdversarialDynamics, StaticDynamics
+from repro.graphs.spectral import lambda_2
+from repro.graphs.topology import Topology
+from repro.simulation.engine import Simulator, run_balancer
+from repro.simulation.initial import bimodal_load, point_load
+from repro.simulation.stopping import MaxRounds, PotentialFractionBelow
+
+
+class TestTheorem4EndToEnd:
+    @pytest.mark.parametrize("spec", ["cycle:16", "torus:4x4", "hypercube:4", "complete:8"])
+    def test_continuous_within_bound(self, spec):
+        topo = g.by_name(spec)
+        eps = 1e-5
+        bound = theorem4_rounds(topo.max_degree, lambda_2(topo), eps).value
+        bal = DiffusionBalancer(topo, mode="continuous")
+        loads = point_load(topo.n, discrete=False)
+        sim = Simulator(bal, stopping=[PotentialFractionBelow(eps), MaxRounds(int(bound * 2) + 50)])
+        trace = sim.run(loads, 0)
+        t = trace.rounds_to_fraction(eps)
+        assert t is not None and t <= math.ceil(bound)
+
+    def test_bimodal_initial_state(self):
+        topo = g.torus_2d(4, 4)
+        eps = 1e-5
+        bound = theorem4_rounds(topo.max_degree, lambda_2(topo), eps).value
+        trace = run_balancer(
+            DiffusionBalancer(topo), bimodal_load(topo.n, discrete=False), rounds=int(bound) + 1
+        )
+        assert trace.rounds_to_fraction(eps) is not None
+
+
+class TestTheorem6EndToEnd:
+    @pytest.mark.parametrize("spec", ["cycle:16", "torus:4x4", "hypercube:4"])
+    def test_discrete_reaches_threshold_within_bound(self, spec):
+        topo = g.by_name(spec)
+        lam2 = lambda_2(topo)
+        phi_star = theorem6_threshold(topo.n, topo.max_degree, lam2).value
+        total = int(math.sqrt(1000 * phi_star)) + topo.n
+        loads = point_load(topo.n, total=total, discrete=True)
+        bal = DiffusionBalancer(topo, mode="discrete")
+        trace = run_balancer(bal, loads, rounds=100_000)
+        phi0 = trace.initial_potential
+        bound = theorem6_rounds(topo.n, topo.max_degree, lam2, phi0).value
+        t = trace.rounds_to_potential(phi_star)
+        assert t is not None and t <= math.ceil(bound)
+
+    def test_discrete_below_threshold_is_vacuous(self):
+        """Starting below Phi*, the bound is 0 rounds and trivially true."""
+        topo = g.torus_2d(4, 4)
+        lam2 = lambda_2(topo)
+        phi_star = theorem6_threshold(topo.n, topo.max_degree, lam2).value
+        loads = point_load(topo.n, total=topo.n, discrete=True)  # tiny potential
+        trace = run_balancer(DiffusionBalancer(topo, mode="discrete"), loads, rounds=1)
+        assert trace.initial_potential <= phi_star
+
+
+class TestTheorem7EndToEnd:
+    def test_static_dynamic_network_equals_fixed(self):
+        """Theorem 7 with a constant sequence must reproduce Theorem 4."""
+        topo = g.torus_2d(4, 4)
+        loads = point_load(topo.n, discrete=False)
+        fixed = run_balancer(DiffusionBalancer(topo), loads, rounds=30)
+        dyn = run_balancer(DiffusionBalancer(StaticDynamics(topo)), loads, rounds=30)
+        assert fixed.potentials == pytest.approx(dyn.potentials)
+
+    def test_disconnected_prefix_makes_no_progress_then_converges(self):
+        topo = g.torus_2d(4, 4)
+        empty = Topology(topo.n, [])
+        dyn = AdversarialDynamics([empty] * 5, topo)
+        loads = point_load(topo.n, discrete=False)
+        trace = run_balancer(DiffusionBalancer(dyn), loads, rounds=200)
+        pots = trace.potentials
+        assert pots[0] == pytest.approx(pots[5])  # frozen while disconnected
+        assert pots[-1] < 1e-3 * pots[0]  # converges afterwards
+
+
+class TestTheorem12EndToEnd:
+    def test_random_partner_hits_target_within_bound(self):
+        n, c = 128, 1.0
+        loads = point_load(n, discrete=False)
+        bal = RandomPartnerBalancer(mode="continuous")
+        trace = run_balancer(bal, loads, rounds=3_000, seed=1)
+        phi0 = trace.initial_potential
+        t_bound = theorem12_rounds(phi0, c).value
+        target = math.exp(-c)
+        t = trace.rounds_to_potential(target)
+        assert t is not None and t <= t_bound
+
+    def test_multiple_seeds_all_converge(self):
+        n = 64
+        loads = point_load(n, discrete=False)
+        for seed in range(5):
+            trace = run_balancer(RandomPartnerBalancer(), loads, rounds=500, seed=seed)
+            assert trace.last_potential < 1e-6 * trace.initial_potential
+
+
+class TestTheorem14EndToEnd:
+    def test_discrete_random_partner_reaches_threshold(self):
+        n = 128
+        thr = theorem14_threshold(n).value
+        loads = point_load(n, total=int(math.sqrt(3000 * thr)) + n, discrete=True)
+        trace = run_balancer(RandomPartnerBalancer(mode="discrete"), loads, rounds=2_000, seed=3)
+        t = trace.rounds_to_potential(thr)
+        assert t is not None
+        assert trace.conservation_error() == 0.0
+
+
+class TestCrossEngineFidelity:
+    """The vectorized engine vs the message-passing substrate, end to end."""
+
+    @pytest.mark.parametrize("spec", ["cycle:12", "torus:4x4", "hypercube:4", "star:9"])
+    def test_discrete_bitwise_equal_over_long_run(self, spec):
+        from repro.simulation.superstep import run_superstep_diffusion
+
+        topo = g.by_name(spec)
+        loads = point_load(topo.n, total=137 * topo.n + 1, discrete=True)
+        hist = run_superstep_diffusion(topo, loads, 40, discrete=True)
+        trace = run_balancer(
+            DiffusionBalancer(topo, mode="discrete"), loads, rounds=40, keep_snapshots=True
+        )
+        for r in range(41):
+            assert np.array_equal(hist[r], trace.snapshots[r]), f"round {r} diverged"

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the invariants the paper's analysis rests on; each strategy
+draws arbitrary load vectors (and where relevant arbitrary graphs) so the
+checks cover states no hand-written example would:
+
+- exact load conservation (continuous to fp tolerance, discrete exactly);
+- the potential never increases under any scheme's round;
+- Lemma 1 per-activation bounds on arbitrary states;
+- Lemma 10's identity for arbitrary real vectors;
+- node-relabeling equivariance (no hidden node-order bias);
+- discrete flows are always integral and respect the damping cap.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.diffusion import (
+    diffusion_flows,
+    diffusion_round_continuous,
+    diffusion_round_discrete,
+)
+from repro.core.potential import (
+    pairwise_square_sum,
+    pairwise_square_sum_naive,
+    potential,
+)
+from repro.core.random_partner import partner_round_continuous, partner_round_discrete
+from repro.core.sequential import sequentialize_round
+from repro.graphs import generators as g
+
+# -- strategies ----------------------------------------------------------
+
+GRAPHS = {
+    "cycle12": g.cycle(12),
+    "torus4x4": g.torus_2d(4, 4),
+    "cube3": g.hypercube(3),
+    "path7": g.path(7),
+    "star9": g.star(9),
+    "petersen": g.petersen(),
+}
+
+graph_st = st.sampled_from(sorted(GRAPHS))
+
+
+def float_loads(n: int):
+    return arrays(
+        np.float64,
+        (n,),
+        elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    )
+
+
+def int_loads(n: int):
+    return arrays(np.int64, (n,), elements=st.integers(min_value=0, max_value=10**9))
+
+
+# -- Lemma 10 -------------------------------------------------------------
+
+
+@given(
+    arrays(
+        np.float64,
+        st.integers(min_value=1, max_value=40),
+        elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64),
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_lemma10_identity_any_vector(v):
+    closed = pairwise_square_sum(v)
+    naive = pairwise_square_sum_naive(v)
+    scale = max(abs(closed), abs(naive), 1.0)
+    assert abs(closed - naive) <= 1e-9 * scale
+
+
+# -- conservation -----------------------------------------------------------
+
+
+@given(graph_st, st.data())
+@settings(max_examples=50, deadline=None)
+def test_continuous_round_conserves(name, data):
+    topo = GRAPHS[name]
+    loads = data.draw(float_loads(topo.n))
+    out = diffusion_round_continuous(loads, topo)
+    assert abs(out.sum() - loads.sum()) <= 1e-6 * max(loads.sum(), 1.0)
+
+
+@given(graph_st, st.data())
+@settings(max_examples=50, deadline=None)
+def test_discrete_round_conserves_exactly(name, data):
+    topo = GRAPHS[name]
+    loads = data.draw(int_loads(topo.n))
+    out = diffusion_round_discrete(loads, topo)
+    assert out.sum() == loads.sum()
+    assert out.dtype == np.int64
+
+
+@given(st.integers(min_value=2, max_value=64), st.integers(min_value=0, max_value=2**31 - 1), st.data())
+@settings(max_examples=50, deadline=None)
+def test_partner_round_conserves(n, seed, data):
+    loads = data.draw(int_loads(n))
+    rng = np.random.default_rng(seed)
+    out = partner_round_discrete(loads, rng)
+    assert out.sum() == loads.sum()
+
+
+# -- monotone potential ------------------------------------------------------
+
+
+@given(graph_st, st.data())
+@settings(max_examples=50, deadline=None)
+def test_potential_monotone_continuous(name, data):
+    topo = GRAPHS[name]
+    loads = data.draw(float_loads(topo.n))
+    out = diffusion_round_continuous(loads, topo)
+    assert potential(out) <= potential(loads) * (1 + 1e-9) + 1e-6
+
+
+@given(graph_st, st.data())
+@settings(max_examples=50, deadline=None)
+def test_potential_monotone_discrete(name, data):
+    topo = GRAPHS[name]
+    loads = data.draw(int_loads(topo.n))
+    out = diffusion_round_discrete(loads, topo)
+    assert potential(out) <= potential(loads) * (1 + 1e-12) + 1e-6
+
+
+@given(st.integers(min_value=2, max_value=48), st.integers(min_value=0, max_value=2**31 - 1), st.data())
+@settings(max_examples=50, deadline=None)
+def test_potential_monotone_partner_continuous(n, seed, data):
+    loads = data.draw(float_loads(n))
+    rng = np.random.default_rng(seed)
+    out = partner_round_continuous(loads, rng)
+    assert potential(out) <= potential(loads) * (1 + 1e-9) + 1e-6
+
+
+# -- Lemma 1 on arbitrary states ----------------------------------------------
+
+
+@given(graph_st, st.data())
+@settings(max_examples=30, deadline=None)
+def test_lemma1_bounds_hold_any_state(name, data):
+    topo = GRAPHS[name]
+    loads = data.draw(float_loads(topo.n))
+    report = sequentialize_round(loads, topo)
+    assert report.lemma1_violations == []
+
+
+@given(graph_st, st.data())
+@settings(max_examples=30, deadline=None)
+def test_lemma1_bounds_hold_discrete(name, data):
+    topo = GRAPHS[name]
+    loads = data.draw(int_loads(topo.n))
+    report = sequentialize_round(loads, topo, discrete=True)
+    assert report.lemma1_violations == []
+
+
+# -- relabeling equivariance -----------------------------------------------
+
+
+@given(graph_st, st.integers(min_value=0, max_value=2**31 - 1), st.data())
+@settings(max_examples=30, deadline=None)
+def test_relabeling_equivariance(name, seed, data):
+    """balance(relabel(G), relabel(L)) == relabel(balance(G, L))."""
+    topo = GRAPHS[name]
+    loads = data.draw(int_loads(topo.n))
+    perm = np.random.default_rng(seed).permutation(topo.n)
+    relabeled_topo = topo.relabeled(perm)
+    permuted_loads = np.empty_like(loads)
+    permuted_loads[perm] = loads  # node i becomes perm[i]
+    out_direct = diffusion_round_discrete(loads, topo)
+    out_perm = diffusion_round_discrete(permuted_loads, relabeled_topo)
+    expected = np.empty_like(out_direct)
+    expected[perm] = out_direct
+    assert np.array_equal(out_perm, expected)
+
+
+# -- flow caps ---------------------------------------------------------------
+
+
+@given(graph_st, st.data())
+@settings(max_examples=50, deadline=None)
+def test_discrete_flows_respect_damping_cap(name, data):
+    """|flow_e| <= |diff_e| / (4 max(d_u, d_v)) by construction."""
+    topo = GRAPHS[name]
+    loads = data.draw(int_loads(topo.n))
+    flows = diffusion_flows(loads, topo, discrete=True)
+    u, v = topo.edges[:, 0], topo.edges[:, 1]
+    diff = np.abs(loads[u].astype(np.float64) - loads[v].astype(np.float64))
+    cap = diff / (4 * np.maximum(topo.degrees[u], topo.degrees[v]))
+    assert (np.abs(flows) <= cap + 1e-9).all()
+
+
+@given(graph_st, st.data())
+@settings(max_examples=50, deadline=None)
+def test_nonnegativity_preserved(name, data):
+    """Damped transfers can never drive a node negative."""
+    topo = GRAPHS[name]
+    loads = data.draw(int_loads(topo.n))
+    out = diffusion_round_discrete(loads, topo)
+    assert (out >= 0).all()

@@ -1,0 +1,120 @@
+"""Registry-driven property tests: every scheme honours the engine contract.
+
+Instead of hand-writing invariants per scheme, these tests iterate the
+balancer registry so any *future* scheme is automatically covered:
+
+- load conservation (exact for discrete schemes, fp-tolerant otherwise);
+- determinism given the RNG stream;
+- no mutation of the input vector;
+- non-negativity preservation for the schemes whose transfers are damped
+  below the sender's surplus (all except the momentum/polynomial
+  schemes, which legitimately overshoot);
+- monotone potential for the monotone schemes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.potential import potential
+from repro.core.protocols import get_balancer, registered_balancers
+from repro.graphs.generators import torus_2d
+
+TOPO = torus_2d(4, 4)
+
+#: schemes whose potential may transiently increase (momentum/polynomial)
+NON_MONOTONE = {"sos", "ops"}
+#: schemes that may transiently produce negative loads
+MAY_GO_NEGATIVE = {"sos", "ops"}
+
+
+def make(name):
+    return get_balancer(name, TOPO)
+
+
+def loads_for(bal, rng):
+    if bal.mode == "discrete":
+        return rng.integers(0, 2000, TOPO.n).astype(np.int64)
+    return rng.uniform(0, 2000.0, TOPO.n)
+
+
+@pytest.fixture(params=sorted(registered_balancers()))
+def scheme(request):
+    return request.param
+
+
+class TestEngineContract:
+    def test_conserves_load(self, scheme):
+        bal = make(scheme)
+        rng = np.random.default_rng(11)
+        x = loads_for(bal, rng)
+        total = x.sum()
+        r = np.random.default_rng(0)
+        for _ in range(8):
+            x = bal.step(x if scheme not in MAY_GO_NEGATIVE else x, r)
+            if bal.mode == "discrete":
+                assert x.sum() == total
+            else:
+                assert x.sum() == pytest.approx(total, rel=1e-9)
+
+    def test_deterministic_given_stream(self, scheme):
+        rng = np.random.default_rng(7)
+        loads = loads_for(make(scheme), rng)
+        a_bal, b_bal = make(scheme), make(scheme)
+        ra, rb = np.random.default_rng(3), np.random.default_rng(3)
+        a, b = loads.copy(), loads.copy()
+        for _ in range(5):
+            a = a_bal.step(a, ra)
+            b = b_bal.step(b, rb)
+            assert np.array_equal(a, b)
+
+    def test_input_not_mutated(self, scheme):
+        bal = make(scheme)
+        rng = np.random.default_rng(5)
+        loads = loads_for(bal, rng)
+        snapshot = loads.copy()
+        bal.step(loads, np.random.default_rng(0))
+        assert np.array_equal(loads, snapshot)
+
+    def test_nonnegativity(self, scheme):
+        if scheme in MAY_GO_NEGATIVE:
+            pytest.skip("momentum/polynomial schemes legitimately overshoot")
+        bal = make(scheme)
+        rng = np.random.default_rng(13)
+        x = loads_for(bal, rng)
+        r = np.random.default_rng(1)
+        for _ in range(10):
+            x = bal.step(x, r)
+            assert (x >= -1e-9).all()
+
+    def test_monotone_potential(self, scheme):
+        if scheme in NON_MONOTONE:
+            pytest.skip("momentum/polynomial schemes are not potential-monotone")
+        if scheme == "hetero-diffusion":
+            pytest.skip("monotone in the *weighted* potential, tested separately")
+        bal = make(scheme)
+        rng = np.random.default_rng(17)
+        x = loads_for(bal, rng)
+        r = np.random.default_rng(2)
+        for _ in range(10):
+            new = bal.step(x, r)
+            assert potential(new) <= potential(x) * (1 + 1e-9) + 1e-6
+            x = new
+
+    def test_reset_then_rerun_reproduces(self, scheme):
+        bal = make(scheme)
+        rng = np.random.default_rng(19)
+        loads = loads_for(bal, rng)
+        first = bal.step(loads, np.random.default_rng(4))
+        bal.reset()
+        second = bal.step(loads, np.random.default_rng(4))
+        assert np.array_equal(first, second)
+
+    def test_balanced_state_stays_balanced(self, scheme):
+        bal = make(scheme)
+        value = 10 if bal.mode == "discrete" else 10.0
+        dtype = np.int64 if bal.mode == "discrete" else np.float64
+        x = np.full(TOPO.n, value, dtype=dtype)
+        r = np.random.default_rng(6)
+        for _ in range(5):
+            x = bal.step(x, r)
+        assert np.allclose(np.asarray(x, dtype=np.float64), 10.0, atol=1e-9)

@@ -1,0 +1,87 @@
+"""Unit tests for the Fiedler worst-case workload and fiedler_vector."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as g
+from repro.graphs.spectral import fiedler_vector, lambda_2, laplacian_matrix
+from repro.simulation.initial import fiedler_load
+
+
+class TestFiedlerVector:
+    def test_is_eigenvector_for_lambda2(self, torus):
+        vec = fiedler_vector(torus)
+        lap = laplacian_matrix(torus)
+        lam2 = lambda_2(torus)
+        assert np.allclose(lap @ vec, lam2 * vec, atol=1e-8)
+
+    def test_unit_norm_and_orthogonal_to_ones(self, any_topology):
+        if any_topology.n < 2:
+            pytest.skip("needs n >= 2")
+        vec = fiedler_vector(any_topology)
+        assert np.linalg.norm(vec) == pytest.approx(1.0, rel=1e-9)
+        assert vec.sum() == pytest.approx(0.0, abs=1e-8)
+
+    def test_deterministic_sign(self, torus):
+        a = fiedler_vector(torus)
+        b = fiedler_vector(torus)
+        assert np.array_equal(a, b)
+
+    def test_single_node_rejected(self):
+        from repro.graphs.topology import Topology
+
+        with pytest.raises(ValueError):
+            fiedler_vector(Topology(1, []))
+
+
+class TestFiedlerLoad:
+    def test_strictly_positive(self, any_topology):
+        if any_topology.n < 2:
+            pytest.skip("needs n >= 2")
+        loads = fiedler_load(any_topology)
+        assert (loads > 0).all()
+
+    def test_peak_amplitude(self, torus):
+        loads = fiedler_load(torus, amplitude=50.0)
+        dev = loads - loads.mean()
+        assert np.abs(dev).max() == pytest.approx(50.0, rel=0.05)
+
+    def test_discrete_variant_integer(self, torus):
+        loads = fiedler_load(torus, discrete=True)
+        assert loads.dtype == np.int64
+
+    def test_amplitude_validated(self, torus):
+        with pytest.raises(ValueError):
+            fiedler_load(torus, amplitude=0.0)
+
+    def test_slowest_mode_on_regular_graph(self):
+        """On a regular graph, Algorithm 1 contracts the Fiedler load at
+        exactly (1 - lambda2/(4 delta)) per round in the l2 norm."""
+        from repro.core.diffusion import diffusion_round_continuous
+        from repro.core.potential import l2_error
+
+        topo = g.cycle(16)
+        lam2 = lambda_2(topo)
+        expected = 1.0 - lam2 / (4 * topo.max_degree)
+        loads = fiedler_load(topo)
+        for _ in range(5):
+            new = diffusion_round_continuous(loads, topo)
+            assert l2_error(new) / l2_error(loads) == pytest.approx(expected, rel=1e-6)
+            loads = new
+
+    def test_slower_than_point_load(self):
+        """Fiedler loads take at least as long as point loads per unit
+        potential — they are the worst case."""
+        from repro.core.diffusion import DiffusionBalancer
+        from repro.experiments.common import run_to_fraction
+
+        topo = g.torus_2d(4, 4)
+        eps = 1e-8
+        t_point = run_to_fraction(
+            DiffusionBalancer(topo),
+            np.where(np.arange(topo.n) == 0, 1600.0, 0.0), eps, 100_000
+        ).rounds_to_fraction(eps)
+        t_fiedler = run_to_fraction(
+            DiffusionBalancer(topo), fiedler_load(topo), eps, 100_000
+        ).rounds_to_fraction(eps)
+        assert t_fiedler >= t_point

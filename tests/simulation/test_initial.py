@@ -1,0 +1,111 @@
+"""Unit tests for initial load distributions."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import initial as ini
+
+
+class TestPointLoad:
+    def test_all_on_node_zero(self):
+        v = ini.point_load(5, total=50)
+        assert v[0] == 50 and v[1:].sum() == 0
+
+    def test_default_total(self):
+        assert ini.point_load(10).sum() == 1000
+
+    def test_continuous_dtype(self):
+        assert ini.point_load(4, total=10, discrete=False).dtype == np.float64
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            ini.point_load(4, total=-1)
+
+
+class TestBimodal:
+    def test_halves(self):
+        v = ini.bimodal_load(6, total=60)
+        assert v[:3].sum() == 60 and v[3:].sum() == 0
+
+    def test_exact_total_with_remainder(self):
+        v = ini.bimodal_load(7, total=100)  # 3 loaded nodes, 100/3 uneven
+        assert v.sum() == 100
+
+    def test_continuous_split(self):
+        v = ini.bimodal_load(8, total=80, discrete=False)
+        assert np.allclose(v[:4], 20.0)
+
+
+class TestUniformRandom:
+    def test_range(self, rng):
+        v = ini.uniform_random_load(100, rng, high=10)
+        assert v.min() >= 0 and v.max() <= 10
+
+    def test_discrete_dtype(self, rng):
+        assert ini.uniform_random_load(5, rng).dtype == np.int64
+
+    def test_continuous_dtype(self, rng):
+        assert ini.uniform_random_load(5, rng, discrete=False).dtype == np.float64
+
+
+class TestRamp:
+    def test_values(self):
+        assert ini.ramp_load(4).tolist() == [0, 1, 2, 3]
+
+    def test_step(self):
+        assert ini.ramp_load(3, step=5).tolist() == [0, 5, 10]
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            ini.ramp_load(3, step=-1)
+
+
+class TestZipf:
+    def test_exact_total_discrete(self, rng):
+        v = ini.zipf_load(50, rng, total=5000)
+        assert v.sum() == 5000
+        assert v.dtype == np.int64
+
+    def test_skew_increases_with_exponent(self):
+        r1 = np.random.default_rng(0)
+        r2 = np.random.default_rng(0)
+        mild = ini.zipf_load(100, r1, exponent=0.5, total=10_000)
+        steep = ini.zipf_load(100, r2, exponent=2.5, total=10_000)
+        assert steep.max() > mild.max()
+
+    def test_continuous_total(self, rng):
+        v = ini.zipf_load(20, rng, total=100, discrete=False)
+        assert v.sum() == pytest.approx(100.0)
+
+    def test_exponent_validated(self, rng):
+        with pytest.raises(ValueError):
+            ini.zipf_load(10, rng, exponent=0.0)
+
+
+class TestAdversarial:
+    def test_gap(self):
+        v = ini.adversarial_linear(4, gap=3)
+        assert v.tolist() == [0, 3, 6, 9]
+
+    def test_stalls_discrete_diffusion_on_path(self):
+        from repro.core.diffusion import diffusion_round_discrete
+        from repro.graphs.generators import path
+
+        t = path(8)
+        v = ini.adversarial_linear(8, gap=7)  # gap < 4*max_deg = 8 stalls
+        assert np.array_equal(diffusion_round_discrete(v, t), v)
+
+
+class TestMakeLoads:
+    def test_named_generators(self, rng):
+        for kind in ("point", "bimodal", "uniform", "ramp", "zipf"):
+            v = ini.make_loads(kind, 10, rng=rng)
+            assert v.shape == (10,)
+
+    def test_random_kinds_need_rng(self):
+        with pytest.raises(ValueError, match="requires an rng"):
+            ini.make_loads("uniform", 10)
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValueError, match="unknown load kind"):
+            ini.make_loads("gaussian", 10, rng=rng)

@@ -1,0 +1,81 @@
+"""Unit tests for Monte-Carlo replication."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.montecarlo import MonteCarloResult, monte_carlo, trial_rngs
+
+
+def scalar_trial(rng):
+    return float(rng.uniform())
+
+
+def dict_trial(rng, offset=0.0):
+    u = rng.uniform()
+    return {"u": u + offset, "indicator": 1.0 if u > 0.5 else 0.0}
+
+
+class TestExecution:
+    def test_scalar_trials_aggregate(self):
+        res = monte_carlo(scalar_trial, trials=50, root_seed=1)
+        assert res.trials == 50
+        assert 0.0 < res.mean() < 1.0
+        assert res.samples["value"].shape == (50,)
+
+    def test_dict_trials_aggregate(self):
+        res = monte_carlo(dict_trial, trials=30, root_seed=2)
+        assert set(res.samples) == {"u", "indicator"}
+        assert 0 <= res.fraction_true("indicator") <= 1
+
+    def test_kwargs_forwarded(self):
+        res = monte_carlo(dict_trial, trials=10, root_seed=3, trial_kwargs={"offset": 100.0})
+        assert res.mean("u") > 100.0
+
+    def test_reproducible(self):
+        a = monte_carlo(scalar_trial, trials=20, root_seed=7)
+        b = monte_carlo(scalar_trial, trials=20, root_seed=7)
+        assert np.array_equal(a.samples["value"], b.samples["value"])
+
+    def test_trials_independent(self):
+        res = monte_carlo(scalar_trial, trials=20, root_seed=7)
+        assert np.unique(res.samples["value"]).size == 20
+
+    def test_parallel_equals_serial(self):
+        serial = monte_carlo(scalar_trial, trials=16, root_seed=5, workers=1)
+        parallel = monte_carlo(scalar_trial, trials=16, root_seed=5, workers=4)
+        assert np.array_equal(serial.samples["value"], parallel.samples["value"])
+
+    def test_trial_rngs_match_pool_streams(self):
+        rngs = trial_rngs(9, 3)
+        direct = [float(r.uniform()) for r in rngs]
+        via_mc = monte_carlo(scalar_trial, trials=3, root_seed=9)
+        assert direct == pytest.approx(via_mc.samples["value"].tolist())
+
+    def test_at_least_one_trial(self):
+        with pytest.raises(ValueError):
+            monte_carlo(scalar_trial, trials=0)
+
+
+class TestStatistics:
+    def make(self, values):
+        return MonteCarloResult(samples={"value": np.asarray(values, dtype=float)}, trials=len(values))
+
+    def test_mean_std(self):
+        r = self.make([1, 2, 3, 4])
+        assert r.mean() == pytest.approx(2.5)
+        assert r.std() == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_quantile_minmax(self):
+        r = self.make([1, 2, 3, 4])
+        assert r.quantile(0.5) == pytest.approx(2.5)
+        assert r.min() == 1 and r.max() == 4
+
+    def test_single_trial_std_zero(self):
+        r = self.make([2.0])
+        assert r.std() == 0.0
+        assert r.confidence_halfwidth() == float("inf")
+
+    def test_confidence_halfwidth_shrinks(self):
+        wide = self.make([0, 1] * 5)
+        wider = self.make([0, 1] * 50)
+        assert wider.confidence_halfwidth() < wide.confidence_halfwidth()

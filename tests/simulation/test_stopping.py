@@ -1,0 +1,99 @@
+"""Unit tests for stopping rules."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.stopping import (
+    DiscrepancyBelow,
+    MaxRounds,
+    PotentialBelow,
+    PotentialFractionBelow,
+    Stagnation,
+    first_satisfied,
+)
+from repro.simulation.trace import Trace
+
+
+def make_trace(potentials, discrepancies=None):
+    """Build a trace with prescribed potentials via crafted 2-node loads."""
+    t = Trace()
+    for i, phi in enumerate(potentials):
+        # two nodes at +-sqrt(phi/2) around mean: potential exactly phi
+        half = np.sqrt(phi / 2)
+        t.record(np.asarray([10 + half, 10 - half]))
+    return t
+
+
+class TestMaxRounds:
+    def test_fires_at_limit(self):
+        tr = make_trace([100, 50, 25])
+        assert not MaxRounds(3).should_stop(tr)
+        assert MaxRounds(2).should_stop(tr)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MaxRounds(-1)
+
+    def test_reason_mentions_limit(self):
+        assert "7" in MaxRounds(7).reason
+
+
+class TestPotentialRules:
+    def test_potential_below(self):
+        tr = make_trace([100, 10])
+        assert PotentialBelow(10.5).should_stop(tr)
+        assert not PotentialBelow(9).should_stop(tr)
+
+    def test_fraction_below(self):
+        tr = make_trace([100, 0.5])
+        assert PotentialFractionBelow(0.01).should_stop(tr)
+        assert not PotentialFractionBelow(0.001).should_stop(tr)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            PotentialFractionBelow(0.0)
+        with pytest.raises(ValueError):
+            PotentialFractionBelow(1.0)
+
+
+class TestDiscrepancy:
+    def test_fires(self):
+        tr = Trace()
+        tr.record(np.asarray([0.0, 8.0]))
+        assert DiscrepancyBelow(10).should_stop(tr)
+        assert not DiscrepancyBelow(7.9).should_stop(tr)
+
+
+class TestStagnation:
+    def test_detects_flat_tail(self):
+        tr = make_trace([100] * 12)
+        assert Stagnation(patience=10).should_stop(tr)
+
+    def test_not_triggered_by_progress(self):
+        tr = make_trace([100 / (2**i) for i in range(12)])
+        assert not Stagnation(patience=10).should_stop(tr)
+
+    def test_needs_enough_history(self):
+        tr = make_trace([100, 100])
+        assert not Stagnation(patience=10).should_stop(tr)
+
+    def test_zero_potential_counts_as_stagnant(self):
+        tr = make_trace([0.0] * 12)
+        assert Stagnation(patience=10).should_stop(tr)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Stagnation(patience=0)
+        with pytest.raises(ValueError):
+            Stagnation(min_rel_drop=-0.1)
+
+
+class TestFirstSatisfied:
+    def test_order_respected(self):
+        tr = make_trace([100, 1])
+        rules = [PotentialBelow(5), MaxRounds(1)]
+        assert first_satisfied(rules, tr) is rules[0]
+
+    def test_none_when_unsatisfied(self):
+        tr = make_trace([100, 50])
+        assert first_satisfied([PotentialBelow(1), MaxRounds(10)], tr) is None

@@ -1,0 +1,81 @@
+"""Unit tests for the BSP message-passing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import diffusion_round_continuous, diffusion_round_discrete
+from repro.graphs import generators as g
+from repro.simulation.superstep import (
+    DiffusionNode,
+    Message,
+    SuperstepNetwork,
+    run_superstep_diffusion,
+)
+
+
+class TestNodeLocalState:
+    def test_degree_learning(self):
+        t = g.star(4)
+        net = SuperstepNetwork(t, np.zeros(4))
+        hub = net.nodes[0]
+        assert hub.neighbor_degrees == {1: 1, 2: 1, 3: 1}
+        assert net.nodes[1].neighbor_degrees == {0: 3}
+
+    def test_inbox_drains(self):
+        node = DiffusionNode(node_id=0, load=1.0, neighbors=[1])
+        node.deliver(Message(1, 0, "load", 5.0))
+        assert len(node.drain_inbox()) == 1
+        assert node.drain_inbox() == []
+
+
+class TestFidelity:
+    def test_discrete_matches_vectorized_exactly(self, any_topology, rng):
+        loads = rng.integers(0, 5000, any_topology.n).astype(np.int64)
+        hist = run_superstep_diffusion(any_topology, loads, 15, discrete=True)
+        x = loads.copy()
+        for k in range(15):
+            x = diffusion_round_discrete(x, any_topology)
+            assert np.array_equal(hist[k + 1], x), f"diverged at round {k + 1}"
+
+    def test_continuous_matches_vectorized_closely(self, torus, rng):
+        loads = rng.uniform(0, 100, torus.n)
+        hist = run_superstep_diffusion(torus, loads, 15, discrete=False)
+        x = loads.copy()
+        for k in range(15):
+            x = diffusion_round_continuous(x, torus)
+            assert np.allclose(hist[k + 1], x, atol=1e-9)
+
+    def test_point_load_spread(self):
+        t = g.cycle(6)
+        loads = np.zeros(6, dtype=np.int64)
+        loads[0] = 6000
+        hist = run_superstep_diffusion(t, loads, 1, discrete=True)
+        # Node 0 sends floor(6000/8) = 750 to each neighbour.
+        assert hist[1][0] == 6000 - 1500
+        assert hist[1][1] == 750 and hist[1][5] == 750
+
+    def test_conservation(self, torus, rng):
+        loads = rng.integers(0, 1000, torus.n).astype(np.int64)
+        hist = run_superstep_diffusion(torus, loads, 10, discrete=True)
+        for state in hist:
+            assert state.sum() == loads.sum()
+
+    def test_history_length(self, cycle8):
+        hist = run_superstep_diffusion(cycle8, np.zeros(8, dtype=np.int64), 7, discrete=True)
+        assert len(hist) == 8
+
+
+class TestValidation:
+    def test_size_mismatch(self, torus):
+        with pytest.raises(ValueError):
+            SuperstepNetwork(torus, np.zeros(torus.n + 1))
+
+    def test_discrete_needs_integer_loads(self, torus):
+        with pytest.raises(ValueError, match="integer"):
+            SuperstepNetwork(torus, np.zeros(torus.n), discrete=True)
+
+    def test_loads_gather_dtype(self, torus):
+        net = SuperstepNetwork(torus, np.ones(torus.n, dtype=np.int64), discrete=True)
+        assert net.loads().dtype == np.int64
+        netf = SuperstepNetwork(torus, np.ones(torus.n))
+        assert netf.loads().dtype == np.float64

@@ -1,0 +1,92 @@
+"""Unit tests for the Algorithm 2 message-passing protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.random_partner import (
+    partner_round_continuous,
+    partner_round_discrete,
+    sample_partners,
+)
+from repro.simulation.superstep import SuperstepPartnerNetwork, run_superstep_partners
+
+
+class TestValidation:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            SuperstepPartnerNetwork(np.asarray([1.0]))
+
+    def test_discrete_needs_integers(self):
+        with pytest.raises(ValueError, match="integer"):
+            SuperstepPartnerNetwork(np.ones(4), discrete=True)
+
+    def test_self_pick_rejected(self):
+        net = SuperstepPartnerNetwork(np.ones(4))
+        with pytest.raises(ValueError, match="pick itself"):
+            net.round(np.asarray([0, 0, 1, 2]))
+
+    def test_pick_shape_checked(self):
+        net = SuperstepPartnerNetwork(np.ones(4))
+        with pytest.raises(ValueError):
+            net.round(np.asarray([1, 2, 3]))
+
+
+class TestProtocolSemantics:
+    def test_mutual_picks_merge_into_one_link(self):
+        """i picks j and j picks i: one link, degrees 1 and 1."""
+        net = SuperstepPartnerNetwork(np.asarray([8.0, 0.0, 4.0, 4.0]))
+        net.round(np.asarray([1, 0, 3, 2]))
+        # link (0,1): degrees 1,1 -> transfer 8/4 = 2
+        assert net.loads().tolist() == [6.0, 2.0, 4.0, 4.0]
+
+    def test_popular_node_degree_counts_all_links(self):
+        """Three nodes pick node 0: node 0 has degree 4 (3 in + own pick)."""
+        loads = np.asarray([100.0, 0.0, 0.0, 0.0, 0.0])
+        net = SuperstepPartnerNetwork(loads)
+        # nodes 1..3 pick 0; node 0 picks 4; node 4 picks 3.
+        net.round(np.asarray([4, 0, 0, 0, 3]))
+        node0 = net.nodes[0]
+        assert node0.degree == 4
+        # each link (0,j): denom = 4*max(4, d_j); all transfers from 0.
+        out = net.loads()
+        assert out[0] < 100.0
+        assert out.sum() == pytest.approx(100.0)
+
+
+class TestFidelity:
+    def test_matches_vectorized_discrete(self):
+        loads = np.zeros(48, dtype=np.int64)
+        loads[0] = 4800
+        r_net = np.random.default_rng(9)
+        r_vec = np.random.default_rng(9)
+        hist = run_superstep_partners(loads, 20, r_net, discrete=True)
+        x = loads.copy()
+        for k in range(20):
+            x = partner_round_discrete(x, r_vec)
+            assert np.array_equal(hist[k + 1], x), f"diverged at round {k + 1}"
+
+    def test_matches_vectorized_continuous(self):
+        loads = np.zeros(32)
+        loads[0] = 3200.0
+        r_net = np.random.default_rng(4)
+        r_vec = np.random.default_rng(4)
+        hist = run_superstep_partners(loads, 15, r_net, discrete=False)
+        x = loads.copy()
+        for k in range(15):
+            x = partner_round_continuous(x, r_vec)
+            assert np.allclose(hist[k + 1], x, atol=1e-9), f"diverged at round {k + 1}"
+
+    def test_conservation_through_protocol(self, rng):
+        loads = rng.integers(0, 500, 40).astype(np.int64)
+        hist = run_superstep_partners(loads, 10, rng, discrete=True)
+        for state in hist:
+            assert state.sum() == loads.sum()
+
+    def test_same_injected_picks_same_result(self):
+        loads = np.asarray([10.0, 2.0, 7.0, 1.0])
+        picks = np.asarray([2, 3, 0, 1])
+        a = SuperstepPartnerNetwork(loads)
+        b = SuperstepPartnerNetwork(loads)
+        a.round(picks)
+        b.round(picks)
+        assert np.array_equal(a.loads(), b.loads())

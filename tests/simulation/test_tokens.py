@@ -1,0 +1,113 @@
+"""Unit tests for the token-identity simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import diffusion_round_discrete
+from repro.graphs import generators as g
+from repro.simulation.initial import point_load, uniform_random_load
+from repro.simulation.tokens import TokenSimulator
+
+
+class TestConstruction:
+    def test_token_count_matches_loads(self, torus, rng):
+        loads = uniform_random_load(torus.n, rng, high=20)
+        sim = TokenSimulator(torus, loads)
+        assert len(sim.tokens) == loads.sum()
+        assert np.array_equal(sim.loads(), loads)
+
+    def test_homes_recorded(self):
+        t = g.path(3)
+        sim = TokenSimulator(t, np.asarray([2, 0, 1], dtype=np.int64))
+        assert [tok.home for tok in sim.tokens] == [0, 0, 2]
+
+    def test_policy_validated(self, torus):
+        with pytest.raises(ValueError, match="policy"):
+            TokenSimulator(torus, np.zeros(torus.n, dtype=np.int64), policy="mru")
+
+    def test_float_loads_rejected(self, torus):
+        with pytest.raises(ValueError, match="integer"):
+            TokenSimulator(torus, np.zeros(torus.n))
+
+    def test_negative_rejected(self, torus):
+        loads = np.zeros(torus.n, dtype=np.int64)
+        loads[0] = -1
+        with pytest.raises(ValueError):
+            TokenSimulator(torus, loads)
+
+    def test_shape_checked(self, torus):
+        with pytest.raises(ValueError):
+            TokenSimulator(torus, np.zeros(torus.n + 1, dtype=np.int64))
+
+
+@pytest.mark.parametrize("policy", ["fifo", "lifo", "random"])
+class TestDynamics:
+    def test_loads_match_vectorized_kernel(self, policy, torus):
+        loads = point_load(torus.n, total=3200, discrete=True)
+        sim = TokenSimulator(torus, loads, policy=policy, seed=1)
+        expected = loads.copy()
+        for r in range(25):
+            sim.round()
+            expected = diffusion_round_discrete(expected, torus)
+            assert np.array_equal(sim.loads(), expected), f"{policy} diverged at round {r}"
+
+    def test_tokens_conserved_with_identity(self, policy, torus, rng):
+        loads = uniform_random_load(torus.n, rng, high=50)
+        sim = TokenSimulator(torus, loads, policy=policy, seed=2)
+        sim.run(15)
+        locs = sim.locations()
+        assert locs.size == loads.sum()  # every id accounted for exactly once
+        assert np.array_equal(np.bincount(locs, minlength=torus.n), sim.loads())
+
+    def test_migrations_bounded_by_rounds(self, policy, torus):
+        loads = point_load(torus.n, total=6400, discrete=True)
+        sim = TokenSimulator(torus, loads, policy=policy, seed=3)
+        stats = sim.run(10)
+        assert stats.max_migrations <= 10
+
+    def test_total_migrations_equals_flow_volume(self, policy, cube4):
+        """Each migration is one token crossing one edge: the sum equals
+        the kernel's total |flow| over the run."""
+        loads = point_load(cube4.n, total=1600, discrete=True)
+        sim = TokenSimulator(cube4, loads, policy=policy, seed=4)
+        from repro.core.diffusion import diffusion_flows
+
+        expected_volume = 0
+        counts = loads.copy()
+        for _ in range(12):
+            flows = diffusion_flows(counts, cube4, discrete=True)
+            expected_volume += int(np.abs(flows).sum())
+            counts = diffusion_round_discrete(counts, cube4)
+        stats = sim.run(12)
+        assert stats.total_migrations == expected_volume
+
+
+class TestPolicyDifferences:
+    def test_policies_agree_on_loads_but_not_on_churn(self):
+        topo = g.torus_2d(4, 4)
+        loads = point_load(topo.n, total=16_000, discrete=True)
+        stats = {}
+        finals = {}
+        for policy in ("fifo", "lifo", "random"):
+            sim = TokenSimulator(topo, loads, policy=policy, seed=5)
+            stats[policy] = sim.run(40)
+            finals[policy] = sim.loads()
+        # identical counts...
+        assert np.array_equal(finals["fifo"], finals["lifo"])
+        assert np.array_equal(finals["fifo"], finals["random"])
+        # ...identical total work...
+        assert stats["fifo"].total_migrations == stats["lifo"].total_migrations
+        # ...but different per-token distribution: LIFO churns a few tokens
+        # much harder than FIFO.
+        assert stats["lifo"].max_migrations >= stats["fifo"].max_migrations
+
+    def test_stats_on_balanced_system(self, torus):
+        sim = TokenSimulator(torus, np.full(torus.n, 5, dtype=np.int64))
+        stats = sim.run(5)
+        assert stats.total_migrations == 0
+        assert stats.fraction_never_moved == 1.0
+
+    def test_empty_system(self, torus):
+        sim = TokenSimulator(torus, np.zeros(torus.n, dtype=np.int64))
+        stats = sim.run(3)
+        assert stats.total_tokens == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the Trace record."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.trace import Trace
+
+
+def geometric_trace(phi0=1024.0, rate=0.5, rounds=10):
+    t = Trace(balancer_name="geo")
+    for i in range(rounds + 1):
+        half = math.sqrt(phi0 * rate**i / 2)
+        t.record(np.asarray([half, -half]))
+    return t
+
+
+class TestRecording:
+    def test_rounds_excludes_initial(self):
+        t = geometric_trace(rounds=5)
+        assert t.rounds == 5
+
+    def test_empty_trace_guards(self):
+        t = Trace()
+        assert t.rounds == 0
+        with pytest.raises(ValueError):
+            _ = t.initial_potential
+        with pytest.raises(ValueError):
+            _ = t.last_potential
+        with pytest.raises(ValueError):
+            _ = t.last_discrepancy
+
+    def test_snapshots_disabled_by_default(self):
+        t = Trace()
+        t.record(np.ones(3))
+        with pytest.raises(ValueError):
+            _ = t.snapshots
+
+    def test_snapshots_are_copies(self):
+        t = Trace(keep_snapshots=True)
+        v = np.ones(3)
+        t.record(v)
+        v[0] = 99
+        assert t.snapshots[0][0] == 1.0
+
+    def test_load_sums_tracked(self):
+        t = Trace()
+        t.record(np.asarray([1.0, 2.0]))
+        t.record(np.asarray([1.5, 1.5]))
+        assert t.load_sums.tolist() == [3.0, 3.0]
+        assert t.conservation_error() == 0.0
+
+    def test_conservation_error_detects_leak(self):
+        t = Trace()
+        t.record(np.asarray([1.0, 2.0]))
+        t.record(np.asarray([1.0, 1.0]))
+        assert t.conservation_error() == pytest.approx(1.0)
+
+
+class TestExtraction:
+    def test_rounds_to_potential(self):
+        t = geometric_trace(phi0=1024, rate=0.5, rounds=10)
+        # Thresholds carry a hair of slack: the crafted loads reproduce the
+        # target potentials only up to float64 rounding.
+        assert t.rounds_to_potential(1024.01) == 0
+        assert t.rounds_to_potential(512.01) == 1
+        assert t.rounds_to_potential(100) == 4  # 1024/16 = 64 <= 100
+        assert t.rounds_to_potential(0.5) is None
+
+    def test_rounds_to_fraction(self):
+        t = geometric_trace(phi0=1000, rate=0.5, rounds=10)
+        assert t.rounds_to_fraction(0.25) == 2
+
+    def test_rounds_to_discrepancy(self):
+        t = Trace()
+        t.record(np.asarray([0.0, 10.0]))
+        t.record(np.asarray([4.0, 6.0]))
+        assert t.rounds_to_discrepancy(3) == pytest.approx(1)
+        assert t.rounds_to_discrepancy(1) is None
+
+    def test_drop_factors_geometric(self):
+        t = geometric_trace(rate=0.5, rounds=6)
+        assert np.allclose(t.drop_factors(), 0.5)
+
+    def test_mean_drop_factor(self):
+        t = geometric_trace(rate=0.25, rounds=8)
+        assert t.mean_drop_factor() == pytest.approx(0.25, rel=1e-6)
+
+    def test_mean_drop_factor_empty(self):
+        t = Trace()
+        t.record(np.ones(2))
+        assert math.isnan(t.mean_drop_factor())
+
+    def test_drop_factors_zero_potential_tail(self):
+        t = Trace()
+        t.record(np.asarray([0.0, 2.0]))
+        t.record(np.asarray([1.0, 1.0]))
+        t.record(np.asarray([1.0, 1.0]))
+        factors = t.drop_factors()
+        assert factors[0] == pytest.approx(0.0)
+        assert factors[1] == pytest.approx(1.0)  # 0/0 treated as no-change
+
+    def test_summary_keys(self):
+        t = geometric_trace()
+        t.stopped_by = "max-rounds(10)"
+        s = t.summary()
+        assert s["balancer"] == "geo"
+        assert s["rounds"] == 10
+        assert s["stopped_by"] == "max-rounds(10)"

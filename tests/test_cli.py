@@ -1,0 +1,80 @@
+"""Tests for the command-line interface (wiring-level)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        p = build_parser()
+        assert p.parse_args(["topologies"]).command == "topologies"
+        assert p.parse_args(["run", "--balancer", "diffusion", "--topology", "cycle:8"]).command == "run"
+
+
+class TestCommands:
+    def test_topologies(self, capsys):
+        assert main(["topologies", "--spec", "cycle:8", "petersen"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle:8" in out and "petersen" in out
+
+    def test_run_continuous(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "50", "--eps", "0.01",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out and "phi_final" in out
+
+    def test_run_discrete_with_zipf(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion-discrete", "--topology", "hypercube:4",
+            "--loads", "zipf", "--rounds", "30",
+        ])
+        assert rc == 0
+
+    def test_compare(self, capsys):
+        rc = main([
+            "compare", "--topology", "torus:4x4",
+            "--balancers", "diffusion", "fos",
+            "--eps", "0.01", "--max-rounds", "5000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "diffusion" in out and "fos" in out
+
+    def test_sweep(self, capsys):
+        rc = main([
+            "sweep", "--topologies", "torus:4x4", "cycle:8",
+            "--balancers", "diffusion", "fos",
+            "--eps", "0.01",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "net_movement" in out
+        assert out.count("torus:4x4") == 2
+
+    def test_verify(self, capsys):
+        assert main(["verify", "--topology", "cycle:12", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 1: OK" in out
+        assert "Lemma 10" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--topology", "cycle:16"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4" in out and "Theorem 14" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+
+    def test_experiment_markdown(self, capsys):
+        assert main(["experiment", "e07", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("**E07")
+        assert "|" in out

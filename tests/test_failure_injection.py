@@ -1,0 +1,147 @@
+"""Failure-injection tests: malformed inputs and misbehaving components.
+
+A library is judged by how it fails.  These tests pin down that every
+bad input is rejected with a clear error at the API boundary — not
+propagated into a silently-wrong experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import DiffusionBalancer
+from repro.core.protocols import Balancer
+from repro.core.random_partner import RandomPartnerBalancer
+from repro.graphs import generators as g
+from repro.simulation.engine import Simulator
+from repro.simulation.stopping import MaxRounds
+
+
+class TestMalformedLoads:
+    @pytest.fixture
+    def bal(self, torus):
+        return DiffusionBalancer(torus, mode="continuous")
+
+    def test_nan_rejected(self, bal, torus):
+        loads = np.ones(torus.n)
+        loads[3] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            bal.step(loads, np.random.default_rng(0))
+
+    def test_inf_rejected(self, bal, torus):
+        loads = np.ones(torus.n)
+        loads[0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            bal.step(loads, np.random.default_rng(0))
+
+    def test_negative_rejected(self, bal, torus):
+        loads = np.ones(torus.n)
+        loads[-1] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            bal.step(loads, np.random.default_rng(0))
+
+    def test_2d_rejected(self, bal, torus):
+        with pytest.raises(ValueError, match="1-D"):
+            bal.step(np.ones((torus.n, 1)), np.random.default_rng(0))
+
+    def test_wrong_size_rejected(self, bal, torus):
+        with pytest.raises(ValueError):
+            bal.step(np.ones(torus.n - 1), np.random.default_rng(0))
+
+    def test_fractional_for_discrete_rejected(self, torus):
+        bal = DiffusionBalancer(torus, mode="discrete")
+        with pytest.raises(ValueError, match="integer"):
+            bal.step(np.full(torus.n, 0.5), np.random.default_rng(0))
+
+
+class TestExtremeValues:
+    def test_huge_int_loads_no_overflow(self, torus):
+        """Transfers near int64 territory must not wrap."""
+        bal = DiffusionBalancer(torus, mode="discrete")
+        loads = np.zeros(torus.n, dtype=np.int64)
+        loads[0] = 2**52  # large but transfer arithmetic stays in range
+        out = bal.step(loads, np.random.default_rng(0))
+        assert out.sum() == loads.sum()
+        assert (out >= 0).all()
+
+    def test_zero_total_load(self, torus):
+        bal = DiffusionBalancer(torus, mode="discrete")
+        out = bal.step(np.zeros(torus.n, dtype=np.int64), np.random.default_rng(0))
+        assert (out == 0).all()
+
+    def test_single_token(self, torus):
+        """One token in the whole system never moves (floor) and never
+        duplicates."""
+        bal = DiffusionBalancer(torus, mode="discrete")
+        loads = np.zeros(torus.n, dtype=np.int64)
+        loads[5] = 1
+        out = bal.step(loads, np.random.default_rng(0))
+        assert out.sum() == 1
+
+    def test_two_node_graph_minimal(self):
+        from repro.graphs.topology import Topology
+
+        t = Topology(2, [(0, 1)])
+        bal = DiffusionBalancer(t, mode="discrete")
+        out = bal.step(np.asarray([1, 0], dtype=np.int64), np.random.default_rng(0))
+        assert out.tolist() == [1, 0]  # floor(1/4) = 0: stable as expected
+
+    def test_partner_balancer_two_nodes(self):
+        bal = RandomPartnerBalancer()
+        out = bal.step(np.asarray([8.0, 0.0]), np.random.default_rng(0))
+        assert out.sum() == pytest.approx(8.0)
+
+
+class _SizeChangingBalancer(Balancer):
+    name = "size-changer"
+
+    def step(self, loads, rng):
+        return np.ones(loads.size + 1)
+
+
+class _NaNBalancer(Balancer):
+    name = "nan-maker"
+
+    def step(self, loads, rng):
+        out = loads.copy()
+        out[0] = np.nan
+        return out
+
+
+class TestMisbehavingBalancers:
+    def test_nan_output_caught_by_conservation_audit(self):
+        sim = Simulator(_NaNBalancer(), stopping=[MaxRounds(3)])
+        with pytest.raises(AssertionError, match="leaked"):
+            sim.run(np.asarray([1.0, 2.0]), 0)
+
+    def test_size_change_propagates_loudly(self):
+        # A size change must fail loudly (the trace's movement accounting
+        # rejects the shape mismatch) rather than silently reshaping the
+        # experiment.
+        sim = Simulator(_SizeChangingBalancer(), stopping=[MaxRounds(5)], check_conservation=False)
+        with pytest.raises(ValueError):
+            sim.run(np.asarray([1.0, 2.0]), 0)
+
+
+class TestDynamicEdgeCases:
+    def test_always_disconnected_dynamics_makes_no_progress(self):
+        from repro.graphs.dynamic import AdversarialDynamics
+        from repro.graphs.topology import Topology
+        from repro.simulation.engine import run_balancer
+
+        base = g.torus_2d(4, 4)
+        empty = Topology(base.n, [])
+        dyn = AdversarialDynamics([], empty)  # empty forever
+        bal = DiffusionBalancer(dyn, mode="continuous")
+        loads = np.zeros(base.n)
+        loads[0] = 100.0
+        trace = run_balancer(bal, loads, rounds=20)
+        assert trace.last_potential == pytest.approx(trace.initial_potential)
+
+    def test_average_gap_zero_for_empty_dynamics(self):
+        from repro.graphs.dynamic import AdversarialDynamics
+        from repro.graphs.topology import Topology
+
+        empty = Topology(8, [])
+        dyn = AdversarialDynamics([], empty)
+        assert dyn.average_gap(10) == 0.0
+        assert dyn.worst_threshold_term(10) == 0.0
