@@ -1,0 +1,169 @@
+"""Batched-ensemble throughput: EnsembleSimulator vs sequential Simulator runs.
+
+The tentpole claim of the batched execution stack is that running ``B``
+Monte-Carlo replicas in lockstep through :class:`EnsembleSimulator` beats
+``B`` sequential :class:`Simulator.run` calls by amortizing the per-round
+engine overhead and turning the round kernel into one cached sparse
+matmat.  This bench measures both sides in *replica-rounds per second*
+(one replica advancing one round = 1 unit) on tori of n in {256, 4096}
+with B in {1, 64}, continuous and discrete.
+
+Run standalone to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_ensemble.py --out BENCH_ensemble.json
+    PYTHONPATH=src python benchmarks/bench_ensemble.py --smoke   # CI, ~seconds
+
+or under pytest (smoke-sized, asserts the headline speedup)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ensemble.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.diffusion import DiffusionBalancer
+from repro.graphs.generators import torus_2d
+from repro.simulation.engine import Simulator
+from repro.simulation.ensemble import EnsembleSimulator, spawn_rngs
+from repro.simulation.stopping import MaxRounds
+
+SEED = 1234
+
+
+def _initial_loads(n: int, discrete: bool) -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    if discrete:
+        return rng.integers(0, 10_000, n).astype(np.int64)
+    return rng.uniform(0.0, 10_000.0, n)
+
+
+def _time_serial(topo, mode: str, loads, replicas: int, rounds: int) -> float:
+    """Seconds for ``replicas`` sequential Simulator.run calls of ``rounds`` rounds."""
+    bal = DiffusionBalancer(topo, mode=mode)
+    rngs = spawn_rngs(SEED, replicas)
+    start = time.perf_counter()
+    for b in range(replicas):
+        Simulator(bal, stopping=[MaxRounds(rounds)]).run(loads, rngs[b])
+    return time.perf_counter() - start
+
+
+def _time_batched(topo, mode: str, loads, replicas: int, rounds: int) -> float:
+    """Seconds for one EnsembleSimulator run of ``replicas`` lockstep replicas."""
+    bal = DiffusionBalancer(topo, mode=mode)
+    ens = EnsembleSimulator(bal, stopping=[MaxRounds(rounds)])
+    start = time.perf_counter()
+    ens.run(loads, seed=SEED, replicas=replicas)
+    return time.perf_counter() - start
+
+
+def measure(side: int, replicas: int, mode: str, rounds: int, repeats: int = 3) -> dict:
+    """One (n, B, mode) comparison; returns the result row.
+
+    Each side is timed ``repeats`` times and the best time is kept — the
+    standard way to strip scheduler noise from a shared machine; both
+    sides get the same treatment.
+    """
+    topo = torus_2d(side, side)
+    loads = _initial_loads(topo.n, discrete=mode == "discrete")
+    # Warm the per-topology operator caches so construction cost is not
+    # attributed to either side.
+    _time_serial(topo, mode, loads, 1, 2)
+    _time_batched(topo, mode, loads, min(replicas, 2), 2)
+    serial_s = min(_time_serial(topo, mode, loads, replicas, rounds) for _ in range(repeats))
+    batched_s = min(_time_batched(topo, mode, loads, replicas, rounds) for _ in range(repeats))
+    unit = replicas * rounds  # replica-rounds executed by each side
+    return {
+        "n": topo.n,
+        "replicas": replicas,
+        "mode": mode,
+        "rounds": rounds,
+        "serial_seconds": round(serial_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "serial_replica_rounds_per_sec": round(unit / serial_s, 1),
+        "batched_replica_rounds_per_sec": round(unit / batched_s, 1),
+        "speedup": round(serial_s / batched_s, 3),
+    }
+
+
+def run_suite(smoke: bool = False) -> dict:
+    """The full grid; ``smoke`` shrinks the round counts for CI."""
+    rows = []
+    grid = [
+        # (side, replicas, mode, rounds)
+        (16, 1, "continuous", 60 if smoke else 400),
+        (16, 64, "continuous", 60 if smoke else 400),
+        (16, 64, "discrete", 60 if smoke else 400),
+        (64, 1, "continuous", 30 if smoke else 200),
+        (64, 64, "continuous", 30 if smoke else 200),
+        (64, 64, "discrete", 30 if smoke else 200),
+    ]
+    for side, replicas, mode, rounds in grid:
+        row = measure(side, replicas, mode, rounds)
+        rows.append(row)
+        print(
+            f"n={row['n']:5d} B={replicas:3d} {mode:10s}: "
+            f"serial {row['serial_replica_rounds_per_sec']:>10.1f} rr/s  "
+            f"batched {row['batched_replica_rounds_per_sec']:>10.1f} rr/s  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+    headline = next(r for r in rows if r["n"] == 4096 and r["replicas"] == 64 and r["mode"] == "continuous")
+    return {
+        "benchmark": "bench_ensemble",
+        "units": "replica-rounds per second (higher is better)",
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "acceptance": {
+            "criterion": "EnsembleSimulator B=64 >= 5x rounds/sec of 64 sequential "
+            "Simulator.run calls on a 4096-node torus (continuous diffusion)",
+            "speedup": headline["speedup"],
+            "passed": headline["speedup"] >= 5.0,
+        },
+        "results": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke-sized)
+# ----------------------------------------------------------------------
+def test_ensemble_headline_speedup():
+    """B=64 lockstep beats 64 sequential runs >= 5x on the 4096-node torus."""
+    row = measure(64, 64, "continuous", rounds=30)
+    assert row["speedup"] >= 5.0, f"expected >=5x, measured {row['speedup']}x"
+
+
+def test_ensemble_beats_serial_small_torus():
+    row = measure(16, 64, "continuous", rounds=60)
+    assert row["speedup"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="short CI-sized run")
+    parser.add_argument("--out", type=Path, default=None, help="write the JSON baseline here")
+    args = parser.parse_args(argv)
+    report = run_suite(smoke=args.smoke)
+    payload = json.dumps(report, indent=2)
+    if args.out is not None:
+        args.out.write_text(payload + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(payload)
+    # A smoke run only checks that both engines execute (CI runs on shared
+    # runners where the speedup threshold would be noise); the full run
+    # gates on the acceptance criterion.
+    return 0 if (args.smoke or report["acceptance"]["passed"]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

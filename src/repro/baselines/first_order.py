@@ -20,22 +20,28 @@ Discretizations:
   the systematic rounding bias of the floor scheme at the price of extra
   variance.
 
-The continuous kernel is a literal edge sweep rather than a dense
-matrix–vector product: it is O(m) instead of O(n^2), matches the flow
-formulation the discrete variants need, and keeps all three variants
-sharing one code path.
+The continuous round literally *is* ``M @ loads``: the per-topology
+:class:`~repro.core.operators.EdgeOperator` caches ``M`` per ``alpha``
+(sparse, O(m) nonzeros) so one round is one cached sparse matvec — and a
+batched round over ``(B, n)`` replicas is one sparse matmat.  The
+discrete variants share the same flow formulation through the operator's
+cached edge arrays and incidence scatter.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.diffusion import apply_edge_flows
+from repro.core.operators import edge_operator, replica_major
 from repro.core.protocols import CONTINUOUS, DISCRETE, Balancer, register_balancer
 from repro.graphs.topology import Topology
 
 __all__ = [
     "fos_flows",
+    "fos_round_node_major",
     "fos_round_continuous",
     "fos_round_discrete_floor",
     "fos_round_discrete_randomized",
@@ -49,18 +55,41 @@ def fos_alpha(topo: Topology) -> float:
 
 
 def fos_flows(loads: np.ndarray, topo: Topology, alpha: float | None = None) -> np.ndarray:
-    """Continuous per-edge flows ``alpha (l_u - l_v)`` (canonical direction)."""
+    """Continuous per-edge flows ``alpha (l_u - l_v)`` (canonical direction).
+
+    ``loads`` may be ``(n,)`` or replica-major ``(B, n)``; reuses the
+    operator's cached edge endpoint arrays.
+    """
     if alpha is None:
         alpha = fos_alpha(topo)
+    op = edge_operator(topo)
     l = np.asarray(loads, dtype=np.float64)
-    u, v = topo.edges[:, 0], topo.edges[:, 1]
-    return alpha * (l[u] - l[v])
+    return alpha * (l[..., op.u] - l[..., op.v])
+
+
+def fos_round_node_major(loads: np.ndarray, topo: Topology, alpha: float | None = None) -> np.ndarray:
+    """One continuous FOS round on node-major ``(n,)`` / ``(n, B)`` loads.
+
+    The single implementation both :class:`FirstOrderBalancer` and the
+    second-order scheme's momentum recurrence build on — keeping them on
+    one code path is what guarantees SOS with ``beta = 1`` degenerates to
+    FOS bit-for-bit.
+    """
+    if alpha is None:
+        alpha = fos_alpha(topo)
+    op = edge_operator(topo)
+    M = op.fos_round_matrix(alpha)
+    if M is not None:
+        return op.linear_round(M, loads)
+    return op.apply_flows(loads, alpha * (loads[op.u] - loads[op.v]))
 
 
 def fos_round_continuous(loads: np.ndarray, topo: Topology, alpha: float | None = None) -> np.ndarray:
-    """One continuous FOS round: equivalent to ``M @ loads``."""
+    """One continuous FOS round: equivalent to ``M @ loads`` (batch-aware)."""
     l = np.asarray(loads, dtype=np.float64)
-    return apply_edge_flows(l, topo, fos_flows(l, topo, alpha))
+    if l.ndim == 1:
+        return fos_round_node_major(l, topo, alpha)
+    return replica_major(lambda x: fos_round_node_major(x, topo, alpha), l)
 
 
 def fos_round_discrete_floor(loads: np.ndarray, topo: Topology, alpha: float | None = None) -> np.ndarray:
@@ -72,18 +101,26 @@ def fos_round_discrete_floor(loads: np.ndarray, topo: Topology, alpha: float | N
 
 
 def fos_round_discrete_randomized(
-    loads: np.ndarray, topo: Topology, rng: np.random.Generator, alpha: float | None = None
+    loads: np.ndarray, topo: Topology, rng, alpha: float | None = None
 ) -> np.ndarray:
     """One Elsässer–Monien randomized-rounding round.
 
     For continuous flow ``f`` the edge ships ``floor(|f|) + Bernoulli(frac(|f|))``
     tokens in the direction of ``f``; expectation equals the continuous flow.
+    For a replica-major ``(B, n)`` batch pass a sequence of ``B``
+    generators — each replica consumes its stream exactly as a serial
+    call would.
     """
     l = np.asarray(loads, dtype=np.int64)
     f = fos_flows(l, topo, alpha)
     mag = np.abs(f)
     base = np.floor(mag)
-    extra = rng.random(mag.size) < (mag - base)
+    if l.ndim == 1:
+        extra = rng.random(mag.shape[-1]) < (mag - base)
+    else:
+        extra = np.empty(mag.shape, dtype=bool)
+        for b, gen in enumerate(rng):
+            extra[b] = gen.random(mag.shape[-1]) < (mag[b] - base[b])
     tokens = (np.sign(f) * (base + extra)).astype(np.int64)
     return apply_edge_flows(l, topo, tokens)
 
@@ -103,6 +140,7 @@ class FirstOrderBalancer(Balancer):
     """
 
     VARIANTS = ("continuous", "floor", "randomized")
+    supports_batch = True
 
     def __init__(self, topology: Topology, variant: str = "continuous", alpha: float | None = None):
         super().__init__()
@@ -125,6 +163,27 @@ class FirstOrderBalancer(Balancer):
         if self.variant == "floor":
             return fos_round_discrete_floor(loads, self.topology, self.alpha)
         return fos_round_discrete_randomized(loads, self.topology, rng, self.alpha)
+
+    def step_batch(self, loads: np.ndarray, rngs: Sequence[np.random.Generator], out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep round for a node-major ``(n, B)`` replica batch."""
+        self.advance_round()
+        op = edge_operator(self.topology)
+        if self.variant == "continuous":
+            M = op.fos_round_matrix(self.alpha)
+            if M is not None:
+                return op.linear_round(M, loads, out)
+            return op.apply_flows(loads, self.alpha * (loads[op.u] - loads[op.v]), out)
+        f = self.alpha * (loads[op.u] - loads[op.v]).astype(np.float64)
+        mag = np.abs(f)
+        base = np.floor(mag)
+        if self.variant == "randomized":
+            extra = np.empty(mag.shape, dtype=bool)
+            for b, gen in enumerate(rngs):
+                extra[:, b] = gen.random(mag.shape[0]) < (mag[:, b] - base[:, b])
+            tokens = (np.sign(f) * (base + extra)).astype(np.int64)
+        else:
+            tokens = (np.sign(f) * base).astype(np.int64)
+        return op.apply_flows(loads, tokens)
 
 
 @register_balancer("fos")

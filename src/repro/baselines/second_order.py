@@ -27,7 +27,7 @@ import math
 
 import numpy as np
 
-from repro.baselines.first_order import fos_round_continuous
+from repro.baselines.first_order import fos_round_continuous, fos_round_node_major
 from repro.core.protocols import CONTINUOUS, Balancer, register_balancer
 from repro.graphs.spectral import gamma as spectral_gamma
 from repro.graphs.topology import Topology
@@ -58,6 +58,8 @@ class SecondOrderBalancer(Balancer):
         topology's ``gamma``.  ``beta = 1`` degenerates to FOS exactly.
     """
 
+    supports_batch = True
+
     def __init__(self, topology: Topology, beta: float | None = None):
         super().__init__()
         self.topology = topology
@@ -82,6 +84,22 @@ class SecondOrderBalancer(Balancer):
             nxt = fos_round_continuous(loads, self.topology)
         else:
             nxt = self.beta * fos_round_continuous(loads, self.topology) + (1.0 - self.beta) * prev
+        self.state.history["prev"] = loads.copy()
+        return nxt
+
+    def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep round for a node-major ``(n, B)`` batch.
+
+        The momentum history is kept as a node-major matrix, so the
+        update is the same two-term recurrence applied columnwise.
+        """
+        r = self.advance_round()
+        prev = self.state.history.get("prev")
+        fos = fos_round_node_major(loads, self.topology)
+        if r == 0 or prev is None:
+            nxt = fos
+        else:
+            nxt = self.beta * fos + (1.0 - self.beta) * prev
         self.state.history["prev"] = loads.copy()
         return nxt
 

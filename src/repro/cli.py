@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--rounds", type=int, default=1000)
     p_run.add_argument("--eps", type=float, default=None, help="stop at Phi <= eps*Phi0")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="run N replicas in lockstep through the batched ensemble engine",
+    )
 
     p_cmp = sub.add_parser("compare", help="run several balancers side by side")
     p_cmp.add_argument("--topology", required=True)
@@ -72,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--eps", type=float, default=1e-4)
     p_sweep.add_argument("--max-rounds", type=int, default=100_000)
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="aggregate each cell over N replicas (batched when the scheme allows)",
+    )
 
     p_ver = sub.add_parser("verify", help="run the lemma checks on random states")
     p_ver.add_argument("--topology", default="torus:8x8")
@@ -112,6 +124,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     stopping = [MaxRounds(args.rounds)]
     if args.eps is not None:
         stopping.insert(0, PotentialFractionBelow(args.eps))
+    if args.replicas < 1:
+        print(f"--replicas must be >= 1, got {args.replicas}", file=sys.stderr)
+        return 2
+    if args.replicas > 1:
+        from repro.simulation.ensemble import EnsembleSimulator
+
+        if not getattr(bal, "supports_batch", False):
+            print(f"{args.balancer} has no batched kernel; use --replicas 1", file=sys.stderr)
+            return 2
+        ens = EnsembleSimulator(bal, stopping=stopping)
+        trace = ens.run(loads, seed=args.seed, replicas=args.replicas)
+        for key, value in trace.summary().items():
+            print(f"{key:>20}: {value}")
+        return 0
     trace = Simulator(bal, stopping=stopping).run(loads, args.seed)
     for key, value in trace.summary().items():
         print(f"{key:>20}: {value}")
@@ -146,6 +172,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         eps=args.eps,
         max_rounds=args.max_rounds,
         seed=args.seed,
+        replicas=args.replicas,
     )
     print(table.to_text())
     return 0

@@ -11,27 +11,32 @@ than Cybenko's ``delta + 1``) is what makes the sequentialization argument
 work: a node can lose at most a quarter of its surplus to *all* neighbours
 combined before any given edge activates (Lemma 1's inequalities).
 
-Implementation notes (hpc-parallel guide idioms):
+Implementation notes:
 
-- Flows for all edges are computed in one vectorized expression over the
-  canonical ``(m, 2)`` edge array; the scatter-apply uses ``np.add.at`` /
-  ``np.subtract.at`` so nodes incident to many edges accumulate correctly.
-- The round kernels never mutate their input and allocate exactly one
-  output vector; an optional ``out`` parameter allows the engine to reuse
-  a buffer.
+- All heavy lifting is delegated to the per-topology cached
+  :class:`~repro.core.operators.EdgeOperator`: denominators are computed
+  once per topology, the scatter is a CSR incidence product, and the
+  whole continuous round is a single cached sparse matrix ``M`` (one
+  matvec per round, one matmat per *ensemble* round).
+- Every kernel accepts either a single ``(n,)`` load vector or a
+  replica-major ``(B, n)`` batch; flows broadcast along the batch axis
+  and batched results are bit-for-bit identical to ``B`` serial calls.
 - Discrete arithmetic stays in ``int64`` end-to-end; conservation is then
   *exact*, which the property tests assert.
 
 ``DiffusionBalancer`` adapts the kernels to the :class:`Balancer`
 interface and accepts either a fixed :class:`Topology` or a
 :class:`~repro.graphs.dynamic.DynamicNetwork` (Section 5: the graph used
-in round ``k`` is ``topology_at(k)``).
+in round ``k`` is ``topology_at(k)``).  It implements the ``step_batch``
+contract (node-major ``(n, B)``) so :class:`EnsembleSimulator` can run
+replica ensembles in lockstep.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.operators import edge_operator, replica_major
 from repro.core.protocols import CONTINUOUS, DISCRETE, Balancer, register_balancer
 from repro.graphs.dynamic import DynamicNetwork
 from repro.graphs.topology import Topology
@@ -47,28 +52,31 @@ __all__ = [
 
 
 def edge_denominators(topo: Topology) -> np.ndarray:
-    """Per-edge damping ``4 * max(d_u, d_v)`` as float64, shape ``(m,)``."""
-    deg = topo.degrees
-    u, v = topo.edges[:, 0], topo.edges[:, 1]
-    return 4.0 * np.maximum(deg[u], deg[v]).astype(np.float64)
+    """Per-edge damping ``4 * max(d_u, d_v)`` as float64, shape ``(m,)``.
+
+    Cached on the topology (:attr:`Topology.edge_denominators`); this
+    wrapper survives for API compatibility.
+    """
+    return topo.edge_denominators
 
 
 def diffusion_flows(loads: np.ndarray, topo: Topology, discrete: bool = False) -> np.ndarray:
     """Signed per-edge flow for one round, along canonical direction u -> v.
 
-    ``flow[e] > 0`` means the canonical tail ``u`` sends to head ``v``.
-    In discrete mode the magnitude is floored and the result is int64.
+    ``loads`` may be ``(n,)`` or replica-major ``(B, n)``; the result is
+    ``(m,)`` / ``(B, m)`` accordingly.  ``flow[..., e] > 0`` means the
+    canonical tail ``u`` sends to head ``v``.  In discrete mode the
+    magnitude is floored and the result is int64.
     """
     u, v = topo.edges[:, 0], topo.edges[:, 1]
     if discrete:
         l = np.asarray(loads, dtype=np.int64)
-        diff = l[u] - l[v]
-        denom = 4 * np.maximum(topo.degrees[u], topo.degrees[v])
-        mag = np.abs(diff) // denom
+        diff = l[..., u] - l[..., v]
+        mag = np.abs(diff) // topo.edge_denominators_int
         return np.sign(diff) * mag
     l = np.asarray(loads, dtype=np.float64)
-    diff = l[u] - l[v]
-    return diff / edge_denominators(topo)
+    diff = l[..., u] - l[..., v]
+    return diff / topo.edge_denominators
 
 
 def apply_edge_flows(
@@ -77,34 +85,38 @@ def apply_edge_flows(
     flows: np.ndarray,
     out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Apply signed per-edge flows; returns the new load vector.
+    """Apply signed per-edge flows; returns the new load vector(s).
 
-    ``out`` may alias a preallocated buffer (not the input) to avoid the
-    allocation in hot loops.
+    Accepts ``(n,)`` loads with ``(m,)`` flows or replica-major ``(B, n)``
+    loads with ``(B, m)`` flows.  ``out`` may alias a preallocated buffer
+    (not the input) to avoid the allocation in hot loops.
     """
-    u, v = topo.edges[:, 0], topo.edges[:, 1]
-    if out is None:
-        out = loads.copy()
-    else:
-        if out is loads:
-            raise ValueError("out must not alias the input vector")
-        np.copyto(out, loads)
-    np.subtract.at(out, u, flows)
-    np.add.at(out, v, flows)
-    return out
+    if out is not None and out is loads:
+        raise ValueError("out must not alias the input vector")
+    op = edge_operator(topo)
+    arr = np.asarray(loads)
+    if arr.ndim == 1:
+        return op.apply_flows(arr, flows, out)
+    flows_nm = np.ascontiguousarray(np.asarray(flows).T)
+    return replica_major(lambda l: op.apply_flows(l, flows_nm), arr, out)
 
 
 def diffusion_round_continuous(loads: np.ndarray, topo: Topology, out: np.ndarray | None = None) -> np.ndarray:
-    """One concurrent continuous round of Algorithm 1."""
-    flows = diffusion_flows(loads, topo, discrete=False)
-    return apply_edge_flows(np.asarray(loads, dtype=np.float64), topo, flows, out)
+    """One concurrent continuous round of Algorithm 1 (``(n,)`` or ``(B, n)``)."""
+    l = np.asarray(loads, dtype=np.float64)
+    op = edge_operator(topo)
+    if l.ndim == 1:
+        return op.round_continuous(l, out)
+    return replica_major(op.round_continuous, l, out)
 
 
 def diffusion_round_discrete(loads: np.ndarray, topo: Topology, out: np.ndarray | None = None) -> np.ndarray:
     """One concurrent discrete round of Algorithm 1 (integer tokens)."""
     l = np.asarray(loads, dtype=np.int64)
-    flows = diffusion_flows(l, topo, discrete=True)
-    return apply_edge_flows(l, topo, flows, out)
+    op = edge_operator(topo)
+    if l.ndim == 1:
+        return op.round_discrete(l, out)
+    return replica_major(op.round_discrete, l, out)
 
 
 class DiffusionBalancer(Balancer):
@@ -118,6 +130,8 @@ class DiffusionBalancer(Balancer):
     mode:
         ``"continuous"`` or ``"discrete"``.
     """
+
+    supports_batch = True
 
     def __init__(self, network: Topology | DynamicNetwork, mode: str = CONTINUOUS):
         super().__init__()
@@ -135,14 +149,27 @@ class DiffusionBalancer(Balancer):
             return self.network.topology_at(k)  # type: ignore[union-attr]
         return self.network  # type: ignore[return-value]
 
+    def _round_topology(self, n: int) -> Topology:
+        topo = self.topology_for_round(self.advance_round())
+        if topo.n != n:
+            raise ValueError(f"topology has {topo.n} nodes but loads has {n}")
+        return topo
+
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         loads = self.validate_loads(loads)
-        topo = self.topology_for_round(self.advance_round())
-        if topo.n != loads.size:
-            raise ValueError(f"topology has {topo.n} nodes but loads has {loads.size}")
+        topo = self._round_topology(loads.size)
+        op = edge_operator(topo)
         if self.mode == DISCRETE:
-            return diffusion_round_discrete(loads, topo)
-        return diffusion_round_continuous(loads, topo)
+            return op.round_discrete(loads)
+        return op.round_continuous(loads)
+
+    def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep round for a node-major ``(n, B)`` replica batch."""
+        topo = self._round_topology(loads.shape[0])
+        op = edge_operator(topo)
+        if self.mode == DISCRETE:
+            return op.round_discrete(loads, out)
+        return op.round_continuous(loads, out)
 
 
 @register_balancer("diffusion")

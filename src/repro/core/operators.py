@@ -1,0 +1,300 @@
+"""Cached per-topology edge operators: the hot-path engine of every scheme.
+
+Every balancing round is built from the same three primitives over a
+topology's canonical ``(m, 2)`` edge array:
+
+1. per-edge *differences* ``l_u - l_v`` (a gather),
+2. per-edge *flows* (differences damped by ``4 max(d_u, d_v)``), and
+3. the *scatter* that applies signed flows back onto the endpoints.
+
+The seed implementation re-derived the denominators every round and
+scattered with ``np.add.at`` — the slowest scatter primitive NumPy
+offers.  An :class:`EdgeOperator` precomputes, once per
+:class:`~repro.graphs.topology.Topology`:
+
+- the edge endpoint arrays ``u``/``v`` and the cached damping
+  denominators (float64 and int64 views, shared with
+  ``Topology.edge_denominators``);
+- a CSR **signed incidence matrix** ``A`` of shape ``(n, m)`` with
+  ``A[u_e, e] = -1`` and ``A[v_e, e] = +1``, so applying flows becomes
+  the sparse product ``loads + A @ flows`` instead of two ``add.at``
+  scatters (an int64 twin keeps the discrete algorithms integer-exact);
+- for the *linear* continuous schemes (Algorithm 1 and FOS), the full
+  **round matrix** ``M`` with ``M @ loads`` equal to one concurrent
+  round, so a round is a single cached sparse matvec — and a whole
+  *ensemble* of replicas is a single sparse matmat.
+
+Batching convention
+-------------------
+All batched operator methods take **node-major** ``(n, B)`` matrices:
+column ``b`` is replica ``b``'s load vector.  Node-major keeps the
+sparse kernels transpose-free and row-gathers contiguous; the public
+round kernels in :mod:`repro.core.diffusion` accept the user-facing
+replica-major ``(B, n)`` layout and transpose at the boundary.  SciPy
+iterates a CSR row's nonzeros in stored order for both matvec and
+matmat, so serial ``(n,)`` and batched ``(n, B)`` results agree
+**bit-for-bit** per replica — the property tests rely on this.
+
+SciPy is optional: without it every method falls back to pure-NumPy
+``np.add.at`` scatters (edge-order accumulation, equally deterministic
+across serial and batched calls); the linear-matrix fast path simply
+degrades to flows-plus-scatter.
+
+Operators are cached on the topology instance itself (topologies are
+immutable), so dynamic networks that cycle through a fixed set of graphs
+pay the construction cost once per distinct graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.topology import Topology
+
+try:  # SciPy is optional; the operator degrades to add.at scatters.
+    import scipy.sparse as _sp
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised via the forced fallback tests
+    _sp = None
+    HAVE_SCIPY = False
+
+__all__ = ["EdgeOperator", "edge_operator", "HAVE_SCIPY"]
+
+_CACHE_ATTR = "_edge_operator"
+
+# scipy.sparse keeps its C kernels in a private module; using them lets the
+# engines reuse preallocated output buffers (A @ x always allocates).  The
+# public product is the fallback whenever the private entry point is absent
+# or rejects a dtype combination — both paths run the same C loops, so
+# results are identical.
+_matvec_fns = None
+if HAVE_SCIPY:
+    try:
+        from scipy.sparse import _sparsetools
+
+        _matvec_fns = (_sparsetools.csr_matvec, _sparsetools.csr_matvecs)
+    except (ImportError, AttributeError):  # pragma: no cover
+        _matvec_fns = None
+
+
+def _csr_into(S, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out[:] = S @ x`` reusing ``out`` when the C kernels allow it."""
+    if _matvec_fns is not None and out.flags.c_contiguous and x.flags.c_contiguous:
+        n_row, n_col = S.shape
+        try:
+            out.fill(0)
+            if x.ndim == 1:
+                _matvec_fns[0](n_row, n_col, S.indptr, S.indices, S.data, x, out)
+            else:
+                _matvec_fns[1](
+                    n_row, n_col, x.shape[1], S.indptr, S.indices, S.data, x.ravel(), out.ravel()
+                )
+            return out
+        except (TypeError, ValueError):  # pragma: no cover - dtype edge cases
+            pass
+    out[...] = S @ x
+    return out
+
+
+class EdgeOperator:
+    """Precomputed sparse kernels for one (immutable) topology.
+
+    Use :func:`edge_operator` (or :meth:`for_topology`) rather than the
+    constructor so instances are shared through the per-topology cache.
+    """
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self.n = topo.n
+        self.m = topo.m
+        edges = topo.edges
+        self.u = edges[:, 0]
+        self.v = edges[:, 1]
+        #: float64 ``4 max(d_u, d_v)``, shared with the topology cache
+        self.denominators = topo.edge_denominators
+        #: int64 twin for the discrete (floor-division) algorithms
+        self.denominators_int = topo.edge_denominators_int
+        self._incidence: dict[str, object] = {}
+        self._round_matrix = None
+        self._fos_matrices: dict[float, object] = {}
+        self._scratch: dict[tuple, np.ndarray] = {}
+
+    def scratch(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        """A reusable work buffer (the operator is a per-topology singleton).
+
+        Callers own the buffer only until their next call into the
+        operator; returned *results* are never scratch-backed.
+        """
+        full_key = (key, shape, np.dtype(dtype).char)
+        buf = self._scratch.get(full_key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._scratch[full_key] = buf
+        return buf
+
+    # ------------------------------------------------------------------
+    # Construction / caching
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_topology(cls, topo: Topology) -> "EdgeOperator":
+        """The operator for ``topo``, cached on the instance."""
+        op = topo.__dict__.get(_CACHE_ATTR)
+        if op is None:
+            op = cls(topo)
+            topo.__dict__[_CACHE_ATTR] = op
+        return op
+
+    def incidence(self, dtype=np.float64):
+        """Signed incidence CSR ``(n, m)``: ``-1`` at ``(u, e)``, ``+1`` at ``(v, e)``.
+
+        Returns None when SciPy is unavailable.
+        """
+        if not HAVE_SCIPY:
+            return None
+        key = np.dtype(dtype).char
+        A = self._incidence.get(key)
+        if A is None:
+            ones = np.ones(self.m, dtype=dtype)
+            rows = np.concatenate([self.u, self.v])
+            cols = np.concatenate([np.arange(self.m)] * 2)
+            data = np.concatenate([-ones, ones])
+            A = _sp.csr_array((data, (rows, cols)), shape=(self.n, self.m))
+            A.sum_duplicates()
+            A.sort_indices()
+            self._incidence[key] = A
+        return A
+
+    def round_matrix(self):
+        """Algorithm 1's continuous round as a sparse matrix.
+
+        ``M = I - sum_e w_e (e_u - e_v)(e_u - e_v)^T`` with
+        ``w_e = 1 / (4 max(d_u, d_v))``, so ``M @ loads`` is one
+        concurrent continuous round.  None when SciPy is unavailable.
+        """
+        if not HAVE_SCIPY:
+            return None
+        if self._round_matrix is None:
+            self._round_matrix = self._laplacian_style(1.0 / self.denominators)
+        return self._round_matrix
+
+    def fos_round_matrix(self, alpha: float):
+        """FOS round matrix ``M = I - alpha L`` (cached per ``alpha``)."""
+        if not HAVE_SCIPY:
+            return None
+        key = float(alpha)
+        M = self._fos_matrices.get(key)
+        if M is None:
+            M = self._laplacian_style(np.full(self.m, key, dtype=np.float64))
+            self._fos_matrices[key] = M
+        return M
+
+    def _laplacian_style(self, w: np.ndarray):
+        """``I - sum_e w_e (e_u - e_v)(e_u - e_v)^T`` as sorted CSR."""
+        diag = np.ones(self.n, dtype=np.float64)
+        np.subtract.at(diag, self.u, w)
+        np.subtract.at(diag, self.v, w)
+        rows = np.concatenate([np.arange(self.n), self.u, self.v])
+        cols = np.concatenate([np.arange(self.n), self.v, self.u])
+        data = np.concatenate([diag, w, w])
+        M = _sp.csr_array((data, (rows, cols)), shape=(self.n, self.n))
+        M.sum_duplicates()
+        M.sort_indices()
+        return M
+
+    # ------------------------------------------------------------------
+    # Primitives (node-major: loads are (n,) or (n, B))
+    # ------------------------------------------------------------------
+    def differences(self, loads: np.ndarray) -> np.ndarray:
+        """Per-edge ``l_u - l_v`` along the canonical direction, ``(m,)`` or ``(m, B)``."""
+        return loads[self.u] - loads[self.v]
+
+    def apply_flows(
+        self, loads: np.ndarray, flows: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``loads`` plus the signed scatter of ``flows`` onto edge endpoints.
+
+        ``loads`` is ``(n,)`` or node-major ``(n, B)`` with ``flows``
+        shaped ``(m,)`` / ``(m, B)`` to match; ``out`` may supply a
+        preallocated result buffer (must not alias ``loads``).
+        """
+        if out is loads and out is not None:
+            raise ValueError("out must not alias the input vector")
+        A = self.incidence(dtype=loads.dtype if loads.dtype == np.int64 else np.float64)
+        if A is not None:
+            if out is None:
+                return loads + A @ flows
+            _csr_into(A, np.ascontiguousarray(flows), out)
+            np.add(loads, out, out=out)
+            return out
+        # Pure-NumPy fallback: edge-order add.at accumulation.  For the
+        # batched layout the scatter targets rows of the node-major matrix,
+        # which preserves the exact per-replica accumulation order.
+        if out is None:
+            out = loads.copy()
+        else:
+            np.copyto(out, loads)
+        np.subtract.at(out, self.u, flows)
+        np.add.at(out, self.v, flows)
+        return out
+
+    def linear_round(self, M, loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One linear round ``M @ loads`` for ``(n,)`` or node-major ``(n, B)``."""
+        if out is None:
+            return M @ loads
+        return _csr_into(M, loads, out)
+
+    # ------------------------------------------------------------------
+    # Full rounds for Algorithm 1 (diffusion)
+    # ------------------------------------------------------------------
+    def round_continuous(self, loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One continuous Algorithm-1 round (node-major batched or serial)."""
+        M = self.round_matrix()
+        if M is not None:
+            return self.linear_round(M, loads, out)
+        diff = self.differences(loads)
+        denom = self.denominators if loads.ndim == 1 else self.denominators[:, None]
+        return self.apply_flows(loads, diff / denom, out)
+
+    def round_discrete(self, loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One discrete Algorithm-1 round; int64 in, int64 out, exact.
+
+        The batched form stages the gathers and flow arithmetic in
+        reusable scratch buffers — allocation-free in steady state, with
+        values identical to the serial expressions (integer arithmetic).
+        """
+        if loads.ndim == 1:
+            diff = self.differences(loads)
+            flows = np.sign(diff) * (np.abs(diff) // self.denominators_int)
+            return self.apply_flows(loads, flows, out)
+        shape = (self.m, loads.shape[1])
+        diff = self.scratch("disc-diff", shape, np.int64)
+        mag = self.scratch("disc-mag", shape, np.int64)
+        np.take(loads, self.u, axis=0, out=diff)
+        np.take(loads, self.v, axis=0, out=mag)
+        np.subtract(diff, mag, out=diff)
+        np.abs(diff, out=mag)
+        np.floor_divide(mag, self.denominators_int[:, None], out=mag)
+        np.sign(diff, out=diff)
+        np.multiply(diff, mag, out=diff)
+        return self.apply_flows(loads, diff, out)
+
+
+def edge_operator(topo: Topology) -> EdgeOperator:
+    """The cached :class:`EdgeOperator` for ``topo``."""
+    return EdgeOperator.for_topology(topo)
+
+
+def replica_major(kernel, loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Adapt a node-major operator kernel to replica-major ``(B, n)`` loads.
+
+    Transposes in, runs ``kernel`` on the contiguous node-major view,
+    transposes back; honours an optional preallocated ``out``.  The shared
+    boundary between the user-facing ``(B, n)`` round functions and the
+    node-major engine primitives.
+    """
+    result = np.ascontiguousarray(kernel(np.ascontiguousarray(loads.T)).T)
+    if out is None:
+        return result
+    np.copyto(out, result)
+    return out

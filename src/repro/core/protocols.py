@@ -17,6 +17,15 @@ The engine contract is:
    float-exact up to accumulation error in continuous mode);
 3. deterministic given the ``rng`` stream.
 
+Schemes that can run many replicas in lockstep additionally set
+``supports_batch = True`` and implement ``step_batch(loads, rngs)`` over
+a **node-major** ``(n, B)`` load matrix (column ``b`` is replica ``b``)
+with one independent generator per replica.  The contract mirrors
+``step``: no input mutation, per-replica conservation, and column ``b``
+of the result must be **bit-for-bit** what ``step`` would produce for
+replica ``b``'s loads and generator — :class:`EnsembleSimulator` and the
+property tests rely on that equivalence.
+
 A string registry maps scheme names to factories so the CLI and the
 experiment configs can construct balancers declaratively.
 """
@@ -68,6 +77,8 @@ class Balancer(ABC):
     name: str = "balancer"
     #: CONTINUOUS or DISCRETE
     mode: str = CONTINUOUS
+    #: True when :meth:`step_batch` is implemented (lockstep ensembles)
+    supports_batch: bool = False
 
     def __init__(self) -> None:
         self.state = BalancerState()
@@ -80,6 +91,21 @@ class Balancer(ABC):
     @abstractmethod
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Return the next round's loads; must not mutate the input."""
+
+    def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep round over a node-major ``(n, B)`` replica batch.
+
+        ``rngs`` is a sequence of ``B`` independent generators (one per
+        replica); column ``b`` of the result must equal what ``step``
+        would return for column ``b`` and ``rngs[b]``, bit for bit.
+        ``out`` optionally supplies a preallocated result buffer (never
+        aliasing ``loads``) that implementations *may* fill and return —
+        the ensemble engine ping-pongs two buffers through it to keep
+        the hot loop allocation-free.  Ignoring ``out`` and returning a
+        fresh array is always correct.  Schemes opt in by overriding
+        this and setting ``supports_batch``.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support batched stepping")
 
     # -- helpers ----------------------------------------------------------
     @property

@@ -17,9 +17,18 @@ drop of Lemma 11 / Theorem 12 (and Lemma 13 / Theorem 14 discretely).
 
 The link set follows the paper's ``E <- E u (i, j)`` *set* semantics:
 mutual picks (i chooses j and j chooses i) collapse into a single link.
+
+Batching: because every replica draws its own link set, a replica batch
+is balanced on the *flattened* node space — replica ``b``'s links are
+offset into slots ``node * B + b`` of the node-major ``(n, B)`` matrix
+and a single scatter applies all replicas at once.  Per-replica RNG
+streams are consumed exactly as the serial kernels would, so batched
+runs are bit-for-bit identical to ``B`` serial runs.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -90,20 +99,72 @@ def _apply(loads: np.ndarray, links: np.ndarray, flows: np.ndarray) -> np.ndarra
     return out
 
 
-def partner_round_continuous(loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """One concurrent continuous round of Algorithm 2."""
-    l = np.asarray(loads, dtype=np.float64)
-    links = sample_partner_links(l.size, rng)
-    deg = link_degrees(l.size, links)
-    return _apply(l, links, partner_flows(l, links, deg, discrete=False))
+def _apply_batch_links(
+    loads: np.ndarray, link_sets: list[np.ndarray], discrete: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply one presampled link set per replica to a node-major batch.
+
+    Each replica's links live in the flattened slot space
+    ``node * B + b``, so degrees, flows and the scatter for all replicas
+    are single vectorized operations.  Returns the new ``(n, B)`` loads
+    and the per-replica link-degree matrix (also ``(n, B)``).
+    """
+    n, B = loads.shape
+    counts = np.asarray([lk.shape[0] for lk in link_sets])
+    offsets = np.repeat(np.arange(B, dtype=np.int64), counts)
+    links = np.concatenate(link_sets, axis=0)
+    U = links[:, 0] * B + offsets
+    V = links[:, 1] * B + offsets
+    flat = loads.reshape(-1)
+    deg = np.bincount(np.concatenate([U, V]), minlength=n * B)
+    denom = 4 * np.maximum(deg[U], deg[V])
+    diff = flat[U] - flat[V]
+    if discrete:
+        flows = np.sign(diff) * (np.abs(diff) // denom)
+    else:
+        flows = diff / denom.astype(np.float64)
+    out = flat.copy()
+    np.subtract.at(out, U, flows)
+    np.add.at(out, V, flows)
+    return out.reshape(n, B), deg.reshape(n, B)
 
 
-def partner_round_discrete(loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+def _round_batch_node_major(
+    loads: np.ndarray, rngs: Sequence[np.random.Generator], discrete: bool
+) -> np.ndarray:
+    """One lockstep partner round for a node-major ``(n, B)`` batch.
+
+    Only the per-replica link sampling (which must consume each RNG
+    stream exactly as the serial kernel does) is a Python loop of ``B``
+    draws; everything else is one vectorized pass.
+    """
+    link_sets = [sample_partner_links(loads.shape[0], rng) for rng in rngs]
+    out, _ = _apply_batch_links(loads, link_sets, discrete)
+    return out
+
+
+def _round(loads: np.ndarray, rng, discrete: bool) -> np.ndarray:
+    """Dispatch serial ``(n,)`` / replica-major ``(B, n)`` partner rounds."""
+    if loads.ndim == 1:
+        links = sample_partner_links(loads.size, rng)
+        deg = link_degrees(loads.size, links)
+        return _apply(loads, links, partner_flows(loads, links, deg, discrete=discrete))
+    result = _round_batch_node_major(np.ascontiguousarray(loads.T), rng, discrete)
+    return np.ascontiguousarray(result.T)
+
+
+def partner_round_continuous(loads: np.ndarray, rng) -> np.ndarray:
+    """One concurrent continuous round of Algorithm 2.
+
+    ``loads`` may be ``(n,)`` with a single generator or replica-major
+    ``(B, n)`` with a sequence of ``B`` generators (one per replica).
+    """
+    return _round(np.asarray(loads, dtype=np.float64), rng, discrete=False)
+
+
+def partner_round_discrete(loads: np.ndarray, rng) -> np.ndarray:
     """One concurrent discrete round of Algorithm 2 (integer tokens)."""
-    l = np.asarray(loads, dtype=np.int64)
-    links = sample_partner_links(l.size, rng)
-    deg = link_degrees(l.size, links)
-    return _apply(l, links, partner_flows(l, links, deg, discrete=True))
+    return _round(np.asarray(loads, dtype=np.int64), rng, discrete=True)
 
 
 class RandomPartnerBalancer(Balancer):
@@ -112,8 +173,12 @@ class RandomPartnerBalancer(Balancer):
     Needs no topology: the communication graph is resampled every round
     from the uniform partner distribution.  The last sampled link set and
     degrees are kept on the instance (``last_links``, ``last_degrees``)
-    so experiments can inspect the realized concurrency.
+    so experiments can inspect the realized concurrency; after a batched
+    round they hold *per-replica lists* of link arrays / degree vectors
+    instead of a single pair.
     """
+
+    supports_batch = True
 
     def __init__(self, mode: str = CONTINUOUS):
         super().__init__()
@@ -121,8 +186,8 @@ class RandomPartnerBalancer(Balancer):
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
         self.name = f"random-partner[{mode}]"
-        self.last_links: np.ndarray | None = None
-        self.last_degrees: np.ndarray | None = None
+        self.last_links: np.ndarray | list[np.ndarray] | None = None
+        self.last_degrees: np.ndarray | list[np.ndarray] | None = None
 
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         loads = self.validate_loads(loads)
@@ -132,6 +197,19 @@ class RandomPartnerBalancer(Balancer):
         self.last_links, self.last_degrees = links, deg
         flows = partner_flows(loads, links, deg, discrete=self.mode == DISCRETE)
         return _apply(loads, links, flows)
+
+    def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep round for a node-major ``(n, B)`` replica batch.
+
+        ``last_links``/``last_degrees`` become per-replica lists (see the
+        class docstring).
+        """
+        self.advance_round()
+        link_sets = [sample_partner_links(loads.shape[0], rng) for rng in rngs]
+        new, deg = _apply_batch_links(loads, link_sets, discrete=self.mode == DISCRETE)
+        self.last_links = link_sets
+        self.last_degrees = [deg[:, b] for b in range(deg.shape[1])]
+        return new
 
 
 @register_balancer("random-partner")

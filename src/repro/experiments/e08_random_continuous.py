@@ -19,6 +19,12 @@ Monte-Carlo over independent runs from a point load:
 - rounds to ``Phi <= e^{-c}`` (median across trials) versus Theorem 12's
   ``T = 120 c ln Phi_0``;
 - the success fraction at the bound versus the guaranteed probability.
+
+The replications run through the vectorized Monte-Carlo backend by
+default: all trials advance in lockstep through one
+:class:`~repro.simulation.ensemble.EnsembleSimulator` (per-trial load
+trajectories identical to the serial loop, which remains available via
+``workers=1``).
 """
 
 from __future__ import annotations
@@ -30,48 +36,77 @@ import numpy as np
 from repro.analysis.reporting import Table
 from repro.core.bounds import theorem12_rounds, theorem12_success_probability
 from repro.core.potential import potential
-from repro.core.random_partner import partner_round_continuous
+from repro.core.random_partner import RandomPartnerBalancer, partner_round_continuous
 from repro.experiments.common import SEED
+from repro.simulation.ensemble import EnsembleSimulator
 from repro.simulation.initial import point_load
 from repro.simulation.montecarlo import monte_carlo
+from repro.simulation.stopping import MaxRounds, PotentialBelow
 
 __all__ = ["run", "trial_drop_and_rounds"]
 
 
-def trial_drop_and_rounds(rng: np.random.Generator, n: int, c: float, max_rounds: int) -> dict[str, float]:
-    """One Algorithm-2 run: per-round drop ratios and rounds-to-target.
-
-    Module-level (picklable) so :func:`monte_carlo` can fan it out over a
-    process pool.  Returns the mean per-round drop ratio over the first
-    rounds where ``Phi`` is meaningfully positive, the rounds needed to
-    reach ``e^{-c}``, and whether the bound-round potential succeeded.
-    """
-    loads = point_load(n, total=100 * n, discrete=False)
-    phi = potential(loads)
-    target = math.exp(-c)
-    t_bound = int(math.ceil(120.0 * c * math.log(phi)))
-    ratios: list[float] = []
-    rounds_to_target: float = math.nan
-    x = loads
-    for t in range(1, max_rounds + 1):
-        x = partner_round_continuous(x, rng)
-        new_phi = potential(x)
-        if phi > 1e-12:
-            ratios.append(new_phi / phi)
-        phi = new_phi
-        if phi <= target:
-            # Phi is non-increasing for Algorithm 2 (every link's transfer
-            # is damped below the equalizing amount), so reaching the
-            # target settles success at any later bound round.
-            rounds_to_target = t
-            break
-    success_at_bound = 1.0 if (not math.isnan(rounds_to_target) and rounds_to_target <= t_bound) else 0.0
+def _metrics_from_potentials(pots: list[float], target: float, t_bound: int) -> dict[str, float]:
+    """The trial metrics, derived from one replica's potential series."""
+    ratios = [pots[t] / pots[t - 1] for t in range(1, len(pots)) if pots[t - 1] > 1e-12]
+    rounds_to_target = math.nan
+    # Phi is non-increasing for Algorithm 2 (every link's transfer is
+    # damped below the equalizing amount), so reaching the target settles
+    # success at any later bound round.
+    if pots and pots[-1] <= target:
+        rounds_to_target = len(pots) - 1
+    success = 1.0 if (not math.isnan(rounds_to_target) and rounds_to_target <= t_bound) else 0.0
     return {
         "mean_ratio": float(np.mean(ratios)) if ratios else math.nan,
         "max_ratio": float(np.max(ratios)) if ratios else math.nan,
         "rounds_to_target": rounds_to_target,
-        "success_at_bound": success_at_bound,
+        "success_at_bound": success,
     }
+
+
+class _DropAndRoundsTrial:
+    """One Algorithm-2 run: per-round drop ratios and rounds-to-target.
+
+    A module-level instance (picklable) so :func:`monte_carlo` can fan it
+    out over a process pool; :meth:`run_batch` is the vectorized backend
+    running every trial in lockstep through an ensemble.
+    """
+
+    def __call__(self, rng: np.random.Generator, n: int, c: float, max_rounds: int) -> dict[str, float]:
+        loads = point_load(n, total=100 * n, discrete=False)
+        phi = potential(loads)
+        target = math.exp(-c)
+        t_bound = int(math.ceil(120.0 * c * math.log(phi)))
+        pots = [phi]
+        x = loads
+        # Stop condition checked before each round, as the ensemble
+        # engine's per-replica rules do (the initial state included).
+        for _ in range(max_rounds):
+            if pots[-1] <= target:
+                break
+            x = partner_round_continuous(x, rng)
+            pots.append(potential(x))
+        return _metrics_from_potentials(pots, target, t_bound)
+
+    def run_batch(self, rngs, n: int, c: float, max_rounds: int) -> dict[str, np.ndarray]:
+        """All trials at once through one lockstep ensemble."""
+        loads = point_load(n, total=100 * n, discrete=False)
+        phi = potential(loads)
+        target = math.exp(-c)
+        t_bound = int(math.ceil(120.0 * c * math.log(phi)))
+        ens = EnsembleSimulator(
+            RandomPartnerBalancer(),
+            stopping=[PotentialBelow(target), MaxRounds(max_rounds)],
+        )
+        trace = ens.run(loads, seed=rngs)
+        per_trial = [
+            _metrics_from_potentials(trace.replica_potentials(b), target, t_bound)
+            for b in range(len(rngs))
+        ]
+        return {k: np.asarray([m[k] for m in per_trial]) for k in per_trial[0]}
+
+
+trial_drop_and_rounds = _DropAndRoundsTrial()
 
 
 def run(
@@ -79,7 +114,7 @@ def run(
     trials: int = 20,
     c: float = 1.0,
     seed: int = SEED,
-    workers: int = 1,
+    workers: int | str = "vectorized",
 ) -> Table:
     """Regenerate the Lemma 11 / Theorem 12 table; see module docstring."""
     table = Table(

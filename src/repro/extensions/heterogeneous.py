@@ -69,36 +69,65 @@ def heterogeneous_potential(loads: np.ndarray, speeds: np.ndarray) -> float:
     return float((s * (w - wbar) ** 2).sum())
 
 
-def weighted_flows(
-    loads: np.ndarray, speeds: np.ndarray, topo: Topology, discrete: bool = False
-) -> np.ndarray:
-    """Per-edge signed flow along the canonical direction u -> v."""
-    l = np.asarray(loads, dtype=np.float64)
-    s = _check_speeds(l.size, speeds)
-    u, v = topo.edges[:, 0], topo.edges[:, 1]
-    w = l / s
-    denom = 4.0 * np.maximum(topo.degrees[u], topo.degrees[v])
-    raw = np.minimum(s[u], s[v]) * (w[u] - w[v]) / denom
+def _flow_values(w_u, w_v, s_min, denom, discrete: bool) -> np.ndarray:
+    """The speed-weighted transfer ``min(s) (w_u - w_v) / denom``.
+
+    The single home of the extension's flow formula (floored in whole
+    tokens when ``discrete``); both the replica-major and the node-major
+    paths evaluate exactly this, element for element.
+    """
+    raw = s_min * (w_u - w_v) / denom
     if discrete:
         return np.sign(raw) * np.floor(np.abs(raw))
     return raw
 
 
+def weighted_flows(
+    loads: np.ndarray, speeds: np.ndarray, topo: Topology, discrete: bool = False
+) -> np.ndarray:
+    """Per-edge signed flow along the canonical direction u -> v.
+
+    ``loads`` may be ``(n,)`` or replica-major ``(B, n)``; flows broadcast
+    along the batch axis.
+    """
+    l = np.asarray(loads, dtype=np.float64)
+    s = _check_speeds(l.shape[-1], speeds)
+    u, v = topo.edges[:, 0], topo.edges[:, 1]
+    w = l / s
+    return _flow_values(
+        w[..., u], w[..., v], np.minimum(s[u], s[v]), topo.edge_denominators, discrete
+    )
+
+
 def weighted_round(
     loads: np.ndarray, speeds: np.ndarray, topo: Topology, discrete: bool = False
 ) -> np.ndarray:
-    """One concurrent heterogeneous round; returns the new load vector."""
+    """One concurrent heterogeneous round; returns the new load vector(s)."""
+    from repro.core.diffusion import apply_edge_flows
+
     flows = weighted_flows(loads, speeds, topo, discrete=discrete)
-    u, v = topo.edges[:, 0], topo.edges[:, 1]
     if discrete:
-        out = np.asarray(loads, dtype=np.int64).copy()
-        f = flows.astype(np.int64)
-    else:
-        out = np.asarray(loads, dtype=np.float64).copy()
-        f = flows
-    np.subtract.at(out, u, f)
-    np.add.at(out, v, f)
-    return out
+        return apply_edge_flows(np.asarray(loads, dtype=np.int64), topo, flows.astype(np.int64))
+    return apply_edge_flows(np.asarray(loads, dtype=np.float64), topo, flows)
+
+
+def _weighted_round_node_major(
+    loads: np.ndarray, speeds: np.ndarray, topo: Topology, discrete: bool
+) -> np.ndarray:
+    """One heterogeneous round on a node-major ``(n, B)`` batch."""
+    from repro.core.operators import edge_operator
+
+    op = edge_operator(topo)
+    s = _check_speeds(loads.shape[0], speeds)
+    w = loads.astype(np.float64) / s[:, None] if discrete else loads / s[:, None]
+    flows = _flow_values(
+        w[op.u],
+        w[op.v],
+        np.minimum(s[op.u], s[op.v])[:, None],
+        op.denominators[:, None],
+        discrete,
+    )
+    return op.apply_flows(loads, flows.astype(np.int64) if discrete else flows)
 
 
 class HeterogeneousDiffusionBalancer(Balancer):
@@ -121,6 +150,8 @@ class HeterogeneousDiffusionBalancer(Balancer):
     measurement — the experiment module does.
     """
 
+    supports_batch = True
+
     def __init__(self, topology: Topology, speeds: np.ndarray, mode: str = CONTINUOUS):
         super().__init__()
         if mode not in (CONTINUOUS, DISCRETE):
@@ -136,6 +167,11 @@ class HeterogeneousDiffusionBalancer(Balancer):
         if loads.size != self.topology.n:
             raise ValueError(f"loads has {loads.size} entries for n={self.topology.n}")
         return weighted_round(loads, self.speeds, self.topology, discrete=self.mode == DISCRETE)
+
+    def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep round for a node-major ``(n, B)`` replica batch."""
+        self.advance_round()
+        return _weighted_round_node_major(loads, self.speeds, self.topology, self.mode == DISCRETE)
 
 
 @register_balancer("hetero-diffusion")

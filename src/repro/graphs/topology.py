@@ -120,6 +120,31 @@ class Topology:
         """Minimum degree."""
         return int(self.degrees.min()) if self._n else 0
 
+    @cached_property
+    def edge_denominators(self) -> np.ndarray:
+        """Per-edge damping ``4 max(d_u, d_v)`` as float64, shape ``(m,)``.
+
+        This is the paper's transfer-rate denominator; every scheme that
+        sweeps the edge array needs it each round, so it is computed once
+        per topology (read-only) instead of per round.
+        """
+        denom = self.edge_denominators_int.astype(np.float64)
+        denom.setflags(write=False)
+        return denom
+
+    @cached_property
+    def edge_denominators_int(self) -> np.ndarray:
+        """Per-edge damping ``4 max(d_u, d_v)`` as int64, shape ``(m,)``.
+
+        The discrete algorithms floor-divide by this, so they need the
+        exact integer value; cached for the same reason as the float view.
+        """
+        deg = self.degrees
+        u, v = self._edges[:, 0], self._edges[:, 1]
+        denom = 4 * np.maximum(deg[u], deg[v])
+        denom.setflags(write=False)
+        return denom
+
     # ------------------------------------------------------------------
     # CSR adjacency (local views for the superstep substrate)
     # ------------------------------------------------------------------

@@ -6,11 +6,13 @@
 - :mod:`repro.simulation.trace` — per-round records and convergence-time
   extraction;
 - :mod:`repro.simulation.engine` — the fast vectorized round loop;
+- :mod:`repro.simulation.ensemble` — the batched lockstep engine running
+  whole replica ensembles through one vectorized round loop;
 - :mod:`repro.simulation.superstep` — the BSP / message-passing substrate
   in which each node runs the *local* protocol with mailboxes (fidelity
   reference for the vectorized engine);
-- :mod:`repro.simulation.montecarlo` — seed sweeps, serially or on a
-  process pool.
+- :mod:`repro.simulation.montecarlo` — seed sweeps: serial, process pool,
+  or vectorized through the ensemble engine.
 """
 
 from repro.simulation.initial import (
@@ -34,6 +36,7 @@ from repro.simulation.stopping import (
 )
 from repro.simulation.trace import Trace
 from repro.simulation.engine import Simulator, run_balancer
+from repro.simulation.ensemble import EnsembleSimulator, EnsembleTrace, spawn_rngs
 from repro.simulation.superstep import (
     SuperstepNetwork,
     SuperstepPartnerNetwork,
@@ -62,6 +65,9 @@ __all__ = [
     "Trace",
     "Simulator",
     "run_balancer",
+    "EnsembleSimulator",
+    "EnsembleTrace",
+    "spawn_rngs",
     "SuperstepNetwork",
     "SuperstepPartnerNetwork",
     "run_superstep_diffusion",

@@ -10,6 +10,13 @@ Determinism: a run is fully determined by ``(balancer, loads, seed)``.
 The RNG handed to the balancer each round is a single generator advanced
 across rounds (not reseeded), matching how a long-lived distributed
 system would consume randomness.
+
+`Simulator` is the serial (``B = 1``) special case of
+:class:`~repro.simulation.ensemble.EnsembleSimulator`: for batch-capable
+balancers the ensemble engine reproduces this loop bit-for-bit per
+replica while amortizing the per-round engine overhead across the whole
+replica batch.  `Simulator` remains the universal engine — it works for
+every balancer, batched or not.
 """
 
 from __future__ import annotations
@@ -108,8 +115,23 @@ def run_balancer(
     rounds: int,
     seed: int | np.random.Generator = 0,
     keep_snapshots: bool = False,
+    stopping: Sequence[StoppingRule] | None = None,
 ) -> Trace:
-    """Convenience wrapper: run exactly ``rounds`` rounds (or until the
-    default engine safety rules fire)."""
-    sim = Simulator(balancer, stopping=[MaxRounds(rounds)], keep_snapshots=keep_snapshots)
+    """Convenience wrapper: run exactly ``rounds`` rounds.
+
+    The installed rule list is exactly ``[MaxRounds(rounds)]`` plus any
+    caller-supplied extra ``stopping`` rules — the engine's implicit
+    ``MaxRounds`` safety net never applies, so the default call is
+    *guaranteed* to run all ``rounds`` rounds even when the system has
+    already converged or stalled (no ``Stagnation``-style rule can cut it
+    short, because none is installed by default).
+
+    Extra ``stopping`` rules are checked **before** the round cap, so
+    passing e.g. ``[Stagnation(patience=5)]`` deliberately re-enables
+    early exit; the trace's ``stopped_by`` records which rule actually
+    fired.  Use :class:`Simulator` directly for fully custom rule lists.
+    """
+    rules: list[StoppingRule] = list(stopping) if stopping else []
+    rules.append(MaxRounds(rounds))
+    sim = Simulator(balancer, stopping=rules, keep_snapshots=keep_snapshots)
     return sim.run(loads, seed)

@@ -1,18 +1,29 @@
-"""Monte-Carlo replication over seeds, serial or process-parallel.
+"""Monte-Carlo replication over seeds: serial, process-parallel or vectorized.
 
 Theorems 12 and 14 are probabilistic ("with probability at least ..."),
 and Lemmas 9/11/13 bound expectations — verifying them needs many
 independent runs.  :func:`monte_carlo` executes a user-provided trial
 function over a range of seeds and aggregates the results; replications
 are independent, so they fan out over a ``ProcessPoolExecutor`` when
-``workers > 1`` — the embarrassingly-parallel axis the hpc-parallel
-guides recommend parallelizing (each trial is itself vectorized NumPy).
+``workers > 1`` — the embarrassingly-parallel axis worth parallelizing
+(each trial is itself vectorized NumPy).
+
+``workers="vectorized"`` selects the batched backend instead: a trial
+object that implements ``run_batch(rngs, *args, **kwargs)`` (typically by
+pushing all replicas through an
+:class:`~repro.simulation.ensemble.EnsembleSimulator` in lockstep)
+receives every replica's generator at once and returns the per-trial
+metric arrays in one call — no process pool, no per-trial Python round
+loops.  Trials without ``run_batch`` transparently fall back to the
+serial loop, so ``workers="vectorized"`` is always safe to request.
 
 Seeds are derived from a root seed via ``SeedSequence.spawn`` so that
 
 - trials are statistically independent,
-- results are identical whether run serially or on any number of workers
-  (tested), and
+- results are identical whether run serially, on any number of workers,
+  or through the vectorized backend (load trajectories are bit-for-bit
+  reproduced; derived statistics may differ in the last float ulp from
+  summation order), and
 - any single trial can be reproduced in isolation from its index.
 
 The trial function must be a module-level callable (picklable) taking a
@@ -97,18 +108,35 @@ def monte_carlo(
     trial: TrialFn,
     trials: int,
     root_seed: int = 0,
-    workers: int = 1,
+    workers: int | str = 1,
     trial_args: Sequence = (),
     trial_kwargs: Mapping | None = None,
 ) -> MonteCarloResult:
     """Run ``trial(rng, *trial_args, **trial_kwargs)`` for many seeds.
 
-    ``workers > 1`` uses a process pool; results are aggregated in trial
-    order either way, so the output is independent of the worker count.
+    ``workers > 1`` uses a process pool; ``workers="vectorized"``
+    dispatches through the trial's ``run_batch`` method when it has one
+    (and falls back to the serial loop otherwise).  Results are
+    aggregated in trial order in every backend, so the output is
+    independent of the execution strategy.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
     kwargs = dict(trial_kwargs or {})
+    if workers == "vectorized":
+        run_batch = getattr(trial, "run_batch", None)
+        if run_batch is not None:
+            out = run_batch(trial_rngs(root_seed, trials), *tuple(trial_args), **kwargs)
+            samples = {str(k): np.asarray(v, dtype=np.float64) for k, v in dict(out).items()}
+            for key, arr in samples.items():
+                if arr.shape != (trials,):
+                    raise ValueError(
+                        f"run_batch returned {arr.shape} samples for {key!r}, expected ({trials},)"
+                    )
+            return MonteCarloResult(samples=samples, trials=trials)
+        workers = 1
+    elif not isinstance(workers, int):
+        raise ValueError(f"workers must be an int or 'vectorized', got {workers!r}")
     jobs = [(trial, root_seed, i, tuple(trial_args), kwargs) for i in range(trials)]
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:

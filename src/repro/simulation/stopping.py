@@ -6,6 +6,12 @@ the engine takes a list and stops at the first satisfied rule, recording
 its reason — so an experiment can say "stop when the potential is below
 the Theorem 6 threshold, or after 10x the theoretical bound, whichever
 comes first" and later distinguish which one fired.
+
+Every built-in rule additionally implements ``should_stop_batch``, the
+vectorized form used by :class:`~repro.simulation.ensemble.EnsembleSimulator`:
+given a batched trace it returns a boolean mask over replicas, evaluating
+the *same* predicate per replica without a Python loop.  Custom rules can
+join ensemble runs by implementing the same method.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 __all__ = [
     "StoppingRule",
@@ -31,6 +39,17 @@ class StoppingRule(ABC):
     @abstractmethod
     def should_stop(self, trace) -> bool:
         """True when the run should end after the just-recorded round."""
+
+    def should_stop_batch(self, trace) -> np.ndarray:
+        """Boolean mask over replicas of a batched trace (vectorized form).
+
+        Subclasses without a vectorized implementation cannot be used
+        with :class:`EnsembleSimulator`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batched form; implement should_stop_batch "
+            "to use it with EnsembleSimulator"
+        )
 
     @property
     def reason(self) -> str:
@@ -51,6 +70,9 @@ class MaxRounds(StoppingRule):
     def should_stop(self, trace) -> bool:
         return trace.rounds >= self.rounds
 
+    def should_stop_batch(self, trace) -> np.ndarray:
+        return trace.rounds_vector >= self.rounds
+
     @property
     def reason(self) -> str:
         return f"max-rounds({self.rounds})"
@@ -64,6 +86,9 @@ class PotentialBelow(StoppingRule):
 
     def should_stop(self, trace) -> bool:
         return trace.last_potential <= self.threshold
+
+    def should_stop_batch(self, trace) -> np.ndarray:
+        return trace.last_potentials <= self.threshold
 
     @property
     def reason(self) -> str:
@@ -83,6 +108,9 @@ class PotentialFractionBelow(StoppingRule):
     def should_stop(self, trace) -> bool:
         return trace.last_potential <= self.eps * trace.initial_potential
 
+    def should_stop_batch(self, trace) -> np.ndarray:
+        return trace.last_potentials <= self.eps * trace.initial_potentials
+
     @property
     def reason(self) -> str:
         return f"potential<={self.eps:.3g}*Phi0"
@@ -96,6 +124,9 @@ class DiscrepancyBelow(StoppingRule):
 
     def should_stop(self, trace) -> bool:
         return trace.last_discrepancy <= self.threshold
+
+    def should_stop_batch(self, trace) -> np.ndarray:
+        return trace.last_discrepancies <= self.threshold
 
     @property
     def reason(self) -> str:
@@ -131,6 +162,20 @@ class Stagnation(StoppingRule):
             if (before - after) / before > self.min_rel_drop:
                 return False
         return True
+
+    def should_stop_batch(self, trace) -> np.ndarray:
+        # Mirrors the serial predicate: needs more than ``patience``
+        # recorded states (rounds >= patience) before it can fire.  Only
+        # the window is materialized, keeping the per-round cost O(patience)
+        # rather than O(run length).
+        window = trace.potentials_tail(self.patience + 1)
+        if trace.recorded_states <= self.patience:
+            return np.zeros(window.shape[1], dtype=bool)
+        before, after = window[:-1], window[1:]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            improved = (before - after) / np.where(before > 0, before, 1.0) > self.min_rel_drop
+        improved &= before > 0
+        return ~improved.any(axis=0)
 
     @property
     def reason(self) -> str:

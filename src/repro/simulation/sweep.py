@@ -9,10 +9,18 @@ the comparison table directly.
 
 Specs are strings (``"torus:8x8"``, ``"diffusion-discrete"``) so sweeps
 are declarative and CLI-expressible (``repro-lb sweep ...``).
+
+``replicas > 1`` replicates every cell over independently drawn initial
+distributions (per-replica spawned seeds) and reports medians/means.
+Batch-capable balancers run all replicas in lockstep through
+:class:`~repro.simulation.ensemble.EnsembleSimulator`; the rest fall
+back to a serial replica loop, so the grid semantics do not depend on
+which schemes happen to support batching.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +29,7 @@ from repro.analysis.reporting import Table
 from repro.core.protocols import get_balancer
 from repro.graphs.generators import by_name
 from repro.simulation.engine import Simulator
+from repro.simulation.ensemble import EnsembleSimulator, spawn_rngs
 from repro.simulation.initial import make_loads
 from repro.simulation.stopping import MaxRounds, PotentialFractionBelow, Stagnation
 
@@ -29,14 +38,97 @@ __all__ = ["SweepCell", "sweep"]
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One (topology, balancer) outcome."""
+    """One (topology, balancer) outcome.
+
+    With ``replicas > 1`` the fields are aggregates: ``rounds`` is the
+    median rounds-to-target over the replicas that reached it (None when
+    none did), ``final_potential`` and ``total_movement`` are means, and
+    ``stopped_by`` is the most common stopping reason.
+    """
 
     topology: str
     balancer: str
-    rounds: int | None  #: rounds to reach the target (None = not reached)
+    rounds: int | None  #: (median) rounds to reach the target (None = not reached)
     final_potential: float
     total_movement: float
     stopped_by: str
+    replicas: int = 1
+
+
+def _aggregate(topology: str, balancer: str, rounds_list, phis, movements, reasons, replicas) -> SweepCell:
+    reached = [r for r in rounds_list if r is not None and not (isinstance(r, float) and np.isnan(r))]
+    rounds = int(np.median(reached)) if reached else None
+    return SweepCell(
+        topology=topology,
+        balancer=balancer,
+        rounds=rounds,
+        final_potential=float(np.mean(phis)),
+        total_movement=float(np.mean(movements)),
+        stopped_by=Counter(reasons).most_common(1)[0][0],
+        replicas=replicas,
+    )
+
+
+def _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas) -> SweepCell:
+    bal = get_balancer(name, topo)
+    discrete = bal.mode == "discrete"
+    # Stagnation ends stalled runs (e.g. floor-discretized schemes
+    # plateauing above the target) without burning the round cap;
+    # `stopped_by` records which rule fired.
+    def rules():
+        return [
+            PotentialFractionBelow(eps),
+            Stagnation(patience=50),
+            MaxRounds(max_rounds),
+        ]
+    if replicas == 1:
+        rng = np.random.default_rng(seed)
+        loads = make_loads(load_kind, topo.n, rng=rng, discrete=discrete)
+        trace = Simulator(bal, stopping=rules()).run(loads, seed)
+        r = trace.rounds_to_fraction(eps)
+        return SweepCell(
+            topology=spec,
+            balancer=name,
+            rounds=r,
+            final_potential=trace.last_potential,
+            total_movement=trace.total_net_movement(),
+            stopped_by=trace.stopped_by,
+        )
+    # Per-replica initial distributions and per-replica run streams come
+    # from *disjoint* spawn keys of the same root seed: reusing one stream
+    # for both would make a stochastic scheme's round randomness replay the
+    # bits that generated its own initial state.  The serial fallback uses
+    # the identical run streams, so a scheme gaining (or losing) a batched
+    # kernel never changes the sweep's results.
+    load_rngs = [
+        np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(b, 1)))
+        for b in range(replicas)
+    ]
+    run_rngs = spawn_rngs(seed, replicas)
+    batch = np.stack(
+        [make_loads(load_kind, topo.n, rng=rng_b, discrete=discrete) for rng_b in load_rngs]
+    )
+    if getattr(bal, "supports_batch", False):
+        ens = EnsembleSimulator(bal, stopping=rules(), record="full")
+        trace = ens.run(batch, seed=run_rngs)
+        rounds_list = trace.rounds_to_fraction(eps).tolist()
+        return _aggregate(
+            spec,
+            name,
+            rounds_list,
+            trace.last_potentials,
+            trace.total_net_movements(),
+            trace.stopped_by,
+            replicas,
+        )
+    rounds_list, phis, movements, reasons = [], [], [], []
+    for b in range(replicas):
+        trace = Simulator(bal, stopping=rules()).run(batch[b], run_rngs[b])
+        rounds_list.append(trace.rounds_to_fraction(eps))
+        phis.append(trace.last_potential)
+        movements.append(trace.total_net_movement())
+        reasons.append(trace.stopped_by)
+    return _aggregate(spec, name, rounds_list, phis, movements, reasons, replicas)
 
 
 def sweep(
@@ -46,47 +138,31 @@ def sweep(
     eps: float = 1e-4,
     max_rounds: int = 100_000,
     seed: int = 0,
+    replicas: int = 1,
 ) -> tuple[Table, list[SweepCell]]:
     """Run the grid; returns the rendered table and the raw cells.
 
-    Every cell starts from the *same* initial distribution (drawn once
-    per topology with the given seed), so rows within a topology are
-    directly comparable.  Discrete and continuous schemes get the
-    discrete/continuous rendering of that distribution respectively.
+    With ``replicas == 1`` every cell starts from the *same* initial
+    distribution (drawn once per topology with the given seed), so rows
+    within a topology are directly comparable.  With ``replicas > 1``
+    each cell aggregates over independently drawn initial distributions
+    (see :class:`SweepCell`).  Discrete and continuous schemes get the
+    discrete/continuous rendering of the distribution respectively.
     """
     if not topology_specs or not balancer_names:
         raise ValueError("need at least one topology and one balancer")
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    suffix = f", {replicas} replicas" if replicas > 1 else ""
     table = Table(
-        title=f"sweep: rounds to Phi <= {eps:g}*Phi0 ({load_kind} load)",
+        title=f"sweep: rounds to Phi <= {eps:g}*Phi0 ({load_kind} load{suffix})",
         columns=["topology", "balancer", "rounds", "phi_final", "net_movement", "stopped_by"],
     )
     cells: list[SweepCell] = []
     for spec in topology_specs:
         topo = by_name(spec)
         for name in balancer_names:
-            bal = get_balancer(name, topo)
-            rng = np.random.default_rng(seed)
-            loads = make_loads(load_kind, topo.n, rng=rng, discrete=bal.mode == "discrete")
-            # Stagnation ends stalled runs (e.g. floor-discretized schemes
-            # plateauing above the target) without burning the round cap;
-            # `stopped_by` records which rule fired.
-            sim = Simulator(
-                bal,
-                stopping=[
-                    PotentialFractionBelow(eps),
-                    Stagnation(patience=50),
-                    MaxRounds(max_rounds),
-                ],
-            )
-            trace = sim.run(loads, seed)
-            cell = SweepCell(
-                topology=spec,
-                balancer=name,
-                rounds=trace.rounds_to_fraction(eps),
-                final_potential=trace.last_potential,
-                total_movement=trace.total_net_movement(),
-                stopped_by=trace.stopped_by,
-            )
+            cell = _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas)
             cells.append(cell)
             table.add_row(
                 cell.topology,

@@ -1,0 +1,110 @@
+"""Unit tests for the cached per-topology EdgeOperator."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import EdgeOperator, edge_operator
+from repro.graphs import generators as g
+from repro.graphs.topology import Topology
+
+
+class TestCaching:
+    def test_same_instance_per_topology(self, torus):
+        assert edge_operator(torus) is edge_operator(torus)
+
+    def test_distinct_topologies_get_distinct_operators(self):
+        a, b = g.torus_2d(4, 4), g.torus_2d(4, 4)
+        assert edge_operator(a) is not edge_operator(b)
+
+    def test_denominators_shared_with_topology_cache(self, torus):
+        op = edge_operator(torus)
+        assert op.denominators is torus.edge_denominators
+        assert op.denominators_int is torus.edge_denominators_int
+
+    def test_round_matrix_cached(self, torus):
+        op = edge_operator(torus)
+        if op.round_matrix() is None:
+            pytest.skip("SciPy unavailable")
+        assert op.round_matrix() is op.round_matrix()
+        assert op.fos_round_matrix(0.2) is op.fos_round_matrix(0.2)
+        assert op.fos_round_matrix(0.2) is not op.fos_round_matrix(0.1)
+
+
+class TestDenominatorCache:
+    def test_values_match_formula(self, any_topology):
+        deg = any_topology.degrees
+        u, v = any_topology.edges[:, 0], any_topology.edges[:, 1]
+        want = 4 * np.maximum(deg[u], deg[v])
+        assert np.array_equal(any_topology.edge_denominators_int, want)
+        assert np.array_equal(any_topology.edge_denominators, want.astype(np.float64))
+
+    def test_read_only(self, torus):
+        with pytest.raises(ValueError):
+            torus.edge_denominators[0] = 1.0
+
+
+class TestRoundMatrix:
+    def test_matches_flow_formulation(self, any_topology, rng):
+        """M @ l equals the explicit flows-and-scatter round (within fp)."""
+        op = edge_operator(any_topology)
+        M = op.round_matrix()
+        if M is None:
+            pytest.skip("SciPy unavailable")
+        loads = rng.uniform(0, 100, any_topology.n)
+        diff = op.differences(loads)
+        explicit = op.apply_flows(loads, diff / op.denominators)
+        assert np.allclose(M @ loads, explicit, rtol=1e-12, atol=1e-9)
+
+    def test_row_sums_one(self, any_topology):
+        op = edge_operator(any_topology)
+        M = op.round_matrix()
+        if M is None:
+            pytest.skip("SciPy unavailable")
+        ones = np.ones(any_topology.n)
+        assert np.allclose(M @ ones, ones)  # uniform loads are a fixed point
+
+    def test_empty_graph_is_identity(self):
+        topo = Topology(3, [])
+        op = edge_operator(topo)
+        loads = np.asarray([1.0, 2.0, 3.0])
+        assert np.array_equal(op.round_continuous(loads), loads)
+        assert np.array_equal(
+            op.round_discrete(np.asarray([1, 2, 3], dtype=np.int64)), [1, 2, 3]
+        )
+
+
+class TestApplyFlows:
+    def test_out_buffer_respected(self, torus, rng):
+        op = edge_operator(torus)
+        loads = rng.uniform(0, 100, torus.n)
+        flows = op.differences(loads) / op.denominators
+        buf = np.empty_like(loads)
+        out = op.apply_flows(loads, flows, out=buf)
+        assert out is buf
+        assert np.array_equal(out, op.apply_flows(loads, flows))
+
+    def test_out_aliasing_rejected(self, torus, rng):
+        op = edge_operator(torus)
+        loads = rng.uniform(0, 100, torus.n)
+        flows = op.differences(loads) / op.denominators
+        with pytest.raises(ValueError):
+            op.apply_flows(loads, flows, out=loads)
+
+    def test_int_apply_exact(self, torus, rng):
+        op = edge_operator(torus)
+        loads = rng.integers(0, 10_000, torus.n).astype(np.int64)
+        diff = op.differences(loads)
+        flows = np.sign(diff) * (np.abs(diff) // op.denominators_int)
+        out = op.apply_flows(loads, flows)
+        assert out.dtype == np.int64
+        assert out.sum() == loads.sum()
+
+
+class TestScratch:
+    def test_scratch_reused_by_key(self, torus):
+        op = edge_operator(torus)
+        a = op.scratch("x", (4, 2), np.float64)
+        b = op.scratch("x", (4, 2), np.float64)
+        assert a is b
+        assert op.scratch("x", (4, 3), np.float64) is not a
+        assert op.scratch("y", (4, 2), np.float64) is not a

@@ -1,0 +1,233 @@
+"""Property tests: batched kernels are bit-for-bit equal to serial runs.
+
+The batched execution stack (replica-major ``(B, n)`` kernels, node-major
+ensemble engine) promises *exact* equality with ``B`` independent serial
+runs driven by the same spawned seeds — not closeness, equality.  These
+tests pin that contract for every batchable scheme, continuous and
+discrete, including per-replica conservation.  Derived statistics
+(potentials) are allowed to differ only at float-associativity level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.first_order import (
+    FirstOrderBalancer,
+    fos_flows,
+    fos_round_continuous,
+    fos_round_discrete_floor,
+    fos_round_discrete_randomized,
+)
+from repro.baselines.second_order import SecondOrderBalancer
+from repro.core.diffusion import (
+    DiffusionBalancer,
+    apply_edge_flows,
+    diffusion_flows,
+    diffusion_round_continuous,
+    diffusion_round_discrete,
+)
+from repro.core.random_partner import (
+    RandomPartnerBalancer,
+    partner_round_continuous,
+    partner_round_discrete,
+)
+from repro.extensions.heterogeneous import HeterogeneousDiffusionBalancer, weighted_flows, weighted_round
+from repro.graphs import generators as g
+from repro.simulation.engine import Simulator
+from repro.simulation.ensemble import EnsembleSimulator, spawn_rngs
+from repro.simulation.stopping import MaxRounds
+
+B = 5
+ROUNDS = 12
+
+
+def _float_batch(n: int, B: int, seed: int = 3) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0, 1000, (B, n))
+
+
+def _int_batch(n: int, B: int, seed: int = 4) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 10_000, (B, n)).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Replica-major (B, n) kernel forms vs per-row serial calls
+# ----------------------------------------------------------------------
+class TestBatchedKernelForms:
+    def test_diffusion_flows_continuous(self, torus):
+        batch = _float_batch(torus.n, B)
+        got = diffusion_flows(batch, torus)
+        want = np.stack([diffusion_flows(batch[b], torus) for b in range(B)])
+        assert np.array_equal(got, want)
+
+    def test_diffusion_flows_discrete(self, torus):
+        batch = _int_batch(torus.n, B)
+        got = diffusion_flows(batch, torus, discrete=True)
+        assert got.dtype == np.int64
+        want = np.stack([diffusion_flows(batch[b], torus, discrete=True) for b in range(B)])
+        assert np.array_equal(got, want)
+
+    def test_apply_edge_flows_batched(self, torus):
+        batch = _float_batch(torus.n, B)
+        flows = diffusion_flows(batch, torus)
+        got = apply_edge_flows(batch, torus, flows)
+        want = np.stack([apply_edge_flows(batch[b], torus, flows[b]) for b in range(B)])
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("round_fn,maker", [
+        (diffusion_round_continuous, _float_batch),
+        (diffusion_round_discrete, _int_batch),
+    ])
+    def test_diffusion_rounds(self, any_topology, round_fn, maker):
+        batch = maker(any_topology.n, B)
+        got = round_fn(batch, any_topology)
+        want = np.stack([round_fn(batch[b], any_topology) for b in range(B)])
+        assert np.array_equal(got, want)
+
+    def test_fos_flows_and_rounds(self, torus):
+        batch = _float_batch(torus.n, B)
+        assert np.array_equal(
+            fos_flows(batch, torus), np.stack([fos_flows(batch[b], torus) for b in range(B)])
+        )
+        assert np.array_equal(
+            fos_round_continuous(batch, torus),
+            np.stack([fos_round_continuous(batch[b], torus) for b in range(B)]),
+        )
+        ints = _int_batch(torus.n, B)
+        assert np.array_equal(
+            fos_round_discrete_floor(ints, torus),
+            np.stack([fos_round_discrete_floor(ints[b], torus) for b in range(B)]),
+        )
+
+    def test_fos_randomized_matches_serial_streams(self, torus):
+        ints = _int_batch(torus.n, B)
+        got = fos_round_discrete_randomized(ints, torus, spawn_rngs(9, B))
+        want = np.stack(
+            [fos_round_discrete_randomized(ints[b], torus, spawn_rngs(9, B)[b]) for b in range(B)]
+        )
+        assert np.array_equal(got, want)
+
+    def test_partner_rounds_match_serial_streams(self):
+        n = 40
+        floats = _float_batch(n, B)
+        got = partner_round_continuous(floats, spawn_rngs(21, B))
+        want = np.stack(
+            [partner_round_continuous(floats[b], spawn_rngs(21, B)[b]) for b in range(B)]
+        )
+        assert np.array_equal(got, want)
+        ints = _int_batch(n, B)
+        got_d = partner_round_discrete(ints, spawn_rngs(22, B))
+        want_d = np.stack(
+            [partner_round_discrete(ints[b], spawn_rngs(22, B)[b]) for b in range(B)]
+        )
+        assert np.array_equal(got_d, want_d)
+
+    def test_weighted_flows_and_round_batched(self, torus):
+        speeds = np.random.default_rng(5).uniform(0.5, 4.0, torus.n)
+        batch = _float_batch(torus.n, B)
+        assert np.array_equal(
+            weighted_flows(batch, speeds, torus),
+            np.stack([weighted_flows(batch[b], speeds, torus) for b in range(B)]),
+        )
+        assert np.array_equal(
+            weighted_round(batch, speeds, torus),
+            np.stack([weighted_round(batch[b], speeds, torus) for b in range(B)]),
+        )
+
+
+# ----------------------------------------------------------------------
+# EnsembleSimulator vs B independent Simulator runs (same spawned seeds)
+# ----------------------------------------------------------------------
+def _balancer_cases(topo):
+    speeds = np.random.default_rng(6).uniform(0.5, 4.0, topo.n)
+    return [
+        ("diffusion-continuous", lambda: DiffusionBalancer(topo), False),
+        ("diffusion-discrete", lambda: DiffusionBalancer(topo, mode="discrete"), True),
+        ("fos-continuous", lambda: FirstOrderBalancer(topo), False),
+        ("fos-floor", lambda: FirstOrderBalancer(topo, variant="floor"), True),
+        ("fos-randomized", lambda: FirstOrderBalancer(topo, variant="randomized"), True),
+        ("sos", lambda: SecondOrderBalancer(topo, beta=1.3), False),
+        ("random-partner", lambda: RandomPartnerBalancer(), False),
+        ("random-partner-discrete", lambda: RandomPartnerBalancer(mode="discrete"), True),
+        ("hetero-continuous", lambda: HeterogeneousDiffusionBalancer(topo, speeds), False),
+        ("hetero-discrete", lambda: HeterogeneousDiffusionBalancer(topo, speeds, mode="discrete"), True),
+    ]
+
+
+class TestEnsembleBitForBit:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return g.torus_2d(5, 5)
+
+    def test_every_batchable_scheme(self, topo):
+        seed = 1234
+        for label, make, discrete in _balancer_cases(topo):
+            loads = (
+                _int_batch(topo.n, B, seed=1)[0] if discrete else _float_batch(topo.n, B, seed=2)[0]
+            )
+            ens = EnsembleSimulator(make(), stopping=[MaxRounds(ROUNDS)], keep_snapshots=True)
+            trace = ens.run(loads, seed=seed, replicas=B)
+            rngs = spawn_rngs(seed, B)
+            for b in range(B):
+                serial = Simulator(make(), stopping=[MaxRounds(ROUNDS)], keep_snapshots=True).run(
+                    loads, rngs[b]
+                )
+                # Bit-for-bit: every recorded load vector, every round.
+                for t, snap in enumerate(serial.snapshots):
+                    assert np.array_equal(snap, trace.snapshots[t][b]), (
+                        f"{label}: replica {b} diverged at round {t}"
+                    )
+                assert np.array_equal(serial.snapshots[-1], trace.final_loads[b]), label
+                # Statistics agree up to float associativity.
+                assert np.allclose(
+                    serial.potential_array,
+                    [row[b] for row in trace._potentials],
+                    rtol=1e-9,
+                    atol=1e-6,
+                ), label
+
+    def test_conservation_per_replica(self, topo):
+        loads = _int_batch(topo.n, B, seed=8)
+        ens = EnsembleSimulator(DiffusionBalancer(topo, mode="discrete"), stopping=[MaxRounds(25)])
+        trace = ens.run(loads, seed=0)
+        sums = trace.load_sums_matrix
+        assert np.array_equal(sums, np.broadcast_to(sums[0], sums.shape))
+        assert trace.conservation_error() == 0.0
+
+    def test_per_replica_initial_states(self, topo):
+        """Distinct (B, n) initial loads reproduce distinct serial runs."""
+        batch = _float_batch(topo.n, B, seed=12)
+        ens = EnsembleSimulator(DiffusionBalancer(topo), stopping=[MaxRounds(ROUNDS)])
+        trace = ens.run(batch, seed=3)
+        rngs = spawn_rngs(3, B)
+        for b in range(B):
+            serial = Simulator(
+                DiffusionBalancer(topo), stopping=[MaxRounds(ROUNDS)], keep_snapshots=True
+            ).run(batch[b], rngs[b])
+            assert np.array_equal(serial.snapshots[-1], trace.final_loads[b])
+
+
+class TestScipylessFallback:
+    """The pure-NumPy scatter fallback stays self-consistent serial vs batched."""
+
+    def test_batched_equals_serial_without_scipy(self, monkeypatch):
+        import repro.core.operators as ops
+
+        monkeypatch.setattr(ops, "HAVE_SCIPY", False)
+        topo = g.torus_2d(4, 4)  # fresh instance: no cached operator matrices
+        batch = _float_batch(topo.n, B, seed=13)
+        got = diffusion_round_continuous(batch, topo)
+        want = np.stack([diffusion_round_continuous(batch[b], topo) for b in range(B)])
+        assert np.array_equal(got, want)
+        ints = _int_batch(topo.n, B, seed=14)
+        got_d = diffusion_round_discrete(ints, topo)
+        want_d = np.stack([diffusion_round_discrete(ints[b], topo) for b in range(B)])
+        assert np.array_equal(got_d, want_d)
+
+    def test_fallback_close_to_scipy_path(self, monkeypatch):
+        import repro.core.operators as ops
+
+        loads = np.random.default_rng(15).uniform(0, 100, 16)
+        with_scipy = diffusion_round_continuous(loads, g.torus_2d(4, 4))
+        monkeypatch.setattr(ops, "HAVE_SCIPY", False)
+        without = diffusion_round_continuous(loads, g.torus_2d(4, 4))
+        assert np.allclose(with_scipy, without, rtol=1e-12)

@@ -108,6 +108,42 @@ class TestConservationAudit:
         assert trace.conservation_error() == 0.0
 
 
+class TestRunBalancerStoppingContract:
+    def test_exact_rounds_even_when_converged(self, torus):
+        """A balanced start makes zero progress; the default call must
+        still run every requested round (no hidden stagnation rule)."""
+        bal = DiffusionBalancer(torus, mode="discrete")
+        trace = run_balancer(bal, np.full(torus.n, 5, dtype=np.int64), rounds=40)
+        assert trace.rounds == 40
+        assert trace.stopped_by == "max-rounds(40)"
+
+    def test_extra_rules_may_stop_earlier(self, torus):
+        from repro.simulation.stopping import Stagnation
+
+        bal = DiffusionBalancer(torus, mode="discrete")
+        trace = run_balancer(
+            bal,
+            np.full(torus.n, 5, dtype=np.int64),
+            rounds=40,
+            stopping=[Stagnation(patience=3)],
+        )
+        assert trace.rounds == 3
+        assert trace.stopped_by == "stagnation(3)"
+
+    def test_rounds_beyond_engine_default_cap(self, torus):
+        """The engine's implicit 1e6-round safety net must not shadow a
+        larger caller-supplied budget (regression guard)."""
+        bal = DiffusionBalancer(torus)
+        trace = run_balancer(bal, point_load(torus.n, discrete=False), rounds=0)
+        assert trace.rounds == 0
+        from repro.simulation.engine import Simulator
+        from repro.simulation.stopping import MaxRounds
+
+        sim = Simulator(bal, stopping=[MaxRounds(2_000_000)])
+        assert sum(isinstance(r, MaxRounds) for r in sim.stopping) == 1
+        assert sim.stopping[0].rounds == 2_000_000
+
+
 class TestSnapshots:
     def test_snapshots_align_with_rounds(self, torus):
         bal = DiffusionBalancer(torus)

@@ -55,6 +55,75 @@ class TestExecution:
         with pytest.raises(ValueError):
             monte_carlo(scalar_trial, trials=0)
 
+    def test_bad_workers_value_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            monte_carlo(scalar_trial, trials=3, workers="gpu")
+
+
+class _BatchableTrial:
+    """Serial callable plus the vectorized `run_batch` backend."""
+
+    def __call__(self, rng, offset=0.0):
+        return float(rng.uniform()) + offset
+
+    def run_batch(self, rngs, offset=0.0):
+        return {"value": np.asarray([float(r.uniform()) + offset for r in rngs])}
+
+
+class _BadBatchTrial(_BatchableTrial):
+    def run_batch(self, rngs, offset=0.0):
+        return {"value": np.zeros(1)}  # wrong length
+
+
+class TestVectorizedBackend:
+    def test_vectorized_equals_serial(self):
+        trial = _BatchableTrial()
+        serial = monte_carlo(trial, trials=12, root_seed=4, workers=1)
+        vec = monte_carlo(trial, trials=12, root_seed=4, workers="vectorized")
+        assert np.array_equal(serial.samples["value"], vec.samples["value"])
+
+    def test_vectorized_forwards_kwargs(self):
+        trial = _BatchableTrial()
+        vec = monte_carlo(
+            trial, trials=5, root_seed=4, workers="vectorized", trial_kwargs={"offset": 10.0}
+        )
+        assert vec.mean() > 10.0
+
+    def test_vectorized_falls_back_without_run_batch(self):
+        serial = monte_carlo(scalar_trial, trials=8, root_seed=2, workers=1)
+        vec = monte_carlo(scalar_trial, trials=8, root_seed=2, workers="vectorized")
+        assert np.array_equal(serial.samples["value"], vec.samples["value"])
+
+    def test_wrong_sample_count_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            monte_carlo(_BadBatchTrial(), trials=4, workers="vectorized")
+
+    def test_e08_trial_vectorized_matches_serial(self):
+        from repro.experiments.e08_random_continuous import trial_drop_and_rounds
+
+        kw = {"n": 32, "c": 1.0, "max_rounds": 300}
+        serial = monte_carlo(trial_drop_and_rounds, trials=4, root_seed=6, workers=1, trial_kwargs=kw)
+        vec = monte_carlo(
+            trial_drop_and_rounds, trials=4, root_seed=6, workers="vectorized", trial_kwargs=kw
+        )
+        assert np.array_equal(
+            serial.samples["rounds_to_target"], vec.samples["rounds_to_target"], equal_nan=True
+        )
+        assert np.allclose(serial.samples["mean_ratio"], vec.samples["mean_ratio"], rtol=1e-9)
+
+    def test_e09_trial_vectorized_matches_serial(self):
+        from repro.experiments.e09_random_discrete import trial_discrete_partner
+
+        kw = {"n": 32, "total": 3300, "c": 1.0, "max_rounds": 200}
+        serial = monte_carlo(trial_discrete_partner, trials=4, root_seed=6, workers=1, trial_kwargs=kw)
+        vec = monte_carlo(
+            trial_discrete_partner, trials=4, root_seed=6, workers="vectorized", trial_kwargs=kw
+        )
+        for key in serial.samples:
+            assert np.allclose(
+                serial.samples[key], vec.samples[key], rtol=1e-9, equal_nan=True
+            ), key
+
 
 class TestStatistics:
     def make(self, values):

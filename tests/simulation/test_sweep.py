@@ -41,6 +41,43 @@ class TestSweep:
         assert cells[0].stopped_by == "max-rounds(3)"
 
 
+class TestSweepReplicas:
+    def test_batched_cells_aggregate(self):
+        table, cells = sweep(["torus:4x4"], ["diffusion", "random-partner"], eps=1e-2, replicas=4)
+        assert all(c.replicas == 4 for c in cells)
+        assert all(c.rounds is not None for c in cells)
+        assert all(c.total_movement > 0 for c in cells)
+        assert "4 replicas" in table.title
+
+    def test_serial_fallback_for_unbatchable_scheme(self):
+        # OPS has no batched kernel; the replica loop must still aggregate.
+        _, cells = sweep(["hypercube:3"], ["ops"], eps=1e-2, replicas=3)
+        assert cells[0].replicas == 3
+        assert cells[0].rounds is not None
+
+    def test_replicas_reproducible(self):
+        _, a = sweep(["torus:4x4"], ["random-partner"], eps=1e-2, seed=5, replicas=3)
+        _, b = sweep(["torus:4x4"], ["random-partner"], eps=1e-2, seed=5, replicas=3)
+        assert a[0] == b[0]
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(["torus:4x4"], ["diffusion"], replicas=0)
+
+    def test_batched_and_serial_paths_agree(self, monkeypatch):
+        """Forcing a batchable scheme down the serial replica loop must
+        reproduce the batched cell exactly (same loads, same streams)."""
+        from repro.core.random_partner import RandomPartnerBalancer
+
+        _, batched = sweep(["torus:4x4"], ["random-partner"], eps=1e-2, seed=9, replicas=3)
+        monkeypatch.setattr(RandomPartnerBalancer, "supports_batch", False)
+        _, serial = sweep(["torus:4x4"], ["random-partner"], eps=1e-2, seed=9, replicas=3)
+        assert batched[0].rounds == serial[0].rounds
+        assert batched[0].stopped_by == serial[0].stopped_by
+        assert batched[0].final_potential == pytest.approx(serial[0].final_potential, rel=1e-9)
+        assert batched[0].total_movement == pytest.approx(serial[0].total_movement, rel=1e-9)
+
+
 class TestTraceMovement:
     def test_net_movement_two_nodes(self):
         import numpy as np

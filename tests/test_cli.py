@@ -78,3 +78,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.startswith("**E07")
         assert "|" in out
+
+    def test_run_with_replicas(self, capsys):
+        rc = main([
+            "run", "--balancer", "random-partner", "--topology", "torus:4x4",
+            "--rounds", "20", "--replicas", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replicas" in out and "rounds_median" in out
+
+    def test_run_replicas_unbatchable_scheme_errors(self, capsys):
+        rc = main([
+            "run", "--balancer", "ops", "--topology", "hypercube:3",
+            "--rounds", "5", "--replicas", "4",
+        ])
+        assert rc == 2
+        assert "batched" in capsys.readouterr().err
+
+    def test_sweep_with_replicas(self, capsys):
+        rc = main([
+            "sweep", "--topologies", "torus:4x4", "--balancers", "diffusion",
+            "--eps", "0.01", "--replicas", "3",
+        ])
+        assert rc == 0
+        assert "3 replicas" in capsys.readouterr().out
