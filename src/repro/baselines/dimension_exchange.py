@@ -27,7 +27,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.protocols import CONTINUOUS, DISCRETE, Balancer, register_balancer
-from repro.graphs.matchings import luby_matching, round_robin_matchings, two_stage_matching
+from repro.graphs.matchings import (
+    luby_matching,
+    luby_matchings,
+    round_robin_matchings,
+    two_stage_matching,
+    two_stage_matchings,
+)
 from repro.graphs.topology import Topology
 
 __all__ = ["exchange_along_matching", "DimensionExchangeBalancer"]
@@ -81,6 +87,7 @@ class DimensionExchangeBalancer(Balancer):
     """
 
     PARTNER_RULES = ("luby", "two-stage", "round-robin")
+    supports_batch = True
 
     def __init__(self, topology: Topology, mode: str = CONTINUOUS, partner_rule: str = "luby"):
         super().__init__()
@@ -110,6 +117,57 @@ class DimensionExchangeBalancer(Balancer):
         r = self.advance_round()
         matching = self.matching_for_round(r, rng)
         return exchange_along_matching(loads, self.topology, matching, discrete=self.mode == DISCRETE)
+
+    def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep round for a node-major ``(n, B)`` replica batch.
+
+        Random partner rules draw one matching per replica through the
+        batched generators (each replica's stream consumed exactly as
+        :meth:`step` would); round-robin reuses the shared deterministic
+        schedule entry for every replica.  Matched pairs are disjoint
+        within a replica, so all exchanges apply as one fancy-indexed
+        assignment — bit-for-bit the serial per-replica arithmetic.
+        """
+        r = self.advance_round()
+        if out is None:
+            out = loads.copy()
+        else:
+            np.copyto(out, loads)
+        discrete = self.mode == DISCRETE
+        edges = self.topology.edges
+        if self.partner_rule == "round-robin":
+            assert self._schedule is not None
+            if not self._schedule:
+                return out
+            pairs = edges[self._schedule[r % len(self._schedule)]]
+            lu, lv = loads[pairs[:, 0]], loads[pairs[:, 1]]
+            if discrete:
+                diff = lu - lv
+                give = np.sign(diff) * (np.abs(diff) // 2)
+                out[pairs[:, 0]] = lu - give
+                out[pairs[:, 1]] = lv + give
+            else:
+                mean = (lu + lv) / 2.0
+                out[pairs[:, 0]] = mean
+                out[pairs[:, 1]] = mean
+            return out
+        if self.partner_rule == "two-stage":
+            mask = two_stage_matchings(self.topology, rngs)
+        else:
+            mask = luby_matchings(self.topology, rngs)
+        e_idx, b_idx = np.nonzero(mask)
+        uu, vv = edges[e_idx, 0], edges[e_idx, 1]
+        lu, lv = loads[uu, b_idx], loads[vv, b_idx]
+        if discrete:
+            diff = lu - lv
+            give = np.sign(diff) * (np.abs(diff) // 2)
+            out[uu, b_idx] = lu - give
+            out[vv, b_idx] = lv + give
+        else:
+            mean = (lu + lv) / 2.0
+            out[uu, b_idx] = mean
+            out[vv, b_idx] = mean
+        return out
 
 
 @register_balancer("matching-de")

@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.operators import edge_operator
 from repro.core.protocols import CONTINUOUS, Balancer, register_balancer
-from repro.graphs.spectral import distinct_laplacian_eigenvalues, laplacian_matrix
+from repro.graphs.spectral import distinct_laplacian_eigenvalues
 from repro.graphs.topology import Topology
 
 __all__ = ["leja_order", "OptimalPolynomialBalancer"]
@@ -85,6 +86,14 @@ class OptimalPolynomialBalancer(Balancer):
         ascending order is kept available for the numerics ablation).
     """
 
+    supports_batch = True
+
+    #: Round matrices are memoized on the balancer only for schedules up
+    #: to this length — one ``n x n`` CSR per *distinct eigenvalue* grows
+    #: linearly with the spectrum, so long schedules rebuild per round
+    #: (an O(m) construction, comparable to the matvec it feeds).
+    MATRIX_CACHE_LIMIT = 128
+
     def __init__(self, topology: Topology, use_leja: bool = True):
         super().__init__()
         self.topology = topology
@@ -93,22 +102,51 @@ class OptimalPolynomialBalancer(Balancer):
         if nonzero.size == 0:
             raise ValueError("OPS needs a graph with at least one edge")
         self.schedule = leja_order(nonzero) if use_leja else nonzero
-        self._lap = laplacian_matrix(topology)
         self.mode = CONTINUOUS
         self.name = f"ops[{'leja' if use_leja else 'asc'}]@{topology.name}"
+        #: balancer-lifetime (not topology-lifetime) round-matrix memo —
+        #: reused across runs, released with the balancer
+        self._round_matrices: dict[int, object] = {}
 
     @property
     def rounds_to_exact(self) -> int:
         """Rounds after which OPS has balanced exactly (``m - 1``)."""
         return int(self.schedule.size)
 
+    def _apply_round(self, loads: np.ndarray, r: int, out: np.ndarray | None) -> np.ndarray:
+        """Round ``r``'s Richardson step ``(I - L / lambda_r) @ loads``.
+
+        Executed as a sparse round matrix built by the per-topology
+        operator (``I - alpha L`` with ``alpha = 1 / lambda_r`` is exactly
+        the FOS round matrix) and memoized on this balancer for short
+        schedules, so a serial round is one matvec, an ensemble round one
+        matmat — and serial/batched columns agree bit-for-bit (CSR row
+        accumulation order is layout-independent).  Without SciPy: the
+        equivalent per-edge flows plus incidence scatter.
+        """
+        if r >= self.schedule.size:  # already exact; idle
+            if out is None:
+                return loads.copy()
+            np.copyto(out, loads)
+            return out
+        lam = self.schedule[r]
+        op = edge_operator(self.topology)
+        M = self._round_matrices.get(r)
+        if M is None:
+            M = op.fos_round_matrix(1.0 / lam, cache=False)
+            if M is not None and self.schedule.size <= self.MATRIX_CACHE_LIMIT:
+                self._round_matrices[r] = M
+        if M is not None:
+            return op.linear_round(M, loads, out)
+        return op.apply_flows(loads, (loads[op.u] - loads[op.v]) / lam, out)
+
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         loads = self.validate_loads(loads)
-        r = self.advance_round()
-        if r >= self.schedule.size:
-            return loads.copy()  # already exact; idle
-        lam = self.schedule[r]
-        return loads - (self._lap @ loads) / lam
+        return self._apply_round(loads, self.advance_round(), None)
+
+    def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep Richardson round for a node-major ``(n, B)`` batch."""
+        return self._apply_round(loads, self.advance_round(), out)
 
     def validate_loads(self, loads: np.ndarray) -> np.ndarray:
         """Accept transiently negative loads (polynomial overshoot)."""

@@ -63,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run N replicas in lockstep through the batched ensemble engine",
     )
+    p_run.add_argument(
+        "--workers",
+        default="1",
+        help="shard the replica ensemble over K processes ('KxVectorized', or plain K; "
+        "needs --replicas > 1)",
+    )
 
     p_cmp = sub.add_parser("compare", help="run several balancers side by side")
     p_cmp.add_argument("--topology", required=True)
@@ -83,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="aggregate each cell over N replicas (batched when the scheme allows)",
+    )
+    p_sweep.add_argument(
+        "--workers",
+        default="1",
+        help="shard each cell's replica batch over K processes ('KxVectorized' or K)",
     )
 
     p_ver = sub.add_parser("verify", help="run the lemma checks on random states")
@@ -127,14 +138,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         print(f"--replicas must be >= 1, got {args.replicas}", file=sys.stderr)
         return 2
+    from repro.simulation.sharding import parse_workers
+
+    try:
+        processes, _ = parse_workers(args.workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if processes > 1 and args.replicas == 1:
+        print("note: --workers shards replicas; with --replicas 1 it has no effect", file=sys.stderr)
     if args.replicas > 1:
         from repro.simulation.ensemble import EnsembleSimulator
+        from repro.simulation.sharding import run_sharded_ensemble
 
         if not getattr(bal, "supports_batch", False):
             print(f"{args.balancer} has no batched kernel; use --replicas 1", file=sys.stderr)
             return 2
-        ens = EnsembleSimulator(bal, stopping=stopping)
-        trace = ens.run(loads, seed=args.seed, replicas=args.replicas)
+        if processes > 1:
+            trace = run_sharded_ensemble(
+                bal, loads, seed=args.seed, replicas=args.replicas,
+                workers=processes, stopping=stopping,
+            )
+        else:
+            ens = EnsembleSimulator(bal, stopping=stopping)
+            trace = ens.run(loads, seed=args.seed, replicas=args.replicas)
         for key, value in trace.summary().items():
             print(f"{key:>20}: {value}")
         return 0
@@ -163,8 +190,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.simulation.sharding import parse_workers
     from repro.simulation.sweep import sweep
 
+    try:
+        parse_workers(args.workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     table, _ = sweep(
         args.topologies,
         args.balancers,
@@ -173,6 +206,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         seed=args.seed,
         replicas=args.replicas,
+        workers=args.workers,
     )
     print(table.to_text())
     return 0

@@ -14,7 +14,10 @@ offers.  An :class:`EdgeOperator` precomputes, once per
 
 - the edge endpoint arrays ``u``/``v`` and the cached damping
   denominators (float64 and int64 views, shared with
-  ``Topology.edge_denominators``);
+  ``Topology.edge_denominators``), plus biased reciprocal multipliers
+  that replace the discrete kernels' int64 floor division with an exact
+  float multiply + truncating cast (see
+  :attr:`EdgeOperator.denominators_recip`);
 - a CSR **signed incidence matrix** ``A`` of shape ``(n, m)`` with
   ``A[u_e, e] = -1`` and ``A[v_e, e] = +1``, so applying flows becomes
   the sparse product ``loads + A @ flows`` instead of two ``add.at``
@@ -62,6 +65,10 @@ except ImportError:  # pragma: no cover - exercised via the forced fallback test
 __all__ = ["EdgeOperator", "edge_operator", "HAVE_SCIPY"]
 
 _CACHE_ATTR = "_edge_operator"
+
+#: Loads below this bound take the reciprocal-multiply floor-division fast
+#: path in the discrete kernels (see :attr:`EdgeOperator.denominators_recip`).
+RECIP_DIV_LIMIT = 1 << 46
 
 # scipy.sparse keeps its C kernels in a private module; using them lets the
 # engines reuse preallocated output buffers (A @ x always allocates).  The
@@ -115,6 +122,19 @@ class EdgeOperator:
         self.denominators = topo.edge_denominators
         #: int64 twin for the discrete (floor-division) algorithms
         self.denominators_int = topo.edge_denominators_int
+        #: Upward-biased reciprocals ``(1/d) * (1 + 2^-48)`` replacing the
+        #: int64 floor division in the discrete kernels (~2.5x faster: one
+        #: float multiply + truncating cast instead of abs/divide/sign/
+        #: multiply passes).  ``trunc(diff * recip)`` equals
+        #: ``sign(diff) * (|diff| // d)`` *exactly* for ``|diff| <
+        #: RECIP_DIV_LIMIT``: the computed quotient is ``q (1 + delta)``
+        #: with ``delta in (2^-49, 2^-47)`` — the bias dominates the two
+        #: rounding errors — so exact multiples of ``d`` land strictly
+        #: above their integer (never truncating one short) while the
+        #: ``1/d`` gap to the next representable quotient is far too wide
+        #: for the bias to cross.
+        self.denominators_recip = (1.0 / self.denominators) * (1.0 + 2.0**-48)
+        self.denominators_recip.setflags(write=False)
         self._incidence: dict[str, object] = {}
         self._round_matrix = None
         self._fos_matrices: dict[float, object] = {}
@@ -178,15 +198,22 @@ class EdgeOperator:
             self._round_matrix = self._laplacian_style(1.0 / self.denominators)
         return self._round_matrix
 
-    def fos_round_matrix(self, alpha: float):
-        """FOS round matrix ``M = I - alpha L`` (cached per ``alpha``)."""
+    def fos_round_matrix(self, alpha: float, cache: bool = True):
+        """FOS round matrix ``M = I - alpha L`` (cached per ``alpha``).
+
+        Pass ``cache=False`` when ``alpha`` is drawn from a large or
+        one-shot set (e.g. OPS's per-eigenvalue schedule): the operator is
+        a topology-lifetime singleton, so an unbounded per-alpha dict
+        would pin one ``n x n`` CSR per distinct value forever.
+        """
         if not HAVE_SCIPY:
             return None
         key = float(alpha)
         M = self._fos_matrices.get(key)
         if M is None:
             M = self._laplacian_style(np.full(self.m, key, dtype=np.float64))
-            self._fos_matrices[key] = M
+            if cache:
+                self._fos_matrices[key] = M
         return M
 
     def _laplacian_style(self, w: np.ndarray):
@@ -256,28 +283,63 @@ class EdgeOperator:
         denom = self.denominators if loads.ndim == 1 else self.denominators[:, None]
         return self.apply_flows(loads, diff / denom, out)
 
+    def floor_divide_denominators(
+        self, diff: np.ndarray, out: np.ndarray, bound: int | None = None
+    ) -> np.ndarray:
+        """``sign(diff) * (|diff| // denominators)`` into int64 ``out``.
+
+        ``diff`` is ``(m,)`` or node-major-aligned ``(m, B)``; ``out`` may
+        alias ``diff``.  Uses the cached biased reciprocals (exact, see
+        :attr:`denominators_recip`) when ``|diff|`` is provably below
+        :data:`RECIP_DIV_LIMIT`, else the plain int64 floor division.
+        ``bound`` lets callers supply a known cheap bound on ``|diff|``
+        (e.g. ``loads.max()`` for non-negative loads); without it one
+        abs-max reduction pass decides the path.
+        """
+        if diff.size == 0:
+            return out
+        if bound is None:
+            mag = self.scratch("disc-mag", diff.shape, np.int64)
+            np.abs(diff, out=mag)
+            bound = int(mag.max())
+        if bound < RECIP_DIV_LIMIT:
+            recip = self.denominators_recip if diff.ndim == 1 else self.denominators_recip[:, None]
+            qf = self.scratch("disc-qf", diff.shape, np.float64)
+            np.multiply(diff, recip, out=qf)
+            np.copyto(out, qf, casting="unsafe")  # trunc toward zero
+            return out
+        denom = self.denominators_int if diff.ndim == 1 else self.denominators_int[:, None]
+        mag = self.scratch("disc-mag", diff.shape, np.int64)
+        np.abs(diff, out=mag)
+        np.floor_divide(mag, denom, out=mag)
+        sgn = np.sign(diff)
+        np.multiply(sgn, mag, out=out)
+        return out
+
     def round_discrete(self, loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """One discrete Algorithm-1 round; int64 in, int64 out, exact.
 
         The batched form stages the gathers and flow arithmetic in
         reusable scratch buffers — allocation-free in steady state, with
-        values identical to the serial expressions (integer arithmetic).
+        values identical to the serial expressions (integer arithmetic;
+        the reciprocal floor-division fast path is bit-exact).
         """
+        # max - min bounds every |l_u - l_v| (the engines only pass
+        # non-negative loads, but this public kernel must not let a
+        # negative-load caller slip past the reciprocal exactness guard):
+        # two reductions over (n, B) instead of an abs pass over (m, B).
+        bound = int(loads.max(initial=0)) - min(int(loads.min(initial=0)), 0)
         if loads.ndim == 1:
             diff = self.differences(loads)
-            flows = np.sign(diff) * (np.abs(diff) // self.denominators_int)
+            flows = self.floor_divide_denominators(diff, np.empty_like(diff), bound)
             return self.apply_flows(loads, flows, out)
         shape = (self.m, loads.shape[1])
         diff = self.scratch("disc-diff", shape, np.int64)
-        mag = self.scratch("disc-mag", shape, np.int64)
+        tmp = self.scratch("disc-tmp", shape, np.int64)
         np.take(loads, self.u, axis=0, out=diff)
-        np.take(loads, self.v, axis=0, out=mag)
-        np.subtract(diff, mag, out=diff)
-        np.abs(diff, out=mag)
-        np.floor_divide(mag, self.denominators_int[:, None], out=mag)
-        np.sign(diff, out=diff)
-        np.multiply(diff, mag, out=diff)
-        return self.apply_flows(loads, diff, out)
+        np.take(loads, self.v, axis=0, out=tmp)
+        np.subtract(diff, tmp, out=diff)
+        return self.apply_flows(loads, self.floor_divide_denominators(diff, tmp, bound), out)
 
 
 def edge_operator(topo: Topology) -> EdgeOperator:

@@ -24,7 +24,12 @@ with one independent generator per replica.  The contract mirrors
 ``step``: no input mutation, per-replica conservation, and column ``b``
 of the result must be **bit-for-bit** what ``step`` would produce for
 replica ``b``'s loads and generator — :class:`EnsembleSimulator` and the
-property tests rely on that equivalence.
+property tests rely on that equivalence.  Every built-in scheme —
+diffusion, random partner, FOS/SOS, dimension exchange, OPS,
+asynchronous and heterogeneous diffusion — implements the batched
+contract, so the ensemble engine (and the sharded execution layer on top
+of it) covers the whole zoo; ``step`` remains the universal fallback and
+the ``B = 1`` fast path.
 
 A string registry maps scheme names to factories so the CLI and the
 experiment configs can construct balancers declaratively.

@@ -19,6 +19,7 @@ from repro.graphs import generators
 from repro.graphs.spectral import lambda_2
 from repro.graphs.topology import Topology
 from repro.simulation.engine import Simulator
+from repro.simulation.ensemble import EnsembleSimulator, EnsembleTrace
 from repro.simulation.stopping import MaxRounds, PotentialBelow, PotentialFractionBelow
 from repro.simulation.trace import Trace
 
@@ -27,6 +28,8 @@ __all__ = [
     "small_suite",
     "run_to_fraction",
     "run_to_threshold",
+    "ensemble_to_fraction",
+    "median_rounds_to_fraction",
     "SEED",
 ]
 
@@ -81,3 +84,39 @@ def run_to_threshold(
     """Run until ``Phi <= threshold`` (or the safety cap)."""
     sim = Simulator(balancer, stopping=[PotentialBelow(threshold), MaxRounds(max_rounds)])
     return sim.run(loads, seed)
+
+
+def ensemble_to_fraction(
+    balancer: Balancer,
+    loads: np.ndarray,
+    eps: float,
+    max_rounds: int,
+    seed: int = SEED,
+    replicas: int = 1,
+) -> EnsembleTrace:
+    """Ensemble-path :func:`run_to_fraction`: ``replicas`` lockstep runs.
+
+    Every scheme the experiments compare now implements ``step_batch``,
+    so stochastic baselines replicate over per-replica RNG streams in one
+    engine pass instead of a serial loop (``replicas=1`` dispatches to
+    the serial engine — deterministic schemes need no replication).
+    """
+    ens = EnsembleSimulator(
+        balancer, stopping=[PotentialFractionBelow(eps), MaxRounds(max_rounds)]
+    )
+    return ens.run(loads, seed=seed, replicas=replicas)
+
+
+def median_rounds_to_fraction(trace: EnsembleTrace, eps: float) -> float | None:
+    """Median per-replica rounds-to-target of an ensemble trace.
+
+    Replicas that never reached the target are censored observations, not
+    missing data: they enter the median as ``+inf`` (dropping them would
+    bias the statistic low whenever some replicas hit the round cap).
+    ``None`` means the median replica itself never reached the target.
+    """
+    rounds = trace.rounds_to_fraction(eps)
+    if rounds.size == 0:
+        return None
+    med = float(np.median(np.where(np.isnan(rounds), np.inf, rounds)))
+    return med if np.isfinite(med) else None

@@ -19,6 +19,14 @@ Expected shape: OPS <= SOS <= FOS everywhere (with OPS hitting its
 ``m - 1`` prediction); the SOS/FOS advantage is largest on the cycle and
 smallest on well-connected graphs; Algorithm 1 is comparable to FOS
 (same regime, different damping).
+
+All four schemes dispatch through the ensemble engine entry point
+(:func:`~repro.experiments.common.ensemble_to_fraction`): every baseline
+here — including OPS, whose Richardson rounds are now cached sparse
+round-matrices — implements ``step_batch``, so callers replicating this
+table over perturbed workloads get one lockstep ensemble per scheme.
+The schemes are deterministic, so the table itself needs (and uses) a
+single replica per cell, which the engine routes to the serial loop.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ from repro.baselines.first_order import FirstOrderBalancer
 from repro.baselines.ops import OptimalPolynomialBalancer
 from repro.baselines.second_order import SecondOrderBalancer
 from repro.core.diffusion import DiffusionBalancer
-from repro.experiments.common import SEED, run_to_fraction
+from repro.experiments.common import SEED, ensemble_to_fraction, median_rounds_to_fraction
 from repro.graphs import generators
 from repro.graphs.spectral import distinct_laplacian_eigenvalues, gamma as spectral_gamma
 from repro.graphs.topology import Topology
@@ -59,10 +67,15 @@ def run(
     )
     for topo in topologies:
         loads = point_load(topo.n, total=100 * topo.n, discrete=False)
-        t_fos = run_to_fraction(FirstOrderBalancer(topo), loads, eps, max_rounds, seed).rounds_to_fraction(eps)
-        t_sos = run_to_fraction(SecondOrderBalancer(topo), loads, eps, max_rounds, seed).rounds_to_fraction(eps)
-        t_ops = run_to_fraction(OptimalPolynomialBalancer(topo), loads, eps, max_rounds, seed).rounds_to_fraction(eps)
-        t_alg1 = run_to_fraction(DiffusionBalancer(topo, mode="continuous"), loads, eps, max_rounds, seed).rounds_to_fraction(eps)
+
+        def rounds_for(balancer):
+            trace = ensemble_to_fraction(balancer, loads, eps, max_rounds, seed)
+            return median_rounds_to_fraction(trace, eps)
+
+        t_fos = rounds_for(FirstOrderBalancer(topo))
+        t_sos = rounds_for(SecondOrderBalancer(topo))
+        t_ops = rounds_for(OptimalPolynomialBalancer(topo))
+        t_alg1 = rounds_for(DiffusionBalancer(topo, mode="continuous"))
         m_minus_1 = int(distinct_laplacian_eigenvalues(topo).shape[0]) - 1
         ordering = (
             t_ops is not None

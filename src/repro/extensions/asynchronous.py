@@ -20,6 +20,17 @@ paper's "concurrency costs at most 2x" from the opposite direction.
 ``AsyncDiffusionBalancer.step`` performs ``ticks_per_step`` ticks (default
 ``n``) so that one engine "round" is work-comparable to the synchronous
 schemes and traces can be compared directly.
+
+Batching: ticks are inherently sequential *within* a replica (each tick
+reads the loads the previous tick wrote), but at every tick the ``B``
+replicas of a lockstep ensemble activate independently — so
+``step_batch`` vectorizes each tick *across* replicas.  All replicas'
+activated neighbourhoods are flattened into one segmented index space
+(replica ``b``'s segment holds its activated node's incident slots) and
+the gather / damped-flow / scatter arithmetic runs once per tick instead
+of once per (tick, replica).  Each replica's RNG stream is consumed
+exactly as the serial schedule would, and the per-segment arithmetic
+reproduces the serial tick bit-for-bit.
 """
 
 from __future__ import annotations
@@ -63,6 +74,29 @@ def async_tick(
     return out
 
 
+def _segment_sums(values: np.ndarray, offsets: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-segment sums of a flattened per-replica value array.
+
+    Bit-for-bit equal to calling ``segment.sum()`` on each contiguous
+    segment (what the serial tick computes): integer segments use one
+    ``np.add.reduceat`` (integer addition is order-independent); float
+    segments use per-segment ``np.sum`` so NumPy's summation order is
+    reproduced exactly (``reduceat`` accumulates in a different order —
+    off-by-one-ulp totals would break serial/batched equality).
+    """
+    B = counts.shape[0]
+    totals = np.zeros(B, dtype=values.dtype)
+    nz = np.flatnonzero(counts)
+    if nz.size == 0:
+        return totals
+    if values.dtype.kind in "iu":
+        totals[nz] = np.add.reduceat(values, offsets[:-1][nz])
+    else:
+        for b in nz:
+            totals[b] = values[offsets[b] : offsets[b + 1]].sum()
+    return totals
+
+
 class AsyncDiffusionBalancer(Balancer):
     """Asynchronous Algorithm 1 adapted to the :class:`Balancer` interface.
 
@@ -81,6 +115,7 @@ class AsyncDiffusionBalancer(Balancer):
     """
 
     SCHEDULES = ("random", "round-robin")
+    supports_batch = True
 
     def __init__(
         self,
@@ -121,6 +156,53 @@ class AsyncDiffusionBalancer(Balancer):
         discrete = self.mode == DISCRETE
         for _ in range(self.ticks_per_step):
             out = async_tick(out, self.topology, self._pick(rng), discrete=discrete)
+        return out
+
+    def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
+        """One lockstep round (``ticks_per_step`` ticks) for an ``(n, B)`` batch.
+
+        Per tick, replica ``b`` activates the node its own stream (or the
+        shared round-robin counter) selects — exactly :meth:`step`'s
+        consumption order — and all ``B`` neighbourhood updates apply as
+        one segmented gather/scatter (see the module docstring).
+        """
+        self.advance_round()
+        n, B = loads.shape
+        if out is None:
+            out = loads.copy()
+        else:
+            np.copyto(out, loads)
+        topo = self.topology
+        indptr, indices, deg = topo.indptr, topo.indices, topo.degrees
+        discrete = self.mode == DISCRETE
+        cols = np.arange(B)
+        for _ in range(self.ticks_per_step):
+            if self.schedule == "round-robin":
+                node = self._next_node
+                self._next_node = (self._next_node + 1) % n
+                nodes = np.full(B, node, dtype=np.int64)
+            else:
+                nodes = np.asarray([int(rng.integers(0, n)) for rng in rngs], dtype=np.int64)
+            counts = deg[nodes]
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            # Slot i of replica b's segment -> CSR slot indptr[node_b] + i.
+            pos = np.arange(total) + np.repeat(indptr[nodes] - offsets[:-1], counts)
+            nbr = indices[pos]
+            rep = np.repeat(cols, counts)
+            mine = out[nodes, cols][rep]
+            theirs = out[nbr, rep]
+            denom = 4 * np.maximum(deg[nodes][rep], deg[nbr])
+            if discrete:
+                gives = np.where(mine > theirs, (mine - theirs) // denom, 0)
+            else:
+                gives = np.where(mine > theirs, (mine - theirs) / denom, 0.0)
+            # (nbr, rep) pairs are unique (distinct neighbours within a
+            # replica, distinct replicas across segments): plain fancy add.
+            out[nbr, rep] += gives
+            out[nodes, cols] -= _segment_sums(gives, offsets, counts)
         return out
 
 

@@ -18,9 +18,24 @@ paper's reference [12]) avoids concurrent transfers by balancing along a
 For the *round-robin* (deterministic) dimension-exchange variant we greedily
 edge-color the graph; balancing along one color class per round visits every
 edge once per sweep of ``<= 2 delta - 1`` rounds.
+
+Batched generation
+------------------
+The lockstep ensemble engine draws ``B`` independent matchings per round,
+one per replica.  :func:`luby_matchings` and :func:`two_stage_matchings`
+take a sequence of ``B`` per-replica generators and return an ``(m, B)``
+boolean *matching mask* (``mask[e, b]`` — edge ``e`` is matched in replica
+``b``): every per-replica draw consumes its generator **exactly** as the
+serial function would, and column ``b`` of the mask selects bit-for-bit
+the edge set ``luby_matching``/``two_stage_matching`` would return for
+``rngs[b]`` — only the post-draw selection logic is vectorized across
+replicas.  The mask layout lets the dimension-exchange balancer apply all
+``B`` exchanges in one scatter.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -28,8 +43,11 @@ from repro.graphs.topology import Topology
 
 __all__ = [
     "luby_matching",
+    "luby_matchings",
     "two_stage_matching",
+    "two_stage_matchings",
     "is_matching",
+    "matching_mask_valid",
     "greedy_edge_coloring",
     "round_robin_matchings",
 ]
@@ -74,6 +92,126 @@ def luby_matching(topo: Topology, rng: np.random.Generator) -> np.ndarray:
                 keep.append(int(e))
         ids = np.asarray(keep, dtype=np.int64)
     return ids
+
+
+def luby_matchings(topo: Topology, rngs: Sequence[np.random.Generator]) -> np.ndarray:
+    """``B`` independent Luby matchings as an ``(m, B)`` boolean mask.
+
+    Column ``b`` is bit-for-bit the matching :func:`luby_matching` returns
+    for ``rngs[b]`` (same single ``rng.random(m)`` draw per replica; the
+    local-minimum selection is vectorized across replicas).
+    """
+    m, B = topo.m, len(rngs)
+    if m == 0:
+        return np.zeros((0, B), dtype=bool)
+    values = np.empty((m, B))
+    for b, rng in enumerate(rngs):
+        values[:, b] = rng.random(m)
+    u, v = topo.edges[:, 0], topo.edges[:, 1]
+    # Per-node incident minimum via one segmented reduction over the CSR
+    # incidence layout (orders of magnitude faster than an unbuffered
+    # ``minimum.at`` scatter on the (m, B) block; min is order-independent,
+    # so the result is identical).
+    incident = values[_incident_edge_ids(topo)]
+    if topo.max_degree == topo.min_degree:
+        # Regular graph: equal CSR segments reshape to (n, d, B) and the
+        # segmented min becomes one dense axis reduction.
+        node_min = incident.reshape(topo.n, topo.max_degree, B).min(axis=1)
+    else:
+        # Reduce only over the non-empty CSR segments: consecutive
+        # non-empty starts are strictly increasing and in range, so each
+        # reduceat segment ends exactly where the next node's slots begin
+        # (empty segments occupy no slots).  Zero-degree starts would
+        # corrupt the preceding node's segment (or index out of range).
+        occupied = np.flatnonzero(topo.degrees > 0)
+        node_min = np.full((topo.n, B), np.inf)
+        node_min[occupied] = np.minimum.reduceat(
+            incident, topo.indptr[:-1][occupied], axis=0
+        )
+    selected = (values <= node_min[u]) & (values <= node_min[v])
+    # Measure-zero tie guard, mirroring the serial fallback per replica.
+    for b in _tied_columns(topo, selected):  # pragma: no cover - tie path
+        ids = np.flatnonzero(selected[:, b])
+        keep = np.zeros(m, dtype=bool)
+        used = np.zeros(topo.n, dtype=bool)
+        for e in ids[np.argsort(values[ids, b])]:
+            a, c = topo.edges[e]
+            if not used[a] and not used[c]:
+                used[a] = used[c] = True
+                keep[e] = True
+        selected[:, b] = keep
+    return selected
+
+
+def two_stage_matchings(topo: Topology, rngs: Sequence[np.random.Generator]) -> np.ndarray:
+    """``B`` independent [GM94] two-stage matchings as an ``(m, B)`` mask.
+
+    Column ``b`` is bit-for-bit the matching :func:`two_stage_matching`
+    returns for ``rngs[b]``: each replica draws its activity coins and
+    edge picks from its own generator in the serial order, then proposal
+    counting and acceptance run vectorized over the flattened
+    ``(node, replica)`` slot space.
+    """
+    n, m, B = topo.n, topo.m, len(rngs)
+    if m == 0:
+        return np.zeros((0, B), dtype=bool)
+    active = np.empty((n, B), dtype=bool)
+    pick = np.empty((n, B))
+    for b, rng in enumerate(rngs):
+        active[:, b] = rng.random(n) < 0.5
+        pick[:, b] = rng.random(n)
+    deg = topo.degrees
+    indptr = topo.indptr
+    pick_offset = (pick * np.maximum(deg, 1)[:, None]).astype(np.int64)
+    np.minimum(pick_offset, np.maximum(deg - 1, 0)[:, None], out=pick_offset)
+    edge_ids_csr = _incident_edge_ids(topo)
+    # Gather chosen edges for the active degree>0 proposers only (the
+    # serial access pattern) — a full (n, B) gather would build and
+    # discard ~4x the data every round.
+    proposer, rep = np.nonzero(active & (deg > 0)[:, None])
+    chosen = edge_ids_csr[indptr[proposer] + pick_offset[proposer, rep]]
+    u, v = topo.edges[:, 0], topo.edges[:, 1]
+    recv = np.where(u[chosen] == proposer, v[chosen], u[chosen])
+    slots = recv * B + rep
+    proposals = np.bincount(slots, minlength=n * B)
+    accepted = ~active[recv, rep] & (proposals[slots] == 1)
+
+    mask = np.zeros((m, B), dtype=bool)
+    mask[chosen[accepted], rep[accepted]] = True
+    return mask
+
+
+def matching_mask_valid(topo: Topology, mask: np.ndarray) -> np.ndarray:
+    """Per-replica validity of an ``(m, B)`` matching mask, shape ``(B,)``."""
+    return ~_node_overuse(topo, np.asarray(mask, dtype=bool)).any(axis=0)
+
+
+def _node_overuse(topo: Topology, mask: np.ndarray) -> np.ndarray:
+    """``(n, B)`` bool: node appears in more than one selected edge.
+
+    Counts selected incident edges per node with one segmented reduction
+    over the CSR incidence layout (an ``add.at`` scatter on the ``(n, B)``
+    block is ~25x slower and this check runs every batched round).
+    """
+    if topo.m == 0:
+        return np.zeros((topo.n, mask.shape[1]), dtype=bool)
+    dtype = np.int16 if topo.max_degree < np.iinfo(np.int16).max else np.int64
+    incident = mask[_incident_edge_ids(topo)]
+    if topo.max_degree == topo.min_degree:
+        counts = incident.reshape(topo.n, topo.max_degree, -1).sum(axis=1, dtype=dtype)
+        return counts > 1
+    # Non-empty segments only — see the matching note in luby_matchings.
+    occupied = np.flatnonzero(topo.degrees > 0)
+    counts = np.zeros((topo.n, mask.shape[1]), dtype=dtype)
+    counts[occupied] = np.add.reduceat(
+        incident.astype(dtype), topo.indptr[:-1][occupied], axis=0
+    )
+    return counts > 1
+
+
+def _tied_columns(topo: Topology, selected: np.ndarray) -> np.ndarray:
+    """Replica indices whose selected edges are not a matching (ties)."""
+    return np.flatnonzero(_node_overuse(topo, selected).any(axis=0))
 
 
 def two_stage_matching(topo: Topology, rng: np.random.Generator) -> np.ndarray:
@@ -123,12 +261,22 @@ def two_stage_matching(topo: Topology, rng: np.random.Generator) -> np.ndarray:
 
 
 def _incident_edge_ids(topo: Topology) -> np.ndarray:
-    """Edge id for each CSR adjacency slot (aligned with ``topo.indices``)."""
+    """Edge id for each CSR adjacency slot (aligned with ``topo.indices``).
+
+    Cached on the (immutable) topology: the batched matching generators
+    need it every round.
+    """
+    cached = topo.__dict__.get("_incident_edge_ids")
+    if cached is not None:
+        return cached
     u, v = topo.edges[:, 0], topo.edges[:, 1]
     heads = np.concatenate([u, v])
     ids = np.concatenate([np.arange(topo.m), np.arange(topo.m)])
     order = np.argsort(heads, kind="stable")
-    return ids[order].astype(np.int64)
+    ids = ids[order].astype(np.int64)
+    ids.setflags(write=False)
+    topo.__dict__["_incident_edge_ids"] = ids
+    return ids
 
 
 def greedy_edge_coloring(topo: Topology) -> list[np.ndarray]:

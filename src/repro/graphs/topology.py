@@ -301,6 +301,23 @@ class Topology:
     # ------------------------------------------------------------------
     # Dunder protocol
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle only the defining structure, never the derived caches.
+
+        Everything in ``__dict__`` (cached degrees, CSR arrays, spectral
+        results, the per-topology :class:`EdgeOperator` with its scratch
+        buffers and sparse matrices) is pure derived data rebuilt on
+        demand — shipping a warmed topology to a pool worker would
+        otherwise serialize tens of MB per shard payload.
+        """
+        return {"n": self._n, "edges": self._edges, "name": self._name}
+
+    def __setstate__(self, state: dict) -> None:
+        self._n = state["n"]
+        self._edges = np.asarray(state["edges"], dtype=np.int64)
+        self._edges.setflags(write=False)
+        self._name = state["name"]
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Topology):
             return NotImplemented

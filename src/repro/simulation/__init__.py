@@ -12,7 +12,10 @@
   in which each node runs the *local* protocol with mailboxes (fidelity
   reference for the vectorized engine);
 - :mod:`repro.simulation.montecarlo` — seed sweeps: serial, process pool,
-  or vectorized through the ensemble engine.
+  vectorized through the ensemble engine, or sharded (both composed);
+- :mod:`repro.simulation.sharding` — the sharded execution layer: split a
+  replica batch into per-worker blocks, run each block as a process-local
+  lockstep ensemble, merge the traces.
 """
 
 from repro.simulation.initial import (
@@ -44,6 +47,13 @@ from repro.simulation.superstep import (
     run_superstep_partners,
 )
 from repro.simulation.montecarlo import MonteCarloResult, monte_carlo
+from repro.simulation.sharding import (
+    merge_ensemble_traces,
+    parse_workers,
+    run_sharded_ensemble,
+    sharded_run_batch,
+    split_shards,
+)
 from repro.simulation.sweep import SweepCell, sweep
 
 __all__ = [
@@ -74,6 +84,11 @@ __all__ = [
     "run_superstep_partners",
     "MonteCarloResult",
     "monte_carlo",
+    "merge_ensemble_traces",
+    "parse_workers",
+    "run_sharded_ensemble",
+    "sharded_run_batch",
+    "split_shards",
     "SweepCell",
     "sweep",
 ]

@@ -43,6 +43,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.protocols import Balancer
+from repro.simulation.engine import Simulator
 from repro.simulation.montecarlo import trial_rngs
 from repro.simulation.stopping import DiscrepancyBelow, MaxRounds, StoppingRule
 from repro.simulation.trace import Trace
@@ -301,6 +302,16 @@ class EnsembleSimulator:
     check_conservation:
         Audit per-replica load sums every round, as the serial engine
         does; a violation raises immediately, naming the replica.
+    serial_singleton:
+        Dispatch ``B = 1`` runs to the serial :class:`Simulator` (default).
+        A one-replica "batch" pays the batched engine's bookkeeping with
+        nothing to amortize it over — measurably slower than the serial
+        loop — and the serial engine works for *every* balancer, batched
+        or not.  Load trajectories are identical either way; derived
+        statistics (potentials, sums) may differ in the last float ulp
+        because the serial trace computes them with the centered formula.
+        Set ``False`` to force the batched kernels even for one replica
+        (the bit-for-bit property tests do).
     """
 
     DEFAULT_MAX_ROUNDS = 1_000_000
@@ -313,6 +324,7 @@ class EnsembleSimulator:
         keep_snapshots: bool = False,
         check_conservation: bool = True,
         cons_tol: float = 1e-6,
+        serial_singleton: bool = True,
     ) -> None:
         if record not in ("auto", "light", "full"):
             raise ValueError(f"record must be 'auto', 'light' or 'full', got {record!r}")
@@ -325,6 +337,7 @@ class EnsembleSimulator:
         self.keep_snapshots = keep_snapshots
         self.check_conservation = check_conservation
         self.cons_tol = cons_tol
+        self.serial_singleton = serial_singleton
 
     # ------------------------------------------------------------------
     def _resolve_rngs(self, seed, replicas: int) -> list[np.random.Generator]:
@@ -359,11 +372,6 @@ class EnsembleSimulator:
         ``(B, n)`` initial states; ``seed`` is a root seed (spawned into
         per-replica streams) or an explicit sequence of ``B`` generators.
         """
-        if not getattr(self.balancer, "supports_batch", False):
-            raise TypeError(
-                f"{self.balancer.name} has no batched kernel; use Simulator "
-                "(the serial B=1 engine) instead"
-            )
         self.balancer.reset()
         if not isinstance(seed, (int, np.integer)):
             # Materialize once: a one-shot iterator of generators must not
@@ -373,6 +381,13 @@ class EnsembleSimulator:
                 replicas = len(seed)
         L, B = self._initial_batch(loads, replicas)
         rngs = self._resolve_rngs(seed, B)
+        if B == 1 and self.serial_singleton:
+            return self._run_singleton(L[:, 0].copy(), rngs[0])
+        if not getattr(self.balancer, "supports_batch", False):
+            raise TypeError(
+                f"{self.balancer.name} has no batched kernel; use Simulator "
+                "(the serial B=1 engine) instead"
+            )
 
         record_disc = self.record == "full" or (
             self.record == "auto" and any(isinstance(r, DiscrepancyBelow) for r in self.stopping)
@@ -413,6 +428,48 @@ class EnsembleSimulator:
         return trace
 
     # ------------------------------------------------------------------
+    def _run_singleton(self, loads: np.ndarray, rng: np.random.Generator) -> EnsembleTrace:
+        """Run a one-replica ensemble on the serial engine, repackaged.
+
+        The serial :class:`Simulator` loop is faster than a ``B = 1``
+        batch (nothing to amortize the batched bookkeeping over) and
+        works for every balancer; its :class:`Trace` records are copied
+        into a one-column :class:`EnsembleTrace` so callers see the same
+        interface regardless of dispatch.
+        """
+        record_disc = self.record == "full" or (
+            self.record == "auto" and any(isinstance(r, DiscrepancyBelow) for r in self.stopping)
+        )
+        sim = Simulator(
+            self.balancer,
+            stopping=self.stopping,
+            keep_snapshots=self.keep_snapshots,
+            check_conservation=self.check_conservation,
+            cons_tol=self.cons_tol,
+        )
+        t = sim.run(loads, rng)
+        trace = EnsembleTrace(
+            balancer_name=self.balancer.name,
+            replicas=1,
+            record_discrepancies=record_disc,
+            record_movements=self.record == "full",
+            keep_snapshots=self.keep_snapshots,
+        )
+        trace.stopped_by = [t.stopped_by]
+        trace._rounds = np.asarray([t.rounds], dtype=np.int64)
+        trace._potentials = [np.asarray([p]) for p in t._potentials]
+        trace._sums = [np.asarray([s]) for s in t._sums]
+        if record_disc:
+            trace._discrepancies = [np.asarray([d]) for d in t._discrepancies]
+        if trace.record_movements:
+            trace._movements = [np.asarray([mv]) for mv in t._movements]
+        if self.keep_snapshots:
+            trace._snapshots = [np.asarray(s, dtype=self.balancer.dtype)[None, :] for s in t._snapshots]
+        # Trace records sums/last-loads as float64; discrete values below
+        # 2**53 round-trip exactly, so the cast back is lossless.
+        trace._final_loads = np.asarray(t._last_loads, dtype=self.balancer.dtype)[None, :]
+        return trace
+
     def _apply_stopping(self, trace: EnsembleTrace, active: np.ndarray) -> None:
         """Deactivate replicas whose first satisfied rule fired this round."""
         remaining = active.copy()

@@ -8,22 +8,39 @@ are independent, so they fan out over a ``ProcessPoolExecutor`` when
 ``workers > 1`` — the embarrassingly-parallel axis worth parallelizing
 (each trial is itself vectorized NumPy).
 
-``workers="vectorized"`` selects the batched backend instead: a trial
-object that implements ``run_batch(rngs, *args, **kwargs)`` (typically by
-pushing all replicas through an
-:class:`~repro.simulation.ensemble.EnsembleSimulator` in lockstep)
-receives every replica's generator at once and returns the per-trial
-metric arrays in one call — no process pool, no per-trial Python round
-loops.  Trials without ``run_batch`` transparently fall back to the
-serial loop, so ``workers="vectorized"`` is always safe to request.
+Execution modes
+---------------
+``workers`` selects among four composable backends:
+
+- ``workers=1`` (default) — one process, serial kernels: the reference
+  loop every other mode must reproduce.
+- ``workers=K`` — ``ProcessPoolExecutor`` with ``K`` processes, one
+  trial per task, serial kernels inside each.  The embarrassingly
+  parallel axis; right when trials are individually heavy or the trial
+  has no batched form.
+- ``workers="vectorized"`` — one process, batched kernels: a trial
+  object that implements ``run_batch(rngs, *args, **kwargs)`` (typically
+  by pushing all replicas through an
+  :class:`~repro.simulation.ensemble.EnsembleSimulator` in lockstep)
+  receives every replica's generator at once and returns the per-trial
+  metric arrays in one call — no process pool, no per-trial Python round
+  loops.
+- ``workers="KxVectorized"`` (e.g. ``"4xvectorized"``, or the tuple
+  ``(4, "vectorized")``) — the composed *sharded* mode: trials split
+  into ``K`` contiguous blocks, each block runs as one lockstep ensemble
+  in its own pool process (:mod:`repro.simulation.sharding`), results
+  concatenate in trial order.  Multiplies the batched kernels by
+  process-level parallelism.
+
+Trials without ``run_batch`` transparently fall back to the serial or
+pool backend, so the vectorized modes are always safe to request.
 
 Seeds are derived from a root seed via ``SeedSequence.spawn`` so that
 
 - trials are statistically independent,
-- results are identical whether run serially, on any number of workers,
-  or through the vectorized backend (load trajectories are bit-for-bit
-  reproduced; derived statistics may differ in the last float ulp from
-  summation order), and
+- results are identical whichever backend runs them (per-trial load
+  trajectories are bit-for-bit reproduced; derived statistics may differ
+  in the last float ulp from summation order), and
 - any single trial can be reproduced in isolation from its index.
 
 The trial function must be a module-level callable (picklable) taking a
@@ -38,7 +55,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["MonteCarloResult", "monte_carlo", "trial_rngs"]
+__all__ = ["MonteCarloResult", "monte_carlo", "trial_rng", "trial_rngs"]
 
 TrialFn = Callable[..., float | Mapping[str, float]]
 
@@ -80,6 +97,17 @@ class MonteCarloResult:
         return z * self.std(key) / np.sqrt(self.trials)
 
 
+def trial_rng(root_seed: int, index: int) -> np.random.Generator:
+    """Trial ``index``'s generator — THE seed derivation of every backend.
+
+    Equivalent to ``SeedSequence(root_seed).spawn(...)[index]`` but O(1).
+    The serial loop, the pool workers, the vectorized ensemble and the
+    sharded shards all call this one function, so the cross-backend
+    reproducibility contract cannot silently desynchronize.
+    """
+    return np.random.default_rng(np.random.SeedSequence(entropy=root_seed, spawn_key=(index,)))
+
+
 def trial_rngs(root_seed: int, trials: int) -> list[np.random.Generator]:
     """Independent generators for ``trials`` replications of ``root_seed``.
 
@@ -87,17 +115,12 @@ def trial_rngs(root_seed: int, trials: int) -> list[np.random.Generator]:
     ``trial_rngs(s, k)[i]`` reproduces trial ``i`` of ``monte_carlo`` runs
     with root seed ``s`` exactly.
     """
-    return [
-        np.random.default_rng(np.random.SeedSequence(entropy=root_seed, spawn_key=(i,)))
-        for i in range(trials)
-    ]
+    return [trial_rng(root_seed, i) for i in range(trials)]
 
 
 def _run_one(args: tuple[TrialFn, int, int, tuple, dict]) -> Mapping[str, float]:
     fn, root_seed, index, extra_args, extra_kwargs = args
-    # Equivalent to SeedSequence(root_seed).spawn(...)[index], but O(1).
-    child = np.random.SeedSequence(entropy=root_seed, spawn_key=(index,))
-    rng = np.random.default_rng(child)
+    rng = trial_rng(root_seed, index)
     out = fn(rng, *extra_args, **extra_kwargs)
     if isinstance(out, Mapping):
         return dict(out)
@@ -114,29 +137,37 @@ def monte_carlo(
 ) -> MonteCarloResult:
     """Run ``trial(rng, *trial_args, **trial_kwargs)`` for many seeds.
 
-    ``workers > 1`` uses a process pool; ``workers="vectorized"``
-    dispatches through the trial's ``run_batch`` method when it has one
-    (and falls back to the serial loop otherwise).  Results are
-    aggregated in trial order in every backend, so the output is
-    independent of the execution strategy.
+    ``workers`` picks the backend — ``1`` (serial), ``K`` (process pool),
+    ``"vectorized"`` (one lockstep ensemble) or ``"KxVectorized"``
+    (``K`` process-local ensemble shards); see the module docstring's
+    *Execution modes*.  Results are aggregated in trial order in every
+    backend, so the output is independent of the execution strategy.
     """
+    from repro.simulation.sharding import parse_workers, sharded_run_batch
+
     if trials < 1:
         raise ValueError("need at least one trial")
     kwargs = dict(trial_kwargs or {})
-    if workers == "vectorized":
+    processes, vectorized = parse_workers(workers)
+    if vectorized:
         run_batch = getattr(trial, "run_batch", None)
         if run_batch is not None:
-            out = run_batch(trial_rngs(root_seed, trials), *tuple(trial_args), **kwargs)
-            samples = {str(k): np.asarray(v, dtype=np.float64) for k, v in dict(out).items()}
+            if processes > 1:
+                samples = sharded_run_batch(
+                    trial, trials, root_seed, processes, tuple(trial_args), kwargs
+                )
+            else:
+                out = run_batch(trial_rngs(root_seed, trials), *tuple(trial_args), **kwargs)
+                samples = {str(k): np.asarray(v, dtype=np.float64) for k, v in dict(out).items()}
             for key, arr in samples.items():
                 if arr.shape != (trials,):
                     raise ValueError(
                         f"run_batch returned {arr.shape} samples for {key!r}, expected ({trials},)"
                     )
             return MonteCarloResult(samples=samples, trials=trials)
-        workers = 1
-    elif not isinstance(workers, int):
-        raise ValueError(f"workers must be an int or 'vectorized', got {workers!r}")
+        workers = processes  # no batched form: degrade to the pool backend
+    else:
+        workers = processes
     jobs = [(trial, root_seed, i, tuple(trial_args), kwargs) for i in range(trials)]
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:

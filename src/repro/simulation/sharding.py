@@ -1,0 +1,314 @@
+"""Sharded ensemble execution: K process-local ``(n, B/K)`` replica blocks.
+
+PR 1's :class:`~repro.simulation.ensemble.EnsembleSimulator` amortizes the
+per-round engine overhead across a replica batch, but only within one
+process — ``monte_carlo`` forced a choice between a process pool running
+*serial* kernels (``workers=K``) and one process running *batched* kernels
+(``workers="vectorized"``).  This module composes the two axes: a replica
+batch is split into contiguous per-worker shards, each shard advances in
+lockstep through its own ``EnsembleSimulator`` in a pool process (the
+baseline execution model of distributed assessments such as Demiralp et
+al., arXiv:2208.07553), and the per-shard traces merge back into one
+:class:`~repro.simulation.ensemble.EnsembleTrace`.
+
+Equivalence contract
+--------------------
+Replica ``b`` consumes the RNG stream
+``SeedSequence(entropy=seed, spawn_key=(b,))`` no matter which shard it
+lands in — the same derivation the serial Monte-Carlo loop, the
+single-process ensemble, and the pool workers use.  Per-replica **load
+trajectories are bit-for-bit identical** across the serial, vectorized
+and sharded paths (the property tests assert this).  Derived statistics
+(potentials, sums) may differ from the other paths in the last float ulp
+because vectorized reductions over an ``(n, B)`` block depend on the
+block's width; stopping decisions compare those statistics against
+thresholds, so they agree except on measure-zero ties.
+
+Shard merging pads each shard's row records up to the longest shard's
+round count by repeating the frozen rows — exactly what a single
+ensemble run records for replicas that stopped early — so the merged
+trace is indistinguishable from a single-process run of the full batch
+(modulo the ulp caveat above).
+
+The pool is a standard ``ProcessPoolExecutor``; payloads (balancer,
+stopping rules, per-replica generators, initial shard loads) travel by
+pickle, so trials and balancers must be module-level/picklable exactly as
+``monte_carlo(workers=K)`` already requires.
+"""
+
+from __future__ import annotations
+
+import re
+from concurrent.futures import ProcessPoolExecutor
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.protocols import Balancer
+from repro.simulation.ensemble import EnsembleSimulator, EnsembleTrace, spawn_rngs
+from repro.simulation.montecarlo import trial_rng
+from repro.simulation.stopping import StoppingRule
+
+__all__ = [
+    "parse_workers",
+    "split_shards",
+    "merge_ensemble_traces",
+    "run_sharded_ensemble",
+    "sharded_run_batch",
+]
+
+
+def parse_workers(workers: int | str | tuple) -> tuple[int, bool]:
+    """Normalize a ``workers`` spec to ``(processes, vectorized)``.
+
+    Accepted forms::
+
+        1, 4            -> (1, False), (4, False)   process pool, serial kernels
+        "vectorized"    -> (1, True)                one process, batched kernels
+        "4xvectorized"  -> (4, True)                4-process sharded ensembles
+        "4x"            -> (4, True)                shorthand for the above
+        (4, "vectorized") -> (4, True)
+
+    ``processes`` is the pool size (1 means in-process execution) and
+    ``vectorized`` selects the batched kernels.
+    """
+    if isinstance(workers, tuple):
+        if len(workers) == 2 and workers[1] == "vectorized":
+            return parse_workers(workers[0])[0], True
+        raise ValueError(f"workers tuple must be (K, 'vectorized'), got {workers!r}")
+    if isinstance(workers, str):
+        spec = workers.strip().lower()
+        if spec == "vectorized":
+            return 1, True
+        if spec.isdigit():  # CLI flags arrive as strings
+            return parse_workers(int(spec))
+        match = re.fullmatch(r"(\d+)x(?:vectorized)?", spec)
+        if match:
+            return parse_workers(int(match.group(1)))[0], True
+        raise ValueError(
+            f"workers must be an int, 'vectorized' or 'KxVectorized', got {workers!r}"
+        )
+    if isinstance(workers, (int, np.integer)) and not isinstance(workers, bool):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return int(workers), False
+    raise ValueError(f"workers must be an int, 'vectorized' or 'KxVectorized', got {workers!r}")
+
+
+def split_shards(total: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal ``(start, stop)`` blocks covering ``range(total)``.
+
+    The first ``total % shards`` blocks are one element larger; empty
+    blocks are dropped (``shards > total`` degrades gracefully).
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, total) or 1
+    base, extra = divmod(total, shards)
+    bounds = [0]
+    for k in range(shards):
+        bounds.append(bounds[-1] + base + (1 if k < extra else 0))
+    return [(a, b) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def merge_ensemble_traces(traces: Sequence[EnsembleTrace]) -> EnsembleTrace:
+    """Concatenate per-shard traces along the replica axis.
+
+    Shards that stopped earlier than the longest one have their last
+    recorded rows repeated (statistics) or zero-filled (movements) up to
+    the common length — the frozen-replica semantics a single ensemble
+    run applies round by round.
+    """
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+    if len(traces) == 1:
+        return traces[0]
+    ref = traces[0]
+    merged = EnsembleTrace(
+        balancer_name=ref.balancer_name,
+        replicas=sum(t.replicas for t in traces),
+        record_discrepancies=ref.record_discrepancies,
+        record_movements=ref.record_movements,
+        keep_snapshots=ref.keep_snapshots,
+    )
+    merged.stopped_by = [reason for t in traces for reason in t.stopped_by]
+    merged._rounds = np.concatenate([t._rounds for t in traces])
+    rows = max(t.recorded_states for t in traces)
+
+    def stat_rows(lists: list[list[np.ndarray]], pad: str, length: int) -> list[np.ndarray]:
+        out = []
+        for i in range(length):
+            parts = []
+            for per_shard, t in zip(lists, traces):
+                if i < len(per_shard):
+                    parts.append(per_shard[i])
+                elif pad == "repeat":
+                    parts.append(per_shard[-1])
+                else:  # "zero": stopped replicas move nothing
+                    parts.append(np.zeros(t.replicas))
+            out.append(np.concatenate(parts))
+        return out
+
+    merged._potentials = stat_rows([t._potentials for t in traces], "repeat", rows)
+    merged._sums = stat_rows([t._sums for t in traces], "repeat", rows)
+    if ref.record_discrepancies:
+        merged._discrepancies = stat_rows([t._discrepancies for t in traces], "repeat", rows)
+    if ref.record_movements:
+        merged._movements = stat_rows([t._movements for t in traces], "zero", rows - 1)
+    if ref.keep_snapshots:
+        merged._snapshots = [
+            np.concatenate(
+                [t._snapshots[min(i, len(t._snapshots) - 1)] for t in traces], axis=0
+            )
+            for i in range(rows)
+        ]
+    merged._final_loads = np.concatenate([t.final_loads for t in traces], axis=0)
+    return merged
+
+
+def _run_shard(payload: tuple) -> EnsembleTrace:
+    """Pool worker: one shard through a fresh ``EnsembleSimulator``.
+
+    ``serial_singleton`` is disabled: a one-replica shard must compute
+    its statistics with the same batched formulas as every other shard,
+    or the merged trace's stopping decisions would depend on how the
+    batch happened to split across workers.
+    """
+    balancer, loads, rngs, stopping, record, keep_snapshots, check_conservation, cons_tol = payload
+    ens = EnsembleSimulator(
+        balancer,
+        stopping=stopping,
+        record=record,
+        keep_snapshots=keep_snapshots,
+        check_conservation=check_conservation,
+        cons_tol=cons_tol,
+        serial_singleton=False,
+    )
+    return ens.run(loads, seed=rngs)
+
+
+def run_sharded_ensemble(
+    balancer: Balancer,
+    loads: np.ndarray,
+    seed: int | Sequence[np.random.Generator] = 0,
+    replicas: int | None = None,
+    workers: int = 2,
+    stopping: Sequence[StoppingRule] | None = None,
+    record: str = "auto",
+    keep_snapshots: bool = False,
+    check_conservation: bool = True,
+    cons_tol: float = 1e-6,
+) -> EnsembleTrace:
+    """Run a replica ensemble as ``workers`` process-local shard blocks.
+
+    Accepts the same inputs as :meth:`EnsembleSimulator.run` — a shared
+    ``(n,)`` initial vector or per-replica ``(B, n)`` states, plus a root
+    seed (spawned into per-replica streams by global replica index) or an
+    explicit generator sequence — and returns one merged
+    :class:`EnsembleTrace`.  With ``workers <= 1`` (or a single shard) it
+    degrades to the in-process ensemble, so callers can pass the parsed
+    pool size straight through.
+    """
+    arr = np.asarray(loads)
+    if isinstance(seed, np.random.Generator):
+        seed = [seed]
+    if replicas is None:
+        if isinstance(seed, (int, np.integer)):
+            replicas = arr.shape[0] if arr.ndim == 2 else 1
+        else:
+            seed = list(seed)
+            replicas = len(seed)
+    replicas = int(replicas)
+    if arr.ndim == 2 and arr.shape[0] != replicas:
+        raise ValueError(f"replicas={replicas} but loads has {arr.shape[0]} rows")
+    if isinstance(seed, (int, np.integer)):
+        rngs = spawn_rngs(int(seed), replicas)
+    else:
+        rngs = list(seed)
+        if len(rngs) != replicas:
+            raise ValueError(f"got {len(rngs)} generators for {replicas} replicas")
+    shards = split_shards(replicas, max(int(workers), 1))
+    engine_kwargs = dict(
+        stopping=stopping,
+        record=record,
+        keep_snapshots=keep_snapshots,
+        check_conservation=check_conservation,
+        cons_tol=cons_tol,
+    )
+    if len(shards) <= 1:
+        ens = EnsembleSimulator(balancer, **engine_kwargs)
+        return ens.run(arr, seed=rngs)
+    payloads = []
+    for start, stop in shards:
+        shard_loads = arr if arr.ndim == 1 else arr[start:stop]
+        payloads.append(
+            (
+                balancer,
+                shard_loads,
+                rngs[start:stop],
+                list(stopping) if stopping else None,
+                record,
+                keep_snapshots,
+                check_conservation,
+                cons_tol,
+            )
+        )
+    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        traces = list(pool.map(_run_shard, payloads))
+    return merge_ensemble_traces(traces)
+
+
+def _run_batch_shard(payload: tuple) -> dict[str, np.ndarray]:
+    """Pool worker: one shard of Monte-Carlo trials through ``run_batch``.
+
+    Rebuilds the shard's generators from the *global* trial indices so a
+    trial's stream does not depend on the shard decomposition.
+    """
+    trial, root_seed, start, stop, args, kwargs = payload
+    rngs = [trial_rng(root_seed, i) for i in range(start, stop)]
+    out = trial.run_batch(rngs, *args, **kwargs)
+    return {str(k): np.asarray(v, dtype=np.float64) for k, v in dict(out).items()}
+
+
+def sharded_run_batch(
+    trial,
+    trials: int,
+    root_seed: int,
+    workers: int,
+    trial_args: tuple = (),
+    trial_kwargs: Mapping | None = None,
+) -> dict[str, np.ndarray]:
+    """Fan a batched trial's replicas out over a process pool.
+
+    Splits ``range(trials)`` into contiguous shards, calls
+    ``trial.run_batch(shard_rngs, *trial_args, **trial_kwargs)`` in each
+    pool process, and concatenates the per-key metric arrays in trial
+    order — the sharded backend behind
+    ``monte_carlo(workers="KxVectorized")``.
+    """
+    kwargs = dict(trial_kwargs or {})
+    shards = split_shards(trials, max(int(workers), 1))
+    payloads = [
+        (trial, root_seed, start, stop, tuple(trial_args), kwargs) for start, stop in shards
+    ]
+    if len(payloads) == 1:
+        outcomes = [_run_batch_shard(payloads[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            outcomes = list(pool.map(_run_batch_shard, payloads))
+    keys = list(outcomes[0])
+    for (start, stop), shard_out in zip(shards, outcomes):
+        if sorted(shard_out) != sorted(keys):
+            raise ValueError(
+                f"run_batch shard [{start}:{stop}) returned keys {sorted(shard_out)}, "
+                f"expected {sorted(keys)}"
+            )
+        for key, val in shard_out.items():
+            if val.shape != (stop - start,):
+                raise ValueError(
+                    f"run_batch shard [{start}:{stop}) returned {val.shape} samples "
+                    f"for {key!r}, expected ({stop - start},)"
+                )
+    return {key: np.concatenate([o[key] for o in outcomes]) for key in keys}

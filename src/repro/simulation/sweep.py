@@ -10,12 +10,19 @@ the comparison table directly.
 Specs are strings (``"torus:8x8"``, ``"diffusion-discrete"``) so sweeps
 are declarative and CLI-expressible (``repro-lb sweep ...``).
 
+Execution modes
+---------------
 ``replicas > 1`` replicates every cell over independently drawn initial
 distributions (per-replica spawned seeds) and reports medians/means.
 Batch-capable balancers run all replicas in lockstep through
 :class:`~repro.simulation.ensemble.EnsembleSimulator`; the rest fall
 back to a serial replica loop, so the grid semantics do not depend on
-which schemes happen to support batching.
+which schemes happen to support batching.  ``workers`` scales the
+replica execution of each cell: ``1`` (default) runs in-process,
+``"KxVectorized"`` (or a plain ``K``) shards the replica batch over a
+``K``-process pool via :mod:`repro.simulation.sharding` — per-replica
+results are identical either way (load trajectories bit-for-bit, derived
+statistics up to float summation order).
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from repro.graphs.generators import by_name
 from repro.simulation.engine import Simulator
 from repro.simulation.ensemble import EnsembleSimulator, spawn_rngs
 from repro.simulation.initial import make_loads
+from repro.simulation.sharding import parse_workers, run_sharded_ensemble
 from repro.simulation.stopping import MaxRounds, PotentialFractionBelow, Stagnation
 
 __all__ = ["SweepCell", "sweep"]
@@ -69,7 +77,7 @@ def _aggregate(topology: str, balancer: str, rounds_list, phis, movements, reaso
     )
 
 
-def _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas) -> SweepCell:
+def _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes) -> SweepCell:
     bal = get_balancer(name, topo)
     discrete = bal.mode == "discrete"
     # Stagnation ends stalled runs (e.g. floor-discretized schemes
@@ -109,8 +117,13 @@ def _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas) -> S
         [make_loads(load_kind, topo.n, rng=rng_b, discrete=discrete) for rng_b in load_rngs]
     )
     if getattr(bal, "supports_batch", False):
-        ens = EnsembleSimulator(bal, stopping=rules(), record="full")
-        trace = ens.run(batch, seed=run_rngs)
+        if processes > 1:
+            trace = run_sharded_ensemble(
+                bal, batch, seed=run_rngs, workers=processes, stopping=rules(), record="full"
+            )
+        else:
+            ens = EnsembleSimulator(bal, stopping=rules(), record="full")
+            trace = ens.run(batch, seed=run_rngs)
         rounds_list = trace.rounds_to_fraction(eps).tolist()
         return _aggregate(
             spec,
@@ -139,6 +152,7 @@ def sweep(
     max_rounds: int = 100_000,
     seed: int = 0,
     replicas: int = 1,
+    workers: int | str = 1,
 ) -> tuple[Table, list[SweepCell]]:
     """Run the grid; returns the rendered table and the raw cells.
 
@@ -148,11 +162,14 @@ def sweep(
     each cell aggregates over independently drawn initial distributions
     (see :class:`SweepCell`).  Discrete and continuous schemes get the
     discrete/continuous rendering of the distribution respectively.
+    ``workers`` shards each cell's replica batch over a process pool
+    (see the module docstring's *Execution modes*).
     """
     if not topology_specs or not balancer_names:
         raise ValueError("need at least one topology and one balancer")
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
+    processes, _ = parse_workers(workers)
     suffix = f", {replicas} replicas" if replicas > 1 else ""
     table = Table(
         title=f"sweep: rounds to Phi <= {eps:g}*Phi0 ({load_kind} load{suffix})",
@@ -162,7 +179,7 @@ def sweep(
     for spec in topology_specs:
         topo = by_name(spec)
         for name in balancer_names:
-            cell = _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas)
+            cell = _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes)
             cells.append(cell)
             table.add_row(
                 cell.topology,

@@ -108,3 +108,74 @@ class TestScratch:
         assert a is b
         assert op.scratch("x", (4, 3), np.float64) is not a
         assert op.scratch("y", (4, 2), np.float64) is not a
+
+
+class TestReciprocalFloorDivision:
+    """The biased-reciprocal fast path is exact, with a guarded fallback."""
+
+    def test_matches_integer_division_randomized(self, torus, rng):
+        op = edge_operator(torus)
+        for _ in range(20):
+            diff = rng.integers(-(1 << 45), 1 << 45, torus.m)
+            want = np.sign(diff) * (np.abs(diff) // op.denominators_int)
+            got = op.floor_divide_denominators(diff, np.empty_like(diff))
+            assert np.array_equal(got, want)
+
+    def test_exact_at_multiples_of_denominator(self, torus):
+        """Exact multiples are the adversarial case for reciprocal division:
+        an unbiased reciprocal truncates them one short."""
+        op = edge_operator(torus)
+        for k in (0, 1, 2, 3, 1000, (1 << 45) // (8 * torus.max_degree)):
+            for off in (-1, 0, 1):
+                for sign in (1, -1):
+                    diff = sign * (k * op.denominators_int + off)
+                    want = np.sign(diff) * (np.abs(diff) // op.denominators_int)
+                    got = op.floor_divide_denominators(diff, np.empty_like(diff))
+                    assert np.array_equal(got, want), (k, off, sign)
+
+    def test_batched_form(self, torus, rng):
+        op = edge_operator(torus)
+        diff = rng.integers(-(1 << 40), 1 << 40, (torus.m, 6))
+        want = np.sign(diff) * (np.abs(diff) // op.denominators_int[:, None])
+        got = op.floor_divide_denominators(diff, np.empty_like(diff))
+        assert np.array_equal(got, want)
+
+    def test_out_of_range_falls_back_exactly(self, torus):
+        from repro.core.operators import RECIP_DIV_LIMIT
+
+        op = edge_operator(torus)
+        diff = np.full(torus.m, RECIP_DIV_LIMIT * 4, dtype=np.int64)
+        diff[::2] = -diff[::2]
+        want = np.sign(diff) * (np.abs(diff) // op.denominators_int)
+        got = op.floor_divide_denominators(diff, np.empty_like(diff))
+        assert np.array_equal(got, want)
+
+    def test_round_discrete_unchanged_by_fast_path(self, any_topology, rng):
+        """The discrete round is bit-identical whichever division path runs
+        (both compute the exact floor)."""
+        op = edge_operator(any_topology)
+        loads = rng.integers(0, 100_000, any_topology.n).astype(np.int64)
+        diff = op.differences(loads)
+        flows = np.sign(diff) * (np.abs(diff) // op.denominators_int)
+        want = op.apply_flows(loads, flows)
+        got = op.round_discrete(loads)
+        assert np.array_equal(got, want)
+
+    def test_round_discrete_negative_loads_stay_exact(self, torus):
+        """The fast-path guard must bound |diff| via max - min: a caller
+        passing negative loads (the public kernel does not validate) must
+        not slip oversized differences past the reciprocal exactness range."""
+        from repro.core.operators import RECIP_DIV_LIMIT
+
+        op = edge_operator(torus)
+        loads = np.zeros(torus.n, dtype=np.int64)
+        loads[0] = -(RECIP_DIV_LIMIT * 8 - 1)
+        diff = op.differences(loads)
+        flows = np.sign(diff) * (np.abs(diff) // op.denominators_int)
+        want = op.apply_flows(loads, flows)
+        assert np.array_equal(op.round_discrete(loads), want)
+
+    def test_recip_cache_read_only(self, torus):
+        op = edge_operator(torus)
+        with pytest.raises(ValueError):
+            op.denominators_recip[0] = 1.0

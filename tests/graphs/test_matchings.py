@@ -8,9 +8,13 @@ from repro.graphs.matchings import (
     greedy_edge_coloring,
     is_matching,
     luby_matching,
+    luby_matchings,
+    matching_mask_valid,
     round_robin_matchings,
     two_stage_matching,
+    two_stage_matchings,
 )
+from repro.simulation.ensemble import spawn_rngs
 
 
 class TestIsMatching:
@@ -85,6 +89,89 @@ class TestTwoStageMatching:
     def test_matching_nonempty_often(self, torus, rng):
         nonempty = sum(two_stage_matching(torus, rng).size > 0 for _ in range(50))
         assert nonempty > 40
+
+
+class TestBatchedMatchings:
+    """Per-replica batched generators: valid matchings, bit-for-bit serial."""
+
+    B = 6
+
+    @pytest.mark.parametrize("batch_fn,serial_fn", [
+        (luby_matchings, luby_matching),
+        (two_stage_matchings, two_stage_matching),
+    ])
+    def test_valid_matchings_per_replica(self, any_topology, batch_fn, serial_fn):
+        mask = batch_fn(any_topology, spawn_rngs(3, self.B))
+        assert mask.shape == (any_topology.m, self.B)
+        assert matching_mask_valid(any_topology, mask).all()
+        for b in range(self.B):
+            assert is_matching(any_topology, np.flatnonzero(mask[:, b]))
+
+    @pytest.mark.parametrize("batch_fn,serial_fn", [
+        (luby_matchings, luby_matching),
+        (two_stage_matchings, two_stage_matching),
+    ])
+    def test_bit_for_bit_vs_serial_streams(self, any_topology, batch_fn, serial_fn):
+        """Column b equals the serial generator run on replica b's stream."""
+        for seed in (0, 7, 991):
+            mask = batch_fn(any_topology, spawn_rngs(seed, self.B))
+            for b in range(self.B):
+                want = serial_fn(any_topology, spawn_rngs(seed, self.B)[b])
+                assert np.array_equal(np.flatnonzero(mask[:, b]), want), (
+                    f"{batch_fn.__name__} seed={seed} replica={b}"
+                )
+
+    @pytest.mark.parametrize("batch_fn", [luby_matchings, two_stage_matchings])
+    def test_empty_graph(self, batch_fn):
+        from repro.graphs.topology import Topology
+
+        mask = batch_fn(Topology(3, []), spawn_rngs(0, 4))
+        assert mask.shape == (0, 4)
+
+    @pytest.mark.parametrize("batch_fn", [luby_matchings, two_stage_matchings])
+    def test_replicas_draw_independently(self, torus, batch_fn):
+        mask = batch_fn(torus, spawn_rngs(5, self.B))
+        cols = {mask[:, b].tobytes() for b in range(self.B)}
+        assert len(cols) > 1, "replica matchings should differ"
+
+    @pytest.mark.parametrize("batch_fn,serial_fn", [
+        (luby_matchings, luby_matching),
+        (two_stage_matchings, two_stage_matching),
+    ])
+    def test_trailing_isolated_nodes(self, batch_fn, serial_fn):
+        """Regression: isolated high-index nodes must not corrupt the last
+        real node's incidence segment (the segmented reductions previously
+        clamped their empty CSR segments into it, yielding non-matchings)."""
+        from repro.graphs.topology import Topology
+
+        topo = Topology(5, [(0, 1), (1, 3), (2, 3)])  # node 4 isolated
+        for seed in range(12):
+            mask = batch_fn(topo, spawn_rngs(seed, self.B))
+            assert matching_mask_valid(topo, mask).all()
+            for b in range(self.B):
+                want = serial_fn(topo, spawn_rngs(seed, self.B)[b])
+                assert np.array_equal(np.flatnonzero(mask[:, b]), want), (seed, b)
+
+    def test_mask_valid_with_isolated_nodes(self):
+        from repro.graphs.topology import Topology
+
+        topo = Topology(5, [(0, 1), (1, 3), (2, 3)])
+        overlap = np.zeros((3, 1), dtype=bool)
+        overlap[[1, 2], 0] = True  # edges (1,3) and (2,3) share node 3
+        assert not matching_mask_valid(topo, overlap)[0]
+        ok = np.zeros((3, 1), dtype=bool)
+        ok[[0, 2], 0] = True
+        assert matching_mask_valid(topo, ok)[0]
+
+    def test_matching_mask_valid_flags_overlap(self, torus):
+        mask = np.zeros((torus.m, 2), dtype=bool)
+        # Two edges sharing a node in replica 0 only.
+        node = int(torus.edges[0, 0])
+        incident = np.flatnonzero((torus.edges == node).any(axis=1))[:2]
+        mask[incident, 0] = True
+        mask[incident[0], 1] = True
+        valid = matching_mask_valid(torus, mask)
+        assert not valid[0] and valid[1]
 
 
 class TestEdgeColoring:

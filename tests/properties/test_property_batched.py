@@ -18,6 +18,8 @@ from repro.baselines.first_order import (
     fos_round_discrete_floor,
     fos_round_discrete_randomized,
 )
+from repro.baselines.dimension_exchange import DimensionExchangeBalancer
+from repro.baselines.ops import OptimalPolynomialBalancer
 from repro.baselines.second_order import SecondOrderBalancer
 from repro.core.diffusion import (
     DiffusionBalancer,
@@ -31,6 +33,7 @@ from repro.core.random_partner import (
     partner_round_continuous,
     partner_round_discrete,
 )
+from repro.extensions.asynchronous import AsyncDiffusionBalancer
 from repro.extensions.heterogeneous import HeterogeneousDiffusionBalancer, weighted_flows, weighted_round
 from repro.graphs import generators as g
 from repro.simulation.engine import Simulator
@@ -150,6 +153,15 @@ def _balancer_cases(topo):
         ("random-partner-discrete", lambda: RandomPartnerBalancer(mode="discrete"), True),
         ("hetero-continuous", lambda: HeterogeneousDiffusionBalancer(topo, speeds), False),
         ("hetero-discrete", lambda: HeterogeneousDiffusionBalancer(topo, speeds, mode="discrete"), True),
+        ("de-luby", lambda: DimensionExchangeBalancer(topo, partner_rule="luby"), False),
+        ("de-luby-discrete", lambda: DimensionExchangeBalancer(topo, mode="discrete", partner_rule="luby"), True),
+        ("de-two-stage", lambda: DimensionExchangeBalancer(topo, partner_rule="two-stage"), False),
+        ("de-two-stage-discrete", lambda: DimensionExchangeBalancer(topo, mode="discrete", partner_rule="two-stage"), True),
+        ("de-round-robin", lambda: DimensionExchangeBalancer(topo, partner_rule="round-robin"), False),
+        ("ops", lambda: OptimalPolynomialBalancer(topo), False),
+        ("async-random", lambda: AsyncDiffusionBalancer(topo, schedule="random", ticks_per_step=11), False),
+        ("async-random-discrete", lambda: AsyncDiffusionBalancer(topo, mode="discrete", schedule="random", ticks_per_step=11), True),
+        ("async-round-robin", lambda: AsyncDiffusionBalancer(topo, schedule="round-robin", ticks_per_step=11), False),
     ]
 
 
@@ -184,6 +196,23 @@ class TestEnsembleBitForBit:
                     rtol=1e-9,
                     atol=1e-6,
                 ), label
+
+    def test_async_high_degree_segments(self):
+        """Star hub (degree 31, beyond NumPy's small-sum threshold) forces
+        the per-segment float ``np.sum`` path of the batched async tick;
+        it must stay bit-for-bit with the serial tick loop."""
+        topo = g.star(32)
+        loads = _float_batch(topo.n, B, seed=17)[0]
+        make = lambda: AsyncDiffusionBalancer(topo, schedule="random", ticks_per_step=9)
+        ens = EnsembleSimulator(make(), stopping=[MaxRounds(8)], keep_snapshots=True)
+        trace = ens.run(loads, seed=77, replicas=B)
+        rngs = spawn_rngs(77, B)
+        for b in range(B):
+            serial = Simulator(make(), stopping=[MaxRounds(8)], keep_snapshots=True).run(
+                loads, rngs[b]
+            )
+            for t, snap in enumerate(serial.snapshots):
+                assert np.array_equal(snap, trace.snapshots[t][b]), f"replica {b}, round {t}"
 
     def test_conservation_per_replica(self, topo):
         loads = _int_batch(topo.n, B, seed=8)

@@ -60,6 +60,68 @@ class TestRunBasics:
         for t, snap in enumerate(strace.snapshots):
             assert np.array_equal(snap, etrace.snapshots[t][0]), f"round {t}"
 
+    def test_singleton_dispatches_to_serial_engine(self, torus, monkeypatch):
+        """B=1 runs route to the serial Simulator (perf: nothing to amortize)."""
+        calls = []
+        orig = EnsembleSimulator._run_singleton
+
+        def spy(self, loads, rng):
+            calls.append(loads.shape)
+            return orig(self, loads, rng)
+
+        monkeypatch.setattr(EnsembleSimulator, "_run_singleton", spy)
+        ens = EnsembleSimulator(DiffusionBalancer(torus), stopping=[MaxRounds(5)])
+        trace = ens.run(point_load(torus.n, discrete=False), seed=0)
+        assert calls == [(torus.n,)]
+        assert trace.replicas == 1
+        assert trace.rounds == 5
+
+    def test_singleton_dispatch_can_be_disabled(self, torus, monkeypatch):
+        called = []
+        monkeypatch.setattr(
+            EnsembleSimulator, "_run_singleton",
+            lambda self, loads, rng: called.append(1),
+        )
+        ens = EnsembleSimulator(
+            DiffusionBalancer(torus), stopping=[MaxRounds(5)], serial_singleton=False
+        )
+        trace = ens.run(point_load(torus.n, discrete=False), seed=0)
+        assert not called
+        assert trace.rounds == 5
+
+    def test_singleton_discrete_final_loads_int(self, torus):
+        ens = EnsembleSimulator(DiffusionBalancer(torus, mode="discrete"), stopping=[MaxRounds(6)])
+        trace = ens.run(point_load(torus.n, total=64_000), seed=1)
+        assert trace.final_loads.dtype == np.int64
+        serial = Simulator(
+            DiffusionBalancer(torus, mode="discrete"), stopping=[MaxRounds(6)], keep_snapshots=True
+        ).run(point_load(torus.n, total=64_000), spawn_rngs(1, 1)[0])
+        assert np.array_equal(trace.final_loads[0], serial.snapshots[-1])
+
+    def test_singleton_runs_unbatchable_balancer(self, torus):
+        """With serial dispatch, B=1 ensembles work for *any* balancer."""
+        from repro.core.protocols import Balancer
+
+        class _Plain(Balancer):
+            name = "plain"
+
+            def step(self, loads, rng):
+                return loads.copy()
+
+        trace = EnsembleSimulator(_Plain(), stopping=[MaxRounds(3)]).run(np.ones(4), seed=0)
+        assert trace.replicas == 1
+        assert trace.rounds == 3
+
+    def test_singleton_stopping_and_stats(self, torus):
+        rules = [PotentialFractionBelow(1e-3), MaxRounds(5_000)]
+        ens = EnsembleSimulator(RandomPartnerBalancer(), stopping=rules)
+        trace = ens.run(point_load(32, total=3200, discrete=False), seed=4)
+        assert trace.stopped_by[0].startswith("potential<=")
+        assert trace.potentials_matrix.shape == (trace.rounds + 1, 1)
+        assert trace.load_sums_matrix.shape == (trace.rounds + 1, 1)
+        t = trace.replica_trace(0)
+        assert t.rounds == trace.rounds
+
     def test_spawned_rngs_match_montecarlo_derivation(self):
         a = [r.integers(0, 1 << 30) for r in spawn_rngs(42, 3)]
         b = [r.integers(0, 1 << 30) for r in trial_rngs(42, 3)]

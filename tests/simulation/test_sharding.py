@@ -1,0 +1,350 @@
+"""Unit + equivalence tests for the sharded ensemble execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dimension_exchange import DimensionExchangeBalancer
+from repro.core.diffusion import DiffusionBalancer
+from repro.core.random_partner import RandomPartnerBalancer
+from repro.simulation.ensemble import EnsembleSimulator, spawn_rngs
+from repro.simulation.initial import point_load
+from repro.simulation.montecarlo import monte_carlo
+from repro.simulation.sharding import (
+    merge_ensemble_traces,
+    parse_workers,
+    run_sharded_ensemble,
+    sharded_run_batch,
+    split_shards,
+)
+from repro.simulation.stopping import MaxRounds, PotentialFractionBelow
+
+
+class _IndexTrial:
+    """Module-level (picklable) trial: first draw identifies the stream."""
+
+    def run_batch(self, rngs):
+        return {"draw": np.asarray([r.random() for r in rngs])}
+
+
+class _BrokenTrial:
+    """Module-level trial returning the wrong number of samples."""
+
+    def run_batch(self, rngs):
+        return {"v": np.zeros(max(1, len(rngs) - 1))}
+
+
+def _plain_trial(rng):
+    return float(rng.random())
+
+
+class TestParseWorkers:
+    @pytest.mark.parametrize("spec,expected", [
+        (1, (1, False)),
+        (4, (4, False)),
+        ("3", (3, False)),
+        ("vectorized", (1, True)),
+        ("4xvectorized", (4, True)),
+        ("2x", (2, True)),
+        ("8XVectorized", (8, True)),
+        ((4, "vectorized"), (4, True)),
+    ])
+    def test_accepted_forms(self, spec, expected):
+        assert parse_workers(spec) == expected
+
+    @pytest.mark.parametrize("spec", [0, -2, "fast", "x4", "4y", (4, "serial"), 1.5, True])
+    def test_rejected_forms(self, spec):
+        with pytest.raises(ValueError):
+            parse_workers(spec)
+
+
+class TestSplitShards:
+    def test_even_split(self):
+        assert split_shards(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        assert split_shards(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_more_shards_than_items(self):
+        assert split_shards(2, 5) == [(0, 1), (1, 2)]
+
+    def test_single_shard(self):
+        assert split_shards(5, 1) == [(0, 5)]
+
+    def test_zero_items(self):
+        assert split_shards(0, 3) == []
+
+    def test_covers_range_exactly(self):
+        for total in (1, 5, 13, 64):
+            for shards in (1, 2, 3, 7):
+                blocks = split_shards(total, shards)
+                flat = [i for a, b in blocks for i in range(a, b)]
+                assert flat == list(range(total))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_shards(-1, 2)
+        with pytest.raises(ValueError):
+            split_shards(4, 0)
+
+
+class TestShardedEnsembleEquivalence:
+    """Sharded == single-process vectorized == serial, per replica."""
+
+    @pytest.fixture(scope="class")
+    def topo(self):
+        from repro.graphs import generators as g
+
+        return g.torus_2d(6, 6)
+
+    @pytest.mark.parametrize("make_bal,discrete", [
+        (lambda topo: DiffusionBalancer(topo), False),
+        (lambda topo: DiffusionBalancer(topo, mode="discrete"), True),
+        (lambda topo: RandomPartnerBalancer(), False),
+        (lambda topo: DimensionExchangeBalancer(topo, partner_rule="luby"), False),
+    ])
+    def test_loads_bit_for_bit_across_paths(self, topo, make_bal, discrete):
+        B, seed = 7, 11
+        loads = point_load(topo.n, total=100 * topo.n, discrete=discrete)
+        rules = lambda: [PotentialFractionBelow(1e-3), MaxRounds(600)]
+        single = EnsembleSimulator(
+            make_bal(topo), stopping=rules(), keep_snapshots=True
+        ).run(loads, seed=seed, replicas=B)
+        sharded = run_sharded_ensemble(
+            make_bal(topo), loads, seed=seed, replicas=B, workers=3,
+            stopping=rules(), keep_snapshots=True,
+        )
+        assert sharded.replicas == B
+        # Load trajectories: bit-for-bit across the whole run.
+        assert np.array_equal(single.final_loads, sharded.final_loads)
+        for t in range(single.recorded_states):
+            assert np.array_equal(single.snapshots[t], sharded.snapshots[t]), f"round {t}"
+        # Stopping behaviour: identical decisions.
+        assert np.array_equal(single.rounds_vector, sharded.rounds_vector)
+        assert single.stopped_by == sharded.stopped_by
+        # Derived statistics: equal up to block-width summation order.
+        assert np.allclose(single.potentials_matrix, sharded.potentials_matrix, rtol=1e-12)
+        assert np.allclose(single.load_sums_matrix, sharded.load_sums_matrix, rtol=1e-12)
+
+    def test_matches_serial_simulator_per_replica(self, topo):
+        from repro.simulation.engine import Simulator
+
+        B, seed = 5, 3
+        loads = point_load(topo.n, total=100 * topo.n, discrete=False)
+        sharded = run_sharded_ensemble(
+            RandomPartnerBalancer(), loads, seed=seed, replicas=B, workers=2,
+            stopping=[MaxRounds(30)], keep_snapshots=True,
+        )
+        rngs = spawn_rngs(seed, B)
+        for b in range(B):
+            serial = Simulator(
+                RandomPartnerBalancer(), stopping=[MaxRounds(30)], keep_snapshots=True
+            ).run(loads, rngs[b])
+            assert np.array_equal(serial.snapshots[-1], sharded.final_loads[b])
+
+    def test_per_replica_initial_states(self, topo):
+        B = 6
+        batch = np.random.default_rng(4).uniform(0, 1000, (B, topo.n))
+        single = EnsembleSimulator(
+            DiffusionBalancer(topo), stopping=[MaxRounds(20)]
+        ).run(batch, seed=2)
+        sharded = run_sharded_ensemble(
+            DiffusionBalancer(topo), batch, seed=2, workers=4, stopping=[MaxRounds(20)]
+        )
+        assert np.array_equal(single.final_loads, sharded.final_loads)
+
+    def test_movements_and_discrepancies_merge(self, topo):
+        loads = point_load(topo.n, total=100 * topo.n, discrete=False)
+        kwargs = dict(stopping=[PotentialFractionBelow(1e-2), MaxRounds(500)], record="full")
+        single = EnsembleSimulator(RandomPartnerBalancer(), **kwargs).run(
+            loads, seed=9, replicas=5
+        )
+        sharded = run_sharded_ensemble(
+            RandomPartnerBalancer(), loads, seed=9, replicas=5, workers=2, **kwargs
+        )
+        assert np.allclose(single.movements_matrix, sharded.movements_matrix, rtol=1e-12)
+        assert np.allclose(
+            single.discrepancies_matrix, sharded.discrepancies_matrix, rtol=1e-12
+        )
+        assert np.allclose(
+            single.total_net_movements(), sharded.total_net_movements(), rtol=1e-12
+        )
+
+    def test_workers_one_runs_in_process(self, topo):
+        loads = point_load(topo.n, discrete=False)
+        trace = run_sharded_ensemble(
+            DiffusionBalancer(topo), loads, seed=0, replicas=3, workers=1,
+            stopping=[MaxRounds(4)],
+        )
+        assert trace.replicas == 3
+        assert trace.rounds == 4
+
+    def test_explicit_generators(self, topo):
+        loads = point_load(topo.n, discrete=False)
+        rngs = spawn_rngs(21, 4)
+        trace = run_sharded_ensemble(
+            RandomPartnerBalancer(), loads, seed=rngs, workers=2, stopping=[MaxRounds(6)]
+        )
+        single = EnsembleSimulator(RandomPartnerBalancer(), stopping=[MaxRounds(6)]).run(
+            loads, seed=spawn_rngs(21, 4)
+        )
+        assert np.array_equal(single.final_loads, trace.final_loads)
+
+    def test_singleton_shards_use_batched_statistics(self, topo, monkeypatch):
+        """A 1-replica shard must not dispatch to the serial engine: its
+        statistics would switch to the centered potential formula and
+        stopping decisions would depend on how the batch split across
+        workers (regression)."""
+        from repro.simulation import sharding
+        from repro.simulation.ensemble import EnsembleSimulator
+
+        def boom(self, loads, rng):  # pragma: no cover - failure path
+            raise AssertionError("singleton shard dispatched to the serial engine")
+
+        monkeypatch.setattr(EnsembleSimulator, "_run_singleton", boom)
+        payload = (
+            DiffusionBalancer(topo),
+            point_load(topo.n, discrete=False),
+            spawn_rngs(0, 1),
+            [MaxRounds(3)],
+            "auto", False, True, 1e-6,
+        )
+        trace = sharding._run_shard(payload)  # in-process, same code the pool runs
+        assert trace.replicas == 1 and trace.rounds == 3
+
+    def test_singleton_shards_formula_consistent_under_cancellation(self, topo):
+        """The reviewer's adversarial case: loads ~1e8 with ~1e-2 spread make
+        the batched shifted potential clamp to ~0 while the serial centered
+        formula resolves ~1e-3 — pre-fix, 1-replica shards (serial formula)
+        ran tens of rounds while the unsharded run stopped immediately.
+        Post-fix both decompositions use the batched formula and stop within
+        an ulp-tie of each other (exact equality is unattainable here: block
+        width changes summation order, and cancellation amplifies the ulp)."""
+        from repro.simulation.stopping import PotentialBelow
+
+        loads = 1e8 + np.random.default_rng(0).uniform(-1e-2, 1e-2, topo.n)
+        for workers in (1, 3):  # workers=3 over B=3 -> three 1-replica shards
+            trace = run_sharded_ensemble(
+                DiffusionBalancer(topo), loads, seed=2, replicas=3,
+                workers=workers, stopping=[PotentialBelow(1e-7), MaxRounds(500)],
+            )
+            assert all(r.startswith("potential<=") for r in trace.stopped_by), workers
+            assert trace.rounds_vector.max() <= 2, (workers, trace.rounds_vector)
+
+    def test_replica_loads_mismatch_rejected(self, topo):
+        with pytest.raises(ValueError, match="replicas"):
+            run_sharded_ensemble(
+                DiffusionBalancer(topo), np.ones((3, topo.n)), seed=0, replicas=5, workers=2
+            )
+
+
+class TestShardPayloadHygiene:
+    def test_topology_pickles_without_derived_caches(self):
+        import pickle
+
+        from repro.graphs import generators as g
+        from repro.core.operators import edge_operator
+
+        topo = g.torus_2d(8, 8)
+        # Warm every heavy cache a shard payload must NOT carry.
+        edge_operator(topo).incidence()
+        _ = topo.degrees, topo.indptr, topo.edge_denominators
+        blob = pickle.dumps(topo)
+        bare = pickle.dumps(g.torus_2d(8, 8))
+        assert len(blob) <= len(bare) * 1.05, "warmed caches leaked into the pickle"
+        clone = pickle.loads(blob)
+        assert clone == topo
+        assert not clone.edges.flags.writeable
+        assert np.array_equal(clone.degrees, topo.degrees)  # rebuilt on demand
+
+
+class TestMergeEnsembleTraces:
+    def test_single_trace_passthrough(self):
+        from repro.graphs import generators as g
+
+        topo = g.torus_2d(4, 4)
+        trace = EnsembleSimulator(DiffusionBalancer(topo), stopping=[MaxRounds(3)]).run(
+            point_load(topo.n, discrete=False), seed=0, replicas=2
+        )
+        assert merge_ensemble_traces([trace]) is trace
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_ensemble_traces([])
+
+    def test_unequal_lengths_pad_frozen_rows(self):
+        """Shards stopping at different rounds merge like one frozen batch."""
+        from repro.graphs import generators as g
+
+        topo = g.torus_2d(4, 4)
+        loads = point_load(topo.n, total=100 * topo.n, discrete=False)
+        rules = lambda: [PotentialFractionBelow(1e-4), MaxRounds(2_000)]
+        rngs = spawn_rngs(5, 6)
+        single = EnsembleSimulator(RandomPartnerBalancer(), stopping=rules()).run(
+            loads, seed=spawn_rngs(5, 6)
+        )
+        parts = [
+            EnsembleSimulator(RandomPartnerBalancer(), stopping=rules()).run(
+                loads, seed=rngs[a:b]
+            )
+            for a, b in ((0, 2), (2, 4), (4, 6))
+        ]
+        merged = merge_ensemble_traces(parts)
+        assert merged.replicas == 6
+        assert np.array_equal(single.rounds_vector, merged.rounds_vector)
+        assert single.stopped_by == merged.stopped_by
+        assert merged.potentials_matrix.shape == single.potentials_matrix.shape
+        assert np.allclose(single.potentials_matrix, merged.potentials_matrix, rtol=1e-12)
+        assert np.array_equal(single.final_loads, merged.final_loads)
+
+
+class TestShardedMonteCarlo:
+    def test_sharded_equals_vectorized(self):
+        from repro.experiments.e08_random_continuous import trial_drop_and_rounds
+
+        kw = {"n": 48, "c": 1.0, "max_rounds": 300}
+        vec = monte_carlo(trial_drop_and_rounds, trials=9, root_seed=3,
+                          workers="vectorized", trial_kwargs=kw)
+        sha = monte_carlo(trial_drop_and_rounds, trials=9, root_seed=3,
+                          workers="3xvectorized", trial_kwargs=kw)
+        assert vec.trials == sha.trials == 9
+        for key in vec.samples:
+            assert np.allclose(
+                vec.samples[key], sha.samples[key], rtol=1e-12, equal_nan=True
+            ), key
+        # Integer-valued metrics must agree exactly.
+        for key in ("rounds_to_target", "success_at_bound"):
+            assert np.array_equal(
+                np.nan_to_num(vec.samples[key], nan=-1.0),
+                np.nan_to_num(sha.samples[key], nan=-1.0),
+            ), key
+
+    def test_sharded_run_batch_trial_order(self):
+        got = sharded_run_batch(_IndexTrial(), trials=7, root_seed=13, workers=3)
+        want = np.asarray([r.random() for r in spawn_rngs(13, 7)])
+        assert np.array_equal(got["draw"], want)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            sharded_run_batch(_BrokenTrial(), trials=4, root_seed=0, workers=2)
+
+    def test_trial_without_run_batch_degrades_to_pool(self):
+        from repro.simulation.montecarlo import trial_rngs
+
+        got = monte_carlo(_plain_trial, trials=5, root_seed=1, workers="2xvectorized")
+        want = np.asarray([r.random() for r in trial_rngs(1, 5)])
+        assert np.allclose(got.samples["value"], want)
+
+
+class TestSweepWorkers:
+    def test_sharded_sweep_matches_in_process(self):
+        from repro.simulation.sweep import sweep
+
+        _, a = sweep(["torus:4x4"], ["random-partner", "matching-de"],
+                     eps=1e-2, seed=5, replicas=4, workers=1)
+        _, b = sweep(["torus:4x4"], ["random-partner", "matching-de"],
+                     eps=1e-2, seed=5, replicas=4, workers="2xvectorized")
+        for cell_a, cell_b in zip(a, b):
+            assert cell_a.rounds == cell_b.rounds
+            assert cell_a.stopped_by == cell_b.stopped_by
+            assert cell_a.final_potential == pytest.approx(cell_b.final_potential, rel=1e-9)
+            assert cell_a.total_movement == pytest.approx(cell_b.total_movement, rel=1e-9)

@@ -88,13 +88,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "replicas" in out and "rounds_median" in out
 
-    def test_run_replicas_unbatchable_scheme_errors(self, capsys):
+    def test_run_replicas_ops_batched(self, capsys):
+        # OPS gained a batched kernel: --replicas now runs it as an ensemble.
         rc = main([
             "run", "--balancer", "ops", "--topology", "hypercube:3",
             "--rounds", "5", "--replicas", "4",
         ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replicas: 4" in " ".join(out.split())
+
+    def test_run_replicas_sharded_workers(self, capsys):
+        rc = main([
+            "run", "--balancer", "matching-de", "--topology", "torus:4x4",
+            "--rounds", "20", "--replicas", "4", "--workers", "2xvectorized",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replicas" in out and "rounds_median" in out
+
+    def test_run_bad_workers_spec_errors(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "5", "--replicas", "2", "--workers", "fast",
+        ])
         assert rc == 2
-        assert "batched" in capsys.readouterr().err
+        assert "workers" in capsys.readouterr().err
+
+    def test_run_bad_workers_rejected_even_without_replicas(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "5", "--workers", "fast",
+        ])
+        assert rc == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_sweep_bad_workers_spec_errors(self, capsys):
+        rc = main([
+            "sweep", "--topologies", "torus:4x4", "--balancers", "diffusion",
+            "--eps", "0.01", "--workers", "bogus",
+        ])
+        assert rc == 2
+        assert "workers" in capsys.readouterr().err
 
     def test_sweep_with_replicas(self, capsys):
         rc = main([
