@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.operators import truncated_half
 from repro.core.protocols import CONTINUOUS, DISCRETE, Balancer, register_balancer
 from repro.graphs.matchings import (
     luby_matching,
@@ -59,8 +60,8 @@ def exchange_along_matching(
     u, v = pairs[:, 0], pairs[:, 1]
     if discrete:
         l = np.asarray(loads, dtype=np.int64)
-        diff = l[u] - l[v]
-        give = np.sign(diff) * (np.abs(diff) // 2)
+        # sign(diff) * (|diff| // 2) via the fused truncating halve (exact)
+        give = truncated_half(l[u] - l[v])
         out[u] -= give
         out[v] += give
     else:
@@ -142,8 +143,7 @@ class DimensionExchangeBalancer(Balancer):
             pairs = edges[self._schedule[r % len(self._schedule)]]
             lu, lv = loads[pairs[:, 0]], loads[pairs[:, 1]]
             if discrete:
-                diff = lu - lv
-                give = np.sign(diff) * (np.abs(diff) // 2)
+                give = truncated_half(lu - lv)
                 out[pairs[:, 0]] = lu - give
                 out[pairs[:, 1]] = lv + give
             else:
@@ -159,8 +159,7 @@ class DimensionExchangeBalancer(Balancer):
         uu, vv = edges[e_idx, 0], edges[e_idx, 1]
         lu, lv = loads[uu, b_idx], loads[vv, b_idx]
         if discrete:
-            diff = lu - lv
-            give = np.sign(diff) * (np.abs(diff) // 2)
+            give = truncated_half(lu - lv)
             out[uu, b_idx] = lu - give
             out[vv, b_idx] = lv + give
         else:

@@ -67,29 +67,31 @@ def fos_flows(loads: np.ndarray, topo: Topology, alpha: float | None = None) -> 
     return alpha * (l[..., op.u] - l[..., op.v])
 
 
-def fos_round_node_major(loads: np.ndarray, topo: Topology, alpha: float | None = None) -> np.ndarray:
+def fos_round_node_major(
+    loads: np.ndarray, topo: Topology, alpha: float | None = None, backend: str | None = None
+) -> np.ndarray:
     """One continuous FOS round on node-major ``(n,)`` / ``(n, B)`` loads.
 
     The single implementation both :class:`FirstOrderBalancer` and the
     second-order scheme's momentum recurrence build on — keeping them on
     one code path is what guarantees SOS with ``beta = 1`` degenerates to
-    FOS bit-for-bit.
+    FOS bit-for-bit.  Dispatches to the backend's FOS round: a fused
+    adjacency matvec on numba, the cached ``I - alpha L`` CSR elsewhere.
     """
     if alpha is None:
         alpha = fos_alpha(topo)
-    op = edge_operator(topo)
-    M = op.fos_round_matrix(alpha)
-    if M is not None:
-        return op.linear_round(M, loads)
-    return op.apply_flows(loads, alpha * (loads[op.u] - loads[op.v]))
+    op = edge_operator(topo, backend)
+    return op.fos_round(alpha, loads)
 
 
-def fos_round_continuous(loads: np.ndarray, topo: Topology, alpha: float | None = None) -> np.ndarray:
+def fos_round_continuous(
+    loads: np.ndarray, topo: Topology, alpha: float | None = None, backend: str | None = None
+) -> np.ndarray:
     """One continuous FOS round: equivalent to ``M @ loads`` (batch-aware)."""
     l = np.asarray(loads, dtype=np.float64)
     if l.ndim == 1:
-        return fos_round_node_major(l, topo, alpha)
-    return replica_major(lambda x: fos_round_node_major(x, topo, alpha), l)
+        return fos_round_node_major(l, topo, alpha, backend)
+    return replica_major(lambda x: fos_round_node_major(x, topo, alpha, backend), l)
 
 
 def fos_round_discrete_floor(loads: np.ndarray, topo: Topology, alpha: float | None = None) -> np.ndarray:
@@ -137,17 +139,27 @@ class FirstOrderBalancer(Balancer):
         (discrete, Elsässer–Monien rounding).
     alpha:
         Diffusion parameter; defaults to ``1 / (delta + 1)``.
+    backend:
+        Kernel backend name (None = ambient default); bit-for-bit
+        interchangeable, speed only.
     """
 
     VARIANTS = ("continuous", "floor", "randomized")
     supports_batch = True
 
-    def __init__(self, topology: Topology, variant: str = "continuous", alpha: float | None = None):
+    def __init__(
+        self,
+        topology: Topology,
+        variant: str = "continuous",
+        alpha: float | None = None,
+        backend: str | None = None,
+    ):
         super().__init__()
         if variant not in self.VARIANTS:
             raise ValueError(f"variant must be one of {self.VARIANTS}, got {variant!r}")
         self.topology = topology
         self.variant = variant
+        self.backend = backend
         self.alpha = fos_alpha(topology) if alpha is None else float(alpha)
         if not 0.0 < self.alpha <= 1.0 / max(topology.max_degree, 1):
             # alpha > 1/delta can make M have negative diagonal => divergence risk.
@@ -159,7 +171,7 @@ class FirstOrderBalancer(Balancer):
         loads = self.validate_loads(loads)
         self.advance_round()
         if self.variant == "continuous":
-            return fos_round_continuous(loads, self.topology, self.alpha)
+            return fos_round_continuous(loads, self.topology, self.alpha, self.backend)
         if self.variant == "floor":
             return fos_round_discrete_floor(loads, self.topology, self.alpha)
         return fos_round_discrete_randomized(loads, self.topology, rng, self.alpha)
@@ -167,12 +179,9 @@ class FirstOrderBalancer(Balancer):
     def step_batch(self, loads: np.ndarray, rngs: Sequence[np.random.Generator], out: np.ndarray | None = None) -> np.ndarray:
         """One lockstep round for a node-major ``(n, B)`` replica batch."""
         self.advance_round()
-        op = edge_operator(self.topology)
+        op = edge_operator(self.topology, self.backend)
         if self.variant == "continuous":
-            M = op.fos_round_matrix(self.alpha)
-            if M is not None:
-                return op.linear_round(M, loads, out)
-            return op.apply_flows(loads, self.alpha * (loads[op.u] - loads[op.v]), out)
+            return op.fos_round(self.alpha, loads, out)
         f = self.alpha * (loads[op.u] - loads[op.v]).astype(np.float64)
         mag = np.abs(f)
         base = np.floor(mag)

@@ -84,19 +84,25 @@ class OptimalPolynomialBalancer(Balancer):
     use_leja:
         Apply Leja ordering to the eigenvalue schedule (default True; the
         ascending order is kept available for the numerics ablation).
+    backend:
+        Kernel backend name (None = ambient default).  The numba backend
+        runs each Richardson step as a fused adjacency matvec and never
+        materializes a round matrix, so long schedules cost no memory.
     """
 
     supports_batch = True
 
-    #: Round matrices are memoized on the balancer only for schedules up
-    #: to this length — one ``n x n`` CSR per *distinct eigenvalue* grows
-    #: linearly with the spectrum, so long schedules rebuild per round
-    #: (an O(m) construction, comparable to the matvec it feeds).
+    #: Round-matrix data arrays are cached per eigenvalue only for
+    #: schedules up to this length — one ``n x n`` CSR data array per
+    #: *distinct eigenvalue* grows linearly with the spectrum, so long
+    #: schedules refill per round (an O(m) data fill over the shared
+    #: sparsity pattern, comparable to the matvec it feeds).
     MATRIX_CACHE_LIMIT = 128
 
-    def __init__(self, topology: Topology, use_leja: bool = True):
+    def __init__(self, topology: Topology, use_leja: bool = True, backend: str | None = None):
         super().__init__()
         self.topology = topology
+        self.backend = backend
         eigs = distinct_laplacian_eigenvalues(topology)
         nonzero = eigs[eigs > 1e-9]
         if nonzero.size == 0:
@@ -104,9 +110,6 @@ class OptimalPolynomialBalancer(Balancer):
         self.schedule = leja_order(nonzero) if use_leja else nonzero
         self.mode = CONTINUOUS
         self.name = f"ops[{'leja' if use_leja else 'asc'}]@{topology.name}"
-        #: balancer-lifetime (not topology-lifetime) round-matrix memo —
-        #: reused across runs, released with the balancer
-        self._round_matrices: dict[int, object] = {}
 
     @property
     def rounds_to_exact(self) -> int:
@@ -116,13 +119,13 @@ class OptimalPolynomialBalancer(Balancer):
     def _apply_round(self, loads: np.ndarray, r: int, out: np.ndarray | None) -> np.ndarray:
         """Round ``r``'s Richardson step ``(I - L / lambda_r) @ loads``.
 
-        Executed as a sparse round matrix built by the per-topology
-        operator (``I - alpha L`` with ``alpha = 1 / lambda_r`` is exactly
-        the FOS round matrix) and memoized on this balancer for short
-        schedules, so a serial round is one matvec, an ensemble round one
-        matmat — and serial/batched columns agree bit-for-bit (CSR row
-        accumulation order is layout-independent).  Without SciPy: the
-        equivalent per-edge flows plus incidence scatter.
+        ``I - alpha L`` with ``alpha = 1 / lambda_r`` is exactly the FOS
+        round, so this dispatches to the operator's backend FOS kernel: a
+        serial round is one matvec, an ensemble round one matmat — and
+        serial/batched columns agree bit-for-bit (every backend
+        accumulates a row's stored entries in the same order regardless
+        of layout).  Short schedules cache the per-eigenvalue matrix data
+        on the operator; longer ones refill the shared pattern per round.
         """
         if r >= self.schedule.size:  # already exact; idle
             if out is None:
@@ -130,15 +133,9 @@ class OptimalPolynomialBalancer(Balancer):
             np.copyto(out, loads)
             return out
         lam = self.schedule[r]
-        op = edge_operator(self.topology)
-        M = self._round_matrices.get(r)
-        if M is None:
-            M = op.fos_round_matrix(1.0 / lam, cache=False)
-            if M is not None and self.schedule.size <= self.MATRIX_CACHE_LIMIT:
-                self._round_matrices[r] = M
-        if M is not None:
-            return op.linear_round(M, loads, out)
-        return op.apply_flows(loads, (loads[op.u] - loads[op.v]) / lam, out)
+        op = edge_operator(self.topology, self.backend)
+        cache = self.schedule.size <= self.MATRIX_CACHE_LIMIT
+        return op.fos_round(1.0 / lam, loads, out, cache=cache)
 
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         loads = self.validate_loads(loads)

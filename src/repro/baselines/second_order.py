@@ -60,9 +60,10 @@ class SecondOrderBalancer(Balancer):
 
     supports_batch = True
 
-    def __init__(self, topology: Topology, beta: float | None = None):
+    def __init__(self, topology: Topology, beta: float | None = None, backend: str | None = None):
         super().__init__()
         self.topology = topology
+        self.backend = backend
         self.beta = optimal_beta(spectral_gamma(topology)) if beta is None else float(beta)
         if not 0.0 < self.beta < 2.0:
             raise ValueError(f"beta must be in (0, 2), got {self.beta}")
@@ -81,9 +82,12 @@ class SecondOrderBalancer(Balancer):
         r = self.advance_round()
         prev = self.state.history.get("prev")
         if r == 0 or prev is None:
-            nxt = fos_round_continuous(loads, self.topology)
+            nxt = fos_round_continuous(loads, self.topology, backend=self.backend)
         else:
-            nxt = self.beta * fos_round_continuous(loads, self.topology) + (1.0 - self.beta) * prev
+            nxt = (
+                self.beta * fos_round_continuous(loads, self.topology, backend=self.backend)
+                + (1.0 - self.beta) * prev
+            )
         self.state.history["prev"] = loads.copy()
         return nxt
 
@@ -95,7 +99,7 @@ class SecondOrderBalancer(Balancer):
         """
         r = self.advance_round()
         prev = self.state.history.get("prev")
-        fos = fos_round_node_major(loads, self.topology)
+        fos = fos_round_node_major(loads, self.topology, backend=self.backend)
         if r == 0 or prev is None:
             nxt = fos
         else:

@@ -7,7 +7,8 @@ Subcommands
 - ``compare`` — run several balancers on one topology side by side;
 - ``verify`` — execute the lemma checks on random states;
 - ``experiment`` — regenerate one or all experiment tables (E01..E13);
-- ``bounds`` — print every theorem bound for a given topology.
+- ``bounds`` — print every theorem bound for a given topology;
+- ``backends`` — diagnose the available kernel backends.
 
 The CLI is a thin layer: every command resolves to a library call that
 the tests exercise directly, so the CLI tests only assert wiring.
@@ -69,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the replica ensemble over K processes ('KxVectorized', or plain K; "
         "needs --replicas > 1)",
     )
+    _add_backend_flag(p_run)
 
     p_cmp = sub.add_parser("compare", help="run several balancers side by side")
     p_cmp.add_argument("--topology", required=True)
@@ -95,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="1",
         help="shard each cell's replica batch over K processes ('KxVectorized' or K)",
     )
+    _add_backend_flag(p_sweep)
 
     p_ver = sub.add_parser("verify", help="run the lemma checks on random states")
     p_ver.add_argument("--topology", default="torus:8x8")
@@ -109,7 +112,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_bounds.add_argument("--topology", required=True)
     p_bounds.add_argument("--eps", type=float, default=1e-6)
     p_bounds.add_argument("--tokens", type=int, default=None, help="point-load size for Phi0")
+
+    sub.add_parser("backends", help="diagnose the available kernel backends")
     return parser
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.core.backends import BACKEND_CHOICES
+
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKEND_CHOICES,
+        help="kernel backend for the hot round kernels: 'numpy' (pure-NumPy reference), "
+        "'scipy' (compiled CSR kernels), 'numba' (fused JIT rounds; needs numba), or "
+        "'auto' (fastest available; the default).  Backends are bit-for-bit "
+        "interchangeable — this flag only affects speed.",
+    )
 
 
 def _cmd_topologies(args: argparse.Namespace) -> int:
@@ -126,9 +145,27 @@ def _cmd_topologies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_backend_arg(name):
+    """Validate a ``--backend`` value; returns (resolved-or-None, error)."""
+    if name is None:
+        return None, None
+    from repro.core.backends import resolve_backend
+
+    try:
+        return resolve_backend(name), None
+    except (ValueError, RuntimeError) as exc:
+        return None, str(exc)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     topo = by_name(args.topology)
     bal = get_balancer(args.balancer, topo)
+    backend, err = _resolve_backend_arg(args.backend)
+    if err:
+        print(err, file=sys.stderr)
+        return 2
+    if backend is not None:
+        bal.backend = backend
     discrete = bal.mode == "discrete"
     rng = np.random.default_rng(args.seed)
     loads = make_loads(args.loads, topo.n, rng=rng, discrete=discrete)
@@ -198,6 +235,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    backend, err = _resolve_backend_arg(args.backend)
+    if err:
+        print(err, file=sys.stderr)
+        return 2
     table, _ = sweep(
         args.topologies,
         args.balancers,
@@ -207,8 +248,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         replicas=args.replicas,
         workers=args.workers,
+        backend=backend,
     )
     print(table.to_text())
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.core.backends import backend_summaries, resolve_backend
+
+    table = Table("Kernel backends", ["backend", "available", "default", "detail"])
+    for row in backend_summaries():
+        table.add_row(
+            row["name"],
+            "yes" if row["available"] else "no",
+            "*" if row["default"] else "",
+            row["detail"],
+        )
+    print(table.to_text())
+    print(f"\n'auto' resolves to: {resolve_backend('auto')}")
+    print("All backends are bit-for-bit interchangeable; selection only affects speed.")
     return 0
 
 
@@ -270,6 +329,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "experiment": _cmd_experiment,
     "bounds": _cmd_bounds,
+    "backends": _cmd_backends,
 }
 
 

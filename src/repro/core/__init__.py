@@ -11,7 +11,11 @@
   turned into executable, measurable code;
 - :mod:`repro.core.bounds` — every theorem/lemma bound as a callable;
 - :mod:`repro.core.protocols` — the :class:`Balancer` interface all
-  schemes (core and baselines) implement.
+  schemes (core and baselines) implement;
+- :mod:`repro.core.operators` / :mod:`repro.core.backends` — the cached
+  per-topology sparse round kernels and the pluggable execution
+  backends (numpy reference / scipy / numba) they dispatch through,
+  bit-for-bit interchangeable.
 """
 
 from repro.core.potential import (
@@ -62,8 +66,15 @@ from repro.core.bounds import (
     ghosh_muthukrishnan_drop_factor,
 )
 from repro.core.protocols import Balancer, BalancerState, get_balancer, registered_balancers
+from repro.core.backends import available_backends, resolve_backend
+from repro.core.operators import EdgeOperator, edge_operator
 
 __all__ = [
+    # kernel backends / operators
+    "available_backends",
+    "resolve_backend",
+    "EdgeOperator",
+    "edge_operator",
     # potential
     "average_load",
     "discrepancy",

@@ -1,0 +1,234 @@
+"""JIT round kernels for the ``numba`` backend.
+
+Every kernel here is a *fused* formulation of a hot round primitive:
+
+- ``csr_matvec`` / ``csr_matmat`` — stored-order CSR products used for
+  the cached round matrices and the incidence scatter.  The inner
+  accumulation runs left-to-right over each row's stored entries, the
+  exact order SciPy's C kernels use, so results are bit-for-bit equal to
+  the ``scipy`` backend (and to the ``numpy`` reference backend, whose
+  ELL fold reproduces the same order).
+- ``fused_discrete_*`` — one whole discrete Algorithm-1 round as a
+  single node-parallel adjacency traversal: for node ``i`` the update is
+  ``l_i + sum_j trunc((l_j - l_i) * r_ij)`` (``trunc`` is odd and IEEE
+  negation is exact, so the two endpoints of an edge compute exactly
+  opposite flows).  No ``(m, B)`` gather/flow/scatter intermediates ever
+  materialize; integer accumulation makes the result independent of
+  traversal order, hence bit-identical to the staged reference.
+- ``fused_fos_*`` — the parameterized FOS/Richardson round
+  ``(I - alpha L) @ loads`` computed straight from the sorted adjacency
+  structure with the diagonal term injected at its sorted position, so
+  no round matrix is ever built (OPS's per-eigenvalue schedule hits this
+  with a fresh ``alpha`` every round).  The diagonal ``1 - alpha d_i``
+  is evaluated as ``d_i`` sequential subtractions to match the
+  ``np.subtract.at`` fold the matrix-building path uses.
+
+Without numba installed the ``@njit`` decorator degrades to a no-op and
+``prange`` to ``range``: the kernels stay importable and *correct* as
+pure Python (the test suite exercises them on small graphs that way),
+while :mod:`repro.core.backends` keeps the backend out of ``auto``
+selection so production paths never run them uncompiled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised on numba-equipped CI legs
+    import numba
+
+    njit = numba.njit
+    prange = numba.prange
+    HAVE_NUMBA = True
+    NUMBA_VERSION = numba.__version__
+except ImportError:
+    HAVE_NUMBA = False
+    NUMBA_VERSION = None
+    prange = range
+
+    def njit(*args, **kwargs):  # no-op decorator: kernels run as pure Python
+        if args and callable(args[0]):
+            return args[0]
+
+        def deco(fn):
+            return fn
+
+        return deco
+
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NUMBA_VERSION",
+    "csr_matvec",
+    "csr_matmat",
+    "add_csr_matvec",
+    "add_csr_matmat",
+    "fused_discrete_recip",
+    "fused_discrete_recip_batch",
+    "fused_discrete_div",
+    "fused_discrete_div_batch",
+    "fused_fos",
+    "fused_fos_batch",
+]
+
+_int64 = np.int64
+
+
+@njit(cache=True, parallel=True)
+def csr_matvec(indptr, indices, data, x, out):
+    """``out = A @ x`` with sequential stored-order row accumulation."""
+    for i in prange(indptr.shape[0] - 1):
+        out[i] = 0
+        for jj in range(indptr[i], indptr[i + 1]):
+            out[i] = out[i] + data[jj] * x[indices[jj]]
+
+
+@njit(cache=True, parallel=True)
+def csr_matmat(indptr, indices, data, x, out):
+    """``out = A @ x`` for node-major ``(n, B)`` x; per-column stored order."""
+    B = x.shape[1]
+    for i in prange(indptr.shape[0] - 1):
+        for b in range(B):
+            out[i, b] = 0
+        for jj in range(indptr[i], indptr[i + 1]):
+            a = data[jj]
+            j = indices[jj]
+            for b in range(B):
+                out[i, b] = out[i, b] + a * x[j, b]
+
+
+@njit(cache=True, parallel=True)
+def add_csr_matvec(indptr, indices, data, base, x, out):
+    """``out = base + A @ x`` (sum accumulated from zero, then added)."""
+    for i in prange(indptr.shape[0] - 1):
+        out[i] = 0
+        for jj in range(indptr[i], indptr[i + 1]):
+            out[i] = out[i] + data[jj] * x[indices[jj]]
+        out[i] = base[i] + out[i]
+
+
+@njit(cache=True, parallel=True)
+def add_csr_matmat(indptr, indices, data, base, x, out):
+    """``out = base + A @ x`` for ``(n, B)`` base with ``(m, B)`` x."""
+    B = x.shape[1]
+    for i in prange(indptr.shape[0] - 1):
+        for b in range(B):
+            out[i, b] = 0
+        for jj in range(indptr[i], indptr[i + 1]):
+            a = data[jj]
+            j = indices[jj]
+            for b in range(B):
+                out[i, b] = out[i, b] + a * x[j, b]
+        for b in range(B):
+            out[i, b] = base[i, b] + out[i, b]
+
+
+@njit(cache=True, parallel=True)
+def fused_discrete_recip(adj_indptr, adj_indices, adj_recip, x, out):
+    """One discrete round on ``(n,)`` int64 loads via biased reciprocals."""
+    for i in prange(adj_indptr.shape[0] - 1):
+        li = x[i]
+        acc = _int64(0)
+        for jj in range(adj_indptr[i], adj_indptr[i + 1]):
+            acc += _int64((x[adj_indices[jj]] - li) * adj_recip[jj])
+        out[i] = li + acc
+
+
+@njit(cache=True, parallel=True)
+def fused_discrete_recip_batch(adj_indptr, adj_indices, adj_recip, x, out):
+    """One discrete round on node-major ``(n, B)`` int64 loads."""
+    B = x.shape[1]
+    for i in prange(adj_indptr.shape[0] - 1):
+        for b in range(B):
+            out[i, b] = x[i, b]
+        for jj in range(adj_indptr[i], adj_indptr[i + 1]):
+            j = adj_indices[jj]
+            r = adj_recip[jj]
+            for b in range(B):
+                out[i, b] += _int64((x[j, b] - x[i, b]) * r)
+
+
+@njit(cache=True, parallel=True)
+def fused_discrete_div(adj_indptr, adj_indices, adj_denom, x, out):
+    """Exact int64-division variant for loads beyond the reciprocal range."""
+    for i in prange(adj_indptr.shape[0] - 1):
+        li = x[i]
+        acc = _int64(0)
+        for jj in range(adj_indptr[i], adj_indptr[i + 1]):
+            d = x[adj_indices[jj]] - li
+            den = adj_denom[jj]
+            if d >= 0:
+                acc += d // den
+            else:
+                acc -= (-d) // den
+        out[i] = li + acc
+
+
+@njit(cache=True, parallel=True)
+def fused_discrete_div_batch(adj_indptr, adj_indices, adj_denom, x, out):
+    B = x.shape[1]
+    for i in prange(adj_indptr.shape[0] - 1):
+        for b in range(B):
+            out[i, b] = x[i, b]
+        for jj in range(adj_indptr[i], adj_indptr[i + 1]):
+            j = adj_indices[jj]
+            den = adj_denom[jj]
+            for b in range(B):
+                d = x[j, b] - x[i, b]
+                if d >= 0:
+                    out[i, b] += d // den
+                else:
+                    out[i, b] -= (-d) // den
+
+
+@njit(cache=True, parallel=True)
+def fused_fos(adj_indptr, adj_indices, alpha, x, out):
+    """``out = (I - alpha L) @ x`` straight from sorted adjacency.
+
+    Iterates each node's (sorted) neighbour list, injecting the diagonal
+    term ``(1 - alpha d_i) x_i`` at its sorted position — the exact
+    stored order of the built round matrix, so results are bit-for-bit
+    equal to the matrix-based backends without materializing a matrix.
+    """
+    for i in prange(adj_indptr.shape[0] - 1):
+        start = adj_indptr[i]
+        stop = adj_indptr[i + 1]
+        diag = 1.0
+        for _t in range(stop - start):
+            diag -= alpha
+        acc = 0.0
+        inserted = False
+        for jj in range(start, stop):
+            j = adj_indices[jj]
+            if not inserted and j > i:
+                acc += diag * x[i]
+                inserted = True
+            acc += alpha * x[j]
+        if not inserted:
+            acc += diag * x[i]
+        out[i] = acc
+
+
+@njit(cache=True, parallel=True)
+def fused_fos_batch(adj_indptr, adj_indices, alpha, x, out):
+    B = x.shape[1]
+    for i in prange(adj_indptr.shape[0] - 1):
+        start = adj_indptr[i]
+        stop = adj_indptr[i + 1]
+        diag = 1.0
+        for _t in range(stop - start):
+            diag -= alpha
+        for b in range(B):
+            out[i, b] = 0.0
+        inserted = False
+        for jj in range(start, stop):
+            j = adj_indices[jj]
+            if not inserted and j > i:
+                for b in range(B):
+                    out[i, b] += diag * x[i, b]
+                inserted = True
+            for b in range(B):
+                out[i, b] += alpha * x[j, b]
+        if not inserted:
+            for b in range(B):
+                out[i, b] += diag * x[i, b]

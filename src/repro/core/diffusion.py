@@ -84,16 +84,18 @@ def apply_edge_flows(
     topo: Topology,
     flows: np.ndarray,
     out: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Apply signed per-edge flows; returns the new load vector(s).
 
     Accepts ``(n,)`` loads with ``(m,)`` flows or replica-major ``(B, n)``
     loads with ``(B, m)`` flows.  ``out`` may alias a preallocated buffer
-    (not the input) to avoid the allocation in hot loops.
+    (not the input) to avoid the allocation in hot loops; ``backend``
+    selects the kernel backend (None = ambient default).
     """
     if out is not None and out is loads:
         raise ValueError("out must not alias the input vector")
-    op = edge_operator(topo)
+    op = edge_operator(topo, backend)
     arr = np.asarray(loads)
     if arr.ndim == 1:
         return op.apply_flows(arr, flows, out)
@@ -101,19 +103,23 @@ def apply_edge_flows(
     return replica_major(lambda l: op.apply_flows(l, flows_nm), arr, out)
 
 
-def diffusion_round_continuous(loads: np.ndarray, topo: Topology, out: np.ndarray | None = None) -> np.ndarray:
+def diffusion_round_continuous(
+    loads: np.ndarray, topo: Topology, out: np.ndarray | None = None, backend: str | None = None
+) -> np.ndarray:
     """One concurrent continuous round of Algorithm 1 (``(n,)`` or ``(B, n)``)."""
     l = np.asarray(loads, dtype=np.float64)
-    op = edge_operator(topo)
+    op = edge_operator(topo, backend)
     if l.ndim == 1:
         return op.round_continuous(l, out)
     return replica_major(op.round_continuous, l, out)
 
 
-def diffusion_round_discrete(loads: np.ndarray, topo: Topology, out: np.ndarray | None = None) -> np.ndarray:
+def diffusion_round_discrete(
+    loads: np.ndarray, topo: Topology, out: np.ndarray | None = None, backend: str | None = None
+) -> np.ndarray:
     """One concurrent discrete round of Algorithm 1 (integer tokens)."""
     l = np.asarray(loads, dtype=np.int64)
-    op = edge_operator(topo)
+    op = edge_operator(topo, backend)
     if l.ndim == 1:
         return op.round_discrete(l, out)
     return replica_major(op.round_discrete, l, out)
@@ -129,16 +135,26 @@ class DiffusionBalancer(Balancer):
         ``topology_at(k)`` provides round ``k``'s graph (Section 5).
     mode:
         ``"continuous"`` or ``"discrete"``.
+    backend:
+        Kernel backend name (``"numpy"``/``"scipy"``/``"numba"``/
+        ``"auto"``; None = ambient default).  Results are bit-for-bit
+        identical across backends.
     """
 
     supports_batch = True
 
-    def __init__(self, network: Topology | DynamicNetwork, mode: str = CONTINUOUS):
+    def __init__(
+        self,
+        network: Topology | DynamicNetwork,
+        mode: str = CONTINUOUS,
+        backend: str | None = None,
+    ):
         super().__init__()
         if mode not in (CONTINUOUS, DISCRETE):
             raise ValueError(f"unknown mode {mode!r}")
         self.network = network
         self.mode = mode
+        self.backend = backend
         self.dynamic = isinstance(network, DynamicNetwork)
         label = network.name if isinstance(network, Topology) else type(network).__name__
         self.name = f"diffusion[{mode}]@{label}"
@@ -158,7 +174,7 @@ class DiffusionBalancer(Balancer):
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         loads = self.validate_loads(loads)
         topo = self._round_topology(loads.size)
-        op = edge_operator(topo)
+        op = edge_operator(topo, self.backend)
         if self.mode == DISCRETE:
             return op.round_discrete(loads)
         return op.round_continuous(loads)
@@ -166,7 +182,7 @@ class DiffusionBalancer(Balancer):
     def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
         """One lockstep round for a node-major ``(n, B)`` replica batch."""
         topo = self._round_topology(loads.shape[0])
-        op = edge_operator(topo)
+        op = edge_operator(topo, self.backend)
         if self.mode == DISCRETE:
             return op.round_discrete(loads, out)
         return op.round_continuous(loads, out)

@@ -84,6 +84,13 @@ class Balancer(ABC):
     mode: str = CONTINUOUS
     #: True when :meth:`step_batch` is implemented (lockstep ensembles)
     supports_batch: bool = False
+    #: Kernel backend the scheme's operator kernels run on
+    #: (``"numpy"``/``"scipy"``/``"numba"``/``"auto"``; None = ambient
+    #: default).  Backends are bit-for-bit interchangeable, so this only
+    #: affects speed; the engines, ``sweep`` and the CLI set it via their
+    #: ``backend`` pass-through.  Schemes that never touch an
+    #: :class:`~repro.core.operators.EdgeOperator` simply ignore it.
+    backend: str | None = None
 
     def __init__(self) -> None:
         self.state = BalancerState()

@@ -100,24 +100,28 @@ def weighted_flows(
 
 
 def weighted_round(
-    loads: np.ndarray, speeds: np.ndarray, topo: Topology, discrete: bool = False
+    loads: np.ndarray, speeds: np.ndarray, topo: Topology, discrete: bool = False,
+    backend: str | None = None,
 ) -> np.ndarray:
     """One concurrent heterogeneous round; returns the new load vector(s)."""
     from repro.core.diffusion import apply_edge_flows
 
     flows = weighted_flows(loads, speeds, topo, discrete=discrete)
     if discrete:
-        return apply_edge_flows(np.asarray(loads, dtype=np.int64), topo, flows.astype(np.int64))
-    return apply_edge_flows(np.asarray(loads, dtype=np.float64), topo, flows)
+        return apply_edge_flows(
+            np.asarray(loads, dtype=np.int64), topo, flows.astype(np.int64), backend=backend
+        )
+    return apply_edge_flows(np.asarray(loads, dtype=np.float64), topo, flows, backend=backend)
 
 
 def _weighted_round_node_major(
-    loads: np.ndarray, speeds: np.ndarray, topo: Topology, discrete: bool
+    loads: np.ndarray, speeds: np.ndarray, topo: Topology, discrete: bool,
+    backend: str | None = None,
 ) -> np.ndarray:
     """One heterogeneous round on a node-major ``(n, B)`` batch."""
     from repro.core.operators import edge_operator
 
-    op = edge_operator(topo)
+    op = edge_operator(topo, backend)
     s = _check_speeds(loads.shape[0], speeds)
     w = loads.astype(np.float64) / s[:, None] if discrete else loads / s[:, None]
     flows = _flow_values(
@@ -152,13 +156,20 @@ class HeterogeneousDiffusionBalancer(Balancer):
 
     supports_batch = True
 
-    def __init__(self, topology: Topology, speeds: np.ndarray, mode: str = CONTINUOUS):
+    def __init__(
+        self,
+        topology: Topology,
+        speeds: np.ndarray,
+        mode: str = CONTINUOUS,
+        backend: str | None = None,
+    ):
         super().__init__()
         if mode not in (CONTINUOUS, DISCRETE):
             raise ValueError(f"unknown mode {mode!r}")
         self.topology = topology
         self.speeds = _check_speeds(topology.n, speeds)
         self.mode = mode
+        self.backend = backend
         self.name = f"hetero-diffusion[{mode}]@{topology.name}"
 
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -166,12 +177,17 @@ class HeterogeneousDiffusionBalancer(Balancer):
         self.advance_round()
         if loads.size != self.topology.n:
             raise ValueError(f"loads has {loads.size} entries for n={self.topology.n}")
-        return weighted_round(loads, self.speeds, self.topology, discrete=self.mode == DISCRETE)
+        return weighted_round(
+            loads, self.speeds, self.topology, discrete=self.mode == DISCRETE,
+            backend=self.backend,
+        )
 
     def step_batch(self, loads: np.ndarray, rngs, out: np.ndarray | None = None) -> np.ndarray:
         """One lockstep round for a node-major ``(n, B)`` replica batch."""
         self.advance_round()
-        return _weighted_round_node_major(loads, self.speeds, self.topology, self.mode == DISCRETE)
+        return _weighted_round_node_major(
+            loads, self.speeds, self.topology, self.mode == DISCRETE, self.backend
+        )
 
 
 @register_balancer("hetero-diffusion")

@@ -49,6 +49,11 @@ class Simulator:
         discrete balancers, tolerance ``cons_tol`` for continuous ones).
         On violation the run raises immediately — a conservation bug must
         never silently skew an experiment.
+    backend:
+        Kernel backend for the balancer's operator kernels
+        (``"numpy"``/``"scipy"``/``"numba"``/``"auto"``; None keeps the
+        balancer's own setting).  Backends are bit-for-bit
+        interchangeable, so this only affects speed.
     """
 
     DEFAULT_MAX_ROUNDS = 1_000_000
@@ -60,8 +65,11 @@ class Simulator:
         keep_snapshots: bool = False,
         check_conservation: bool = True,
         cons_tol: float = 1e-6,
+        backend: str | None = None,
     ) -> None:
         self.balancer = balancer
+        if backend is not None:
+            self.balancer.backend = backend
         rules = list(stopping) if stopping else []
         if not any(isinstance(r, MaxRounds) for r in rules):
             rules.append(MaxRounds(self.DEFAULT_MAX_ROUNDS))

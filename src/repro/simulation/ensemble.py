@@ -312,6 +312,10 @@ class EnsembleSimulator:
         because the serial trace computes them with the centered formula.
         Set ``False`` to force the batched kernels even for one replica
         (the bit-for-bit property tests do).
+    backend:
+        Kernel backend for the balancer's operator kernels (None keeps
+        the balancer's own setting).  Backends are bit-for-bit
+        interchangeable, so this only affects speed.
     """
 
     DEFAULT_MAX_ROUNDS = 1_000_000
@@ -325,10 +329,13 @@ class EnsembleSimulator:
         check_conservation: bool = True,
         cons_tol: float = 1e-6,
         serial_singleton: bool = True,
+        backend: str | None = None,
     ) -> None:
         if record not in ("auto", "light", "full"):
             raise ValueError(f"record must be 'auto', 'light' or 'full', got {record!r}")
         self.balancer = balancer
+        if backend is not None:
+            self.balancer.backend = backend
         rules = list(stopping) if stopping else []
         if not any(isinstance(r, MaxRounds) for r in rules):
             rules.append(MaxRounds(self.DEFAULT_MAX_ROUNDS))

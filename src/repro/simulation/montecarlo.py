@@ -134,20 +134,29 @@ def monte_carlo(
     workers: int | str = 1,
     trial_args: Sequence = (),
     trial_kwargs: Mapping | None = None,
+    backend: str | None = None,
 ) -> MonteCarloResult:
     """Run ``trial(rng, *trial_args, **trial_kwargs)`` for many seeds.
 
-    ``workers`` picks the backend — ``1`` (serial), ``K`` (process pool),
-    ``"vectorized"`` (one lockstep ensemble) or ``"KxVectorized"``
+    ``workers`` picks the execution mode — ``1`` (serial), ``K`` (process
+    pool), ``"vectorized"`` (one lockstep ensemble) or ``"KxVectorized"``
     (``K`` process-local ensemble shards); see the module docstring's
     *Execution modes*.  Results are aggregated in trial order in every
-    backend, so the output is independent of the execution strategy.
+    mode, so the output is independent of the execution strategy.
+
+    ``backend`` selects the *kernel* backend (numpy/scipy/numba) and is
+    forwarded to the trial as a ``backend=`` keyword — shorthand for
+    putting it in ``trial_kwargs`` — so the trial can pass it to the
+    balancers it builds.  Trials that do not accept the keyword should be
+    run with ``backend=None`` (the default).
     """
     from repro.simulation.sharding import parse_workers, sharded_run_batch
 
     if trials < 1:
         raise ValueError("need at least one trial")
     kwargs = dict(trial_kwargs or {})
+    if backend is not None:
+        kwargs.setdefault("backend", backend)
     processes, vectorized = parse_workers(workers)
     if vectorized:
         run_batch = getattr(trial, "run_batch", None)

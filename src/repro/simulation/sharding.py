@@ -200,6 +200,7 @@ def run_sharded_ensemble(
     keep_snapshots: bool = False,
     check_conservation: bool = True,
     cons_tol: float = 1e-6,
+    backend: str | None = None,
 ) -> EnsembleTrace:
     """Run a replica ensemble as ``workers`` process-local shard blocks.
 
@@ -209,8 +210,13 @@ def run_sharded_ensemble(
     explicit generator sequence — and returns one merged
     :class:`EnsembleTrace`.  With ``workers <= 1`` (or a single shard) it
     degrades to the in-process ensemble, so callers can pass the parsed
-    pool size straight through.
+    pool size straight through.  ``backend`` pins the kernel backend on
+    the balancer before it ships to the pool workers (the attribute
+    travels with the pickled balancer), so every shard runs the same —
+    bit-for-bit interchangeable — kernels.
     """
+    if backend is not None:
+        balancer.backend = backend
     arr = np.asarray(loads)
     if isinstance(seed, np.random.Generator):
         seed = [seed]

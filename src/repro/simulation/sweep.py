@@ -77,8 +77,12 @@ def _aggregate(topology: str, balancer: str, rounds_list, phis, movements, reaso
     )
 
 
-def _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes) -> SweepCell:
+def _run_cell(
+    spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes, backend=None
+) -> SweepCell:
     bal = get_balancer(name, topo)
+    if backend is not None:
+        bal.backend = backend
     discrete = bal.mode == "discrete"
     # Stagnation ends stalled runs (e.g. floor-discretized schemes
     # plateauing above the target) without burning the round cap;
@@ -153,6 +157,7 @@ def sweep(
     seed: int = 0,
     replicas: int = 1,
     workers: int | str = 1,
+    backend: str | None = None,
 ) -> tuple[Table, list[SweepCell]]:
     """Run the grid; returns the rendered table and the raw cells.
 
@@ -163,7 +168,9 @@ def sweep(
     (see :class:`SweepCell`).  Discrete and continuous schemes get the
     discrete/continuous rendering of the distribution respectively.
     ``workers`` shards each cell's replica batch over a process pool
-    (see the module docstring's *Execution modes*).
+    (see the module docstring's *Execution modes*); ``backend`` pins the
+    kernel backend on every constructed balancer (bit-for-bit
+    interchangeable, so the grid's numbers do not depend on it).
     """
     if not topology_specs or not balancer_names:
         raise ValueError("need at least one topology and one balancer")
@@ -179,7 +186,9 @@ def sweep(
     for spec in topology_specs:
         topo = by_name(spec)
         for name in balancer_names:
-            cell = _run_cell(spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes)
+            cell = _run_cell(
+                spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes, backend
+            )
             cells.append(cell)
             table.add_row(
                 cell.topology,

@@ -138,3 +138,64 @@ class TestCommands:
         ])
         assert rc == 0
         assert "3 replicas" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_backends_command(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out and "scipy" in out and "numba" in out
+        assert "'auto' resolves to" in out
+
+    def test_run_with_numpy_backend(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "20", "--backend", "numpy",
+        ])
+        assert rc == 0
+        assert "rounds" in capsys.readouterr().out
+
+    def test_run_replicas_with_backend(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion-discrete", "--topology", "torus:4x4",
+            "--rounds", "15", "--replicas", "3", "--backend", "numpy",
+        ])
+        assert rc == 0
+        assert "replicas" in capsys.readouterr().out
+
+    def test_run_backend_matches_default_output(self, capsys):
+        """Backends are bit-for-bit interchangeable: same trace summary."""
+        args = [
+            "run", "--balancer", "diffusion-discrete", "--topology", "torus:4x4",
+            "--rounds", "25",
+        ]
+        assert main(args + ["--backend", "numpy"]) == 0
+        forced = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == forced
+
+    def test_run_unavailable_backend_errors(self, capsys, monkeypatch):
+        import repro.core.backends as B
+
+        monkeypatch.setattr(B.NumbaBackend, "available", classmethod(lambda cls: False))
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "5", "--backend", "numba",
+        ])
+        assert rc == 2
+        assert "not available" in capsys.readouterr().err
+
+    def test_run_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+                "--backend", "cuda",
+            ])
+
+    def test_sweep_with_backend(self, capsys):
+        rc = main([
+            "sweep", "--topologies", "torus:4x4", "--balancers", "diffusion", "fos",
+            "--eps", "0.01", "--backend", "numpy",
+        ])
+        assert rc == 0
+        assert "net_movement" in capsys.readouterr().out
