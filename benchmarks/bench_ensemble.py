@@ -22,6 +22,15 @@ Two further sections:
   check time**, so a >=4-core runner enforces the gate (CI does, via a
   full-size gate row even under ``--smoke --check``) while a smaller
   host records the measured ratio with ``passed: null``.
+- *partitioned*: the node-axis analogue — one giant graph split into
+  P=4 halo-exchanging blocks (``PartitionedSimulator``, in-process and
+  persistent-worker-process modes) against the single-block serial run,
+  with halo-traffic counters per row.  Trajectories are bit-for-bit
+  identical, so the rows measure pure execution speedup.  The >=1.0x
+  process-mode acceptance (n=65536, discrete) is enforced at check time
+  on >=4-core hosts via a full-size gate row, mirroring the sharded
+  gate; smaller hosts record ``passed: null``.  ``--partitioned-out``
+  writes the section as a standalone JSON artifact.
 
 Run standalone to (re)generate the committed baseline::
 
@@ -61,11 +70,16 @@ from repro.core.diffusion import DiffusionBalancer
 from repro.graphs.generators import torus_2d
 from repro.simulation.engine import Simulator
 from repro.simulation.ensemble import EnsembleSimulator, spawn_rngs
+from repro.simulation.partitioned import PartitionedSimulator
 from repro.simulation.sharding import run_sharded_ensemble
 from repro.simulation.stopping import MaxRounds
 
 SEED = 1234
 SHARD_WORKERS = 4
+#: node-axis gate: blocks for the partitioned acceptance row
+PARTITION_BLOCKS = 4
+#: node-axis gate: torus side (n = side^2 = 65536) for the full-size row
+PARTITION_GATE_SIDE = 256
 #: full-run floor for fused-numba discrete vs same-host scipy; the smoke
 #: floor only guards against the fused path being a pessimization (shared
 #: CI runners are too noisy to gate the full ratio at smoke sizes).
@@ -198,6 +212,67 @@ def measure_sharded(side, replicas, mode, rounds, workers, repeats: int = 3,
     }
 
 
+def _time_partitioned(topo, mode, loads, rounds: int, partitions: int, strategy: str,
+                      pmode: str, backend=None) -> tuple[float, dict]:
+    """Seconds for one PartitionedSimulator run; returns (time, halo stats)."""
+    bal = DiffusionBalancer(topo, mode=mode, backend=backend)
+    psim = PartitionedSimulator(
+        bal, partitions=partitions, strategy=strategy, mode=pmode,
+        stopping=[MaxRounds(rounds)],
+    )
+    start = time.perf_counter()
+    psim.run(loads)
+    return time.perf_counter() - start, dict(psim.halo_stats)
+
+
+def measure_partitioned(side, mode, rounds, partitions=PARTITION_BLOCKS, strategy="bfs",
+                        pmode="process", repeats: int = 3, backend: str | None = None) -> dict:
+    """One single-block-vs-partitioned comparison row (B = 1, one graph).
+
+    The single-block side is the serial :class:`Simulator` on the whole
+    topology — the run a partitioned deployment replaces.  The
+    partitioned side splits the node axis into ``partitions``
+    halo-exchanging blocks (in-process vectorized loop, or persistent
+    worker processes for ``pmode="process"``); trajectories are
+    bit-for-bit identical, so the row measures pure execution overhead /
+    speedup plus the halo traffic actually exchanged.
+    """
+    backend = resolve_backend(backend)
+    topo = torus_2d(side, side)
+    discrete = mode == "discrete"
+    loads = _initial_loads(topo.n, discrete=discrete)
+    # Warm the operator + partition caches on both sides (and the worker
+    # startup path for process mode) so construction is not attributed.
+    _time_serial(topo, mode, "diffusion", loads, 1, 2, backend)
+    _time_partitioned(topo, mode, loads, 2, partitions, strategy, pmode, backend)
+    single_s = min(
+        _time_serial(topo, mode, "diffusion", loads, 1, rounds, backend)
+        for _ in range(repeats)
+    )
+    part_s = float("inf")
+    halo: dict = {}
+    for _ in range(repeats):
+        t, h = _time_partitioned(topo, mode, loads, rounds, partitions, strategy, pmode, backend)
+        if t < part_s:
+            part_s, halo = t, h
+    return {
+        "n": topo.n,
+        "backend": backend,
+        "mode": mode,
+        "rounds": rounds,
+        "partitions": partitions,
+        "strategy": strategy,
+        "partition_mode": pmode,
+        "single_seconds": round(single_s, 6),
+        "partitioned_seconds": round(part_s, 6),
+        "single_rounds_per_sec": round(rounds / single_s, 1),
+        "partitioned_rounds_per_sec": round(rounds / part_s, 1),
+        "partitioned_speedup": round(single_s / part_s, 3),
+        "halo_values_exchanged": halo.get("halo_values", 0),
+        "halo_values_per_round": round(halo.get("halo_values", 0) / max(rounds, 1), 1),
+    }
+
+
 def measure_backend_rows(smoke: bool, grid_rows: list[dict] | None = None) -> list[dict]:
     """Headline (n=4096, B=64) diffusion rows for every available backend.
 
@@ -277,6 +352,31 @@ def run_suite(smoke: bool = False, backend: str | None = None) -> dict:
             f"speedup {row['sharded_speedup']:.2f}x"
         )
 
+    # Node-axis partitioned section: one giant graph split into P
+    # halo-exchanging blocks vs the single-block serial run (B = 1).
+    # Smoke uses a 4096-node torus (records only — worker startup
+    # dominates at smoke sizes); full runs measure the 65536-node gate
+    # size.  Halo traffic is part of every row.
+    part_side = 64 if smoke else PARTITION_GATE_SIDE
+    part_rounds = 20 if smoke else 100
+    partitioned_rows = [
+        measure_partitioned(part_side, "continuous", part_rounds, pmode="inprocess", backend=backend),
+        measure_partitioned(part_side, "discrete", part_rounds, pmode="inprocess", backend=backend),
+        measure_partitioned(part_side, "continuous", part_rounds, pmode="process", backend=backend),
+        measure_partitioned(part_side, "discrete", part_rounds, pmode="process", backend=backend),
+        measure_partitioned(part_side, "discrete", part_rounds, partitions=2, pmode="process",
+                            backend=backend),
+    ]
+    for row in partitioned_rows:
+        print(
+            f"{'partitioned':12s} n={row['n']:5d} P={row['partitions']} "
+            f"{row['mode']:10s} [{row['partition_mode']}, {row['backend']}]: "
+            f"single {row['single_rounds_per_sec']:>8.1f} r/s  "
+            f"partitioned {row['partitioned_rounds_per_sec']:>8.1f} r/s  "
+            f"speedup {row['partitioned_speedup']:.2f}x  "
+            f"halo {row['halo_values_per_round']:.0f}/round"
+        )
+
     def _row(n, replicas, mode, scheme):
         return next(
             r for r in rows
@@ -294,6 +394,10 @@ def run_suite(smoke: bool = False, backend: str | None = None) -> dict:
     de = _row(4096, 64, "continuous", "matching-de")
     sharded = sharded_rows[0]
     parallel_host = cpus >= 4
+    part_gate = next(
+        r for r in partitioned_rows
+        if r["partition_mode"] == "process" and r["mode"] == "discrete"
+    )
     numba_disc = _backend_row("discrete", "numba")
     scipy_disc = _backend_row("discrete", "scipy")
     numba_ratio = None
@@ -368,10 +472,30 @@ def run_suite(smoke: bool = False, backend: str | None = None) -> dict:
                 "cpus": cpus,
                 "passed": sharded["sharded_speedup"] >= 2.0 if parallel_host else None,
             },
+            "partitioned": {
+                "criterion": "node-axis partitioned execution (P=4 persistent worker "
+                "processes + pipe halo exchange, discrete diffusion, B=1) beats the "
+                "single-block serial run on the 65536-node torus (>= 1.0x) on hosts "
+                "with >= 4 usable cores; trajectories are bit-for-bit identical, so "
+                "the row measures pure execution speedup plus the halo traffic paid. "
+                "Smoke sizes and smaller hosts record the measured ratio with "
+                "passed: null (CI enforces the gate via a full-size check-time row)",
+                "speedup": part_gate["partitioned_speedup"],
+                "partitions": part_gate["partitions"],
+                "n": part_gate["n"],
+                "halo_values_per_round": part_gate["halo_values_per_round"],
+                "cpus": cpus,
+                "passed": (
+                    part_gate["partitioned_speedup"] >= 1.0
+                    if (parallel_host and not smoke)
+                    else None
+                ),
+            },
         },
         "results": rows,
         "backend_results": backend_rows,
         "sharded": sharded_rows,
+        "partitioned": partitioned_rows,
         "smoke": smoke,
     }
 
@@ -477,6 +601,20 @@ def test_sharded_matches_vectorized_throughput_order():
     assert row["sharded_speedup"] > 0.1, row
 
 
+def test_partitioned_row_well_formed():
+    """The partitioned bench row runs both modes and reports halo traffic.
+
+    Correctness (bit-for-bit parity) is covered by the property tests;
+    this guards the bench plumbing and against pathological overhead.
+    """
+    for pmode in ("inprocess", "process"):
+        row = measure_partitioned(16, "discrete", 10, partitions=2, pmode=pmode, repeats=1)
+        assert row["partitions"] == 2 and row["partition_mode"] == pmode
+        assert row["halo_values_exchanged"] > 0
+        assert row["partitioned_rounds_per_sec"] > 0
+        assert row["partitioned_speedup"] > 0.01, row
+
+
 def test_backend_rows_cover_available_backends():
     """Every available backend produces a well-formed headline row pair."""
     rows = [
@@ -501,6 +639,11 @@ def main(argv=None) -> int:
         "--check", type=Path, default=None, metavar="BASELINE",
         help="compare speedups against a committed baseline JSON; exit 1 on "
         ">30%% regression in any matched row or on a failed runtime gate",
+    )
+    parser.add_argument(
+        "--partitioned-out", type=Path, default=None, metavar="PATH",
+        help="additionally write just the node-axis partitioned section "
+        "(rows + gate + halo counters) as a standalone JSON artifact",
     )
     args = parser.parse_args(argv)
     report = run_suite(smoke=args.smoke, backend=args.backend)
@@ -545,12 +688,45 @@ def main(argv=None) -> int:
                 f"sharded gate: {gate_row['sharded_speedup']:.3f}x < 2.0x on a "
                 f"{cpus}-core host"
             )
+        # Node-axis analogue of the sharded gate: the smoke grid's
+        # partitioned rows are worker-startup-dominated, so the >=1.0x
+        # acceptance gets its own full-size (n=65536) measurement on
+        # gate-eligible hosts.
+        pgate = measure_partitioned(
+            PARTITION_GATE_SIDE, "discrete", 300, pmode="process", repeats=2,
+            backend=args.backend,
+        )
+        report["partitioned_gate"] = pgate
+        print(
+            f"{'part-gate':12s} n={pgate['n']:5d} P={pgate['partitions']} "
+            f"[{pgate['partition_mode']}]: speedup {pgate['partitioned_speedup']:.2f}x "
+            f"(>= 1.0 required on this {cpus}-core host; "
+            f"halo {pgate['halo_values_per_round']:.0f}/round)"
+        )
+        if pgate["partitioned_speedup"] < 1.0:
+            failures.append(
+                f"partitioned gate: {pgate['partitioned_speedup']:.3f}x < 1.0x on a "
+                f"{cpus}-core host"
+            )
     payload = json.dumps(report, indent=2)
     if args.out is not None:
         args.out.write_text(payload + "\n")
         print(f"wrote {args.out}")
     else:
         print(payload)
+    if args.partitioned_out is not None:
+        section = {
+            "benchmark": "bench_ensemble.partitioned",
+            "units": "rounds per second (higher is better)",
+            "machine": report["machine"],
+            "acceptance": report["acceptance"]["partitioned"],
+            "partitioned": report["partitioned"],
+            "smoke": report["smoke"],
+        }
+        if "partitioned_gate" in report:
+            section["partitioned_gate"] = report["partitioned_gate"]
+        args.partitioned_out.write_text(json.dumps(section, indent=2) + "\n")
+        print(f"wrote {args.partitioned_out}")
     if args.check is not None:
         failures.extend(check_against(report, args.check))
         failures.extend(runtime_gates(report, smoke=args.smoke))

@@ -166,6 +166,11 @@ class FirstOrderBalancer(Balancer):
             raise ValueError(f"alpha={self.alpha} outside the stable range (0, 1/delta]")
         self.mode = CONTINUOUS if variant == "continuous" else DISCRETE
         self.name = f"fos[{variant}]@{topology.name}"
+        # Only the linear continuous round is a pure function of the
+        # extended (owned + ghost) loads; the discretized variants draw
+        # per-edge randomness from a global stream a block cannot
+        # reproduce for its cut edges alone.
+        self.supports_partition = variant == "continuous"
 
     def step(self, loads: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         loads = self.validate_loads(loads)
@@ -193,6 +198,14 @@ class FirstOrderBalancer(Balancer):
         else:
             tokens = (np.sign(f) * base).astype(np.int64)
         return op.apply_flows(loads, tokens)
+
+    def partition_topology(self, k: int) -> Topology:
+        """FOS runs on a fixed graph; every partitioned round uses it."""
+        return self.topology
+
+    def block_step(self, local, ext_loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One continuous FOS round on one partition block (``I - alpha L`` rows)."""
+        return local.fos_round(self.alpha, ext_loads, out)
 
 
 @register_balancer("fos")

@@ -8,7 +8,9 @@ Subcommands
 - ``verify`` — execute the lemma checks on random states;
 - ``experiment`` — regenerate one or all experiment tables (E01..E13);
 - ``bounds`` — print every theorem bound for a given topology;
-- ``backends`` — diagnose the available kernel backends.
+- ``backends`` — diagnose the available kernel backends;
+- ``partition-info`` — partition quality metrics (edge cut, halo volume,
+  block balance) for a topology and strategy.
 
 The CLI is a thin layer: every command resolves to a library call that
 the tests exercise directly, so the CLI tests only assert wiring.
@@ -70,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the replica ensemble over K processes ('KxVectorized', or plain K; "
         "needs --replicas > 1)",
     )
+    _add_partitions_flag(p_run)
     _add_backend_flag(p_run)
 
     p_cmp = sub.add_parser("compare", help="run several balancers side by side")
@@ -97,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="1",
         help="shard each cell's replica batch over K processes ('KxVectorized' or K)",
     )
+    _add_partitions_flag(p_sweep)
     _add_backend_flag(p_sweep)
 
     p_ver = sub.add_parser("verify", help="run the lemma checks on random states")
@@ -114,7 +118,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_bounds.add_argument("--tokens", type=int, default=None, help="point-load size for Phi0")
 
     sub.add_parser("backends", help="diagnose the available kernel backends")
+
+    p_part = sub.add_parser(
+        "partition-info", help="partition quality metrics for a topology + strategy"
+    )
+    p_part.add_argument("--topology", required=True, help='e.g. "torus:32x32"')
+    p_part.add_argument(
+        "--partitions",
+        nargs="+",
+        default=["4:contiguous", "4:bfs"],
+        help="one or more 'P[:strategy]' specs (strategies: contiguous, bfs)",
+    )
     return parser
+
+
+def _add_partitions_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--partitions",
+        default="1",
+        help="split the node axis into P halo-exchanging blocks ('P' or 'P:strategy'; "
+        "strategies: contiguous, bfs).  Supported by diffusion (continuous/discrete) "
+        "and continuous FOS; trajectories are bit-for-bit identical to the "
+        "unpartitioned run.  Combine with --workers > 1 to run blocks as parallel "
+        "worker processes (process mode always uses one worker per block).",
+    )
 
 
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
@@ -175,6 +202,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         print(f"--replicas must be >= 1, got {args.replicas}", file=sys.stderr)
         return 2
+    from repro.graphs.partition import parse_partitions
     from repro.simulation.sharding import parse_workers
 
     try:
@@ -182,6 +210,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    try:
+        part_blocks, part_strategy = parse_partitions(args.partitions)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if part_blocks > 1:
+        from repro.simulation.partitioned import PartitionedSimulator
+
+        if not getattr(bal, "supports_partition", False):
+            print(
+                f"{args.balancer} has no partitioned kernel; supported: diffusion "
+                "(continuous/discrete) and continuous fos",
+                file=sys.stderr,
+            )
+            return 2
+        if processes > 1 and processes != part_blocks:
+            print(
+                f"note: partitioned process mode runs one worker per block "
+                f"({part_blocks} workers for --partitions {part_blocks}); "
+                f"--workers {processes} only selects the mode",
+                file=sys.stderr,
+            )
+        psim = PartitionedSimulator(
+            bal,
+            partitions=part_blocks,
+            strategy=part_strategy,
+            stopping=stopping,
+            mode="process" if processes > 1 else "inprocess",
+        )
+        trace = psim.run(loads, replicas=args.replicas)
+        for key, value in trace.summary().items():
+            print(f"{key:>20}: {value}")
+        hs = psim.halo_stats
+        print(
+            f"{'partitioned':>20}: {hs['blocks']} blocks [{hs['strategy']}, {hs['mode']}], "
+            f"{hs['halo_values']} halo values exchanged over {hs['rounds']} rounds"
+        )
+        return 0
     if processes > 1 and args.replicas == 1:
         print("note: --workers shards replicas; with --replicas 1 it has no effect", file=sys.stderr)
     if args.replicas > 1:
@@ -227,11 +293,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.graphs.partition import parse_partitions
     from repro.simulation.sharding import parse_workers
     from repro.simulation.sweep import sweep
 
     try:
         parse_workers(args.workers)
+        parse_partitions(args.partitions)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -249,8 +317,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         workers=args.workers,
         backend=backend,
+        partitions=args.partitions,
     )
     print(table.to_text())
+    return 0
+
+
+def _cmd_partition_info(args: argparse.Namespace) -> int:
+    from repro.graphs.partition import make_partition, parse_partitions
+
+    topo = by_name(args.topology)
+    table = Table(
+        f"Partition quality on {topo.name} (n={topo.n}, m={topo.m})",
+        [
+            "spec", "blocks", "strategy", "block_min", "block_max",
+            "imbalance", "edge_cut", "cut_frac", "halo_volume", "max_halo",
+        ],
+    )
+    for spec in args.partitions:
+        try:
+            blocks, strategy = parse_partitions(spec)
+            part = make_partition(topo, blocks, strategy)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        m = part.metrics()
+        # Display the *requested* strategy: two strategies can produce the
+        # same assignment (e.g. on hypercubes), in which case the cached
+        # partition carries whichever label built it first.
+        table.add_row(
+            spec, m["blocks"], strategy, m["block_min"], m["block_max"],
+            m["imbalance"], m["edge_cut"], m["cut_fraction"], m["halo_volume"], m["max_halo"],
+        )
+    print(table.to_text())
+    print(
+        "\nedge_cut: edges crossing blocks; halo_volume: ghost values exchanged "
+        "per round; imbalance: max/mean block size (1.0 = even)."
+    )
     return 0
 
 
@@ -330,6 +433,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "bounds": _cmd_bounds,
     "backends": _cmd_backends,
+    "partition-info": _cmd_partition_info,
 }
 
 

@@ -142,6 +142,7 @@ class DiffusionBalancer(Balancer):
     """
 
     supports_batch = True
+    supports_partition = True
 
     def __init__(
         self,
@@ -186,6 +187,16 @@ class DiffusionBalancer(Balancer):
         if self.mode == DISCRETE:
             return op.round_discrete(loads, out)
         return op.round_continuous(loads, out)
+
+    def partition_topology(self, k: int) -> Topology:
+        """Round ``k``'s graph for the partitioned runtime (dynamic-aware)."""
+        return self.topology_for_round(k)
+
+    def block_step(self, local, ext_loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One Algorithm-1 round on one partition block's extended loads."""
+        if self.mode == DISCRETE:
+            return local.round_discrete(ext_loads, out)
+        return local.round_continuous(ext_loads, out)
 
 
 @register_balancer("diffusion")

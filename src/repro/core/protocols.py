@@ -84,6 +84,11 @@ class Balancer(ABC):
     mode: str = CONTINUOUS
     #: True when :meth:`step_batch` is implemented (lockstep ensembles)
     supports_batch: bool = False
+    #: True when :meth:`block_step` is implemented (node-axis partitioned
+    #: execution with halo exchange; see :mod:`repro.simulation.partitioned`).
+    #: May be set per instance — e.g. FOS supports it only in its linear
+    #: continuous variant.
+    supports_partition: bool = False
     #: Kernel backend the scheme's operator kernels run on
     #: (``"numpy"``/``"scipy"``/``"numba"``/``"auto"``; None = ambient
     #: default).  Backends are bit-for-bit interchangeable, so this only
@@ -118,6 +123,31 @@ class Balancer(ABC):
         this and setting ``supports_batch``.
         """
         raise NotImplementedError(f"{type(self).__name__} does not support batched stepping")
+
+    # -- partitioned (node-axis) contract --------------------------------
+    def partition_topology(self, k: int) -> Topology:
+        """The graph round ``k`` runs on, for the partitioned runtime.
+
+        The partitioned engine owns the round counter (each worker holds
+        its own balancer copy, so ``advance_round`` bookkeeping cannot be
+        shared); schemes that support partitioning override this to
+        expose their — possibly dynamic — per-round topology.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support partitioned stepping")
+
+    def block_step(self, local, ext_loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One round of this scheme on one partition block.
+
+        ``local`` is a :class:`~repro.simulation.partitioned.BlockLocal`
+        — the block's row slice of the per-topology operators — and
+        ``ext_loads`` is the node-major ``(n_owned + n_ghost, B)``
+        extended load matrix (owned rows first, then halo-refreshed ghost
+        rows).  Returns the block's next ``(n_owned, B)`` owned loads;
+        row ``i`` must be **bit-for-bit** what a global :meth:`step_batch`
+        would put at the corresponding global node.  Schemes opt in by
+        overriding this and setting ``supports_partition``.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support partitioned stepping")
 
     # -- helpers ----------------------------------------------------------
     @property

@@ -15,7 +15,10 @@ an immutable CSR-backed undirected graph.  The submodules provide
 - :mod:`repro.graphs.matchings` — random matchings for dimension-exchange
   baselines, and greedy edge colorings for round-robin schemes,
 - :mod:`repro.graphs.dynamic` — dynamic-network models for Section 5 of the
-  paper.
+  paper,
+- :mod:`repro.graphs.partition` — node-axis partitions (block assignments,
+  ghost sets, halo plans, quality metrics) for the partitioned execution
+  runtime.
 """
 
 from repro.graphs.topology import Topology
@@ -78,6 +81,14 @@ from repro.graphs.dynamic import (
     StaticDynamics,
     average_normalized_gap,
 )
+from repro.graphs.partition import (
+    HaloLink,
+    Partition,
+    bfs_assignment,
+    contiguous_assignment,
+    make_partition,
+    parse_partitions,
+)
 
 __all__ = [
     "Topology",
@@ -134,4 +145,11 @@ __all__ = [
     "MarkovEdgeDynamics",
     "StaticDynamics",
     "average_normalized_gap",
+    # partition
+    "HaloLink",
+    "Partition",
+    "bfs_assignment",
+    "contiguous_assignment",
+    "make_partition",
+    "parse_partitions",
 ]

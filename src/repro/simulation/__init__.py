@@ -15,7 +15,11 @@
   vectorized through the ensemble engine, or sharded (both composed);
 - :mod:`repro.simulation.sharding` — the sharded execution layer: split a
   replica batch into per-worker blocks, run each block as a process-local
-  lockstep ensemble, merge the traces.
+  lockstep ensemble, merge the traces;
+- :mod:`repro.simulation.partitioned` — node-axis partitioned execution:
+  split one topology into P blocks with ghost nodes, advance each block
+  locally and exchange only boundary loads per round (bit-for-bit equal
+  to the global engines).
 """
 
 from repro.simulation.initial import (
@@ -54,6 +58,7 @@ from repro.simulation.sharding import (
     sharded_run_batch,
     split_shards,
 )
+from repro.simulation.partitioned import BlockLocal, PartitionedSimulator, block_local
 from repro.simulation.sweep import SweepCell, sweep
 
 __all__ = [
@@ -89,6 +94,9 @@ __all__ = [
     "run_sharded_ensemble",
     "sharded_run_batch",
     "split_shards",
+    "BlockLocal",
+    "PartitionedSimulator",
+    "block_local",
     "SweepCell",
     "sweep",
 ]

@@ -48,11 +48,36 @@ from repro.simulation.montecarlo import trial_rngs
 from repro.simulation.stopping import DiscrepancyBelow, MaxRounds, StoppingRule
 from repro.simulation.trace import Trace
 
-__all__ = ["EnsembleSimulator", "EnsembleTrace", "spawn_rngs"]
+__all__ = ["EnsembleSimulator", "EnsembleTrace", "initial_batch", "spawn_rngs"]
 
 # Replica streams ARE Monte-Carlo trial streams: one derivation, so an
 # ensemble replica reproduces the corresponding serial trial bit-for-bit.
 spawn_rngs = trial_rngs
+
+
+def initial_batch(
+    balancer: Balancer, loads: np.ndarray, replicas: int | None
+) -> tuple[np.ndarray, int]:
+    """Validate initial loads into a node-major ``(n, B)`` batch.
+
+    Accepts a shared ``(n,)`` vector (repeated across ``replicas``
+    columns) or per-replica ``(B, n)`` states; every replica's vector
+    goes through ``balancer.validate_loads``.  Shared by the ensemble
+    and partitioned engines so their input contracts cannot drift.
+    """
+    arr = np.asarray(loads)
+    if arr.ndim == 1:
+        B = 1 if replicas is None else int(replicas)
+        vec = balancer.validate_loads(arr)
+        batch = np.ascontiguousarray(np.repeat(vec[:, None], B, axis=1))
+        return batch, B
+    if arr.ndim != 2:
+        raise ValueError(f"loads must be (n,) or (B, n), got shape {arr.shape}")
+    B = arr.shape[0]
+    if replicas is not None and int(replicas) != B:
+        raise ValueError(f"replicas={replicas} but loads has {B} rows")
+    cols = [balancer.validate_loads(arr[b]) for b in range(B)]
+    return np.ascontiguousarray(np.stack(cols, axis=1)), B
 
 
 class EnsembleTrace:
@@ -123,6 +148,35 @@ class EnsembleTrace:
             # already contiguous and would alias the engine's recycled
             # ping-pong buffer, silently rewriting history.
             self._snapshots.append(loads.T.copy())
+
+    def record_stats(
+        self,
+        phis: np.ndarray,
+        sums: np.ndarray,
+        discrepancies: np.ndarray | None = None,
+        movements: np.ndarray | None = None,
+        snapshot: np.ndarray | None = None,
+    ) -> None:
+        """Append one state row from *precomputed* per-replica statistics.
+
+        The partitioned process runtime computes each statistic from
+        per-block partials (the full ``(n, B)`` matrix never exists in
+        one process); this records the combined row directly.  The
+        movements row is skipped for the initial state exactly as
+        :meth:`record` skips it when ``prev`` is None.
+        """
+        self._potentials.append(np.asarray(phis, dtype=np.float64))
+        self._sums.append(np.asarray(sums, dtype=np.float64))
+        if self.record_discrepancies:
+            if discrepancies is None:
+                raise ValueError("this trace records discrepancies; none supplied")
+            self._discrepancies.append(np.asarray(discrepancies, dtype=np.float64))
+        if self.record_movements and movements is not None:
+            self._movements.append(np.asarray(movements, dtype=np.float64))
+        if self.keep_snapshots:
+            if snapshot is None:
+                raise ValueError("this trace keeps snapshots; none supplied")
+            self._snapshots.append(np.array(snapshot, copy=True))
 
     def advance(self, active: np.ndarray) -> None:
         """Credit one completed round to every still-active replica."""
@@ -358,19 +412,7 @@ class EnsembleSimulator:
         return rngs
 
     def _initial_batch(self, loads: np.ndarray, replicas: int | None) -> tuple[np.ndarray, int]:
-        arr = np.asarray(loads)
-        if arr.ndim == 1:
-            B = 1 if replicas is None else int(replicas)
-            vec = self.balancer.validate_loads(arr)
-            batch = np.ascontiguousarray(np.repeat(vec[:, None], B, axis=1))
-            return batch, B
-        if arr.ndim != 2:
-            raise ValueError(f"loads must be (n,) or (B, n), got shape {arr.shape}")
-        B = arr.shape[0]
-        if replicas is not None and int(replicas) != B:
-            raise ValueError(f"replicas={replicas} but loads has {B} rows")
-        cols = [self.balancer.validate_loads(arr[b]) for b in range(B)]
-        return np.ascontiguousarray(np.stack(cols, axis=1)), B
+        return initial_batch(self.balancer, loads, replicas)
 
     def run(self, loads: np.ndarray, seed=0, replicas: int | None = None) -> EnsembleTrace:
         """Run all replicas until each one's stopping rule fires.
@@ -478,36 +520,55 @@ class EnsembleSimulator:
         return trace
 
     def _apply_stopping(self, trace: EnsembleTrace, active: np.ndarray) -> None:
-        """Deactivate replicas whose first satisfied rule fired this round."""
-        remaining = active.copy()
-        for rule in self.stopping:
-            if not remaining.any():
-                break
-            mask = np.asarray(rule.should_stop_batch(trace), dtype=bool)
-            newly = remaining & mask
-            if newly.any():
-                for b in np.flatnonzero(newly):
-                    trace.stopped_by[b] = rule.reason
-                remaining &= ~newly
-        active[:] = remaining
+        apply_stopping(self.stopping, trace, active)
 
     def _audit(self, sums: np.ndarray, initial_sums: np.ndarray, is_discrete: bool) -> None:
-        """Per-replica conservation check on the just-recorded sum row.
+        audit_replica_sums(self.balancer.name, sums, initial_sums, is_discrete, self.cons_tol)
 
-        Like the serial engine, sums are compared as float64 — exact for
-        discrete balancers (integer totals are exactly representable),
-        relative tolerance ``cons_tol`` for continuous ones.
-        """
-        if not np.isfinite(sums).all():
-            bad = ~np.isfinite(sums)
-        elif is_discrete:
-            bad = sums != initial_sums
-        else:
-            scale = np.maximum(np.abs(initial_sums), 1.0)
-            bad = np.abs(sums - initial_sums) > self.cons_tol * scale
-        if bad.any():
-            b = int(np.flatnonzero(bad)[0])
-            raise AssertionError(
-                f"{self.balancer.name} leaked load in replica {b}: "
-                f"sum {sums[b]} != initial {initial_sums[b]}"
-            )
+
+def apply_stopping(stopping, trace: EnsembleTrace, active: np.ndarray) -> None:
+    """Deactivate replicas whose first satisfied rule fired this round.
+
+    Shared by the ensemble and partitioned engines: rules are evaluated
+    in order, the first satisfied one per replica records its reason,
+    and ``active`` is updated in place.
+    """
+    remaining = active.copy()
+    for rule in stopping:
+        if not remaining.any():
+            break
+        mask = np.asarray(rule.should_stop_batch(trace), dtype=bool)
+        newly = remaining & mask
+        if newly.any():
+            for b in np.flatnonzero(newly):
+                trace.stopped_by[b] = rule.reason
+            remaining &= ~newly
+    active[:] = remaining
+
+
+def audit_replica_sums(
+    name: str,
+    sums: np.ndarray,
+    initial_sums: np.ndarray,
+    is_discrete: bool,
+    cons_tol: float,
+) -> None:
+    """Per-replica conservation check on a just-recorded sum row.
+
+    Sums are compared as float64 — exact for discrete balancers (integer
+    totals are exactly representable), relative tolerance ``cons_tol``
+    for continuous ones.  Raises ``AssertionError`` naming the replica.
+    """
+    if not np.isfinite(sums).all():
+        bad = ~np.isfinite(sums)
+    elif is_discrete:
+        bad = sums != initial_sums
+    else:
+        scale = np.maximum(np.abs(initial_sums), 1.0)
+        bad = np.abs(sums - initial_sums) > cons_tol * scale
+    if bad.any():
+        b = int(np.flatnonzero(bad)[0])
+        raise AssertionError(
+            f"{name} leaked load in replica {b}: "
+            f"sum {sums[b]} != initial {initial_sums[b]}"
+        )

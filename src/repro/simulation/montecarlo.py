@@ -135,6 +135,7 @@ def monte_carlo(
     trial_args: Sequence = (),
     trial_kwargs: Mapping | None = None,
     backend: str | None = None,
+    partitions: int | str | None = None,
 ) -> MonteCarloResult:
     """Run ``trial(rng, *trial_args, **trial_kwargs)`` for many seeds.
 
@@ -149,7 +150,15 @@ def monte_carlo(
     putting it in ``trial_kwargs`` — so the trial can pass it to the
     balancers it builds.  Trials that do not accept the keyword should be
     run with ``backend=None`` (the default).
+
+    ``partitions`` (``P`` or ``"P:strategy"``) is the node-axis analogue:
+    validated here and forwarded as a ``partitions=`` keyword so trials
+    that run their balancer through
+    :class:`~repro.simulation.partitioned.PartitionedSimulator` can split
+    each run into halo-exchanging blocks.  Results are independent of the
+    setting (partitioned trajectories are bit-for-bit the global ones).
     """
+    from repro.graphs.partition import parse_partitions
     from repro.simulation.sharding import parse_workers, sharded_run_batch
 
     if trials < 1:
@@ -157,6 +166,9 @@ def monte_carlo(
     kwargs = dict(trial_kwargs or {})
     if backend is not None:
         kwargs.setdefault("backend", backend)
+    if partitions is not None:
+        parse_partitions(partitions)  # fail fast on malformed specs
+        kwargs.setdefault("partitions", partitions)
     processes, vectorized = parse_workers(workers)
     if vectorized:
         run_batch = getattr(trial, "run_batch", None)

@@ -1,0 +1,725 @@
+"""Node-axis partitioned execution: P block subproblems + halo exchange.
+
+The replica axis shards embarrassingly (:mod:`repro.simulation.sharding`);
+one *giant graph* does not — its state vector couples along every edge.
+This module splits a topology into ``P`` node blocks
+(:class:`~repro.graphs.partition.Partition`) and advances each block as a
+local subproblem over its **extended** load matrix: the block's owned
+rows first, then ghost rows holding the halo-refreshed values of
+out-of-block neighbours.  Per round, only boundary loads cross block
+borders — the communication pattern of a real per-rank deployment — yet
+the produced trajectories are **bit-for-bit identical** to the global
+engines.
+
+Why exactness is structural, not approximate
+--------------------------------------------
+Every supported round (continuous Algorithm 1, FOS/Richardson, discrete
+Algorithm 1) is *row-local*: global node ``i``'s next value depends only
+on ``i``'s row of a cached sparse operator and the current values of
+``i`` and its neighbours.  A :class:`BlockLocal` therefore **row-slices**
+the per-topology cached operators of
+:class:`~repro.core.operators.EdgeOperator` — same ``data`` values, same
+stored-entry order, columns merely renumbered into the block's extended
+index space — and runs them through the *same*
+:class:`~repro.core.backends.KernelBackend` kernels (numpy / scipy /
+numba per block).  A CSR row's entries accumulate in stored order on
+every backend, so the block's fold for node ``i`` is the global fold
+bit for bit; the discrete round is pure integer arithmetic on per-edge
+quantities computed from the same endpoint values.  The property tests
+assert this for P ∈ {2, 4, 7}, both partition strategies, and
+dynamic-edge-failure topologies whose cut set changes between rounds.
+
+Execution modes
+---------------
+``mode="inprocess"``
+    One process, a vectorized loop over blocks.  Ghost values are
+    gathered straight from the previous round's global matrix (the halo
+    refresh), and statistics are recorded from the assembled matrix, so
+    the trace is *indistinguishable* from an
+    :class:`~repro.simulation.ensemble.EnsembleSimulator` run — derived
+    statistics included.  The semantics/debugging reference.
+``mode="process"``
+    ``P`` persistent worker processes, one block each, exchanging halos
+    **peer-to-peer** through ``multiprocessing`` pipes (deadlock-free
+    pairwise protocol: the lower-id block of each pair sends first).
+    Workers hold an ``(n_block, B)`` slab — the node axis composes with
+    the replica axis — and return per-round statistic *partials* (sums,
+    squared sums, extrema, movement) that the coordinator combines, so
+    the full matrix never exists in one process between gathers.  When
+    the stopping rules are pure round caps the coordinator grants the
+    whole remaining budget in one command and workers free-run with
+    peer-only communication.  Load trajectories are bit-for-bit equal to
+    the global engines; *derived* statistics may differ in the last
+    float ulp (block-partial summation order), the same caveat the
+    replica-sharded path documents.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.backends import PlainCSR, resolve_backend
+from repro.core.operators import RECIP_DIV_LIMIT, EdgeOperator, edge_operator
+from repro.core.protocols import Balancer
+from repro.graphs.partition import Partition, make_partition, parse_partitions
+from repro.simulation.ensemble import (
+    EnsembleTrace,
+    apply_stopping,
+    audit_replica_sums,
+    initial_batch,
+)
+from repro.simulation.stopping import DiscrepancyBelow, MaxRounds, StoppingRule
+
+__all__ = ["BlockLocal", "PartitionedSimulator", "block_local"]
+
+_LOCALS_ATTR = "_block_locals"
+
+
+def _slice_csr_rows(
+    csr: PlainCSR, rows: np.ndarray, col_map: np.ndarray, ncols: int, idx_dtype
+) -> PlainCSR:
+    """The row slice ``csr[rows]`` with columns renumbered by ``col_map``.
+
+    Stored entries keep their order and their exact ``data`` values —
+    the bitwise-parity guarantee rests on this being a pure relabeling.
+    """
+    starts = csr.indptr[rows].astype(np.int64)
+    counts = csr.indptr[rows + 1].astype(np.int64) - starts
+    indptr = np.zeros(rows.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    pos = np.repeat(starts - indptr[:-1], counts) + np.arange(total, dtype=np.int64)
+    indices = col_map[csr.indices[pos]]
+    if indices.size and indices.min() < 0:
+        raise AssertionError("row slice references a column outside the block's map")
+    out = PlainCSR(
+        indptr.astype(idx_dtype),
+        indices.astype(idx_dtype),
+        np.ascontiguousarray(csr.data[pos]),
+        (rows.size, ncols),
+    )
+    out.indptr.setflags(write=False)
+    out.indices.setflags(write=False)
+    return out
+
+
+class BlockLocal:
+    """One block's local subproblem: operator row slices + halo metadata.
+
+    The extended index space is ``[owned nodes | ghost nodes]``, both
+    segments sorted by global id.  Round kernels map an
+    ``(n_ext, B)`` extended load matrix to the block's next
+    ``(n_owned, B)`` owned loads through this block's rows of the global
+    cached operators, executed by the configured kernel backend.
+    """
+
+    def __init__(self, part: Partition, block_id: int, backend: str | None = None):
+        if not 0 <= block_id < part.blocks:
+            raise ValueError(f"block {block_id} out of range for {part.blocks} blocks")
+        self.part = part
+        self.p = int(block_id)
+        self.op: EdgeOperator = edge_operator(part.topo, backend)
+        op = self.op
+        self.owned = part.owned[self.p]
+        self.ghosts = part.ghosts[self.p]
+        self.links = part.halo_links[self.p]
+        self.n_owned = int(self.owned.size)
+        self.n_ghost = int(self.ghosts.size)
+        self.n_ext = self.n_owned + self.n_ghost
+        #: global ids of the extended index space (owned then ghosts)
+        self.ext_ids = np.concatenate([self.owned, self.ghosts])
+        colmap = np.full(part.topo.n, -1, dtype=np.int64)
+        colmap[self.ext_ids] = np.arange(self.n_ext, dtype=np.int64)
+        self._colmap = colmap
+        # Edges with at least one owned endpoint, ascending global edge
+        # id — the sub-list ordering that keeps every per-node fold in
+        # the global stored order.  Cut-edge flows are computed on both
+        # sides (each side needs them for its own endpoint): redundant
+        # arithmetic instead of a second communication phase.
+        a = part.assignment
+        emask = (a[op.u] == self.p) | (a[op.v] == self.p)
+        self.edge_ids = np.flatnonzero(emask)
+        self.u_loc = colmap[op.u[self.edge_ids]]
+        self.v_loc = colmap[op.v[self.edge_ids]]
+        self.denominators_int = np.ascontiguousarray(op.denominators_int[self.edge_ids])
+        self.denominators_recip = np.ascontiguousarray(op.denominators_recip[self.edge_ids])
+        self._round_rows: PlainCSR | None = None
+        self._fos_rows: dict[float, PlainCSR] = {}
+        self._incidence_rows: PlainCSR | None = None
+        self._scratch: dict[tuple, np.ndarray] = {}
+
+    def _get_scratch(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        full = (key, shape, np.dtype(dtype).char)
+        buf = self._scratch.get(full)
+        if buf is None:
+            buf = self._scratch[full] = np.empty(shape, dtype=dtype)
+        return buf
+
+    # ------------------------------------------------------------------
+    # Row-sliced operators (lazy; cached for the block's lifetime)
+    # ------------------------------------------------------------------
+    def round_rows(self) -> PlainCSR:
+        """This block's rows of Algorithm 1's continuous round matrix."""
+        if self._round_rows is None:
+            self._round_rows = _slice_csr_rows(
+                self.op.round_csr(), self.owned, self._colmap, self.n_ext, self.op.idx_dtype
+            )
+        return self._round_rows
+
+    def fos_rows(self, alpha: float) -> PlainCSR:
+        """This block's rows of ``I - alpha L`` (cached per ``alpha``)."""
+        key = float(alpha)
+        M = self._fos_rows.get(key)
+        if M is None:
+            M = self._fos_rows[key] = _slice_csr_rows(
+                self.op.fos_csr(key), self.owned, self._colmap, self.n_ext, self.op.idx_dtype
+            )
+        return M
+
+    def incidence_rows(self) -> PlainCSR:
+        """This block's rows of the signed int64 incidence matrix, with
+        columns renumbered to block-local edge positions."""
+        if self._incidence_rows is None:
+            ecolmap = np.full(self.op.m, -1, dtype=np.int64)
+            ecolmap[self.edge_ids] = np.arange(self.edge_ids.size, dtype=np.int64)
+            self._incidence_rows = _slice_csr_rows(
+                self.op.incidence_csr(np.int64),
+                self.owned,
+                ecolmap,
+                self.edge_ids.size,
+                self.op.idx_dtype,
+            )
+        return self._incidence_rows
+
+    # ------------------------------------------------------------------
+    # Round kernels (extended loads in, owned loads out)
+    # ------------------------------------------------------------------
+    def _out(self, ext: np.ndarray, out: np.ndarray | None, dtype=None) -> np.ndarray:
+        if out is None:
+            out = np.empty((self.n_owned,) + ext.shape[1:], dtype=dtype or ext.dtype)
+        return out
+
+    def round_continuous(self, ext: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One continuous Algorithm-1 round on this block."""
+        return self.op.kernels.matvec(self.round_rows(), ext, self._out(ext, out))
+
+    def fos_round(self, alpha: float, ext: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One FOS/Richardson round ``(I - alpha L) @ loads`` on this block."""
+        return self.op.kernels.matvec(self.fos_rows(alpha), ext, self._out(ext, out))
+
+    def round_discrete(self, ext: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """One discrete Algorithm-1 round on this block (int64, exact).
+
+        Per-edge flows over the block's incident edges (same gather /
+        biased-reciprocal floor-divide / signed scatter as the global
+        kernel), folded onto owned nodes through the incidence row
+        slice.  Integer arithmetic end to end, so the owned results
+        equal the global round's rows exactly.
+        """
+        shape = (self.edge_ids.size,) + ext.shape[1:]
+        diff = self._get_scratch("diff", shape, np.int64)
+        tmp = self._get_scratch("tmp", shape, np.int64)
+        np.take(ext, self.u_loc, axis=0, out=diff)
+        np.take(ext, self.v_loc, axis=0, out=tmp)
+        np.subtract(diff, tmp, out=diff)
+        bound = int(ext.max(initial=0)) - min(int(ext.min(initial=0)), 0)
+        flows = self._floor_divide(diff, tmp, bound)
+        out = self._out(ext, out, dtype=np.int64)
+        return self.op.kernels.add_matvec(self.incidence_rows(), ext[: self.n_owned], flows, out)
+
+    def _floor_divide(self, diff: np.ndarray, out: np.ndarray, bound: int) -> np.ndarray:
+        """``sign(diff) * (|diff| // denominators)`` over the block's edges
+        (the block-local clone of ``EdgeOperator.floor_divide_denominators``)."""
+        if diff.size == 0:
+            return out
+        if bound < RECIP_DIV_LIMIT:
+            recip = self.denominators_recip if diff.ndim == 1 else self.denominators_recip[:, None]
+            qf = self._get_scratch("qf", diff.shape, np.float64)
+            np.multiply(diff, recip, out=qf)
+            np.copyto(out, qf, casting="unsafe")  # trunc toward zero
+            return out
+        denom = self.denominators_int if diff.ndim == 1 else self.denominators_int[:, None]
+        mag = self._get_scratch("mag", diff.shape, np.int64)
+        np.abs(diff, out=mag)
+        np.floor_divide(mag, denom, out=mag)
+        np.multiply(np.sign(diff), mag, out=out)
+        return out
+
+
+def block_local(part: Partition, block_id: int, backend: str | None = None) -> BlockLocal:
+    """The cached :class:`BlockLocal` for one block of ``part``.
+
+    Cached on the partition instance (which is itself cached on the
+    immutable topology), one per kernel backend — dynamic networks that
+    cycle through a fixed set of graphs build each block's slices once
+    per distinct graph.
+    """
+    cache = part.__dict__.get(_LOCALS_ATTR)
+    if cache is None:
+        cache = part.__dict__[_LOCALS_ATTR] = {}
+    key = (int(block_id), resolve_backend(backend))
+    loc = cache.get(key)
+    if loc is None:
+        loc = cache[key] = BlockLocal(part, block_id, backend)
+    return loc
+
+
+class _PartitionMemo:
+    """Per-run partition lookups without re-hashing the assignment bytes.
+
+    ``Partition.for_topology`` keys its per-topology cache by the
+    assignment's raw bytes — correct, but an O(n) hash per lookup, paid
+    every round by the hot loop.  This memo shortcuts repeat lookups for
+    the same topology *instance* (the static and phase-cycling cases) by
+    identity; each entry pins its topology so the ``id`` stays valid.
+    Bounded: dynamic models that mint a fresh topology per round would
+    otherwise grow it — and keep every round's graph alive — forever.
+    """
+
+    MAX_ENTRIES = 64
+
+    def __init__(self, assignment: np.ndarray, strategy: str):
+        self.assignment = assignment
+        self.strategy = strategy
+        self._memo: dict[int, tuple] = {}
+
+    def get(self, topo) -> Partition:
+        hit = self._memo.get(id(topo))
+        if hit is not None and hit[0] is topo:
+            return hit[1]
+        part = Partition.for_topology(topo, self.assignment, strategy=self.strategy)
+        if len(self._memo) >= self.MAX_ENTRIES:
+            self._memo.clear()
+        self._memo[id(topo)] = (topo, part)
+        return part
+
+
+# ----------------------------------------------------------------------
+# Worker-side statistics partials
+# ----------------------------------------------------------------------
+def _partial_stats(
+    new: np.ndarray, prev: np.ndarray, want_disc: bool, want_mov: bool
+) -> tuple:
+    """One block's per-replica contributions to the round's statistics."""
+    if np.issubdtype(new.dtype, np.integer):
+        sums = new.sum(axis=0)
+    else:
+        sums = np.ones(new.shape[0]) @ new
+    ss = np.einsum("ij,ij->j", new, new, dtype=np.float64)
+    disc = (new.max(axis=0), new.min(axis=0)) if want_disc else None
+    mov = 0.5 * np.abs(new - prev).sum(axis=0).astype(np.float64) if want_mov else None
+    return sums, ss, disc, mov
+
+
+def _combine_stats(partials: list[tuple], n: int) -> tuple:
+    """Combine per-block partials into one global statistics row."""
+    sums = np.sum([p[0] for p in partials], axis=0).astype(np.float64)
+    ss = np.sum([p[1] for p in partials], axis=0)
+    phis = np.maximum(ss - sums * (sums / n), 0.0)
+    disc = None
+    if partials[0][2] is not None:
+        hi = np.max([p[2][0] for p in partials], axis=0)
+        lo = np.min([p[2][1] for p in partials], axis=0)
+        disc = (hi - lo).astype(np.float64)
+    mov = None
+    if partials[0][3] is not None:
+        mov = np.sum([p[3] for p in partials], axis=0)
+    return phis, sums, disc, mov
+
+
+# ----------------------------------------------------------------------
+# Process-mode worker
+# ----------------------------------------------------------------------
+def _exchange_halos(
+    local: BlockLocal, owned: np.ndarray, peers: dict
+) -> tuple[np.ndarray, int]:
+    """Peer-to-peer halo exchange; returns the extended matrix + values sent.
+
+    Deadlock-free pairwise protocol: links are walked in ascending peer
+    order and the lower-id side of each pair sends before it receives.
+    The lowest-id block can always complete its first exchange, and by
+    induction every pair drains (at most one in-flight direction per
+    pair at any time).
+    """
+    ghost = np.empty((local.n_ghost,) + owned.shape[1:], dtype=owned.dtype)
+    sent = 0
+    width = int(np.prod(owned.shape[1:], dtype=np.int64)) if owned.ndim > 1 else 1
+    for link in local.links:
+        conn = peers[link.peer]
+        if local.p < link.peer:
+            conn.send(np.ascontiguousarray(owned[link.send_idx]))
+            ghost[link.recv_idx] = conn.recv()
+        else:
+            chunk = conn.recv()
+            conn.send(np.ascontiguousarray(owned[link.send_idx]))
+            ghost[link.recv_idx] = chunk
+        sent += int(link.send_idx.size) * width
+    return np.concatenate([owned, ghost], axis=0), sent
+
+
+def _partition_worker(conn, peers: dict, payload: tuple) -> None:
+    """Persistent block worker: owns one ``(n_block, B)`` slab.
+
+    Commands (from the coordinator): ``("run", rounds, frozen_mask)``
+    advances ``rounds`` rounds — halo exchange peer-to-peer, one
+    statistics partial buffered per round — then replies
+    ``("stats", rows, halo_values_sent)``; ``("gather",)`` replies with
+    the owned slab; ``("stop",)`` exits.  Any exception is reported as
+    ``("error", repr)`` so the coordinator can fail loudly.
+    """
+    balancer, assignment, strategy, block_id, owned, backend, want_disc, want_mov = payload
+    try:
+        balancer.reset()
+        if backend is not None:
+            balancer.backend = backend
+        resolved = resolve_backend(backend)
+        parts = _PartitionMemo(assignment, strategy)
+        L = np.ascontiguousarray(owned)
+        r = 0
+        while True:
+            msg = conn.recv()
+            if msg[0] == "run":
+                _, nrounds, frozen = msg
+                rows = []
+                halo_sent = 0
+                for _ in range(nrounds):
+                    topo = balancer.partition_topology(r)
+                    local = block_local(parts.get(topo), block_id, resolved)
+                    ext, sent = _exchange_halos(local, L, peers)
+                    halo_sent += sent
+                    new = balancer.block_step(local, ext)
+                    if frozen is not None and frozen.any():
+                        new[:, frozen] = L[:, frozen]
+                    rows.append(_partial_stats(new, L, want_disc, want_mov))
+                    L = new
+                    r += 1
+                conn.send(("stats", rows, halo_sent))
+            elif msg[0] == "gather":
+                conn.send(("loads", L))
+            elif msg[0] == "stop":
+                return
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown command {msg[0]!r}")
+    except Exception as exc:  # pragma: no cover - exercised via error tests
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+        for c in peers.values():
+            c.close()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class PartitionedSimulator:
+    """Run a partition-capable balancer as ``P`` halo-exchanging blocks.
+
+    Parameters
+    ----------
+    balancer:
+        Any :class:`Balancer` with ``supports_partition`` (diffusion in
+        both modes — dynamic networks included — and continuous FOS).
+    partitions:
+        Block count, or a ``"P[:strategy]"`` spec
+        (:func:`~repro.graphs.partition.parse_partitions`).
+    strategy:
+        Partition strategy when ``partitions`` is a bare count
+        (``"contiguous"`` or ``"bfs"``).
+    assignment:
+        Explicit node→block vector overriding the strategy (the node set
+        must match the balancer's topology).
+    mode:
+        ``"inprocess"`` (vectorized loop over blocks, exact statistics)
+        or ``"process"`` (persistent workers + pipe halo exchange; see
+        the module docstring).  ``"process"`` with one block degrades to
+        the in-process path.
+    stopping / record / keep_snapshots / check_conservation / cons_tol /
+    backend:
+        As :class:`~repro.simulation.ensemble.EnsembleSimulator`.
+
+    After :meth:`run`, :attr:`halo_stats` reports the communication the
+    run actually paid: rounds executed, halo values exchanged (ghost
+    values received per round, summed), and the partition's per-round
+    quality metrics.
+    """
+
+    DEFAULT_MAX_ROUNDS = 1_000_000
+
+    def __init__(
+        self,
+        balancer: Balancer,
+        partitions: int | str = 2,
+        strategy: str = "contiguous",
+        assignment: np.ndarray | None = None,
+        stopping: Sequence[StoppingRule] | None = None,
+        record: str = "auto",
+        keep_snapshots: bool = False,
+        check_conservation: bool = True,
+        cons_tol: float = 1e-6,
+        mode: str = "inprocess",
+        backend: str | None = None,
+    ) -> None:
+        if not getattr(balancer, "supports_partition", False):
+            raise TypeError(
+                f"{balancer.name} has no partitioned kernel; partitioned execution "
+                "supports diffusion (continuous/discrete, dynamic included) and "
+                "continuous FOS"
+            )
+        if record not in ("auto", "light", "full"):
+            raise ValueError(f"record must be 'auto', 'light' or 'full', got {record!r}")
+        if mode not in ("inprocess", "process"):
+            raise ValueError(f"mode must be 'inprocess' or 'process', got {mode!r}")
+        blocks, spec_strategy = parse_partitions(partitions)
+        if isinstance(partitions, str) and ":" in partitions:
+            strategy = spec_strategy
+        self.balancer = balancer
+        if backend is not None:
+            self.balancer.backend = backend
+        # An explicit engine backend pins the balancer; otherwise honour a
+        # backend already pinned *on* the balancer (e.g. CLI --backend) so
+        # the block kernels run what the caller selected, not the ambient
+        # default.
+        self.backend = backend if backend is not None else getattr(balancer, "backend", None)
+        self.partitions = blocks
+        self.strategy = strategy
+        self._assignment = None if assignment is None else np.asarray(assignment, dtype=np.int64)
+        rules = list(stopping) if stopping else []
+        if not any(isinstance(r, MaxRounds) for r in rules):
+            rules.append(MaxRounds(self.DEFAULT_MAX_ROUNDS))
+        self.stopping = rules
+        self.record = record
+        self.keep_snapshots = keep_snapshots
+        self.check_conservation = check_conservation
+        self.cons_tol = cons_tol
+        self.mode = mode
+        #: communication accounting of the most recent run
+        self.halo_stats: dict = {}
+
+    # ------------------------------------------------------------------
+    def _record_disc(self) -> bool:
+        return self.record == "full" or (
+            self.record == "auto" and any(isinstance(r, DiscrepancyBelow) for r in self.stopping)
+        )
+
+    def _resolve_assignment(self, n: int) -> np.ndarray:
+        topo0 = self.balancer.partition_topology(0)
+        if topo0.n != n:
+            raise ValueError(f"topology has {topo0.n} nodes but loads has {n}")
+        if self._assignment is not None:
+            if self._assignment.shape != (n,):
+                raise ValueError(
+                    f"assignment must have shape ({n},), got {self._assignment.shape}"
+                )
+            return self._assignment
+        # make_partition caches strategy assignments on the topology, so
+        # repeat runs (and fresh simulators on the same graph) reuse the
+        # first computation.
+        return make_partition(topo0, self.partitions, self.strategy).assignment
+
+    def run(self, loads: np.ndarray, seed=0, replicas: int | None = None) -> EnsembleTrace:
+        """Run all blocks until every replica's stopping rule fires.
+
+        ``seed`` is accepted for engine-interface symmetry; the
+        partition-capable schemes are deterministic (their rounds draw
+        no randomness), so it is unused.
+        """
+        self.balancer.reset()
+        L, B = initial_batch(self.balancer, loads, replicas)
+        assignment = self._resolve_assignment(L.shape[0])
+        self.halo_stats = {
+            "mode": self.mode,
+            "blocks": int(assignment.max()) + 1,
+            "strategy": self.strategy,
+            "rounds": 0,
+            "halo_values": 0,
+        }
+        if self.mode == "process" and self.partitions > 1:
+            return self._run_process(L, B, assignment)
+        return self._run_inprocess(L, B, assignment)
+
+    def _make_trace(self, B: int) -> EnsembleTrace:
+        return EnsembleTrace(
+            balancer_name=self.balancer.name,
+            replicas=B,
+            record_discrepancies=self._record_disc(),
+            record_movements=self.record == "full",
+            keep_snapshots=self.keep_snapshots,
+        )
+
+    # ------------------------------------------------------------------
+    # In-process mode
+    # ------------------------------------------------------------------
+    def _run_inprocess(self, L: np.ndarray, B: int, assignment: np.ndarray) -> EnsembleTrace:
+        trace = self._make_trace(B)
+        trace.record(L)
+        initial_sums = trace._sums[0]
+        is_discrete = np.issubdtype(L.dtype, np.integer)
+        active = np.ones(B, dtype=bool)
+        apply_stopping(self.stopping, trace, active)
+        out = np.empty_like(L)
+        resolved = resolve_backend(self.backend)
+        parts = _PartitionMemo(assignment, self.strategy)
+        rounds = 0
+        while active.any():
+            part = parts.get(self.balancer.partition_topology(rounds))
+            for p in range(part.blocks):
+                local = block_local(part, p, resolved)
+                # The halo refresh: owned + ghost rows gathered from the
+                # previous round's matrix before this block's round.
+                ext = L[local.ext_ids]
+                out[local.owned] = self.balancer.block_step(local, ext)
+                self.halo_stats["halo_values"] += local.n_ghost * B
+            if not active.all():
+                frozen = ~active
+                out[:, frozen] = L[:, frozen]
+            trace.record(out, prev=L)
+            trace.advance(active)
+            if self.check_conservation:
+                audit_replica_sums(
+                    self.balancer.name, trace._sums[-1], initial_sums, is_discrete, self.cons_tol
+                )
+            apply_stopping(self.stopping, trace, active)
+            L, out = out, L
+            rounds += 1
+        self.halo_stats["rounds"] = rounds
+        trace._final_loads = L.T.copy()
+        return trace
+
+    # ------------------------------------------------------------------
+    # Process mode
+    # ------------------------------------------------------------------
+    def _max_rounds_only(self) -> int | None:
+        """The common round cap when every rule is a plain MaxRounds."""
+        if all(isinstance(r, MaxRounds) for r in self.stopping):
+            return min(r.rounds for r in self.stopping)
+        return None
+
+    def _run_process(self, L: np.ndarray, B: int, assignment: np.ndarray) -> EnsembleTrace:
+        n = L.shape[0]
+        P = int(assignment.max()) + 1
+        owned = [np.flatnonzero(assignment == p) for p in range(P)]
+        want_disc = self._record_disc()
+        want_mov = self.record == "full"
+        trace = self._make_trace(B)
+        trace.record(L)
+        initial_sums = trace._sums[0]
+        is_discrete = np.issubdtype(L.dtype, np.integer)
+
+        # Pre-build the partition and every block's operator slices in
+        # the parent: under the fork start method the workers inherit the
+        # warmed caches copy-on-write instead of each rebuilding them
+        # (at n=65536 the build costs more than hundreds of rounds).
+        resolved = resolve_backend(self.backend)
+        part0 = Partition.for_topology(
+            self.balancer.partition_topology(0), assignment, strategy=self.strategy
+        )
+        for p in range(P):
+            block_local(part0, p, resolved)
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
+
+        ctrl = [ctx.Pipe() for _ in range(P)]
+        mesh: dict[tuple[int, int], tuple] = {}
+        for p in range(P):
+            for q in range(p + 1, P):
+                mesh[(p, q)] = ctx.Pipe()
+        procs = []
+        for p in range(P):
+            peers = {}
+            for q in range(P):
+                if q == p:
+                    continue
+                a, b = min(p, q), max(p, q)
+                peers[q] = mesh[(a, b)][0 if p == a else 1]
+            payload = (
+                self.balancer,
+                assignment,
+                self.strategy,
+                p,
+                L[owned[p]],
+                self.backend,
+                want_disc,
+                want_mov,
+            )
+            procs.append(
+                ctx.Process(
+                    target=_partition_worker, args=(ctrl[p][1], peers, payload), daemon=True
+                )
+            )
+        for proc in procs:
+            proc.start()
+        conns = [c for c, _ in ctrl]
+
+        def ask_all(msg):
+            for c in conns:
+                c.send(msg)
+            replies = [c.recv() for c in conns]
+            for rep in replies:
+                if rep[0] == "error":
+                    raise RuntimeError(f"partition worker failed: {rep[1]}")
+            return replies
+
+        try:
+            active = np.ones(B, dtype=bool)
+            apply_stopping(self.stopping, trace, active)
+            cap = self._max_rounds_only()
+            rounds_done = 0
+            while active.any():
+                if cap is not None and not self.keep_snapshots:
+                    # Free-running chunk: workers need no coordinator
+                    # round-trips until the cap (no rule can fire early).
+                    chunk = max(cap - rounds_done, 1)
+                else:
+                    chunk = 1
+                frozen = None if active.all() else ~active
+                replies = ask_all(("run", chunk, frozen))
+                self.halo_stats["halo_values"] += sum(rep[2] for rep in replies)
+                snapshot = None
+                if self.keep_snapshots:
+                    snapshot = self._gather(ask_all, owned, n, B)
+                for i in range(chunk):
+                    phis, sums, disc, mov = _combine_stats(
+                        [rep[1][i] for rep in replies], n
+                    )
+                    trace.record_stats(phis, sums, disc, mov, snapshot=snapshot)
+                    trace.advance(active)
+                    if self.check_conservation:
+                        audit_replica_sums(
+                            self.balancer.name, trace._sums[-1], initial_sums,
+                            is_discrete, self.cons_tol,
+                        )
+                    apply_stopping(self.stopping, trace, active)
+                rounds_done += chunk
+            self.halo_stats["rounds"] = rounds_done
+            trace._final_loads = self._gather(ask_all, owned, n, B)
+            return trace
+        finally:
+            for c in conns:
+                try:
+                    c.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+            for c in conns:
+                c.close()
+            for (a, b) in mesh.values():
+                a.close()
+                b.close()
+
+    @staticmethod
+    def _gather(ask_all, owned: list[np.ndarray], n: int, B: int) -> np.ndarray:
+        """Assemble the replica-major ``(B, n)`` matrix from worker slabs."""
+        replies = ask_all(("gather",))
+        full = np.empty((B, n), dtype=replies[0][1].dtype)
+        for ids, rep in zip(owned, replies):
+            full[:, ids] = rep[1].T
+        return full

@@ -38,7 +38,9 @@ pickle, so trials and balancers must be module-level/picklable exactly as
 
 from __future__ import annotations
 
+import os
 import re
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Mapping, Sequence
 
@@ -51,6 +53,7 @@ from repro.simulation.stopping import StoppingRule
 
 __all__ = [
     "parse_workers",
+    "usable_cpus",
     "split_shards",
     "merge_ensemble_traces",
     "run_sharded_ensemble",
@@ -70,7 +73,11 @@ def parse_workers(workers: int | str | tuple) -> tuple[int, bool]:
         (4, "vectorized") -> (4, True)
 
     ``processes`` is the pool size (1 means in-process execution) and
-    ``vectorized`` selects the batched kernels.
+    ``vectorized`` selects the batched kernels.  Zero or negative counts
+    are rejected with an explicit message (``--workers 0`` is a common
+    "disable" guess — the spelling for that is ``1``); a count beyond
+    the host's usable cores emits a ``RuntimeWarning`` (the pool still
+    runs, it just cannot parallelize past the hardware).
     """
     if isinstance(workers, tuple):
         if len(workers) == 2 and workers[1] == "vectorized":
@@ -80,7 +87,7 @@ def parse_workers(workers: int | str | tuple) -> tuple[int, bool]:
         spec = workers.strip().lower()
         if spec == "vectorized":
             return 1, True
-        if spec.isdigit():  # CLI flags arrive as strings
+        if re.fullmatch(r"[+-]?\d+", spec):  # CLI flags arrive as strings
             return parse_workers(int(spec))
         match = re.fullmatch(r"(\d+)x(?:vectorized)?", spec)
         if match:
@@ -90,9 +97,28 @@ def parse_workers(workers: int | str | tuple) -> tuple[int, bool]:
         )
     if isinstance(workers, (int, np.integer)) and not isinstance(workers, bool):
         if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        return int(workers), False
+            raise ValueError(
+                f"workers must be >= 1, got {workers} (use 1 for in-process execution)"
+            )
+        processes = int(workers)
+        cpus = usable_cpus()
+        if processes > cpus:
+            warnings.warn(
+                f"workers={processes} exceeds the {cpus} usable core(s) on this host; "
+                "extra processes will time-share rather than parallelize",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return processes, False
     raise ValueError(f"workers must be an int, 'vectorized' or 'KxVectorized', got {workers!r}")
+
+
+def usable_cpus() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def split_shards(total: int, shards: int) -> list[tuple[int, int]]:

@@ -35,9 +35,11 @@ import numpy as np
 from repro.analysis.reporting import Table
 from repro.core.protocols import get_balancer
 from repro.graphs.generators import by_name
+from repro.graphs.partition import parse_partitions
 from repro.simulation.engine import Simulator
 from repro.simulation.ensemble import EnsembleSimulator, spawn_rngs
 from repro.simulation.initial import make_loads
+from repro.simulation.partitioned import PartitionedSimulator
 from repro.simulation.sharding import parse_workers, run_sharded_ensemble
 from repro.simulation.stopping import MaxRounds, PotentialFractionBelow, Stagnation
 
@@ -78,7 +80,8 @@ def _aggregate(topology: str, balancer: str, rounds_list, phis, movements, reaso
 
 
 def _run_cell(
-    spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes, backend=None
+    spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes, backend=None,
+    partitions=1, part_strategy="contiguous",
 ) -> SweepCell:
     bal = get_balancer(name, topo)
     if backend is not None:
@@ -93,10 +96,50 @@ def _run_cell(
             Stagnation(patience=50),
             MaxRounds(max_rounds),
         ]
+
+    def initial_loads():
+        """Initial distribution(s): ``(n,)`` for one replica, ``(B, n)`` else.
+
+        Per-replica initial distributions and per-replica run streams
+        come from *disjoint* spawn keys of the same root seed: reusing
+        one stream for both would make a stochastic scheme's round
+        randomness replay the bits that generated its own initial state.
+        Every execution path (serial, batched, sharded, partitioned)
+        draws through this one function, so none can desynchronize the
+        sweep's results.
+        """
+        if replicas == 1:
+            return make_loads(load_kind, topo.n, rng=np.random.default_rng(seed), discrete=discrete)
+        load_rngs = [
+            np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(b, 1)))
+            for b in range(replicas)
+        ]
+        return np.stack(
+            [make_loads(load_kind, topo.n, rng=rng_b, discrete=discrete) for rng_b in load_rngs]
+        )
+
+    if partitions > 1 and getattr(bal, "supports_partition", False):
+        # Node-axis partitioned execution: same trajectories (bit for
+        # bit), evaluated block-locally with halo exchange.  Schemes
+        # without a partitioned kernel fall through to the standard
+        # paths below, so the grid stays total.
+        psim = PartitionedSimulator(
+            bal, partitions=partitions, strategy=part_strategy,
+            stopping=rules(), record="full",
+            mode="process" if processes > 1 else "inprocess",
+        )
+        trace = psim.run(initial_loads(), replicas=replicas)
+        return _aggregate(
+            spec,
+            name,
+            trace.rounds_to_fraction(eps).tolist(),
+            trace.last_potentials,
+            trace.total_net_movements(),
+            trace.stopped_by,
+            replicas,
+        )
     if replicas == 1:
-        rng = np.random.default_rng(seed)
-        loads = make_loads(load_kind, topo.n, rng=rng, discrete=discrete)
-        trace = Simulator(bal, stopping=rules()).run(loads, seed)
+        trace = Simulator(bal, stopping=rules()).run(initial_loads(), seed)
         r = trace.rounds_to_fraction(eps)
         return SweepCell(
             topology=spec,
@@ -106,20 +149,8 @@ def _run_cell(
             total_movement=trace.total_net_movement(),
             stopped_by=trace.stopped_by,
         )
-    # Per-replica initial distributions and per-replica run streams come
-    # from *disjoint* spawn keys of the same root seed: reusing one stream
-    # for both would make a stochastic scheme's round randomness replay the
-    # bits that generated its own initial state.  The serial fallback uses
-    # the identical run streams, so a scheme gaining (or losing) a batched
-    # kernel never changes the sweep's results.
-    load_rngs = [
-        np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(b, 1)))
-        for b in range(replicas)
-    ]
     run_rngs = spawn_rngs(seed, replicas)
-    batch = np.stack(
-        [make_loads(load_kind, topo.n, rng=rng_b, discrete=discrete) for rng_b in load_rngs]
-    )
+    batch = initial_loads()
     if getattr(bal, "supports_batch", False):
         if processes > 1:
             trace = run_sharded_ensemble(
@@ -158,6 +189,7 @@ def sweep(
     replicas: int = 1,
     workers: int | str = 1,
     backend: str | None = None,
+    partitions: int | str = 1,
 ) -> tuple[Table, list[SweepCell]]:
     """Run the grid; returns the rendered table and the raw cells.
 
@@ -171,12 +203,18 @@ def sweep(
     (see the module docstring's *Execution modes*); ``backend`` pins the
     kernel backend on every constructed balancer (bit-for-bit
     interchangeable, so the grid's numbers do not depend on it).
+    ``partitions`` (``P`` or ``"P:strategy"``) runs partition-capable
+    cells through the node-axis partitioned engine — halo-exchanging
+    block subproblems, process-parallel when ``workers > 1`` — with
+    trajectories bit-for-bit equal to the standard paths; schemes
+    without a partitioned kernel fall back transparently.
     """
     if not topology_specs or not balancer_names:
         raise ValueError("need at least one topology and one balancer")
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
     processes, _ = parse_workers(workers)
+    part_blocks, part_strategy = parse_partitions(partitions)
     suffix = f", {replicas} replicas" if replicas > 1 else ""
     table = Table(
         title=f"sweep: rounds to Phi <= {eps:g}*Phi0 ({load_kind} load{suffix})",
@@ -187,7 +225,8 @@ def sweep(
         topo = by_name(spec)
         for name in balancer_names:
             cell = _run_cell(
-                spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes, backend
+                spec, topo, name, load_kind, eps, max_rounds, seed, replicas, processes, backend,
+                partitions=part_blocks, part_strategy=part_strategy,
             )
             cells.append(cell)
             table.add_row(

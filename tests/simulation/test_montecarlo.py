@@ -15,6 +15,14 @@ def dict_trial(rng, offset=0.0):
     return {"u": u + offset, "indicator": 1.0 if u > 0.5 else 0.0}
 
 
+def partition_aware_trial(rng, partitions=None):
+    """Trial that reports the partitions spec it was handed."""
+    from repro.graphs.partition import parse_partitions
+
+    blocks = parse_partitions(partitions)[0] if partitions is not None else 0
+    return {"blocks": float(blocks), "u": float(rng.uniform())}
+
+
 class TestExecution:
     def test_scalar_trials_aggregate(self):
         res = monte_carlo(scalar_trial, trials=50, root_seed=1)
@@ -54,6 +62,25 @@ class TestExecution:
     def test_at_least_one_trial(self):
         with pytest.raises(ValueError):
             monte_carlo(scalar_trial, trials=0)
+
+    def test_partitions_forwarded_to_trial(self):
+        res = monte_carlo(partition_aware_trial, trials=4, root_seed=1, partitions="4:bfs")
+        assert (res.samples["blocks"] == 4.0).all()
+
+    def test_partitions_default_not_forwarded(self):
+        res = monte_carlo(partition_aware_trial, trials=4, root_seed=1)
+        assert (res.samples["blocks"] == 0.0).all()
+
+    def test_partitions_do_not_change_streams(self):
+        plain = monte_carlo(partition_aware_trial, trials=8, root_seed=5)
+        parted = monte_carlo(partition_aware_trial, trials=8, root_seed=5, partitions=2)
+        assert np.array_equal(plain.samples["u"], parted.samples["u"])
+
+    def test_bad_partitions_spec_rejected(self):
+        with pytest.raises(ValueError, match="partition"):
+            monte_carlo(partition_aware_trial, trials=2, partitions="2:metis")
+        with pytest.raises(ValueError, match="partitions must be >= 1"):
+            monte_carlo(partition_aware_trial, trials=2, partitions=0)
 
     def test_bad_workers_value_rejected(self):
         with pytest.raises(ValueError, match="workers"):

@@ -1,0 +1,321 @@
+"""Parity + unit tests for node-axis partitioned execution.
+
+The load-bearing property: :class:`PartitionedSimulator` trajectories are
+**bit-for-bit identical** to the serial :class:`Simulator` and the
+lockstep :class:`EnsembleSimulator` — for diffusion (continuous and
+discrete), FOS, P in {2, 4, 7}, both partition strategies, and dynamic
+topologies whose cut set changes between rounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.first_order import FirstOrderBalancer
+from repro.baselines.ops import OptimalPolynomialBalancer
+from repro.core.diffusion import DiffusionBalancer
+from repro.graphs.dynamic import AlternatingDynamics, EdgeSamplingDynamics
+from repro.graphs.generators import hypercube, torus_2d
+from repro.graphs.partition import PARTITION_STRATEGIES, make_partition
+from repro.simulation.engine import Simulator
+from repro.simulation.ensemble import EnsembleSimulator
+from repro.simulation.partitioned import PartitionedSimulator, block_local
+from repro.simulation.stopping import MaxRounds, PotentialFractionBelow
+
+ROUNDS = 25
+
+
+def _loads(topo, discrete, seed=5):
+    rng = np.random.default_rng(seed)
+    if discrete:
+        return rng.integers(0, 10_000, topo.n).astype(np.int64)
+    return rng.uniform(0.0, 10_000.0, topo.n)
+
+
+def _serial_snapshots(balancer, loads, rounds=ROUNDS):
+    trace = Simulator(balancer, stopping=[MaxRounds(rounds)], keep_snapshots=True).run(loads, 0)
+    return [np.asarray(s) for s in trace._snapshots]
+
+
+BALANCER_FACTORIES = [
+    ("diffusion-cont", lambda net: DiffusionBalancer(net), False),
+    ("diffusion-disc", lambda net: DiffusionBalancer(net, mode="discrete"), True),
+    ("fos", lambda net: FirstOrderBalancer(net), False),
+]
+
+
+class TestPartitionedParity:
+    """Partitioned == serial == ensemble, bit for bit, across the grid."""
+
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return torus_2d(6, 6)
+
+    @pytest.mark.parametrize("label,factory,discrete", BALANCER_FACTORIES,
+                             ids=[b[0] for b in BALANCER_FACTORIES])
+    @pytest.mark.parametrize("P", [2, 4, 7])
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_inprocess_matches_serial(self, topo, label, factory, discrete, P, strategy):
+        loads = _loads(topo, discrete)
+        expected = _serial_snapshots(factory(topo), loads.copy())
+        psim = PartitionedSimulator(
+            factory(topo), partitions=P, strategy=strategy,
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True,
+        )
+        trace = psim.run(loads.copy())
+        assert trace.rounds == ROUNDS
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+        assert psim.halo_stats["rounds"] == ROUNDS
+        if P > 1:
+            assert psim.halo_stats["halo_values"] > 0
+
+    @pytest.mark.parametrize("label,factory,discrete", BALANCER_FACTORIES,
+                             ids=[b[0] for b in BALANCER_FACTORIES])
+    def test_inprocess_matches_ensemble_replicas(self, topo, label, factory, discrete):
+        """The node axis composes with the replica axis: (n_block, B) slabs."""
+        B = 5
+        rng = np.random.default_rng(11)
+        if discrete:
+            batch = rng.integers(0, 10_000, (B, topo.n)).astype(np.int64)
+        else:
+            batch = rng.uniform(0.0, 10_000.0, (B, topo.n))
+        ens = EnsembleSimulator(
+            factory(topo), stopping=[MaxRounds(ROUNDS)], keep_snapshots=True,
+            serial_singleton=False,
+        ).run(batch.copy(), seed=0)
+        part = PartitionedSimulator(
+            factory(topo), partitions=4, strategy="bfs",
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True,
+        ).run(batch.copy())
+        assert np.array_equal(ens.final_loads, part.final_loads)
+        for t in range(ens.recorded_states):
+            assert np.array_equal(ens.snapshots[t], part.snapshots[t]), f"round {t}"
+        # In-process statistics come from the assembled global matrix, so
+        # they match the ensemble engine exactly, not just to the ulp.
+        assert np.array_equal(ens.potentials_matrix, part.potentials_matrix)
+
+    @pytest.mark.parametrize("P", [2, 4, 7])
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_dynamic_edge_failures_parity(self, P, strategy):
+        """The cut set changes between rounds; trajectories still match."""
+        base = torus_2d(6, 6)
+        loads = _loads(base, discrete=True)
+        expected = _serial_snapshots(
+            DiffusionBalancer(EdgeSamplingDynamics(base, p=0.6, seed=9), mode="discrete"),
+            loads.copy(),
+        )
+        psim = PartitionedSimulator(
+            DiffusionBalancer(EdgeSamplingDynamics(base, p=0.6, seed=9), mode="discrete"),
+            partitions=P, strategy=strategy,
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True,
+        )
+        trace = psim.run(loads.copy())
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+
+    def test_alternating_dynamics_parity(self):
+        """Phased topologies (disjoint edge sets per round) stay exact."""
+        base = torus_2d(6, 6)
+        rows = base.subgraph_with_edges(base.edges[:, 1] == base.edges[:, 0] + 1)
+        cols = base.subgraph_with_edges(base.edges[:, 1] != base.edges[:, 0] + 1)
+        loads = _loads(base, discrete=False)
+        dyn = AlternatingDynamics([rows, cols])
+        expected = _serial_snapshots(DiffusionBalancer(dyn), loads.copy())
+        trace = PartitionedSimulator(
+            DiffusionBalancer(AlternatingDynamics([rows, cols])),
+            partitions=4, strategy="contiguous",
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True,
+        ).run(loads.copy())
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+
+    def test_stopping_rules_fire_like_ensemble(self):
+        topo = torus_2d(6, 6)
+        loads = _loads(topo, discrete=False)
+        rules = lambda: [PotentialFractionBelow(1e-3), MaxRounds(2000)]
+        ens = EnsembleSimulator(
+            DiffusionBalancer(topo), stopping=rules(), serial_singleton=False
+        ).run(loads.copy(), seed=0, replicas=1)
+        part = PartitionedSimulator(
+            DiffusionBalancer(topo), partitions=3, stopping=rules()
+        ).run(loads.copy())
+        assert part.stopped_by == ens.stopped_by
+        assert part.rounds == ens.rounds
+        assert np.array_equal(ens.final_loads, part.final_loads)
+
+    def test_hypercube_parity(self):
+        topo = hypercube(6)
+        loads = _loads(topo, discrete=True)
+        expected = _serial_snapshots(DiffusionBalancer(topo, mode="discrete"), loads.copy())
+        trace = PartitionedSimulator(
+            DiffusionBalancer(topo, mode="discrete"), partitions="4:bfs",
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True,
+        ).run(loads.copy())
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+
+
+class TestProcessMode:
+    """Persistent worker processes + pipe halo exchange."""
+
+    @pytest.mark.parametrize("label,factory,discrete", BALANCER_FACTORIES,
+                             ids=[b[0] for b in BALANCER_FACTORIES])
+    def test_process_matches_serial(self, label, factory, discrete):
+        topo = torus_2d(6, 6)
+        loads = _loads(topo, discrete)
+        expected = _serial_snapshots(factory(topo), loads.copy())
+        psim = PartitionedSimulator(
+            factory(topo), partitions=3, strategy="bfs",
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True, mode="process",
+        )
+        trace = psim.run(loads.copy())
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+        assert psim.halo_stats["mode"] == "process"
+
+    def test_process_chunked_free_run_final_loads(self):
+        """MaxRounds-only stopping free-runs workers without per-round
+        coordinator sync; the final loads still match the serial run."""
+        topo = torus_2d(6, 6)
+        loads = _loads(topo, discrete=True)
+        serial = Simulator(
+            DiffusionBalancer(topo, mode="discrete"), stopping=[MaxRounds(40)]
+        ).run(loads.copy(), 0)
+        psim = PartitionedSimulator(
+            DiffusionBalancer(topo, mode="discrete"), partitions=4,
+            stopping=[MaxRounds(40)], mode="process",
+        )
+        trace = psim.run(loads.copy())
+        assert trace.rounds == 40
+        assert np.array_equal(
+            np.asarray(serial._last_loads, dtype=np.int64), trace.final_loads[0]
+        )
+        assert psim.halo_stats["rounds"] == 40
+
+    def test_process_with_replicas_and_dynamic(self):
+        base = torus_2d(6, 6)
+        B = 3
+        rng = np.random.default_rng(2)
+        batch = rng.integers(0, 5_000, (B, base.n)).astype(np.int64)
+        make = lambda: DiffusionBalancer(
+            EdgeSamplingDynamics(base, p=0.7, seed=21), mode="discrete"
+        )
+        ens = EnsembleSimulator(
+            make(), stopping=[MaxRounds(15)], keep_snapshots=True, serial_singleton=False
+        ).run(batch.copy(), seed=0)
+        trace = PartitionedSimulator(
+            make(), partitions=4, stopping=[MaxRounds(15)],
+            keep_snapshots=True, mode="process",
+        ).run(batch.copy())
+        assert np.array_equal(ens.final_loads, trace.final_loads)
+        for t in range(ens.recorded_states):
+            assert np.array_equal(ens.snapshots[t], trace.snapshots[t]), f"round {t}"
+
+    def test_process_conservation_and_stats_close(self):
+        """Process-mode derived statistics combine block partials: equal to
+        the ulp, with exact integer sums for discrete runs."""
+        topo = torus_2d(6, 6)
+        loads = _loads(topo, discrete=True)
+        ens = EnsembleSimulator(
+            DiffusionBalancer(topo, mode="discrete"), stopping=[MaxRounds(20)],
+            serial_singleton=False,
+        ).run(loads.copy(), seed=0, replicas=1)
+        psim = PartitionedSimulator(
+            DiffusionBalancer(topo, mode="discrete"), partitions=3,
+            stopping=[MaxRounds(20)], mode="process",
+        )
+        trace = psim.run(loads.copy())
+        assert np.array_equal(trace.load_sums_matrix, ens.load_sums_matrix)  # exact ints
+        np.testing.assert_allclose(
+            trace.potentials_matrix, ens.potentials_matrix, rtol=1e-12
+        )
+
+
+class TestBlockLocal:
+    def test_extended_index_space(self):
+        topo = torus_2d(4, 4)
+        part = make_partition(topo, 2, "contiguous")
+        loc = block_local(part, 0)
+        assert loc.n_ext == loc.n_owned + loc.n_ghost
+        assert np.array_equal(loc.ext_ids[: loc.n_owned], part.owned[0])
+        assert np.array_equal(loc.ext_ids[loc.n_owned :], part.ghosts[0])
+        # Block edges: at least one owned endpoint, endpoints inside ext.
+        assert (loc.u_loc >= 0).all() and (loc.v_loc >= 0).all()
+        assert (loc.u_loc < loc.n_ext).all() and (loc.v_loc < loc.n_ext).all()
+
+    def test_block_local_cached(self):
+        topo = torus_2d(4, 4)
+        part = make_partition(topo, 2)
+        assert block_local(part, 0) is block_local(part, 0)
+        assert block_local(part, 0) is not block_local(part, 1)
+
+    def test_round_rows_match_global_rows(self):
+        topo = torus_2d(4, 4)
+        part = make_partition(topo, 2, "bfs")
+        loc = block_local(part, 1)
+        M = loc.op.round_csr()
+        rows = loc.round_rows()
+        # Same data values in the same stored order, columns relabelled.
+        start_g = M.indptr[part.owned[1][0]]
+        assert rows.data[0] == M.data[start_g]
+        assert rows.shape == (loc.n_owned, loc.n_ext)
+
+    def test_out_of_range_block_rejected(self):
+        part = make_partition(torus_2d(4, 4), 2)
+        with pytest.raises(ValueError):
+            block_local(part, 5)
+
+
+class TestPartitionedValidation:
+    def test_unsupported_balancer_rejected(self):
+        topo = torus_2d(4, 4)
+        with pytest.raises(TypeError, match="partitioned"):
+            PartitionedSimulator(OptimalPolynomialBalancer(topo), partitions=2)
+
+    def test_fos_discrete_variant_rejected(self):
+        topo = torus_2d(4, 4)
+        with pytest.raises(TypeError, match="partitioned"):
+            PartitionedSimulator(FirstOrderBalancer(topo, variant="floor"), partitions=2)
+
+    def test_bad_mode_rejected(self):
+        topo = torus_2d(4, 4)
+        with pytest.raises(ValueError, match="mode"):
+            PartitionedSimulator(DiffusionBalancer(topo), partitions=2, mode="threads")
+
+    def test_bad_partition_spec_rejected(self):
+        topo = torus_2d(4, 4)
+        with pytest.raises(ValueError):
+            PartitionedSimulator(DiffusionBalancer(topo), partitions="2:metis")
+
+    def test_assignment_shape_checked(self):
+        topo = torus_2d(4, 4)
+        sim = PartitionedSimulator(
+            DiffusionBalancer(topo), partitions=2,
+            assignment=np.zeros(5, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="assignment"):
+            sim.run(np.ones(topo.n))
+
+    def test_explicit_assignment_used(self):
+        topo = torus_2d(4, 4)
+        assignment = np.zeros(topo.n, dtype=np.int64)
+        assignment[topo.n // 2 :] = 1
+        loads = _loads(topo, discrete=False)
+        expected = _serial_snapshots(DiffusionBalancer(topo), loads.copy(), rounds=10)
+        sim = PartitionedSimulator(
+            DiffusionBalancer(topo), assignment=assignment,
+            stopping=[MaxRounds(10)], keep_snapshots=True,
+        )
+        trace = sim.run(loads.copy())
+        assert sim.halo_stats["blocks"] == 2
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0])
+
+    def test_single_partition_degrades_to_global(self):
+        topo = torus_2d(4, 4)
+        loads = _loads(topo, discrete=False)
+        psim = PartitionedSimulator(DiffusionBalancer(topo), partitions=1,
+                                    stopping=[MaxRounds(10)])
+        trace = psim.run(loads.copy())
+        assert trace.rounds == 10
+        assert psim.halo_stats["halo_values"] == 0

@@ -56,6 +56,38 @@ class TestParseWorkers:
         with pytest.raises(ValueError):
             parse_workers(spec)
 
+    @pytest.mark.parametrize("spec", [0, -2, "0", "-3", "+0"])
+    def test_zero_and_negative_get_explicit_message(self, spec):
+        """String CLI specs like '-3' must hit the same clear >= 1 error
+        as plain ints, not the generic grammar message."""
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            parse_workers(spec)
+
+    def test_oversubscription_warns(self, monkeypatch):
+        from repro.simulation import sharding
+
+        monkeypatch.setattr(sharding, "usable_cpus", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="exceeds the 2 usable"):
+            assert parse_workers(8) == (8, False)
+        with pytest.warns(RuntimeWarning, match="exceeds"):
+            assert parse_workers("8xvectorized") == (8, True)
+
+    def test_within_cpu_budget_does_not_warn(self, monkeypatch):
+        import warnings
+
+        from repro.simulation import sharding
+
+        monkeypatch.setattr(sharding, "usable_cpus", lambda: 4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parse_workers(4) == (4, False)
+            assert parse_workers("vectorized") == (1, True)
+
+    def test_usable_cpus_positive(self):
+        from repro.simulation.sharding import usable_cpus
+
+        assert usable_cpus() >= 1
+
 
 class TestSplitShards:
     def test_even_split(self):

@@ -64,6 +64,25 @@ class TestSweepReplicas:
         with pytest.raises(ValueError):
             sweep(["torus:4x4"], ["diffusion"], replicas=0)
 
+    def test_partitioned_cells_match_standard_paths(self):
+        """--partitions is an execution knob: partition-capable cells get
+        identical trajectories (and fall back transparently otherwise)."""
+        plain_1, cells_1 = sweep(["torus:4x4"], ["diffusion", "fos", "ops"], eps=1e-2)
+        part_1, pcells_1 = sweep(
+            ["torus:4x4"], ["diffusion", "fos", "ops"], eps=1e-2, partitions="2:bfs"
+        )
+        for a, b in zip(cells_1, pcells_1):
+            assert a.rounds == b.rounds and a.stopped_by == b.stopped_by
+        _, cells_r = sweep(["torus:4x4"], ["diffusion-discrete"], eps=1e-2, replicas=3)
+        _, pcells_r = sweep(
+            ["torus:4x4"], ["diffusion-discrete"], eps=1e-2, replicas=3, partitions=2
+        )
+        assert cells_r[0] == pcells_r[0]
+
+    def test_bad_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(["torus:4x4"], ["diffusion"], partitions="2:metis")
+
     def test_batched_and_serial_paths_agree(self, monkeypatch):
         """Forcing a batchable scheme down the serial replica loop must
         reproduce the batched cell exactly (same loads, same streams)."""

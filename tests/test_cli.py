@@ -140,6 +140,113 @@ class TestCommands:
         assert "3 replicas" in capsys.readouterr().out
 
 
+class TestPartitionsFlag:
+    def test_partition_info_default_specs(self, capsys):
+        rc = main(["partition-info", "--topology", "torus:8x8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "edge_cut" in out and "halo_volume" in out and "imbalance" in out
+        assert "contiguous" in out and "bfs" in out
+
+    def test_partition_info_explicit_specs(self, capsys):
+        rc = main([
+            "partition-info", "--topology", "hypercube:5",
+            "--partitions", "2:contiguous", "7:bfs",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "7:bfs" in out
+
+    def test_partition_info_bad_spec_errors(self, capsys):
+        rc = main(["partition-info", "--topology", "torus:4x4", "--partitions", "3:metis"])
+        assert rc == 2
+        assert "strategy" in capsys.readouterr().err
+
+    def test_run_partitioned_matches_unpartitioned(self, capsys):
+        """--partitions is an execution knob: the trace summary is identical.
+
+        Both paths run a 2-replica ensemble (the in-process partitioned
+        engine records statistics from the assembled global matrix, so
+        even the floats match the batched engine exactly).
+        """
+        args = [
+            "run", "--balancer", "diffusion-discrete", "--topology", "torus:4x4",
+            "--rounds", "25", "--replicas", "2",
+        ]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--partitions", "4:bfs"]) == 0
+        partitioned = capsys.readouterr().out
+        assert "partitioned" in partitioned and "halo values" in partitioned
+        for line in plain.strip().splitlines():
+            assert line in partitioned
+
+    def test_run_partitioned_with_replicas(self, capsys):
+        rc = main([
+            "run", "--balancer", "fos", "--topology", "torus:4x4",
+            "--rounds", "15", "--replicas", "3", "--partitions", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replicas" in out and "partitioned" in out
+
+    def test_run_partitioned_process_mode_via_workers(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "10", "--partitions", "2", "--workers", "2",
+        ])
+        assert rc == 0
+        assert "process" in capsys.readouterr().out
+
+    def test_run_bad_partitions_spec_errors(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "5", "--partitions", "nope",
+        ])
+        assert rc == 2
+        assert "partitions" in capsys.readouterr().err
+
+    def test_run_zero_partitions_errors(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "5", "--partitions", "0",
+        ])
+        assert rc == 2
+        assert "partitions must be >= 1" in capsys.readouterr().err
+
+    def test_run_unsupported_balancer_with_partitions_errors(self, capsys):
+        rc = main([
+            "run", "--balancer", "ops", "--topology", "torus:4x4",
+            "--rounds", "5", "--partitions", "2",
+        ])
+        assert rc == 2
+        assert "partitioned" in capsys.readouterr().err
+
+    def test_run_negative_workers_clear_error(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "5", "--replicas", "2", "--workers", "-3",
+        ])
+        assert rc == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_with_partitions(self, capsys):
+        rc = main([
+            "sweep", "--topologies", "torus:4x4", "--balancers", "diffusion", "ops",
+            "--eps", "0.01", "--partitions", "2:bfs",
+        ])
+        assert rc == 0
+        assert "net_movement" in capsys.readouterr().out
+
+    def test_sweep_bad_partitions_spec_errors(self, capsys):
+        rc = main([
+            "sweep", "--topologies", "torus:4x4", "--balancers", "diffusion",
+            "--eps", "0.01", "--partitions", "4:metis",
+        ])
+        assert rc == 2
+        assert "strategy" in capsys.readouterr().err
+
+
 class TestBackendFlag:
     def test_backends_command(self, capsys):
         assert main(["backends"]) == 0
