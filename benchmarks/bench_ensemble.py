@@ -213,12 +213,12 @@ def measure_sharded(side, replicas, mode, rounds, workers, repeats: int = 3,
 
 
 def _time_partitioned(topo, mode, loads, rounds: int, partitions: int, strategy: str,
-                      pmode: str, backend=None) -> tuple[float, dict]:
+                      pmode: str, backend=None, transport: str = "mp-pipe") -> tuple[float, dict]:
     """Seconds for one PartitionedSimulator run; returns (time, halo stats)."""
     bal = DiffusionBalancer(topo, mode=mode, backend=backend)
     psim = PartitionedSimulator(
         bal, partitions=partitions, strategy=strategy, mode=pmode,
-        stopping=[MaxRounds(rounds)],
+        stopping=[MaxRounds(rounds)], transport=transport,
     )
     start = time.perf_counter()
     psim.run(loads)
@@ -226,7 +226,8 @@ def _time_partitioned(topo, mode, loads, rounds: int, partitions: int, strategy:
 
 
 def measure_partitioned(side, mode, rounds, partitions=PARTITION_BLOCKS, strategy="bfs",
-                        pmode="process", repeats: int = 3, backend: str | None = None) -> dict:
+                        pmode="process", repeats: int = 3, backend: str | None = None,
+                        transport: str = "mp-pipe") -> dict:
     """One single-block-vs-partitioned comparison row (B = 1, one graph).
 
     The single-block side is the serial :class:`Simulator` on the whole
@@ -244,7 +245,7 @@ def measure_partitioned(side, mode, rounds, partitions=PARTITION_BLOCKS, strateg
     # Warm the operator + partition caches on both sides (and the worker
     # startup path for process mode) so construction is not attributed.
     _time_serial(topo, mode, "diffusion", loads, 1, 2, backend)
-    _time_partitioned(topo, mode, loads, 2, partitions, strategy, pmode, backend)
+    _time_partitioned(topo, mode, loads, 2, partitions, strategy, pmode, backend, transport)
     single_s = min(
         _time_serial(topo, mode, "diffusion", loads, 1, rounds, backend)
         for _ in range(repeats)
@@ -252,7 +253,9 @@ def measure_partitioned(side, mode, rounds, partitions=PARTITION_BLOCKS, strateg
     part_s = float("inf")
     halo: dict = {}
     for _ in range(repeats):
-        t, h = _time_partitioned(topo, mode, loads, rounds, partitions, strategy, pmode, backend)
+        t, h = _time_partitioned(
+            topo, mode, loads, rounds, partitions, strategy, pmode, backend, transport
+        )
         if t < part_s:
             part_s, halo = t, h
     return {
@@ -263,6 +266,7 @@ def measure_partitioned(side, mode, rounds, partitions=PARTITION_BLOCKS, strateg
         "partitions": partitions,
         "strategy": strategy,
         "partition_mode": pmode,
+        "transport": halo.get("transport"),
         "single_seconds": round(single_s, 6),
         "partitioned_seconds": round(part_s, 6),
         "single_rounds_per_sec": round(rounds / single_s, 1),
@@ -270,6 +274,175 @@ def measure_partitioned(side, mode, rounds, partitions=PARTITION_BLOCKS, strateg
         "partitioned_speedup": round(single_s / part_s, 3),
         "halo_values_exchanged": halo.get("halo_values", 0),
         "halo_values_per_round": round(halo.get("halo_values", 0) / max(rounds, 1), 1),
+        "halo_bytes_per_round": round(halo.get("halo_bytes", 0) / max(rounds, 1), 1),
+        "link_bytes_per_round": {
+            link: round(nbytes / max(rounds, 1), 1)
+            for link, nbytes in sorted(halo.get("links", {}).items())
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Distributed section: the dispatcher over real `repro-lb worker` processes
+# ----------------------------------------------------------------------
+def _spawn_local_workers(count: int) -> tuple[list, list[str]]:
+    """Launch ``count`` ``repro-lb worker`` subprocesses on loopback."""
+    from repro.distributed.worker import launch_worker_process
+
+    procs, addrs = [], []
+    try:
+        for _ in range(count):
+            proc, addr = launch_worker_process()
+            procs.append(proc)
+            addrs.append(addr)
+    except RuntimeError:
+        for proc in procs:
+            proc.terminate()
+        raise
+    return procs, addrs
+
+
+def measure_dispatch_partitioned(side, mode, rounds, worker_addrs, partitions=4,
+                                 repeats: int = 2) -> dict:
+    """One serial-vs-dispatched comparison row over real TCP workers.
+
+    The same single-block serial baseline as the partitioned section;
+    the distributed side round-robins ``partitions`` blocks over the
+    workers and pays real rendezvous + TCP halo traffic, reported as
+    per-link bytes/round next to the halo value counters.
+    """
+    from repro.distributed.dispatcher import dispatch_partitioned
+
+    topo = torus_2d(side, side)
+    loads = _initial_loads(topo.n, discrete=mode == "discrete")
+    _time_serial(topo, mode, "diffusion", loads, 1, 2)
+    single_s = min(_time_serial(topo, mode, "diffusion", loads, 1, rounds) for _ in range(repeats))
+    disp_s = float("inf")
+    stats: dict = {}
+    for _ in range(repeats):
+        bal = DiffusionBalancer(topo, mode=mode)
+        start = time.perf_counter()
+        _, s = dispatch_partitioned(
+            bal, loads, worker_addrs, partitions=partitions, strategy="bfs",
+            stopping=[MaxRounds(rounds)],
+        )
+        elapsed = time.perf_counter() - start
+        if elapsed < disp_s:
+            disp_s, stats = elapsed, s
+    return {
+        "kind": "partitioned-dispatch",
+        "n": topo.n,
+        "mode": mode,
+        "rounds": rounds,
+        "partitions": partitions,
+        "workers": len(worker_addrs),
+        "transport": "tcp",
+        "single_seconds": round(single_s, 6),
+        "dispatched_seconds": round(disp_s, 6),
+        "dispatched_speedup": round(single_s / disp_s, 3),
+        "halo_values_per_round": round(stats.get("halo_values", 0) / max(rounds, 1), 1),
+        "halo_bytes_per_round": round(stats.get("halo_bytes", 0) / max(rounds, 1), 1),
+        "link_bytes_per_round": {
+            link: round(nbytes / max(rounds, 1), 1)
+            for link, nbytes in sorted(stats.get("links", {}).items())
+        },
+        "blocks_by_worker": stats.get("blocks_by_worker", {}),
+    }
+
+
+def measure_dispatch_sharded(side, replicas, mode, rounds, worker_addrs,
+                             repeats: int = 2) -> dict:
+    """One vectorized-vs-dispatched shard comparison row over TCP workers."""
+    from repro.distributed.dispatcher import dispatch_sharded
+
+    topo = torus_2d(side, side)
+    loads = _initial_loads(topo.n, discrete=mode == "discrete")
+    _time_batched(topo, mode, "diffusion", loads, min(replicas, 2), 2)
+    vec_s = min(
+        _time_batched(topo, mode, "diffusion", loads, replicas, rounds) for _ in range(repeats)
+    )
+    disp_s = float("inf")
+    stats: dict = {}
+    for _ in range(repeats):
+        bal = DiffusionBalancer(topo, mode=mode)
+        start = time.perf_counter()
+        _, s = dispatch_sharded(
+            bal, loads, worker_addrs, shards=len(worker_addrs), seed=SEED,
+            replicas=replicas, stopping=[MaxRounds(rounds)],
+        )
+        elapsed = time.perf_counter() - start
+        if elapsed < disp_s:
+            disp_s, stats = elapsed, s
+    control_bytes = sum(
+        t["bytes_sent"] + t["bytes_received"]
+        for t in stats.get("control_traffic", {}).values()
+    )
+    return {
+        "kind": "sharded-dispatch",
+        "n": topo.n,
+        "replicas": replicas,
+        "mode": mode,
+        "rounds": rounds,
+        "shards": stats.get("shards"),
+        "workers": len(worker_addrs),
+        "transport": "tcp",
+        "vectorized_seconds": round(vec_s, 6),
+        "dispatched_seconds": round(disp_s, 6),
+        "dispatched_speedup": round(vec_s / disp_s, 3),
+        "control_bytes_total": control_bytes,
+        "shards_by_worker": stats.get("shards_by_worker", {}),
+    }
+
+
+def measure_distributed_section(smoke: bool, worker_addrs: list[str] | None = None) -> dict:
+    """The dispatcher rows, against given workers or 2 self-spawned ones.
+
+    Recorded, not gated: on a single host the rows measure the
+    rendezvous + TCP overhead a real deployment amortizes over larger
+    subproblems (loopback cannot exhibit multi-host parallelism).  The
+    per-link bytes/round counters are the payload a cluster operator
+    capacity-plans with.
+    """
+    side = 32 if smoke else 64
+    rounds = 20 if smoke else 100
+    replicas = 16 if smoke else 64
+    procs: list = []
+    spawned = worker_addrs is None or not worker_addrs
+    if spawned:
+        procs, worker_addrs = _spawn_local_workers(2)
+    try:
+        rows = [
+            measure_dispatch_partitioned(side, "discrete", rounds, worker_addrs),
+            measure_dispatch_sharded(side, replicas, "continuous", rounds, worker_addrs),
+        ]
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except Exception:  # pragma: no cover - defensive
+                proc.kill()
+    for row in rows:
+        if row["kind"] == "partitioned-dispatch":
+            print(
+                f"{'dispatch':12s} n={row['n']:5d} P={row['partitions']} "
+                f"{row['mode']:10s} [{row['workers']} workers, tcp]: "
+                f"speedup {row['dispatched_speedup']:.2f}x  "
+                f"halo {row['halo_values_per_round']:.0f} values "
+                f"/ {row['halo_bytes_per_round']:.0f} B per round"
+            )
+        else:
+            print(
+                f"{'dispatch':12s} n={row['n']:5d} B={row['replicas']:3d} "
+                f"{row['mode']:10s} [{row['shards']} shards, {row['workers']} workers, tcp]: "
+                f"speedup {row['dispatched_speedup']:.2f}x  "
+                f"control {row['control_bytes_total']} B"
+            )
+    return {
+        "workers": list(worker_addrs),
+        "spawned_local_workers": spawned,
+        "rows": rows,
     }
 
 
@@ -309,8 +482,15 @@ def measure_backend_rows(smoke: bool, grid_rows: list[dict] | None = None) -> li
     return rows
 
 
-def run_suite(smoke: bool = False, backend: str | None = None) -> dict:
-    """The full grid; ``smoke`` shrinks the round counts for CI."""
+def run_suite(smoke: bool = False, backend: str | None = None,
+              dist_workers: list[str] | None = None) -> dict:
+    """The full grid; ``smoke`` shrinks the round counts for CI.
+
+    ``dist_workers`` points the distributed section at already-running
+    ``repro-lb worker`` addresses (the CI distributed leg launches two
+    over TCP loopback); by default two local workers are spawned for the
+    duration of the section.
+    """
     backend = resolve_backend(backend)
     rows = []
     grid = [
@@ -366,16 +546,26 @@ def run_suite(smoke: bool = False, backend: str | None = None) -> dict:
         measure_partitioned(part_side, "discrete", part_rounds, pmode="process", backend=backend),
         measure_partitioned(part_side, "discrete", part_rounds, partitions=2, pmode="process",
                             backend=backend),
+        # Same process-mode row over TCP sockets: the wire a multi-host
+        # deployment pays, yardsticked against pipes on the same host.
+        measure_partitioned(part_side, "discrete", part_rounds, pmode="process",
+                            backend=backend, transport="tcp"),
     ]
     for row in partitioned_rows:
+        wire = f", {row['transport']}" if row.get("transport") else ""
         print(
             f"{'partitioned':12s} n={row['n']:5d} P={row['partitions']} "
-            f"{row['mode']:10s} [{row['partition_mode']}, {row['backend']}]: "
+            f"{row['mode']:10s} [{row['partition_mode']}{wire}, {row['backend']}]: "
             f"single {row['single_rounds_per_sec']:>8.1f} r/s  "
             f"partitioned {row['partitioned_rounds_per_sec']:>8.1f} r/s  "
             f"speedup {row['partitioned_speedup']:.2f}x  "
-            f"halo {row['halo_values_per_round']:.0f}/round"
+            f"halo {row['halo_values_per_round']:.0f} values "
+            f"/ {row['halo_bytes_per_round']:.0f} B per round"
         )
+
+    # Distributed section: the rendezvous dispatcher driving real
+    # `repro-lb worker` processes over TCP loopback.
+    distributed = measure_distributed_section(smoke, dist_workers)
 
     def _row(n, replicas, mode, scheme):
         return next(
@@ -496,6 +686,7 @@ def run_suite(smoke: bool = False, backend: str | None = None) -> dict:
         "backend_results": backend_rows,
         "sharded": sharded_rows,
         "partitioned": partitioned_rows,
+        "distributed": distributed,
         "smoke": smoke,
     }
 
@@ -544,6 +735,33 @@ def check_against(report: dict, baseline_path: Path, tolerance: float = 0.30) ->
                 f"(baseline {base:.3f}x - {tolerance:.0%})"
             )
     return failures
+
+
+def skipped_gate_names(report: dict) -> list[str]:
+    """Acceptance gates recorded but not enforced on this host.
+
+    A gate whose precondition the host lacks (< 4 cores for the sharded
+    and partitioned gates, no numba for the fused gate, smoke sizes for
+    full-run-only criteria) carries ``passed: null``.  The ``--check``
+    summary line names these explicitly — a green line that silently
+    omitted unenforced gates used to read as "everything was gated".
+    """
+    return sorted(
+        name
+        for name, acc in report.get("acceptance", {}).items()
+        if acc.get("passed", False) is None
+    )
+
+
+def check_summary_line(report: dict, baseline_path) -> str:
+    """The summary printed when ``--check`` finds no regression."""
+    line = f"no >30% speedup regression vs {baseline_path}; runtime gates OK"
+    skipped = skipped_gate_names(report)
+    if skipped:
+        line += (
+            "; gates skipped on this host (passed: null): " + ", ".join(skipped)
+        )
+    return line
 
 
 def runtime_gates(report: dict, smoke: bool) -> list[str]:
@@ -615,6 +833,35 @@ def test_partitioned_row_well_formed():
         assert row["partitioned_speedup"] > 0.01, row
 
 
+def test_partitioned_row_reports_link_bytes():
+    """Process-mode rows carry the per-link bytes/round counters the
+    distributed section documents (transport channels meter payloads)."""
+    row = measure_partitioned(16, "discrete", 10, partitions=2, pmode="process", repeats=1)
+    assert row["halo_bytes_per_round"] > 0
+    assert row["link_bytes_per_round"]
+    assert all(v > 0 for v in row["link_bytes_per_round"].values())
+    inproc = measure_partitioned(16, "discrete", 5, partitions=2, pmode="inprocess", repeats=1)
+    assert inproc["halo_bytes_per_round"] == 0  # no serialization in-process
+
+
+def test_check_summary_lists_skipped_gates():
+    """Gates a host cannot enforce must be named in the --check summary,
+    not silently dropped (the passed: null reporting fix)."""
+    report = {
+        "acceptance": {
+            "batched": {"passed": True},
+            "sharded": {"passed": None},
+            "partitioned": {"passed": None},
+            "discrete": {"passed": False},
+        }
+    }
+    assert skipped_gate_names(report) == ["partitioned", "sharded"]
+    line = check_summary_line(report, "BENCH_ensemble.json")
+    assert "gates skipped on this host (passed: null): partitioned, sharded" in line
+    clean = {"acceptance": {"batched": {"passed": True}}}
+    assert "skipped" not in check_summary_line(clean, "BENCH_ensemble.json")
+
+
 def test_backend_rows_cover_available_backends():
     """Every available backend produces a well-formed headline row pair."""
     rows = [
@@ -645,8 +892,14 @@ def main(argv=None) -> int:
         help="additionally write just the node-axis partitioned section "
         "(rows + gate + halo counters) as a standalone JSON artifact",
     )
+    parser.add_argument(
+        "--dist-workers", nargs="*", default=None, metavar="HOST:PORT",
+        help="addresses of running 'repro-lb worker' processes for the "
+        "distributed section (default: spawn 2 local workers for its duration)",
+    )
     args = parser.parse_args(argv)
-    report = run_suite(smoke=args.smoke, backend=args.backend)
+    report = run_suite(smoke=args.smoke, backend=args.backend,
+                       dist_workers=args.dist_workers)
     if args.out is not None and not args.smoke:
         # A committed baseline carries a smoke-sized row set too, so the CI
         # smoke guard compares like against like.  They are measured in a
@@ -735,7 +988,7 @@ def main(argv=None) -> int:
             for f in failures:
                 print(f"  {f}")
             return 1
-        print(f"no >30% speedup regression vs {args.check}; runtime gates OK")
+        print(check_summary_line(report, args.check))
     # A smoke run only checks the regression guard / that both engines
     # execute (shared CI runners are too noisy for absolute thresholds);
     # a full run additionally gates on the acceptance criteria (criteria

@@ -10,10 +10,16 @@ Subcommands
 - ``bounds`` — print every theorem bound for a given topology;
 - ``backends`` — diagnose the available kernel backends;
 - ``partition-info`` — partition quality metrics (edge cut, halo volume,
-  block balance) for a topology and strategy.
+  block balance) for a topology and strategy;
+- ``worker`` — serve as a distributed-runtime worker (TCP rendezvous);
+- ``dispatch`` — run partition blocks or replica shards on remote
+  ``worker`` processes and combine the results exactly.
 
-The CLI is a thin layer: every command resolves to a library call that
-the tests exercise directly, so the CLI tests only assert wiring.
+``backends`` and ``partition-info`` take ``--json`` for machine-readable
+output (the dispatcher and scripts consume diagnostics without scraping
+tables).  The CLI is a thin layer: every command resolves to a library
+call that the tests exercise directly, so the CLI tests only assert
+wiring.
 """
 
 from __future__ import annotations
@@ -117,7 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bounds.add_argument("--eps", type=float, default=1e-6)
     p_bounds.add_argument("--tokens", type=int, default=None, help="point-load size for Phi0")
 
-    sub.add_parser("backends", help="diagnose the available kernel backends")
+    p_back = sub.add_parser("backends", help="diagnose the available kernel backends")
+    p_back.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostic as JSON (for scripts and the dispatcher)",
+    )
 
     p_part = sub.add_parser(
         "partition-info", help="partition quality metrics for a topology + strategy"
@@ -129,6 +139,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=["4:contiguous", "4:bfs"],
         help="one or more 'P[:strategy]' specs (strategies: contiguous, bfs)",
     )
+    p_part.add_argument(
+        "--json", action="store_true",
+        help="emit the metrics as JSON (for scripts and the dispatcher)",
+    )
+
+    p_worker = sub.add_parser(
+        "worker", help="serve as a distributed-runtime worker (TCP rendezvous)"
+    )
+    p_worker.add_argument(
+        "--bind", default="127.0.0.1:0",
+        help="control address to listen on ('host:port'; port 0 picks an ephemeral "
+        "port, printed on startup).  A second ephemeral peer port for halo links "
+        "is opened on the same host and advertised to the dispatcher.",
+    )
+    p_worker.add_argument(
+        "--max-jobs", type=int, default=0,
+        help="exit after serving this many jobs (0 = serve until killed)",
+    )
+    p_worker.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds any in-job channel wait may block before the job aborts "
+        "(a dead dispatcher or peer worker must never wedge the server)",
+    )
+    p_worker.add_argument(
+        "--advertise", default=None, metavar="HOST",
+        help="host other WORKERS should dial this worker's peer port at.  "
+        "Default: the host the dispatcher reached this worker through — right "
+        "when one address works cluster-wide; set explicitly when peers route "
+        "to this machine differently than the dispatcher does",
+    )
+
+    p_disp = sub.add_parser(
+        "dispatch",
+        help="run partition blocks or replica shards on remote workers",
+    )
+    p_disp.add_argument(
+        "--workers", nargs="+", required=True, metavar="HOST:PORT",
+        help="addresses of running 'repro-lb worker' processes",
+    )
+    p_disp.add_argument("--balancer", required=True, choices=registered_balancers())
+    p_disp.add_argument("--topology", required=True, help='e.g. "torus:64x64"')
+    p_disp.add_argument("--loads", default="point", choices=sorted(GENERATORS))
+    p_disp.add_argument("--rounds", type=int, default=1000)
+    p_disp.add_argument("--eps", type=float, default=None, help="stop at Phi <= eps*Phi0")
+    p_disp.add_argument("--seed", type=int, default=0)
+    p_disp.add_argument(
+        "--replicas", type=int, default=1,
+        help="replica count (the node axis composes with the replica axis)",
+    )
+    p_disp.add_argument(
+        "--partitions", default=None,
+        help="node axis: split the graph into P halo-exchanging blocks "
+        "('P' or 'P:strategy') assigned round-robin over the workers",
+    )
+    p_disp.add_argument(
+        "--shards", type=int, default=None,
+        help="replica axis: split the batch into K shards dealt round-robin over "
+        "the workers (default: one shard per worker when --partitions is not given)",
+    )
+    p_disp.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds any dispatcher-side wait may block before aborting the run",
+    )
+    _add_backend_flag(p_disp)
     return parser
 
 
@@ -324,16 +398,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_partition_info(args: argparse.Namespace) -> int:
+    import json
+
     from repro.graphs.partition import make_partition, parse_partitions
 
     topo = by_name(args.topology)
-    table = Table(
-        f"Partition quality on {topo.name} (n={topo.n}, m={topo.m})",
-        [
-            "spec", "blocks", "strategy", "block_min", "block_max",
-            "imbalance", "edge_cut", "cut_frac", "halo_volume", "max_halo",
-        ],
-    )
+    rows = []
     for spec in args.partitions:
         try:
             blocks, strategy = parse_partitions(spec)
@@ -342,11 +412,24 @@ def _cmd_partition_info(args: argparse.Namespace) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         m = part.metrics()
-        # Display the *requested* strategy: two strategies can produce the
+        # Report the *requested* strategy: two strategies can produce the
         # same assignment (e.g. on hypercubes), in which case the cached
         # partition carries whichever label built it first.
+        rows.append({**m, "spec": spec, "strategy": strategy})
+    if args.json:
+        print(json.dumps({"topology": topo.name, "n": topo.n, "m": topo.m,
+                          "partitions": rows}, indent=2))
+        return 0
+    table = Table(
+        f"Partition quality on {topo.name} (n={topo.n}, m={topo.m})",
+        [
+            "spec", "blocks", "strategy", "block_min", "block_max",
+            "imbalance", "edge_cut", "cut_frac", "halo_volume", "max_halo",
+        ],
+    )
+    for m in rows:
         table.add_row(
-            spec, m["blocks"], strategy, m["block_min"], m["block_max"],
+            m["spec"], m["blocks"], m["strategy"], m["block_min"], m["block_max"],
             m["imbalance"], m["edge_cut"], m["cut_fraction"], m["halo_volume"], m["max_halo"],
         )
     print(table.to_text())
@@ -358,10 +441,16 @@ def _cmd_partition_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_backends(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core.backends import backend_summaries, resolve_backend
 
+    summaries = backend_summaries()
+    if args.json:
+        print(json.dumps({"backends": summaries, "auto": resolve_backend("auto")}, indent=2))
+        return 0
     table = Table("Kernel backends", ["backend", "available", "default", "detail"])
-    for row in backend_summaries():
+    for row in summaries:
         table.add_row(
             row["name"],
             "yes" if row["available"] else "no",
@@ -371,6 +460,99 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     print(table.to_text())
     print(f"\n'auto' resolves to: {resolve_backend('auto')}")
     print("All backends are bit-for-bit interchangeable; selection only affects speed.")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed.transport import TransportError
+    from repro.distributed.worker import serve
+
+    try:
+        return serve(args.bind, max_jobs=args.max_jobs, timeout=args.timeout,
+                     advertise=args.advertise)
+    except (TransportError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from repro.distributed.dispatcher import (
+        DispatcherError,
+        dispatch_partitioned,
+        dispatch_sharded,
+    )
+    from repro.graphs.partition import parse_partitions
+
+    topo = by_name(args.topology)
+    bal = get_balancer(args.balancer, topo)
+    backend, err = _resolve_backend_arg(args.backend)
+    if err:
+        print(err, file=sys.stderr)
+        return 2
+    if args.replicas < 1:
+        print(f"--replicas must be >= 1, got {args.replicas}", file=sys.stderr)
+        return 2
+    if args.partitions is not None and args.shards is not None:
+        print("--partitions (node axis) and --shards (replica axis) are exclusive",
+              file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    loads = make_loads(args.loads, topo.n, rng=rng, discrete=bal.mode == "discrete")
+    stopping = [MaxRounds(args.rounds)]
+    if args.eps is not None:
+        stopping.insert(0, PotentialFractionBelow(args.eps))
+    try:
+        if args.partitions is not None:
+            part_blocks, part_strategy = parse_partitions(args.partitions)
+            if not getattr(bal, "supports_partition", False):
+                print(
+                    f"{args.balancer} has no partitioned kernel; supported: diffusion "
+                    "(continuous/discrete) and continuous fos",
+                    file=sys.stderr,
+                )
+                return 2
+            trace, stats = dispatch_partitioned(
+                bal, loads, args.workers,
+                partitions=part_blocks, strategy=part_strategy,
+                stopping=stopping, backend=backend,
+                replicas=args.replicas, timeout=args.timeout,
+            )
+        else:
+            if not getattr(bal, "supports_batch", False) and args.replicas > 1:
+                print(f"{args.balancer} has no batched kernel; use --replicas 1",
+                      file=sys.stderr)
+                return 2
+            trace, stats = dispatch_sharded(
+                bal, loads, args.workers,
+                shards=args.shards, seed=args.seed, replicas=args.replicas,
+                stopping=stopping, backend=backend, timeout=args.timeout,
+            )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except DispatcherError as exc:
+        print(f"dispatch failed: {exc}", file=sys.stderr)
+        return 1
+    for key, value in trace.summary().items():
+        print(f"{key:>20}: {value}")
+    if stats.get("mode") == "sharded-dispatch":
+        print(
+            f"{'distributed':>20}: {stats['shards']} shard(s) over "
+            f"{len(stats['workers'])} worker(s) [tcp]: "
+            + ", ".join(
+                f"{w}={shards}" for w, shards in stats["shards_by_worker"].items()
+            )
+        )
+    else:
+        rounds = max(stats.get("rounds", 0), 1)
+        print(
+            f"{'distributed':>20}: {stats['blocks']} block(s) [{stats['strategy']}] over "
+            f"{len(stats['workers'])} worker(s) [tcp], "
+            f"{stats['halo_values']} halo values / {stats['halo_bytes']} payload bytes "
+            f"exchanged over {stats['rounds']} rounds"
+        )
+        for link, nbytes in sorted(stats.get("links", {}).items()):
+            print(f"{'link ' + link:>20}: {nbytes} B total, {nbytes / rounds:.1f} B/round")
     return 0
 
 
@@ -434,6 +616,8 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "backends": _cmd_backends,
     "partition-info": _cmd_partition_info,
+    "worker": _cmd_worker,
+    "dispatch": _cmd_dispatch,
 }
 
 

@@ -1,0 +1,39 @@
+"""Multi-host distributed runtime: transport seam + cluster dispatcher.
+
+The halo-plan API (:attr:`~repro.graphs.partition.Partition.halo_links`)
+and the shard-merge API
+(:func:`~repro.simulation.sharding.merge_ensemble_traces`) are both
+transport-agnostic: a partitioned block only needs per-peer ``send`` /
+``recv`` channels, and a replica shard only needs a channel back to the
+coordinator.  This package supplies those channels
+(:mod:`repro.distributed.transport` — ``mp-pipe``, ``tcp`` and
+``loopback`` backends behind one framing/accounting seam), the worker
+loops that drive blocks and shards over them
+(:mod:`repro.distributed.worker`, also the ``repro-lb worker`` server),
+and the cluster dispatcher that spans hosts
+(:mod:`repro.distributed.dispatcher`, the ``repro-lb dispatch`` verb):
+rendezvous handshake, block/shard assignment, pickled state shipping,
+per-round statistic partials streamed back for the coordinator's exact
+combine, and clean abort on worker failure.
+
+Trajectories stay **bit-for-bit identical** to the serial engines across
+every transport — the channels move bytes, never arithmetic.
+"""
+
+from repro.distributed.transport import (
+    Channel,
+    ChannelClosed,
+    TransportError,
+    TransportTimeout,
+    make_pair,
+    parse_address,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "TransportError",
+    "TransportTimeout",
+    "make_pair",
+    "parse_address",
+]

@@ -1,0 +1,488 @@
+"""Cluster dispatcher: partitioned blocks and replica shards over workers.
+
+The dispatcher is the coordinator half of the multi-host runtime.  Given
+the addresses of running ``repro-lb worker`` processes it
+
+1. performs the **rendezvous handshake** (``hello``/``ready`` with a
+   protocol-version check; each worker's reply advertises the peer port
+   its halo links listen on),
+2. **assigns work** — partition blocks round-robin over the workers (a
+   worker hosting several blocks runs them on threads with loopback
+   channels in between), or contiguous replica shards the same way the
+   local sharded pool splits them,
+3. ships each worker its **pickled state** (balancer + topology,
+   assignment, initial slab or per-replica RNG streams),
+4. drives the run, receiving **per-round statistic partials** (for the
+   exact block combine of
+   :mod:`repro.simulation.partitioned`) or whole shard traces (for
+   :func:`~repro.simulation.sharding.merge_ensemble_traces`), and
+5. on any worker failure **aborts cleanly**: every surviving channel is
+   closed (which unwedges peers blocked in halo exchanges), a
+   :class:`DispatcherError` naming the failed worker is raised, and the
+   CLI turns it into a nonzero exit — never a hang (all waits are
+   bounded by ``timeout``).
+
+Because block execution reuses :func:`repro.distributed.worker.run_block_loop`
+and shard execution reuses the exact local shard payloads, trajectories
+are **bit-for-bit identical** to the serial engines — the dispatcher
+only moves bytes and combines statistics in the same ascending block /
+shard order as the single-host paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.protocols import Balancer
+from repro.distributed.transport import (
+    PROTOCOL_VERSION,
+    Channel,
+    TransportError,
+    format_address,
+    parse_address,
+    tcp_connect,
+)
+from repro.simulation.ensemble import EnsembleTrace
+from repro.simulation.stopping import StoppingRule
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "DispatcherError",
+    "WorkerHandle",
+    "connect_workers",
+    "close_workers",
+    "dispatch_partitioned",
+    "dispatch_sharded",
+]
+
+#: Bound on every dispatcher-side channel wait.  Generous — free-running
+#: round chunks keep workers legitimately silent for a while — but finite,
+#: so a wedged cluster surfaces as a diagnostic instead of a hang.
+DEFAULT_TIMEOUT = 600.0
+
+
+class DispatcherError(RuntimeError):
+    """A distributed run failed (unreachable/failed worker, bad reply)."""
+
+
+@dataclass
+class WorkerHandle:
+    """One connected worker: control channel + rendezvous info."""
+
+    address: tuple[str, int]
+    channel: Channel
+    info: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return format_address(self.address)
+
+    @property
+    def peer_address(self) -> tuple[str, int]:
+        """Where other workers reach this worker's halo-link listener.
+
+        The *port* comes from the rendezvous hello.  The *host* is the
+        worker's explicit ``--advertise`` host when it set one —
+        authoritative, because only the operator knows the route *peer
+        workers* should use — and otherwise the host this dispatcher
+        reached the control port through (a worker bound to a wildcard
+        address reports the literal bind host in its hello, unroutable
+        from other machines, but its peer listener accepts on every
+        interface, so the control host works whenever one address is
+        valid cluster-wide).
+        """
+        host = self.info.get("advertise_host") or self.address[0]
+        return host, int(self.info["peer_address"][1])
+
+
+def connect_workers(addresses: Sequence[str | tuple[str, int]], *,
+                    timeout: float = 30.0, tcp_options: dict | None = None) -> list[WorkerHandle]:
+    """Connect + handshake with every worker address, in order.
+
+    Raises :class:`DispatcherError` naming the first unreachable or
+    version-mismatched worker; already-opened channels are closed before
+    the raise so a failed rendezvous leaves nothing dangling.
+    """
+    normalized = [
+        parse_address(spec) if isinstance(spec, str) else (spec[0], int(spec[1]))
+        for spec in addresses
+    ]
+    duplicates = {addr for addr in normalized if normalized.count(addr) > 1}
+    if duplicates:
+        # A worker serves one dispatcher connection at a time, so the
+        # second connect to the same address would sit in the accept
+        # backlog until timeout — reject the (likely copy-paste) input
+        # with a diagnostic instead.
+        raise DispatcherError(
+            "duplicate worker address(es): "
+            + ", ".join(sorted(format_address(a) for a in duplicates))
+        )
+    handles: list[WorkerHandle] = []
+    try:
+        for address in normalized:
+            try:
+                channel = tcp_connect(address, timeout=timeout, **(tcp_options or {}))
+                channel.send(("hello", PROTOCOL_VERSION))
+                reply = channel.recv(timeout)
+            except TransportError as exc:
+                raise DispatcherError(
+                    f"cannot reach worker {format_address(address)}: {exc}"
+                ) from exc
+            if not (isinstance(reply, tuple) and reply and reply[0] == "ready"):
+                detail = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
+                raise DispatcherError(
+                    f"worker {format_address(address)} refused the handshake: {detail}"
+                )
+            handles.append(WorkerHandle(address=address, channel=channel, info=reply[1]))
+    except BaseException:
+        close_workers(handles)
+        raise
+    return handles
+
+
+def close_workers(handles: Sequence[WorkerHandle]) -> None:
+    for handle in handles:
+        handle.channel.close()
+
+
+def _abort(handles: Sequence[WorkerHandle]) -> None:
+    """Tear a failed run down: closing every control channel makes each
+    worker abort its job (and closing its job closes its peer channels,
+    which unblocks any block still waiting in a halo exchange)."""
+    close_workers(handles)
+
+
+def _resolve_handles(workers, timeout, tcp_options):
+    """Accept addresses or pre-connected handles; returns (handles, own)."""
+    if not workers:
+        raise DispatcherError("need at least one worker address")
+    if all(isinstance(w, WorkerHandle) for w in workers):
+        return list(workers), False
+    return connect_workers(workers, timeout=timeout, tcp_options=tcp_options), True
+
+
+# ----------------------------------------------------------------------
+# Partitioned dispatch
+# ----------------------------------------------------------------------
+class _RemoteBlockExecutor:
+    """Block executor over remote workers (the dispatcher side of the
+    :class:`~repro.simulation.partitioned.PartitionedSimulator` seam).
+
+    Blocks are assigned round-robin (block ``p`` → worker ``p % W``), so
+    two workers can host a P=4 job.  The constructor ships every job
+    spec first and *then* collects the ``mesh-ok`` barrier — workers
+    accept and connect concurrently, so waiting per-worker in ship order
+    would deadlock the mesh setup.
+    """
+
+    def __init__(self, sim, L: np.ndarray, B: int, assignment: np.ndarray,
+                 handles: list[WorkerHandle], timeout: float,
+                 tcp_options: dict | None = None):
+        self.handles = handles
+        self.timeout = timeout
+        self.B = B
+        self.n = L.shape[0]
+        P = int(assignment.max()) + 1
+        W = len(handles)
+        self.worker_of = {p: p % W for p in range(P)}
+        self.blocks_of = {w: [p for p in range(P) if self.worker_of[p] == w] for w in range(W)}
+        self.owned = [np.flatnonzero(assignment == p) for p in range(P)]
+        self.block_order = list(range(P))
+        want_disc = sim._record_disc()
+        want_mov = sim.record == "full"
+
+        local_pairs: dict[int, list[tuple[int, int]]] = {w: [] for w in range(W)}
+        links: dict[int, dict[int, dict[int, tuple]]] = {
+            w: {p: {} for p in self.blocks_of[w]} for w in range(W)
+        }
+        for a in range(P):
+            for b in range(a + 1, P):
+                wa, wb = self.worker_of[a], self.worker_of[b]
+                if wa == wb:
+                    local_pairs[wa].append((a, b))
+                else:
+                    # Lower block id accepts; the other side connects to
+                    # the accepting worker's advertised peer port.
+                    links[wa][a][b] = ("accept",)
+                    links[wb][b][a] = ("connect", handles[wa].peer_address)
+        specs = []
+        for w, handle in enumerate(handles):
+            payloads = {
+                p: (
+                    sim.balancer,
+                    assignment,
+                    sim.strategy,
+                    p,
+                    L[self.owned[p]],
+                    sim.backend,
+                    want_disc,
+                    want_mov,
+                )
+                for p in self.blocks_of[w]
+            }
+            specs.append(
+                {
+                    "kind": "partition",
+                    "blocks": self.blocks_of[w],
+                    "payloads": payloads,
+                    "local_pairs": local_pairs[w],
+                    "links": links[w],
+                    "timeout": timeout,
+                    "tcp": tcp_options or {},
+                }
+            )
+        # Ship all jobs, then barrier on every mesh-ok.
+        for handle, spec in zip(handles, specs):
+            self._send(handle, ("job", spec))
+        for handle in handles:
+            reply = self._recv(handle)
+            if reply[0] != "mesh-ok":  # pragma: no cover - defensive
+                _abort(self.handles)
+                raise DispatcherError(
+                    f"worker {handle.label}: expected mesh-ok, got {reply[0]!r}"
+                )
+
+    # -- channel plumbing with clean abort ----------------------------
+    def _send(self, handle: WorkerHandle, msg) -> None:
+        try:
+            handle.channel.send(msg)
+        except TransportError as exc:
+            _abort(self.handles)
+            raise DispatcherError(f"worker {handle.label} died: {exc}") from exc
+
+    def _recv(self, handle: WorkerHandle):
+        try:
+            reply = handle.channel.recv(self.timeout)
+        except TransportError as exc:
+            _abort(self.handles)
+            raise DispatcherError(f"worker {handle.label} died: {exc}") from exc
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            _abort(self.handles)
+            raise DispatcherError(f"worker {handle.label} failed: {reply[1]}")
+        return reply
+
+    def _ask_all(self, msg) -> list:
+        for handle in self.handles:
+            self._send(handle, msg)
+        return [self._recv(handle) for handle in self.handles]
+
+    # -- executor interface (see simulation.partitioned) ---------------
+    def run_chunk(self, chunk: int, frozen) -> tuple[list[list], int, dict[str, int]]:
+        replies = self._ask_all(("run", chunk, frozen))
+        by_block: dict[int, tuple] = {}
+        for reply in replies:
+            by_block.update(reply[1])
+        per_round = [
+            [by_block[p][0][i] for p in self.block_order] for i in range(chunk)
+        ]
+        halo_values = sum(by_block[p][1] for p in self.block_order)
+        link_bytes = {
+            f"{p}->{q}": nbytes
+            for p in self.block_order
+            for q, nbytes in by_block[p][2].items()
+        }
+        return per_round, halo_values, link_bytes
+
+    def gather(self) -> np.ndarray:
+        replies = self._ask_all(("gather",))
+        by_block: dict[int, np.ndarray] = {}
+        for reply in replies:
+            by_block.update(reply[1])
+        full = np.empty((self.B, self.n), dtype=by_block[self.block_order[0]].dtype)
+        for p in self.block_order:
+            full[:, self.owned[p]] = by_block[p].T
+        return full
+
+    def close(self) -> None:
+        # Best effort: a clean run stops the block threads and leaves the
+        # worker serving; an aborted run already closed the channels.
+        try:
+            for handle in self.handles:
+                handle.channel.send(("stop",))
+            for handle in self.handles:
+                handle.channel.recv(self.timeout)
+        except TransportError:
+            pass
+
+    def control_traffic(self) -> dict[str, dict[str, int]]:
+        """Per-worker dispatcher-link byte counters."""
+        return {h.label: h.channel.traffic() for h in self.handles}
+
+
+def dispatch_partitioned(
+    balancer: Balancer,
+    loads: np.ndarray,
+    workers: Sequence[str | WorkerHandle],
+    *,
+    partitions: int | str = 2,
+    strategy: str = "contiguous",
+    assignment: np.ndarray | None = None,
+    stopping: Sequence[StoppingRule] | None = None,
+    record: str = "auto",
+    keep_snapshots: bool = False,
+    check_conservation: bool = True,
+    cons_tol: float = 1e-6,
+    backend: str | None = None,
+    replicas: int | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    tcp_options: dict | None = None,
+) -> tuple[EnsembleTrace, dict]:
+    """Run a partition-capable balancer as halo-exchanging blocks on
+    remote workers; returns ``(trace, distributed_stats)``.
+
+    Accepts the same engine knobs as
+    :class:`~repro.simulation.partitioned.PartitionedSimulator` plus the
+    worker addresses (or pre-connected :class:`WorkerHandle` objects).
+    The trace is bit-for-bit identical to the serial/partitioned engines;
+    ``distributed_stats`` extends ``halo_stats`` with the worker roster
+    and per-link/control traffic counters.
+    """
+    from repro.simulation.partitioned import PartitionedSimulator
+
+    handles, own = _resolve_handles(workers, timeout, tcp_options)
+    sim = PartitionedSimulator(
+        balancer,
+        partitions=partitions,
+        strategy=strategy,
+        assignment=assignment,
+        stopping=stopping,
+        record=record,
+        keep_snapshots=keep_snapshots,
+        check_conservation=check_conservation,
+        cons_tol=cons_tol,
+        mode="process",
+        backend=backend,
+        transport="tcp",
+    )
+    executor_box: list[_RemoteBlockExecutor] = []
+
+    def factory(psim, L, B, resolved_assignment):
+        executor = _RemoteBlockExecutor(
+            psim, L, B, resolved_assignment, handles, timeout, tcp_options
+        )
+        executor_box.append(executor)
+        return executor
+
+    try:
+        trace = sim.run_with_executor(loads, replicas, factory)
+    finally:
+        if own:
+            close_workers(handles)
+    stats = dict(sim.halo_stats)
+    stats["workers"] = [h.label for h in handles]
+    stats["blocks_by_worker"] = {
+        h.label: executor_box[0].blocks_of[w] for w, h in enumerate(handles)
+    } if executor_box else {}
+    if executor_box:
+        stats["control_traffic"] = executor_box[0].control_traffic()
+    return trace, stats
+
+
+# ----------------------------------------------------------------------
+# Sharded dispatch
+# ----------------------------------------------------------------------
+def dispatch_sharded(
+    balancer: Balancer,
+    loads: np.ndarray,
+    workers: Sequence[str | WorkerHandle],
+    *,
+    shards: int | None = None,
+    seed=0,
+    replicas: int | None = None,
+    stopping: Sequence[StoppingRule] | None = None,
+    record: str = "auto",
+    keep_snapshots: bool = False,
+    check_conservation: bool = True,
+    cons_tol: float = 1e-6,
+    backend: str | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    tcp_options: dict | None = None,
+) -> tuple[EnsembleTrace, dict]:
+    """Run a replica ensemble as shards on remote workers; returns
+    ``(trace, distributed_stats)``.
+
+    The batch splits into the *same* contiguous shards (on the same
+    per-replica RNG streams) as
+    :func:`~repro.simulation.sharding.run_sharded_ensemble` with
+    ``workers=shards`` — shard contents are independent of where they
+    execute — so the merged trace is bit-for-bit identical to the local
+    sharded and single-process ensemble paths.  ``shards`` defaults to
+    the worker count; shards are dealt round-robin, so any
+    ``shards >= len(workers)`` works (each worker runs its shards
+    sequentially and streams each trace back as it finishes).
+    """
+    from repro.simulation.sharding import merge_ensemble_traces, shard_payloads
+
+    handles, own = _resolve_handles(workers, timeout, tcp_options)
+    if shards is None:
+        shards = len(handles)
+    if shards < 1:
+        if own:
+            close_workers(handles)
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    payloads = shard_payloads(
+        balancer,
+        loads,
+        seed=seed,
+        replicas=replicas,
+        workers=shards,
+        stopping=stopping,
+        record=record,
+        keep_snapshots=keep_snapshots,
+        check_conservation=check_conservation,
+        cons_tol=cons_tol,
+        backend=backend,
+    )
+    W = len(handles)
+    by_worker = {w: [(i, payloads[i]) for i in range(w, len(payloads), W)] for w in range(W)}
+    traces: dict[int, EnsembleTrace] = {}
+    try:
+        for w, handle in enumerate(handles):
+            try:
+                handle.channel.send(("job", {"kind": "shard", "payloads": by_worker[w]}))
+            except TransportError as exc:
+                raise DispatcherError(f"worker {handle.label} died: {exc}") from exc
+        for w, handle in enumerate(handles):
+            pending = len(by_worker[w])
+            while True:
+                try:
+                    reply = handle.channel.recv(timeout)
+                except TransportError as exc:
+                    raise DispatcherError(f"worker {handle.label} died: {exc}") from exc
+                if reply[0] == "trace":
+                    traces[reply[1]] = reply[2]
+                    pending -= 1
+                elif reply[0] == "done":
+                    if pending:  # pragma: no cover - defensive
+                        raise DispatcherError(
+                            f"worker {handle.label} finished with {pending} shard(s) missing"
+                        )
+                    break
+                elif reply[0] == "error":
+                    raise DispatcherError(f"worker {handle.label} failed: {reply[1]}")
+                else:  # pragma: no cover - defensive
+                    raise DispatcherError(
+                        f"worker {handle.label}: unexpected reply {reply[0]!r}"
+                    )
+    except BaseException:
+        _abort(handles)
+        raise
+    finally:
+        if own:
+            close_workers(handles)
+    merged = merge_ensemble_traces([traces[i] for i in range(len(payloads))])
+    stats = {
+        "mode": "sharded-dispatch",
+        "transport": "tcp",
+        "shards": len(payloads),
+        "replicas": merged.replicas,
+        "workers": [h.label for h in handles],
+        "shards_by_worker": {
+            handles[w].label: [i for i, _ in by_worker[w]] for w in range(W)
+        },
+        "control_traffic": {h.label: h.channel.traffic() for h in handles},
+    }
+    return merged, stats

@@ -1,0 +1,546 @@
+"""Transport seam: per-link message channels behind one framing contract.
+
+Every parallel axis in the runtime reduces to point-to-point message
+passing — a partitioned block exchanges halo slabs with each neighbour
+block, a replica shard ships its payload out and its trace back, and the
+dispatcher drives remote workers over a control link.  This module gives
+all of them one :class:`Channel` contract:
+
+``send(obj)`` / ``recv(timeout)``
+    One pickled message per call, reliable and ordered, with FIFO
+    semantics per direction.  Messages are self-delimiting (the wire
+    format is a length-prefixed pickle frame), so a reader can never
+    split or merge frames — the property the deadlock-free pairwise halo
+    protocol (lower block id sends first, links walked in ascending peer
+    order) relies on.
+``bytes_sent`` / ``bytes_received`` / ``messages_sent`` / ``messages_received``
+    Payload accounting on every channel, maintained by the base class so
+    every backend reports identically — the per-link bytes/round
+    counters the bench's distributed section shows next to the halo
+    value counters.
+
+Backends
+--------
+``mp-pipe``
+    A ``multiprocessing`` pipe pair (refactored out of the PR-4 process
+    mode).  Spans processes on one host under any start method; this is
+    the default for :class:`~repro.simulation.partitioned.PartitionedSimulator`'s
+    process mode and the sharded ensemble pool.
+``tcp``
+    Length-prefixed frames over a persistent TCP connection, with
+    configurable ``TCP_NODELAY`` (default on — halo messages are
+    latency-bound) and socket buffer sizes.  Spans hosts; also the wire
+    behind ``repro-lb worker`` / ``repro-lb dispatch``.
+``loopback``
+    An in-memory queue pair.  Same-process (or same-process-different-
+    thread) endpoints with zero OS dependencies — the deterministic
+    harness for protocol tests, and the intra-worker channel between two
+    blocks hosted by the same dispatch worker.
+
+All three serialize with the same pickle protocol, so byte counters are
+comparable across backends and a payload that works on one works on all.
+
+.. warning::
+   Frames are **pickle** — deserializing one executes whatever the peer
+   put in it, exactly like :mod:`multiprocessing.connection` payloads.
+   The transport performs no authentication, so a ``tcp`` endpoint must
+   only be exposed on trusted networks (loopback, a private cluster
+   fabric, an SSH tunnel).  ``repro-lb worker`` binds loopback by
+   default for this reason; an HMAC authkey challenge à la
+   ``multiprocessing`` is tracked as a roadmap item.
+"""
+
+from __future__ import annotations
+
+import abc
+import io
+import pickle
+import queue
+import socket
+import struct
+import time
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "TRANSPORTS",
+    "TransportError",
+    "TransportTimeout",
+    "ChannelClosed",
+    "Channel",
+    "LoopbackChannel",
+    "PipeChannel",
+    "TcpChannel",
+    "TcpListener",
+    "loopback_pair",
+    "pipe_pair",
+    "tcp_pair",
+    "make_pair",
+    "tcp_connect",
+    "parse_address",
+    "format_address",
+]
+
+#: Rendezvous protocol version spoken by ``repro-lb worker``/``dispatch``.
+#: Bumped on any wire-visible change; mismatched peers refuse the job at
+#: handshake time instead of failing mid-run.
+PROTOCOL_VERSION = 1
+
+#: Registered channel backends (the ``transport=`` choices).
+TRANSPORTS = ("mp-pipe", "tcp", "loopback")
+
+#: One pickle protocol for every backend, so byte accounting and payload
+#: compatibility do not depend on the transport choice.  Protocol 5
+#: (out-of-band-capable, py3.8+) keeps large ndarray frames single-copy
+#: on the pickling side.
+_PICKLE_PROTOCOL = 5
+
+_FRAME_HEADER = struct.Struct(">Q")
+
+
+class TransportError(RuntimeError):
+    """Base class for channel failures (framing, I/O, protocol)."""
+
+
+class TransportTimeout(TransportError):
+    """``recv`` exceeded its timeout with no complete frame available."""
+
+
+class ChannelClosed(TransportError):
+    """The peer endpoint is gone (EOF, reset, or explicit close)."""
+
+
+class Channel(abc.ABC):
+    """One endpoint of a reliable, ordered, message-oriented link.
+
+    Subclasses implement ``_send_payload``/``_recv_payload`` on raw
+    bytes; serialization and traffic accounting live here so every
+    backend behaves — and counts — identically.
+    """
+
+    #: transport name as registered in :data:`TRANSPORTS`
+    transport: str = "abstract"
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # -- abstract byte plumbing ---------------------------------------
+    @abc.abstractmethod
+    def _send_payload(self, payload: bytes) -> None: ...
+
+    @abc.abstractmethod
+    def _recv_payload(self, timeout: float | None) -> bytes: ...
+
+    @abc.abstractmethod
+    def close(self) -> None: ...
+
+    def detach(self) -> None:
+        """Drop this process's reference without force-closing the link.
+
+        After handing an endpoint to a child process, the parent calls
+        ``detach()`` on its copy so the link dies — and the survivor
+        sees EOF — exactly when the child exits.  Differs from
+        :meth:`close` for transports whose close actively shuts the
+        connection down for every holder (TCP ``shutdown``).
+        """
+        self.close()
+
+    # -- public message API -------------------------------------------
+    def send(self, obj) -> int:
+        """Pickle ``obj`` into one frame and send it; returns frame bytes."""
+        payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+        self._send_payload(payload)
+        self.bytes_sent += len(payload)
+        self.messages_sent += 1
+        return len(payload)
+
+    def recv(self, timeout: float | None = None):
+        """Receive one frame and unpickle it.
+
+        ``timeout`` (seconds) raises :class:`TransportTimeout` when no
+        complete frame arrives in time; ``None`` blocks indefinitely.
+        A vanished peer raises :class:`ChannelClosed`; an undecodable
+        frame (a non-repro client, a desynced stream) raises
+        :class:`TransportError` so servers can drop the connection
+        instead of crashing on a stray ``UnpicklingError``.
+        """
+        payload = self._recv_payload(timeout)
+        self.bytes_received += len(payload)
+        self.messages_received += 1
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:
+            raise TransportError(f"undecodable frame ({len(payload)} B): {exc}") from exc
+
+    def traffic(self) -> dict[str, int]:
+        """Cumulative payload-byte/message counters for this endpoint."""
+        return {
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+        }
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# loopback: in-memory queue pair
+# ----------------------------------------------------------------------
+_CLOSED = object()
+
+
+class LoopbackChannel(Channel):
+    """In-memory endpoint: frames travel through a thread-safe queue.
+
+    Deterministic and OS-free — the unit-test harness for the pairwise
+    protocol — and the intra-worker link between two partition blocks
+    hosted by the same dispatch worker (block threads block on
+    ``Queue.get`` with the GIL released, exactly like a socket read).
+    Sends never block (the queue is unbounded), which is what makes the
+    single-threaded test usage of the lower-id-sends-first protocol
+    well-defined.
+    """
+
+    transport = "loopback"
+
+    def __init__(self, inbox: queue.SimpleQueue, outbox: queue.SimpleQueue):
+        super().__init__()
+        self._inbox = inbox
+        self._outbox = outbox
+        self._closed = False
+
+    def _send_payload(self, payload: bytes) -> None:
+        if self._closed:
+            raise ChannelClosed("loopback channel is closed")
+        self._outbox.put(payload)
+
+    def _recv_payload(self, timeout: float | None) -> bytes:
+        if self._closed:
+            raise ChannelClosed("loopback channel is closed")
+        try:
+            item = self._inbox.get(timeout=timeout) if timeout is not None else self._inbox.get()
+        except queue.Empty:
+            raise TransportTimeout(f"no frame within {timeout}s on loopback channel") from None
+        if item is _CLOSED:
+            # Propagate for any further reader, then report EOF.
+            self._inbox.put(_CLOSED)
+            raise ChannelClosed("loopback peer closed the channel")
+        return item
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._outbox.put(_CLOSED)
+
+
+def loopback_pair() -> tuple[LoopbackChannel, LoopbackChannel]:
+    """Two connected in-memory endpoints."""
+    a, b = queue.SimpleQueue(), queue.SimpleQueue()
+    return LoopbackChannel(a, b), LoopbackChannel(b, a)
+
+
+# ----------------------------------------------------------------------
+# mp-pipe: multiprocessing pipe pair
+# ----------------------------------------------------------------------
+class PipeChannel(Channel):
+    """A ``multiprocessing.connection.Connection`` behind the seam.
+
+    Frames ride ``send_bytes``/``recv_bytes`` (the pipe's own length
+    prefix), so the payload accounting matches the other backends byte
+    for byte.  Picklable the same way a raw ``Connection`` is — i.e. as
+    a ``Process`` argument under any start method — which is how the
+    sharded pool ships a worker its endpoint.
+    """
+
+    transport = "mp-pipe"
+
+    def __init__(self, conn):
+        super().__init__()
+        self._conn = conn
+
+    def _send_payload(self, payload: bytes) -> None:
+        try:
+            self._conn.send_bytes(payload)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+
+    def _recv_payload(self, timeout: float | None) -> bytes:
+        try:
+            if timeout is not None and not self._conn.poll(timeout):
+                raise TransportTimeout(f"no frame within {timeout}s on pipe channel")
+            return self._conn.recv_bytes()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    def fileno(self) -> int:
+        return self._conn.fileno()
+
+    def __reduce__(self):
+        # Counters are per-endpoint-per-process; a pickled channel starts
+        # fresh on the other side (exactly like a pickled Connection).
+        return (PipeChannel, (self._conn,))
+
+
+def pipe_pair(ctx=None) -> tuple[PipeChannel, PipeChannel]:
+    """Two connected pipe endpoints (``ctx`` defaults to ``multiprocessing``)."""
+    import multiprocessing as mp
+
+    left, right = (ctx or mp).Pipe()
+    return PipeChannel(left), PipeChannel(right)
+
+
+# ----------------------------------------------------------------------
+# tcp: length-prefixed frames over a persistent socket
+# ----------------------------------------------------------------------
+#: Default ceiling on one TCP ``sendall``.  Generous — a send only stalls
+#: this long when the peer stops draining entirely — but finite, so a
+#: SIGSTOPped/wedged peer surfaces as a TransportTimeout instead of
+#: hanging the dispatcher or worker forever.
+DEFAULT_SEND_TIMEOUT = 600.0
+
+
+class TcpChannel(Channel):
+    """One endpoint of a persistent TCP connection.
+
+    Wire format: an 8-byte big-endian payload length, then the payload.
+    ``nodelay`` (default on) disables Nagle — halo frames are small and
+    latency-bound, and the pairwise protocol serializes round trips.
+    ``buffer_size`` sets ``SO_SNDBUF``/``SO_RCVBUF`` when given (large
+    ``(n_block, B)`` slabs benefit from roomy kernel buffers);
+    ``send_timeout`` bounds each send (see :data:`DEFAULT_SEND_TIMEOUT`).
+    """
+
+    transport = "tcp"
+
+    def __init__(self, sock: socket.socket, *, nodelay: bool = True,
+                 buffer_size: int | None = None,
+                 send_timeout: float | None = DEFAULT_SEND_TIMEOUT):
+        super().__init__()
+        self._sock = sock
+        self._closed = False
+        self._send_timeout = send_timeout
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1 if nodelay else 0)
+        if buffer_size is not None:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, int(buffer_size))
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, int(buffer_size))
+
+    def _send_payload(self, payload: bytes) -> None:
+        try:
+            # Replace whatever remaining budget a preceding timed recv
+            # left on the socket with the send bound — inheriting a
+            # near-zero recv budget would abort healthy sends, and an
+            # unbounded send would hang on a wedged (not dead) peer.
+            self._sock.settimeout(self._send_timeout)
+            self._sock.sendall(_FRAME_HEADER.pack(len(payload)))
+            self._sock.sendall(payload)
+        except socket.timeout:
+            raise TransportTimeout(
+                f"tcp send of {len(payload)} B made no progress within "
+                f"{self._send_timeout}s (peer wedged?)"
+            ) from None
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
+
+    def _recv_exact(self, nbytes: int, deadline: float | None) -> bytes:
+        buf = io.BytesIO()
+        remaining = nbytes
+        while remaining:
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise TransportTimeout(f"no complete frame before deadline on tcp channel")
+                self._sock.settimeout(budget)
+            else:
+                self._sock.settimeout(None)
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout:
+                raise TransportTimeout("tcp recv timed out mid-frame") from None
+            except (ConnectionError, OSError) as exc:
+                raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
+            if not chunk:
+                raise ChannelClosed("tcp peer closed the connection")
+            buf.write(chunk)
+            remaining -= len(chunk)
+        return buf.getvalue()
+
+    def _recv_payload(self, timeout: float | None) -> bytes:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        header = self._recv_exact(_FRAME_HEADER.size, deadline)
+        (length,) = _FRAME_HEADER.unpack(header)
+        return self._recv_exact(int(length), deadline)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def detach(self) -> None:
+        # Plain fd close: a forked child's inherited copy keeps the
+        # connection alive (shutdown() would kill it for the child too).
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    @property
+    def peer_address(self) -> tuple[str, int] | None:
+        try:
+            host, port = self._sock.getpeername()[:2]
+            return str(host), int(port)
+        except OSError:  # pragma: no cover - already closed
+            return None
+
+
+class TcpListener:
+    """A listening socket that accepts :class:`TcpChannel` connections.
+
+    ``port=0`` binds an ephemeral port; :attr:`address` reports the one
+    actually bound (what a worker advertises in its rendezvous hello).
+    The backlog is generous so a full block mesh can connect before the
+    acceptor drains — TCP completes a connect as soon as the kernel
+    queues it, which is what keeps the all-connect-then-all-accept mesh
+    setup deadlock-free.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 128,
+                 nodelay: bool = True, buffer_size: int | None = None,
+                 send_timeout: float | None = DEFAULT_SEND_TIMEOUT):
+        self._opts = {
+            "nodelay": nodelay, "buffer_size": buffer_size, "send_timeout": send_timeout,
+        }
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._sock.bind((host, port))
+        except OSError as exc:
+            self._sock.close()
+            raise TransportError(f"cannot bind {host}:{port}: {exc}") from exc
+        self._sock.listen(backlog)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._sock.getsockname()[:2]
+        return str(host), int(port)
+
+    def accept(self, timeout: float | None = None) -> TcpChannel:
+        self._sock.settimeout(timeout)
+        try:
+            conn, _ = self._sock.accept()
+        except socket.timeout:
+            raise TransportTimeout(f"no inbound connection within {timeout}s") from None
+        except OSError as exc:
+            raise TransportError(f"accept failed: {exc}") from exc
+        return TcpChannel(conn, **self._opts)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def tcp_connect(address: tuple[str, int], *, timeout: float | None = 30.0,
+                retries: int = 40, retry_delay: float = 0.25,
+                nodelay: bool = True, buffer_size: int | None = None,
+                send_timeout: float | None = DEFAULT_SEND_TIMEOUT) -> TcpChannel:
+    """Connect to a listening peer, retrying while it comes up.
+
+    Workers and dispatchers start asynchronously (two terminals, two CI
+    background jobs), so a refused connect is retried ``retries`` times
+    ``retry_delay`` apart before giving up with :class:`TransportError`.
+    """
+    host, port = address
+    last: Exception | None = None
+    for attempt in range(max(int(retries), 0) + 1):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect((host, int(port)))
+            sock.settimeout(None)
+            return TcpChannel(sock, nodelay=nodelay, buffer_size=buffer_size,
+                              send_timeout=send_timeout)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            sock.close()
+            last = exc
+            if attempt < retries and isinstance(exc, (ConnectionRefusedError, ConnectionResetError)):
+                time.sleep(retry_delay)
+                continue
+            break
+    raise TransportError(f"cannot connect to {host}:{port}: {last}")
+
+
+def tcp_pair(**options) -> tuple[TcpChannel, TcpChannel]:
+    """Two connected TCP endpoints over localhost (for same-host meshes)."""
+    with TcpListener("127.0.0.1", 0, **options) as listener:
+        client = tcp_connect(listener.address, retries=0, **options)
+        server = listener.accept(timeout=10.0)
+    return client, server
+
+
+# ----------------------------------------------------------------------
+# registry + addresses
+# ----------------------------------------------------------------------
+def make_pair(transport: str = "mp-pipe", *, ctx=None, **options) -> tuple[Channel, Channel]:
+    """Two connected endpoints of the named transport.
+
+    ``mp-pipe`` accepts ``ctx`` (a multiprocessing context); ``tcp``
+    accepts the socket options of :class:`TcpChannel`; ``loopback``
+    takes no options.  This is the seam the local runtimes build their
+    worker links through — swapping the string swaps the wire.
+    """
+    if transport == "mp-pipe":
+        if options:
+            raise ValueError(f"mp-pipe transport takes no options, got {sorted(options)}")
+        return pipe_pair(ctx=ctx)
+    if transport == "tcp":
+        return tcp_pair(**options)
+    if transport == "loopback":
+        if options:
+            raise ValueError(f"loopback transport takes no options, got {sorted(options)}")
+        return loopback_pair()
+    raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (host defaults to localhost).
+
+    Accepts ``":7001"`` / ``"7001"`` shorthand for a local port.
+    """
+    text = str(spec).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "", text
+    host = host or "127.0.0.1"
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ValueError(f"address must be 'host:port', got {spec!r}") from None
+    if not 0 <= port_num <= 65535:
+        raise ValueError(f"port must be in [0, 65535], got {port_num} (from {spec!r})")
+    return host, port_num
+
+
+def format_address(address: tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"

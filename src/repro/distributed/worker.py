@@ -1,0 +1,519 @@
+"""Worker loops: blocks and shards driven over transport channels.
+
+Three layers share this module:
+
+- :func:`run_block_loop` — the persistent partition-block worker (PR 4's
+  pipe worker, refactored onto the :mod:`~repro.distributed.transport`
+  seam).  It owns one ``(n_block, B)`` slab, exchanges halos peer-to-peer
+  through whatever :class:`~repro.distributed.transport.Channel` objects
+  it is handed (pipes on one host, TCP across hosts, loopback between
+  two blocks in one process), and streams per-round statistic partials
+  back to its coordinator.
+- :func:`shard_process_main` — the replica-shard worker behind
+  :func:`~repro.simulation.sharding.run_sharded_ensemble`: receive one
+  pickled shard payload, run it through a process-local ensemble, send
+  the trace back.
+- :func:`serve` — the ``repro-lb worker`` server: a rendezvous endpoint
+  that accepts dispatcher connections, answers the hello handshake, and
+  executes partition or shard jobs.  A worker can host *several* blocks
+  of one partitioned job: each block runs on its own thread (channel
+  reads release the GIL, so co-hosted blocks overlap exactly like
+  co-hosted processes) with loopback channels between same-worker blocks
+  and TCP channels to blocks on other workers.
+
+The block computation itself is untouched — :func:`run_block_loop` calls
+the same :meth:`Balancer.block_step` over the same
+:class:`~repro.simulation.partitioned.BlockLocal` row slices as every
+other execution mode, which is why trajectories stay bit-for-bit
+identical to the serial engines no matter which transport carries the
+halos.
+"""
+
+from __future__ import annotations
+
+import os
+import socket as _socket
+import sys
+import threading
+
+import numpy as np
+
+from repro.core.backends import resolve_backend
+from repro.distributed.transport import (
+    PROTOCOL_VERSION,
+    Channel,
+    ChannelClosed,
+    TcpListener,
+    TransportError,
+    TransportTimeout,
+    loopback_pair,
+    parse_address,
+    tcp_connect,
+)
+
+__all__ = [
+    "exchange_halos",
+    "run_block_loop",
+    "shard_process_main",
+    "serve",
+    "launch_worker_process",
+]
+
+
+# ----------------------------------------------------------------------
+# Halo exchange + block loop (any Channel implementation)
+# ----------------------------------------------------------------------
+def exchange_halos(local, owned: np.ndarray, peers: dict[int, Channel],
+                   timeout: float | None = None) -> tuple[np.ndarray, int]:
+    """Peer-to-peer halo exchange; returns the extended matrix + values sent.
+
+    Deadlock-free pairwise protocol: links are walked in ascending peer
+    order and the lower-id side of each pair sends before it receives.
+    The lowest-id block can always complete its first exchange, and by
+    induction every pair drains (at most one in-flight direction per
+    pair at any time).  The protocol only needs ordered, message-framed
+    channels — the transport seam's contract — so it is identical over
+    pipes, TCP and loopback queues.
+    """
+    ghost = np.empty((local.n_ghost,) + owned.shape[1:], dtype=owned.dtype)
+    sent = 0
+    width = int(np.prod(owned.shape[1:], dtype=np.int64)) if owned.ndim > 1 else 1
+    for link in local.links:
+        ch = peers[link.peer]
+        if local.p < link.peer:
+            ch.send(np.ascontiguousarray(owned[link.send_idx]))
+            ghost[link.recv_idx] = ch.recv(timeout)
+        else:
+            chunk = ch.recv(timeout)
+            ch.send(np.ascontiguousarray(owned[link.send_idx]))
+            ghost[link.recv_idx] = chunk
+        sent += int(link.send_idx.size) * width
+    return np.concatenate([owned, ghost], axis=0), sent
+
+
+def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
+                   peer_timeout: float | None = None,
+                   inherited: list[Channel] | None = None) -> None:
+    """Persistent block worker: owns one ``(n_block, B)`` slab.
+
+    Commands (from the coordinator): ``("run", rounds, frozen_mask)``
+    advances ``rounds`` rounds — halo exchange peer-to-peer, one
+    statistics partial buffered per round — then replies
+    ``("stats", rows, halo_values_sent, bytes_by_peer)`` where
+    ``bytes_by_peer`` maps peer block id to payload bytes sent over that
+    link during the chunk; ``("gather",)`` replies with the owned slab;
+    ``("stop",)`` exits.  Any exception is reported as ``("error", msg)``
+    so the coordinator can fail loudly instead of hanging.
+    """
+    from repro.simulation.partitioned import _partial_stats, _PartitionMemo, block_local
+
+    # Under the fork start method this process inherited a copy of every
+    # endpoint the coordinator had created — including other blocks'.
+    # Dropping the copies that are not ours restores EOF semantics: when
+    # a block process dies, the last reference to its endpoints goes
+    # with it and every peer blocked on a recv wakes with ChannelClosed
+    # instead of waiting forever.
+    for channel in inherited or ():
+        channel.detach()
+    balancer, assignment, strategy, block_id, owned, backend, want_disc, want_mov = payload
+    try:
+        balancer.reset()
+        if backend is not None:
+            balancer.backend = backend
+        resolved = resolve_backend(backend)
+        parts = _PartitionMemo(assignment, strategy)
+        L = np.ascontiguousarray(owned)
+        r = 0
+        while True:
+            msg = ctrl.recv()
+            if msg[0] == "run":
+                _, nrounds, frozen = msg
+                rows = []
+                halo_sent = 0
+                sent_before = {q: ch.bytes_sent for q, ch in peers.items()}
+                for _ in range(nrounds):
+                    topo = balancer.partition_topology(r)
+                    local = block_local(parts.get(topo), block_id, resolved)
+                    ext, sent = exchange_halos(local, L, peers, timeout=peer_timeout)
+                    halo_sent += sent
+                    new = balancer.block_step(local, ext)
+                    if frozen is not None and frozen.any():
+                        new[:, frozen] = L[:, frozen]
+                    rows.append(_partial_stats(new, L, want_disc, want_mov))
+                    L = new
+                    r += 1
+                bytes_by_peer = {
+                    q: ch.bytes_sent - sent_before[q] for q, ch in peers.items()
+                }
+                ctrl.send(("stats", rows, halo_sent, bytes_by_peer))
+            elif msg[0] == "gather":
+                ctrl.send(("loads", L))
+            elif msg[0] == "stop":
+                return
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown command {msg[0]!r}")
+    except Exception as exc:  # pragma: no cover - exercised via error tests
+        try:
+            ctrl.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        ctrl.close()
+        for ch in peers.values():
+            ch.close()
+
+
+# ----------------------------------------------------------------------
+# Shard worker (local pool + remote jobs)
+# ----------------------------------------------------------------------
+def shard_process_main(channel: Channel) -> None:
+    """Pool-process entry point: one shard payload in, one trace out."""
+    from repro.simulation.sharding import run_shard_payload
+
+    try:
+        payload = channel.recv()
+        channel.send(("trace", run_shard_payload(payload)))
+    except Exception as exc:
+        try:
+            channel.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        channel.close()
+
+
+# ----------------------------------------------------------------------
+# The ``repro-lb worker`` server
+# ----------------------------------------------------------------------
+def _default_log(msg: str) -> None:
+    print(msg, flush=True)
+
+
+def launch_worker_process(bind: str = "127.0.0.1:0", *, extra_args: tuple = ()):
+    """Spawn ``repro-lb worker`` as a subprocess; returns ``(proc, address)``.
+
+    The one blessed way to programmatically start a worker (tests and
+    benches included): it owns the startup-line format :func:`serve`
+    prints, parses the bound control address back out of it, and wires
+    ``PYTHONPATH`` so the subprocess finds this very package.  The
+    caller terminates ``proc`` when done.
+    """
+    import re
+    import subprocess
+    from pathlib import Path
+
+    src = str(Path(__file__).resolve().parents[2])
+    env = {**os.environ, "PYTHONPATH": src + os.pathsep + os.environ.get("PYTHONPATH", "")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--bind", bind, *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on (\S+?:\d+)", line)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"worker failed to start: {line!r}")
+    # Keep draining the worker's log output: the server prints a couple
+    # of lines per job, and an undrained pipe would fill and block it
+    # mid-job after enough dispatches.
+    def _drain() -> None:
+        for _ in proc.stdout:
+            pass
+
+    threading.Thread(target=_drain, name="worker-log-drain", daemon=True).start()
+    return proc, match.group(1)
+
+
+class _JobError(RuntimeError):
+    """A job failed; the worker reported it and keeps serving."""
+
+
+def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
+          timeout: float | None = 600.0, advertise: str | None = None,
+          log=_default_log) -> int:
+    """Serve distributed jobs until killed (or after ``max_jobs`` jobs).
+
+    Opens two listeners on the bind host: the *control* port (``bind``;
+    port 0 picks an ephemeral one) that dispatchers connect to, and an
+    ephemeral *peer* port advertised in the rendezvous hello that other
+    workers' blocks connect their halo links to.  Prints a parseable
+    ``worker listening on HOST:PORT (peer HOST:PORT)`` line once ready.
+
+    ``advertise`` names the host other *workers* should dial this
+    worker's peer port at.  Without it the dispatcher substitutes the
+    host it reached the control port through — right whenever one
+    address works cluster-wide, wrong when the dispatcher and the peer
+    workers route to this host differently (dispatcher colocated on
+    ``127.0.0.1``, peers on another machine): set ``--advertise`` to
+    the externally routable host then.
+
+    .. warning::
+       Job payloads are pickle and the rendezvous has no
+       authentication: only bind beyond loopback (``0.0.0.0`` or an
+       external address) on a trusted network — anyone who can reach
+       the port can run code as this process (the same trust model as
+       an unkeyed ``multiprocessing.connection`` listener).
+
+    A dispatcher connection is handshaken once and may then submit any
+    number of jobs back to back (the ``connect_workers`` →
+    several ``dispatch_*`` calls pattern); the worker returns to
+    accepting fresh connections when the dispatcher closes its channel
+    or a job fails.  ``timeout`` bounds every in-job channel wait so a
+    dead dispatcher or peer worker aborts the job instead of wedging the
+    server; the idle waits — accepting a connection, awaiting the next
+    job on a held one — are unbounded (an idle worker is healthy, and a
+    vanished dispatcher surfaces as EOF, not silence).  Failed jobs are
+    logged and the worker keeps serving.
+    """
+    host, port = parse_address(bind)
+    listener = TcpListener(host, port)
+    peer_listener = TcpListener(host, 0)
+    ctrl_addr, peer_addr = listener.address, peer_listener.address
+    log(
+        f"worker listening on {ctrl_addr[0]}:{ctrl_addr[1]} "
+        f"(peer {peer_addr[0]}:{peer_addr[1]}, pid {os.getpid()})"
+    )
+    served = 0
+    try:
+        while max_jobs <= 0 or served < max_jobs:
+            ctrl = listener.accept(timeout=None)
+            remaining = None if max_jobs <= 0 else max_jobs - served
+            # Mutable job counter: jobs accepted on the connection count
+            # against --max-jobs even when a later one fails mid-stream,
+            # and handshake rejections (health checks, junk clients)
+            # count as zero.
+            jobs_started = [0]
+            try:
+                _serve_connection(
+                    ctrl, peer_listener, timeout, log, remaining, advertise,
+                    jobs_started,
+                )
+            except _JobError as exc:
+                log(f"worker: job failed: {exc}")
+            except TransportError as exc:
+                log(f"worker: dispatcher connection lost: {exc}")
+            except Exception as exc:  # noqa: BLE001 - server must outlive bad clients
+                # A port scanner, health checker or buggy client must
+                # not take the server down: drop the connection, keep
+                # serving.
+                log(f"worker: rejecting malformed client: {type(exc).__name__}: {exc}")
+            finally:
+                served += jobs_started[0]
+                ctrl.close()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        log("worker: interrupted, shutting down")
+    finally:
+        listener.close()
+        peer_listener.close()
+    return 0
+
+
+def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
+                      timeout: float | None, log,
+                      max_jobs: int | None = None,
+                      advertise: str | None = None,
+                      jobs_started: list[int] | None = None) -> None:
+    """Handshake + a job stream on one dispatcher connection.
+
+    ``jobs_started`` (a one-element counter) is bumped as each job is
+    *accepted*, so the caller's ``--max-jobs`` accounting survives a
+    job that fails mid-stream.  The connection stays usable for further
+    jobs until the dispatcher closes it (EOF ends the stream cleanly)
+    or a job fails (:class:`_JobError` propagates and the caller drops
+    the connection — its protocol state is suspect).
+    """
+    if jobs_started is None:
+        jobs_started = [0]
+    msg = ctrl.recv(timeout)
+    if not (isinstance(msg, tuple) and len(msg) >= 2 and msg[0] == "hello"):
+        ctrl.send(("error", f"expected hello, got {msg!r}"))
+        raise _JobError(f"bad handshake: {msg!r}")
+    if msg[1] != PROTOCOL_VERSION:
+        ctrl.send(
+            ("error", f"protocol version mismatch: worker speaks {PROTOCOL_VERSION}, "
+             f"dispatcher sent {msg[1]}")
+        )
+        raise _JobError(f"protocol version mismatch ({msg[1]})")
+    ctrl.send(
+        (
+            "ready",
+            {
+                "version": PROTOCOL_VERSION,
+                "peer_address": peer_listener.address,
+                "advertise_host": advertise,
+                "pid": os.getpid(),
+                "host": _socket.gethostname(),
+                "python": sys.version.split()[0],
+                "cpus": os.cpu_count() or 1,
+            },
+        )
+    )
+    while max_jobs is None or jobs_started[0] < max_jobs:
+        try:
+            # Idle between jobs: wait without a deadline — a healthy
+            # dispatcher may hold the connection open indefinitely, and
+            # a dead one delivers EOF.
+            msg = ctrl.recv(None)
+        except ChannelClosed:
+            break
+        if not (isinstance(msg, tuple) and len(msg) >= 2 and msg[0] == "job"
+                and isinstance(msg[1], dict)):
+            ctrl.send(("error", f"expected job, got {msg!r}"))
+            raise _JobError(f"bad job message: {msg!r}")
+        spec = msg[1]
+        kind = spec.get("kind")
+        jobs_started[0] += 1
+        log(f"worker: job accepted (kind={kind})")
+        if kind == "shard":
+            _run_shard_job(ctrl, spec, timeout)
+        elif kind == "partition":
+            _run_partition_job(ctrl, peer_listener, spec, timeout)
+        else:
+            ctrl.send(("error", f"unknown job kind {kind!r}"))
+            raise _JobError(f"unknown job kind {kind!r}")
+        log(f"worker: job done (kind={kind})")
+
+
+def _run_shard_job(ctrl: Channel, spec: dict, timeout: float | None) -> None:
+    """Run this worker's replica shards; stream each trace back."""
+    from repro.simulation.sharding import run_shard_payload
+
+    try:
+        for idx, payload in spec["payloads"]:
+            ctrl.send(("trace", idx, run_shard_payload(payload)))
+        ctrl.send(("done",))
+    except TransportError:
+        raise
+    except Exception as exc:
+        ctrl.send(("error", f"{type(exc).__name__}: {exc}"))
+        raise _JobError(f"shard job failed: {exc}") from exc
+
+
+def _build_mesh(blocks: list[int], spec: dict, peer_listener: TcpListener,
+                timeout: float | None) -> dict[int, dict[int, Channel]]:
+    """Establish this worker's halo channels for a partition job.
+
+    Same-worker block pairs get loopback queue channels.  Cross-worker
+    pairs follow the dispatcher's directives: the worker hosting the
+    lower block id *accepts*, the other *connects* (to the peer address
+    from the rendezvous hello) and identifies the link with a
+    ``("link", my_block, your_block)`` header frame.  All connects are
+    issued before any accept — TCP completes a connect as soon as the
+    listener's backlog queues it, so the two phases cannot deadlock.
+    """
+    peers: dict[int, dict[int, Channel]] = {p: {} for p in blocks}
+    for a, b in spec.get("local_pairs", []):
+        ca, cb = loopback_pair()
+        peers[a][b] = ca
+        peers[b][a] = cb
+    tcp_options = spec.get("tcp", {})
+    expected_accepts = 0
+    for p in blocks:
+        for q, directive in spec.get("links", {}).get(p, {}).items():
+            if directive[0] == "connect":
+                ch = tcp_connect(tuple(directive[1]), timeout=timeout, **tcp_options)
+                ch.send(("link", p, q))
+                peers[p][q] = ch
+            elif directive[0] == "accept":
+                expected_accepts += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown link directive {directive!r}")
+    for _ in range(expected_accepts):
+        ch = peer_listener.accept(timeout)
+        tag, their_block, my_block = ch.recv(timeout)
+        if tag != "link" or my_block not in peers:  # pragma: no cover - defensive
+            ch.close()
+            raise ValueError(f"unexpected link header ({tag!r}, {their_block}, {my_block})")
+        peers[my_block][their_block] = ch
+    return peers
+
+
+def _run_partition_job(ctrl: Channel, peer_listener: TcpListener, spec: dict,
+                       timeout: float | None) -> None:
+    """Host this worker's partition blocks: mesh setup + command fan-out.
+
+    Each block runs :func:`run_block_loop` on its own thread behind a
+    loopback control channel; the main thread multiplexes the dispatcher
+    connection, forwarding ``run``/``gather``/``stop`` to every block
+    and merging the per-block replies into one keyed response.
+    """
+    blocks = list(spec["blocks"])
+    job_timeout = spec.get("timeout", timeout)
+    try:
+        peers = _build_mesh(blocks, spec, peer_listener, job_timeout)
+    except (TransportError, ValueError, OSError) as exc:
+        ctrl.send(("error", f"mesh setup failed: {exc}"))
+        raise _JobError(f"mesh setup failed: {exc}") from exc
+
+    block_ctrl: dict[int, Channel] = {}
+    threads: dict[int, threading.Thread] = {}
+    for p in blocks:
+        main_end, block_end = loopback_pair()
+        block_ctrl[p] = main_end
+        threads[p] = threading.Thread(
+            target=run_block_loop,
+            args=(block_end, peers[p], spec["payloads"][p]),
+            kwargs={"peer_timeout": job_timeout},
+            name=f"block-{p}",
+            daemon=True,
+        )
+
+    def abort() -> None:
+        for c in block_ctrl.values():
+            c.close()
+        for block_peers in peers.values():
+            for ch in block_peers.values():
+                ch.close()
+        for t in threads.values():
+            t.join(timeout=5.0)
+
+    ctrl.send(("mesh-ok", {"blocks": blocks}))
+    for t in threads.values():
+        t.start()
+    try:
+        while True:
+            msg = ctrl.recv(job_timeout)
+            if msg[0] in ("run", "gather"):
+                for p in blocks:
+                    block_ctrl[p].send(msg)
+                replies: dict[int, tuple] = {}
+                failure: str | None = None
+                for p in blocks:
+                    try:
+                        rep = block_ctrl[p].recv(job_timeout)
+                    except TransportError as exc:
+                        rep = ("error", f"{type(exc).__name__}: {exc}")
+                    if rep[0] == "error" and failure is None:
+                        failure = f"block {p}: {rep[1]}"
+                    replies[p] = rep
+                if failure is not None:
+                    ctrl.send(("error", failure))
+                    raise _JobError(failure)
+                if msg[0] == "run":
+                    ctrl.send(("stats", {p: rep[1:] for p, rep in replies.items()}))
+                else:
+                    ctrl.send(("loads", {p: rep[1] for p, rep in replies.items()}))
+            elif msg[0] == "stop":
+                for p in blocks:
+                    try:
+                        block_ctrl[p].send(("stop",))
+                    except TransportError:  # pragma: no cover - racing abort
+                        pass
+                for t in threads.values():
+                    t.join(timeout=10.0)
+                ctrl.send(("stopped",))
+                return
+            else:
+                ctrl.send(("error", f"unknown command {msg[0]!r}"))
+                raise _JobError(f"unknown command {msg[0]!r}")
+    except _JobError:
+        abort()
+        raise
+    except TransportError:
+        # Dispatcher vanished mid-job (its sockets closed): tear the job
+        # down quietly — the server stays up for the next dispatch.
+        abort()
+        raise
+    finally:
+        for c in block_ctrl.values():
+            c.close()

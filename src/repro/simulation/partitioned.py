@@ -40,10 +40,12 @@ Execution modes
     statistics included.  The semantics/debugging reference.
 ``mode="process"``
     ``P`` persistent worker processes, one block each, exchanging halos
-    **peer-to-peer** through ``multiprocessing`` pipes (deadlock-free
-    pairwise protocol: the lower-id block of each pair sends first).
-    Workers hold an ``(n_block, B)`` slab — the node axis composes with
-    the replica axis — and return per-round statistic *partials* (sums,
+    **peer-to-peer** through :mod:`repro.distributed.transport` channels
+    (``transport="mp-pipe"`` pipes by default, or ``"tcp"`` sockets —
+    the same wire the multi-host dispatcher uses; deadlock-free pairwise
+    protocol: the lower-id block of each pair sends first).  Workers
+    hold an ``(n_block, B)`` slab — the node axis composes with the
+    replica axis — and return per-round statistic *partials* (sums,
     squared sums, extrema, movement) that the coordinator combines, so
     the full matrix never exists in one process between gathers.  When
     the stopping rules are pure round caps the coordinator grants the
@@ -52,6 +54,13 @@ Execution modes
     the global engines; *derived* statistics may differ in the last
     float ulp (block-partial summation order), the same caveat the
     replica-sharded path documents.
+
+The coordinator half of process mode is factored behind a small *block
+executor* seam (``run_chunk`` / ``gather`` / ``close``):
+:class:`_LocalProcessExecutor` drives forked per-block processes on this
+host, and :mod:`repro.distributed.dispatcher` plugs a remote executor
+into the **same** :meth:`PartitionedSimulator.run_with_executor` loop to
+span hosts — one statistics combine, one stopping policy, any transport.
 """
 
 from __future__ import annotations
@@ -64,6 +73,8 @@ import numpy as np
 from repro.core.backends import PlainCSR, resolve_backend
 from repro.core.operators import RECIP_DIV_LIMIT, EdgeOperator, edge_operator
 from repro.core.protocols import Balancer
+from repro.distributed.transport import TransportError, make_pair
+from repro.distributed.worker import run_block_loop
 from repro.graphs.partition import Partition, make_partition, parse_partitions
 from repro.simulation.ensemble import (
     EnsembleTrace,
@@ -76,6 +87,10 @@ from repro.simulation.stopping import DiscrepancyBelow, MaxRounds, StoppingRule
 __all__ = ["BlockLocal", "PartitionedSimulator", "block_local"]
 
 _LOCALS_ATTR = "_block_locals"
+
+#: transports a local process-mode run can put under its halo links
+#: (loopback queues cannot cross a process boundary).
+PROCESS_TRANSPORTS = ("mp-pipe", "tcp")
 
 
 def _slice_csr_rows(
@@ -331,87 +346,156 @@ def _combine_stats(partials: list[tuple], n: int) -> tuple:
 
 
 # ----------------------------------------------------------------------
-# Process-mode worker
+# Local process-mode block executor
 # ----------------------------------------------------------------------
-def _exchange_halos(
-    local: BlockLocal, owned: np.ndarray, peers: dict
-) -> tuple[np.ndarray, int]:
-    """Peer-to-peer halo exchange; returns the extended matrix + values sent.
+class _LocalProcessExecutor:
+    """``P`` forked per-block processes linked by transport channels.
 
-    Deadlock-free pairwise protocol: links are walked in ascending peer
-    order and the lower-id side of each pair sends before it receives.
-    The lowest-id block can always complete its first exchange, and by
-    induction every pair drains (at most one in-flight direction per
-    pair at any time).
+    The local implementation of the block-executor seam (``run_chunk`` /
+    ``gather`` / ``close``) that :meth:`PartitionedSimulator.run_with_executor`
+    drives — the remote implementation lives in
+    :mod:`repro.distributed.dispatcher`.  Each worker process runs
+    :func:`repro.distributed.worker.run_block_loop` with a control
+    channel back to the coordinator and a full mesh of peer channels for
+    the halo exchange, all built by
+    :func:`repro.distributed.transport.make_pair` for the configured
+    transport (``mp-pipe`` pipes, or ``tcp`` sockets over localhost —
+    the same wire a multi-host run uses).
     """
-    ghost = np.empty((local.n_ghost,) + owned.shape[1:], dtype=owned.dtype)
-    sent = 0
-    width = int(np.prod(owned.shape[1:], dtype=np.int64)) if owned.ndim > 1 else 1
-    for link in local.links:
-        conn = peers[link.peer]
-        if local.p < link.peer:
-            conn.send(np.ascontiguousarray(owned[link.send_idx]))
-            ghost[link.recv_idx] = conn.recv()
-        else:
-            chunk = conn.recv()
-            conn.send(np.ascontiguousarray(owned[link.send_idx]))
-            ghost[link.recv_idx] = chunk
-        sent += int(link.send_idx.size) * width
-    return np.concatenate([owned, ghost], axis=0), sent
 
+    def __init__(self, sim: "PartitionedSimulator", L: np.ndarray, B: int,
+                 assignment: np.ndarray):
+        self.B = B
+        self.n = L.shape[0]
+        P = int(assignment.max()) + 1
+        self.owned = [np.flatnonzero(assignment == p) for p in range(P)]
+        want_disc = sim._record_disc()
+        want_mov = sim.record == "full"
 
-def _partition_worker(conn, peers: dict, payload: tuple) -> None:
-    """Persistent block worker: owns one ``(n_block, B)`` slab.
+        # Pre-build the partition and every block's operator slices in
+        # the parent: under the fork start method the workers inherit the
+        # warmed caches copy-on-write instead of each rebuilding them
+        # (at n=65536 the build costs more than hundreds of rounds).
+        resolved = resolve_backend(sim.backend)
+        part0 = Partition.for_topology(
+            sim.balancer.partition_topology(0), assignment, strategy=sim.strategy
+        )
+        for p in range(P):
+            block_local(part0, p, resolved)
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
+        if sim.transport != "mp-pipe" and "fork" not in methods:
+            raise RuntimeError(
+                f"transport {sim.transport!r} requires the fork start method for "
+                "local process mode (its channels cannot be pickled to a spawned "
+                "worker); use transport='mp-pipe' on this platform"
+            )
 
-    Commands (from the coordinator): ``("run", rounds, frozen_mask)``
-    advances ``rounds`` rounds — halo exchange peer-to-peer, one
-    statistics partial buffered per round — then replies
-    ``("stats", rows, halo_values_sent)``; ``("gather",)`` replies with
-    the owned slab; ``("stop",)`` exits.  Any exception is reported as
-    ``("error", repr)`` so the coordinator can fail loudly.
-    """
-    balancer, assignment, strategy, block_id, owned, backend, want_disc, want_mov = payload
-    try:
-        balancer.reset()
-        if backend is not None:
-            balancer.backend = backend
-        resolved = resolve_backend(backend)
-        parts = _PartitionMemo(assignment, strategy)
-        L = np.ascontiguousarray(owned)
-        r = 0
-        while True:
-            msg = conn.recv()
-            if msg[0] == "run":
-                _, nrounds, frozen = msg
-                rows = []
-                halo_sent = 0
-                for _ in range(nrounds):
-                    topo = balancer.partition_topology(r)
-                    local = block_local(parts.get(topo), block_id, resolved)
-                    ext, sent = _exchange_halos(local, L, peers)
-                    halo_sent += sent
-                    new = balancer.block_step(local, ext)
-                    if frozen is not None and frozen.any():
-                        new[:, frozen] = L[:, frozen]
-                    rows.append(_partial_stats(new, L, want_disc, want_mov))
-                    L = new
-                    r += 1
-                conn.send(("stats", rows, halo_sent))
-            elif msg[0] == "gather":
-                conn.send(("loads", L))
-            elif msg[0] == "stop":
-                return
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown command {msg[0]!r}")
-    except Exception as exc:  # pragma: no cover - exercised via error tests
-        try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-        except Exception:
-            pass
-    finally:
-        conn.close()
-        for c in peers.values():
+        ctrl = [make_pair(sim.transport, ctx=ctx) for _ in range(P)]
+        mesh: dict[tuple[int, int], tuple] = {}
+        for p in range(P):
+            for q in range(p + 1, P):
+                mesh[(p, q)] = make_pair(sim.transport, ctx=ctx)
+        forked = ctx.get_start_method() == "fork"
+        all_ends = [end for pair in ctrl for end in pair]
+        all_ends += [end for pair in mesh.values() for end in pair]
+        self.procs = []
+        worker_ends: list[list] = []
+        for p in range(P):
+            peers = {}
+            for q in range(P):
+                if q == p:
+                    continue
+                a, b = min(p, q), max(p, q)
+                peers[q] = mesh[(a, b)][0 if p == a else 1]
+            payload = (
+                sim.balancer,
+                assignment,
+                sim.strategy,
+                p,
+                L[self.owned[p]],
+                sim.backend,
+                want_disc,
+                want_mov,
+            )
+            mine = [ctrl[p][1], *peers.values()]
+            worker_ends.append(mine)
+            # Forked workers inherit every endpoint; handing each the
+            # complement of its own lets it drop the copies at startup,
+            # so a crashed worker surfaces as EOF on its links instead
+            # of a silent coordinator/peer hang.  Spawned workers only
+            # receive what is pickled to them — nothing to drop.
+            inherited = (
+                [end for end in all_ends if not any(end is m for m in mine)]
+                if forked
+                else None
+            )
+            self.procs.append(
+                ctx.Process(
+                    target=run_block_loop,
+                    args=(ctrl[p][1], peers, payload),
+                    kwargs={"inherited": inherited},
+                    daemon=True,
+                )
+            )
+        for proc in self.procs:
+            proc.start()
+        # The coordinator's own copies of the worker-side endpoints.
+        for mine in worker_ends:
+            for end in mine:
+                end.detach()
+        self.conns = [c for c, _ in ctrl]
+        self._mesh = mesh
+
+    def _ask_all(self, msg) -> list:
+        for c in self.conns:
+            c.send(msg)
+        replies = []
+        for p, c in enumerate(self.conns):
+            try:
+                rep = c.recv()
+            except TransportError as exc:
+                raise RuntimeError(f"partition worker {p} died: {exc}") from exc
+            if rep[0] == "error":
+                raise RuntimeError(f"partition worker failed: {rep[1]}")
+            replies.append(rep)
+        return replies
+
+    # -- executor interface -------------------------------------------
+    def run_chunk(self, chunk: int, frozen) -> tuple[list[list], int, dict[str, int]]:
+        replies = self._ask_all(("run", chunk, frozen))
+        per_round = [[rep[1][i] for rep in replies] for i in range(chunk)]
+        halo_values = sum(rep[2] for rep in replies)
+        link_bytes = {
+            f"{p}->{q}": nbytes
+            for p, rep in enumerate(replies)
+            for q, nbytes in rep[3].items()
+        }
+        return per_round, halo_values, link_bytes
+
+    def gather(self) -> np.ndarray:
+        """Assemble the replica-major ``(B, n)`` matrix from worker slabs."""
+        replies = self._ask_all(("gather",))
+        full = np.empty((self.B, self.n), dtype=replies[0][1].dtype)
+        for ids, rep in zip(self.owned, replies):
+            full[:, ids] = rep[1].T
+        return full
+
+    def close(self) -> None:
+        for c in self.conns:
+            try:
+                c.send(("stop",))
+            except TransportError:
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        for c in self.conns:
             c.close()
+        for a, b in self._mesh.values():
+            a.close()
+            b.close()
 
 
 # ----------------------------------------------------------------------
@@ -436,17 +520,24 @@ class PartitionedSimulator:
         must match the balancer's topology).
     mode:
         ``"inprocess"`` (vectorized loop over blocks, exact statistics)
-        or ``"process"`` (persistent workers + pipe halo exchange; see
-        the module docstring).  ``"process"`` with one block degrades to
-        the in-process path.
+        or ``"process"`` (persistent workers + transport halo exchange;
+        see the module docstring).  ``"process"`` with one block
+        degrades to the in-process path.
+    transport:
+        Channel backend under process mode's halo links and control
+        plane: ``"mp-pipe"`` (default) or ``"tcp"`` (localhost sockets —
+        the exact wire a multi-host dispatch uses, so TCP parity on one
+        host certifies the distributed protocol).  Trajectories are
+        bit-for-bit identical across transports.
     stopping / record / keep_snapshots / check_conservation / cons_tol /
     backend:
         As :class:`~repro.simulation.ensemble.EnsembleSimulator`.
 
     After :meth:`run`, :attr:`halo_stats` reports the communication the
     run actually paid: rounds executed, halo values exchanged (ghost
-    values received per round, summed), and the partition's per-round
-    quality metrics.
+    values received per round, summed), payload bytes per directed link
+    (``"p->q"``; process mode only — in-process ghost gathers move no
+    bytes), and the partition's quality metrics.
     """
 
     DEFAULT_MAX_ROUNDS = 1_000_000
@@ -464,6 +555,7 @@ class PartitionedSimulator:
         cons_tol: float = 1e-6,
         mode: str = "inprocess",
         backend: str | None = None,
+        transport: str = "mp-pipe",
     ) -> None:
         if not getattr(balancer, "supports_partition", False):
             raise TypeError(
@@ -475,6 +567,11 @@ class PartitionedSimulator:
             raise ValueError(f"record must be 'auto', 'light' or 'full', got {record!r}")
         if mode not in ("inprocess", "process"):
             raise ValueError(f"mode must be 'inprocess' or 'process', got {mode!r}")
+        if transport not in PROCESS_TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {PROCESS_TRANSPORTS}, got {transport!r} "
+                "(loopback channels cannot cross a process boundary)"
+            )
         blocks, spec_strategy = parse_partitions(partitions)
         if isinstance(partitions, str) and ":" in partitions:
             strategy = spec_strategy
@@ -498,6 +595,7 @@ class PartitionedSimulator:
         self.check_conservation = check_conservation
         self.cons_tol = cons_tol
         self.mode = mode
+        self.transport = transport
         #: communication accounting of the most recent run
         self.halo_stats: dict = {}
 
@@ -522,6 +620,18 @@ class PartitionedSimulator:
         # first computation.
         return make_partition(topo0, self.partitions, self.strategy).assignment
 
+    def _init_halo_stats(self, assignment: np.ndarray, mode: str) -> None:
+        self.halo_stats = {
+            "mode": mode,
+            "transport": self.transport if mode == "process" else None,
+            "blocks": int(assignment.max()) + 1,
+            "strategy": self.strategy,
+            "rounds": 0,
+            "halo_values": 0,
+            "halo_bytes": 0,
+            "links": {},
+        }
+
     def run(self, loads: np.ndarray, seed=0, replicas: int | None = None) -> EnsembleTrace:
         """Run all blocks until every replica's stopping rule fires.
 
@@ -532,16 +642,30 @@ class PartitionedSimulator:
         self.balancer.reset()
         L, B = initial_batch(self.balancer, loads, replicas)
         assignment = self._resolve_assignment(L.shape[0])
-        self.halo_stats = {
-            "mode": self.mode,
-            "blocks": int(assignment.max()) + 1,
-            "strategy": self.strategy,
-            "rounds": 0,
-            "halo_values": 0,
-        }
         if self.mode == "process" and self.partitions > 1:
-            return self._run_process(L, B, assignment)
+            self._init_halo_stats(assignment, "process")
+            return self._run_executor(L, B, assignment, _LocalProcessExecutor)
+        self._init_halo_stats(assignment, "inprocess")
         return self._run_inprocess(L, B, assignment)
+
+    def run_with_executor(self, loads: np.ndarray, replicas: int | None,
+                          executor_factory) -> EnsembleTrace:
+        """Run through an externally supplied block executor.
+
+        ``executor_factory(sim, L, B, assignment)`` must return an object
+        with the executor seam (``run_chunk(chunk, frozen)`` →
+        ``(per_round_partials, halo_values, link_bytes)``, ``gather()`` →
+        replica-major loads, ``close()``).  This is the entry point the
+        multi-host dispatcher uses: the coordinator loop — chunking,
+        statistics combine, stopping, conservation audits — is exactly
+        the one local process mode runs, so remote runs inherit its
+        semantics (and its bit-for-bit trajectory guarantee) wholesale.
+        """
+        self.balancer.reset()
+        L, B = initial_batch(self.balancer, loads, replicas)
+        assignment = self._resolve_assignment(L.shape[0])
+        self._init_halo_stats(assignment, "process")
+        return self._run_executor(L, B, assignment, executor_factory)
 
     def _make_trace(self, B: int) -> EnsembleTrace:
         return EnsembleTrace(
@@ -592,7 +716,7 @@ class PartitionedSimulator:
         return trace
 
     # ------------------------------------------------------------------
-    # Process mode
+    # Executor-driven (process / remote) mode
     # ------------------------------------------------------------------
     def _max_rounds_only(self) -> int | None:
         """The common round cap when every rule is a plain MaxRounds."""
@@ -600,126 +724,51 @@ class PartitionedSimulator:
             return min(r.rounds for r in self.stopping)
         return None
 
-    def _run_process(self, L: np.ndarray, B: int, assignment: np.ndarray) -> EnsembleTrace:
-        n = L.shape[0]
-        P = int(assignment.max()) + 1
-        owned = [np.flatnonzero(assignment == p) for p in range(P)]
-        want_disc = self._record_disc()
-        want_mov = self.record == "full"
+    def _run_executor(self, L: np.ndarray, B: int, assignment: np.ndarray,
+                      executor_factory) -> EnsembleTrace:
         trace = self._make_trace(B)
         trace.record(L)
-        initial_sums = trace._sums[0]
-        is_discrete = np.issubdtype(L.dtype, np.integer)
-
-        # Pre-build the partition and every block's operator slices in
-        # the parent: under the fork start method the workers inherit the
-        # warmed caches copy-on-write instead of each rebuilding them
-        # (at n=65536 the build costs more than hundreds of rounds).
-        resolved = resolve_backend(self.backend)
-        part0 = Partition.for_topology(
-            self.balancer.partition_topology(0), assignment, strategy=self.strategy
-        )
-        for p in range(P):
-            block_local(part0, p, resolved)
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
-
-        ctrl = [ctx.Pipe() for _ in range(P)]
-        mesh: dict[tuple[int, int], tuple] = {}
-        for p in range(P):
-            for q in range(p + 1, P):
-                mesh[(p, q)] = ctx.Pipe()
-        procs = []
-        for p in range(P):
-            peers = {}
-            for q in range(P):
-                if q == p:
-                    continue
-                a, b = min(p, q), max(p, q)
-                peers[q] = mesh[(a, b)][0 if p == a else 1]
-            payload = (
-                self.balancer,
-                assignment,
-                self.strategy,
-                p,
-                L[owned[p]],
-                self.backend,
-                want_disc,
-                want_mov,
-            )
-            procs.append(
-                ctx.Process(
-                    target=_partition_worker, args=(ctrl[p][1], peers, payload), daemon=True
-                )
-            )
-        for proc in procs:
-            proc.start()
-        conns = [c for c, _ in ctrl]
-
-        def ask_all(msg):
-            for c in conns:
-                c.send(msg)
-            replies = [c.recv() for c in conns]
-            for rep in replies:
-                if rep[0] == "error":
-                    raise RuntimeError(f"partition worker failed: {rep[1]}")
-            return replies
-
+        executor = executor_factory(self, L, B, assignment)
         try:
-            active = np.ones(B, dtype=bool)
-            apply_stopping(self.stopping, trace, active)
-            cap = self._max_rounds_only()
-            rounds_done = 0
-            while active.any():
-                if cap is not None and not self.keep_snapshots:
-                    # Free-running chunk: workers need no coordinator
-                    # round-trips until the cap (no rule can fire early).
-                    chunk = max(cap - rounds_done, 1)
-                else:
-                    chunk = 1
-                frozen = None if active.all() else ~active
-                replies = ask_all(("run", chunk, frozen))
-                self.halo_stats["halo_values"] += sum(rep[2] for rep in replies)
-                snapshot = None
-                if self.keep_snapshots:
-                    snapshot = self._gather(ask_all, owned, n, B)
-                for i in range(chunk):
-                    phis, sums, disc, mov = _combine_stats(
-                        [rep[1][i] for rep in replies], n
-                    )
-                    trace.record_stats(phis, sums, disc, mov, snapshot=snapshot)
-                    trace.advance(active)
-                    if self.check_conservation:
-                        audit_replica_sums(
-                            self.balancer.name, trace._sums[-1], initial_sums,
-                            is_discrete, self.cons_tol,
-                        )
-                    apply_stopping(self.stopping, trace, active)
-                rounds_done += chunk
-            self.halo_stats["rounds"] = rounds_done
-            trace._final_loads = self._gather(ask_all, owned, n, B)
+            self._coordinate(executor, trace, L, B)
+            trace._final_loads = executor.gather()
             return trace
         finally:
-            for c in conns:
-                try:
-                    c.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
-            for proc in procs:
-                proc.join(timeout=10)
-                if proc.is_alive():  # pragma: no cover - defensive
-                    proc.terminate()
-            for c in conns:
-                c.close()
-            for (a, b) in mesh.values():
-                a.close()
-                b.close()
+            executor.close()
 
-    @staticmethod
-    def _gather(ask_all, owned: list[np.ndarray], n: int, B: int) -> np.ndarray:
-        """Assemble the replica-major ``(B, n)`` matrix from worker slabs."""
-        replies = ask_all(("gather",))
-        full = np.empty((B, n), dtype=replies[0][1].dtype)
-        for ids, rep in zip(owned, replies):
-            full[:, ids] = rep[1].T
-        return full
+    def _coordinate(self, executor, trace: EnsembleTrace, L: np.ndarray, B: int) -> None:
+        """The coordinator loop shared by local and remote executors."""
+        n = L.shape[0]
+        initial_sums = trace._sums[0]
+        is_discrete = np.issubdtype(L.dtype, np.integer)
+        active = np.ones(B, dtype=bool)
+        apply_stopping(self.stopping, trace, active)
+        cap = self._max_rounds_only()
+        rounds_done = 0
+        hs = self.halo_stats
+        while active.any():
+            if cap is not None and not self.keep_snapshots:
+                # Free-running chunk: workers need no coordinator
+                # round-trips until the cap (no rule can fire early).
+                chunk = max(cap - rounds_done, 1)
+            else:
+                chunk = 1
+            frozen = None if active.all() else ~active
+            per_round, halo_values, link_bytes = executor.run_chunk(chunk, frozen)
+            hs["halo_values"] += halo_values
+            hs["halo_bytes"] += sum(link_bytes.values())
+            for link, nbytes in link_bytes.items():
+                hs["links"][link] = hs["links"].get(link, 0) + nbytes
+            snapshot = executor.gather() if self.keep_snapshots else None
+            for i in range(chunk):
+                phis, sums, disc, mov = _combine_stats(per_round[i], n)
+                trace.record_stats(phis, sums, disc, mov, snapshot=snapshot)
+                trace.advance(active)
+                if self.check_conservation:
+                    audit_replica_sums(
+                        self.balancer.name, trace._sums[-1], initial_sums,
+                        is_discrete, self.cons_tol,
+                    )
+                apply_stopping(self.stopping, trace, active)
+            rounds_done += chunk
+        hs["rounds"] = rounds_done

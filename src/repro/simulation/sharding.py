@@ -30,14 +30,20 @@ ensemble run records for replicas that stopped early — so the merged
 trace is indistinguishable from a single-process run of the full batch
 (modulo the ulp caveat above).
 
-The pool is a standard ``ProcessPoolExecutor``; payloads (balancer,
-stopping rules, per-replica generators, initial shard loads) travel by
-pickle, so trials and balancers must be module-level/picklable exactly as
+Shards execute over the :mod:`repro.distributed.transport` seam: each
+worker process receives its payload (balancer, stopping rules,
+per-replica generators, initial shard loads) through a per-shard channel
+and ships the finished trace back — ``mp-pipe`` pipes by default, or
+``tcp`` sockets, the same wire
+:func:`repro.distributed.dispatcher.dispatch_sharded` uses to send the
+*identical* payloads to remote hosts.  Payloads travel by pickle, so
+trials and balancers must be module-level/picklable exactly as
 ``monte_carlo(workers=K)`` already requires.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
 import re
 import warnings
@@ -47,6 +53,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.protocols import Balancer
+from repro.distributed.transport import TransportError, make_pair
 from repro.simulation.ensemble import EnsembleSimulator, EnsembleTrace, spawn_rngs
 from repro.simulation.montecarlo import trial_rng
 from repro.simulation.stopping import StoppingRule
@@ -56,9 +63,15 @@ __all__ = [
     "usable_cpus",
     "split_shards",
     "merge_ensemble_traces",
+    "shard_payloads",
+    "run_shard_payload",
     "run_sharded_ensemble",
     "sharded_run_batch",
 ]
+
+#: transports the local shard pool can run over (loopback queues cannot
+#: cross a process boundary).
+SHARD_TRANSPORTS = ("mp-pipe", "tcp")
 
 
 def parse_workers(workers: int | str | tuple) -> tuple[int, bool]:
@@ -194,15 +207,22 @@ def merge_ensemble_traces(traces: Sequence[EnsembleTrace]) -> EnsembleTrace:
     return merged
 
 
-def _run_shard(payload: tuple) -> EnsembleTrace:
-    """Pool worker: one shard through a fresh ``EnsembleSimulator``.
+def run_shard_payload(payload: tuple) -> EnsembleTrace:
+    """Shard worker: one shard through a fresh ``EnsembleSimulator``.
 
-    ``serial_singleton`` is disabled: a one-replica shard must compute
-    its statistics with the same batched formulas as every other shard,
-    or the merged trace's stopping decisions would depend on how the
-    batch happened to split across workers.
+    The trailing ``whole_batch`` flag selects the engine flavor: a shard
+    that is one slice of a split batch runs with ``serial_singleton``
+    disabled — a one-replica shard must compute its statistics with the
+    same batched formulas as every other shard, or the merged trace's
+    stopping decisions would depend on how the batch happened to split
+    across workers — while a payload covering the *whole* batch keeps
+    the engine's default dispatch, reproducing an unsharded run exactly.
+    This is the one executable a shard ever runs — the local pool and
+    the remote dispatch workers call it on identical payloads, which is
+    what makes shard placement irrelevant to the result.
     """
-    balancer, loads, rngs, stopping, record, keep_snapshots, check_conservation, cons_tol = payload
+    (balancer, loads, rngs, stopping, record, keep_snapshots,
+     check_conservation, cons_tol, whole_batch) = payload
     ens = EnsembleSimulator(
         balancer,
         stopping=stopping,
@@ -210,12 +230,12 @@ def _run_shard(payload: tuple) -> EnsembleTrace:
         keep_snapshots=keep_snapshots,
         check_conservation=check_conservation,
         cons_tol=cons_tol,
-        serial_singleton=False,
+        serial_singleton=whole_batch,
     )
     return ens.run(loads, seed=rngs)
 
 
-def run_sharded_ensemble(
+def shard_payloads(
     balancer: Balancer,
     loads: np.ndarray,
     seed: int | Sequence[np.random.Generator] = 0,
@@ -227,19 +247,17 @@ def run_sharded_ensemble(
     check_conservation: bool = True,
     cons_tol: float = 1e-6,
     backend: str | None = None,
-) -> EnsembleTrace:
-    """Run a replica ensemble as ``workers`` process-local shard blocks.
+) -> list[tuple]:
+    """Split an ensemble request into per-shard worker payloads.
 
-    Accepts the same inputs as :meth:`EnsembleSimulator.run` — a shared
-    ``(n,)`` initial vector or per-replica ``(B, n)`` states, plus a root
-    seed (spawned into per-replica streams by global replica index) or an
-    explicit generator sequence — and returns one merged
-    :class:`EnsembleTrace`.  With ``workers <= 1`` (or a single shard) it
-    degrades to the in-process ensemble, so callers can pass the parsed
-    pool size straight through.  ``backend`` pins the kernel backend on
-    the balancer before it ships to the pool workers (the attribute
-    travels with the pickled balancer), so every shard runs the same —
-    bit-for-bit interchangeable — kernels.
+    Normalizes the seed/replica inputs exactly like
+    :meth:`EnsembleSimulator.run`, derives the per-replica RNG streams by
+    *global* replica index, and cuts the batch into the contiguous
+    near-equal shards of :func:`split_shards` — the derivation is a pure
+    function of ``(loads, seed, replicas, workers)``, independent of
+    where the payloads later execute, so local pools and remote
+    dispatchers produce interchangeable shards.  Returns at least one
+    payload (``workers <= 1`` yields the whole batch as a single shard).
     """
     if backend is not None:
         balancer.backend = backend
@@ -262,16 +280,6 @@ def run_sharded_ensemble(
         if len(rngs) != replicas:
             raise ValueError(f"got {len(rngs)} generators for {replicas} replicas")
     shards = split_shards(replicas, max(int(workers), 1))
-    engine_kwargs = dict(
-        stopping=stopping,
-        record=record,
-        keep_snapshots=keep_snapshots,
-        check_conservation=check_conservation,
-        cons_tol=cons_tol,
-    )
-    if len(shards) <= 1:
-        ens = EnsembleSimulator(balancer, **engine_kwargs)
-        return ens.run(arr, seed=rngs)
     payloads = []
     for start, stop in shards:
         shard_loads = arr if arr.ndim == 1 else arr[start:stop]
@@ -285,11 +293,123 @@ def run_sharded_ensemble(
                 keep_snapshots,
                 check_conservation,
                 cons_tol,
+                len(shards) == 1,  # whole batch → default engine dispatch
             )
         )
-    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-        traces = list(pool.map(_run_shard, payloads))
-    return merge_ensemble_traces(traces)
+    return payloads
+
+
+def run_sharded_ensemble(
+    balancer: Balancer,
+    loads: np.ndarray,
+    seed: int | Sequence[np.random.Generator] = 0,
+    replicas: int | None = None,
+    workers: int = 2,
+    stopping: Sequence[StoppingRule] | None = None,
+    record: str = "auto",
+    keep_snapshots: bool = False,
+    check_conservation: bool = True,
+    cons_tol: float = 1e-6,
+    backend: str | None = None,
+    transport: str = "mp-pipe",
+) -> EnsembleTrace:
+    """Run a replica ensemble as ``workers`` process-local shard blocks.
+
+    Accepts the same inputs as :meth:`EnsembleSimulator.run` — a shared
+    ``(n,)`` initial vector or per-replica ``(B, n)`` states, plus a root
+    seed (spawned into per-replica streams by global replica index) or an
+    explicit generator sequence — and returns one merged
+    :class:`EnsembleTrace`.  With ``workers <= 1`` (or a single shard) it
+    degrades to the in-process ensemble, so callers can pass the parsed
+    pool size straight through.  ``backend`` pins the kernel backend on
+    the balancer before it ships to the pool workers (the attribute
+    travels with the pickled balancer), so every shard runs the same —
+    bit-for-bit interchangeable — kernels.  ``transport`` selects the
+    channel backend each shard's payload/trace travels over (``mp-pipe``
+    pipes by default, ``tcp`` sockets) — a pure wire choice with no
+    effect on the merged trace.
+    """
+    # Validate up front, not on the multi-shard path only: a typo'd
+    # transport must fail at the call that introduces it, not when the
+    # caller later scales past one shard.
+    if transport not in SHARD_TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {SHARD_TRANSPORTS}, got {transport!r} "
+            "(loopback channels cannot cross a process boundary)"
+        )
+    payloads = shard_payloads(
+        balancer,
+        loads,
+        seed=seed,
+        replicas=replicas,
+        workers=workers,
+        stopping=stopping,
+        record=record,
+        keep_snapshots=keep_snapshots,
+        check_conservation=check_conservation,
+        cons_tol=cons_tol,
+        backend=backend,
+    )
+    if len(payloads) == 1:
+        # The whole batch in-process: the payload's whole_batch flag
+        # keeps the engine's default dispatch, so this is exactly an
+        # unsharded EnsembleSimulator run — and exactly what a remote
+        # worker runs when a dispatch hands it the entire batch.
+        return run_shard_payload(payloads[0])
+    return merge_ensemble_traces(_run_shards_local(payloads, transport))
+
+
+def _run_shards_local(payloads: list[tuple], transport: str = "mp-pipe") -> list[EnsembleTrace]:
+    """One worker process per shard, linked by transport channels.
+
+    The worker entry point
+    (:func:`repro.distributed.worker.shard_process_main`) receives its
+    payload over the channel and ships the finished trace back; errors
+    come back as ``("error", message)`` frames so a dead or failing
+    shard surfaces as a diagnostic ``RuntimeError``, never a hang on a
+    half-closed pipe.
+    """
+    from repro.distributed.worker import shard_process_main
+
+    if transport not in SHARD_TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {SHARD_TRANSPORTS}, got {transport!r} "
+            "(loopback channels cannot cross a process boundary)"
+        )
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
+    if transport != "mp-pipe" and "fork" not in methods:
+        raise RuntimeError(
+            f"transport {transport!r} requires the fork start method for the local "
+            "shard pool; use transport='mp-pipe' on this platform"
+        )
+    workers = []
+    try:
+        for payload in payloads:
+            parent, child = make_pair(transport, ctx=ctx)
+            proc = ctx.Process(target=shard_process_main, args=(child,), daemon=True)
+            proc.start()
+            # Drop the parent's copy of the worker endpoint so a dead
+            # worker surfaces as EOF on recv, not an indefinite block.
+            child.detach()
+            parent.send(payload)
+            workers.append((parent, proc))
+        traces = []
+        for idx, (parent, proc) in enumerate(workers):
+            try:
+                reply = parent.recv()
+            except TransportError as exc:
+                raise RuntimeError(f"shard worker {idx} died: {exc}") from exc
+            if reply[0] == "error":
+                raise RuntimeError(f"shard worker {idx} failed: {reply[1]}")
+            traces.append(reply[1])
+        return traces
+    finally:
+        for parent, proc in workers:
+            parent.close()
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
 
 
 def _run_batch_shard(payload: tuple) -> dict[str, np.ndarray]:

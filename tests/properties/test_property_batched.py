@@ -380,3 +380,65 @@ class TestBackendParity:
         for i in range(len(bufs)):
             for j in range(i + 1, len(bufs)):
                 assert not np.shares_memory(bufs[i], bufs[j])
+
+
+# ----------------------------------------------------------------------
+# Transport parity (the distributed runtime's seam)
+# ----------------------------------------------------------------------
+class TestTransportParity:
+    """Transports are bit-for-bit interchangeable at trajectory level.
+
+    The distributed runtime's contract extends the backend contract one
+    layer out: the channel a halo slab or shard payload travels over
+    (mp-pipe / tcp locally, tcp across hosts) changes bytes in flight,
+    never arithmetic.  Both parallel axes must produce identical
+    trajectories on every transport — and identical *payload byte*
+    accounting, since the counters meter pickled frames, not wires.
+    """
+
+    ROUNDS = 10
+
+    def test_partitioned_trajectories_identical_across_transports(self):
+        from repro.simulation.partitioned import PROCESS_TRANSPORTS, PartitionedSimulator
+
+        topo = g.torus_2d(5, 5)
+        for mode, loads in (
+            ("continuous", _float_batch(topo.n, B, seed=41)[0]),
+            ("discrete", _int_batch(topo.n, B, seed=42)[0]),
+        ):
+            ref = None
+            ref_bytes = None
+            for transport in PROCESS_TRANSPORTS:
+                psim = PartitionedSimulator(
+                    DiffusionBalancer(topo, mode=mode), partitions=3, strategy="bfs",
+                    stopping=[MaxRounds(self.ROUNDS)], keep_snapshots=True,
+                    mode="process", transport=transport,
+                )
+                trace = psim.run(loads.copy())
+                snaps = np.asarray(trace.snapshots)
+                stats = (psim.halo_stats["halo_values"], psim.halo_stats["halo_bytes"])
+                if ref is None:
+                    ref, ref_bytes = snaps, stats
+                else:
+                    assert np.array_equal(snaps, ref), f"{mode}: {transport} diverged"
+                    assert stats == ref_bytes, f"{mode}: {transport} accounting diverged"
+
+    def test_sharded_trajectories_identical_across_transports(self):
+        from repro.simulation.sharding import SHARD_TRANSPORTS, run_sharded_ensemble
+
+        topo = g.torus_2d(4, 4)
+        for mode, loads in (
+            ("continuous", _float_batch(topo.n, B, seed=43)),
+            ("discrete", _int_batch(topo.n, B, seed=44)),
+        ):
+            ref = None
+            for transport in SHARD_TRANSPORTS:
+                trace = run_sharded_ensemble(
+                    DiffusionBalancer(topo, mode=mode), loads, seed=5, workers=2,
+                    stopping=[MaxRounds(8)], keep_snapshots=True, transport=transport,
+                )
+                snaps = np.asarray(trace.snapshots)
+                if ref is None:
+                    ref = snaps
+                else:
+                    assert np.array_equal(snaps, ref), f"{mode}: {transport} diverged"

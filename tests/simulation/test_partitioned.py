@@ -156,22 +156,124 @@ class TestPartitionedParity:
 
 
 class TestProcessMode:
-    """Persistent worker processes + pipe halo exchange."""
+    """Persistent worker processes + transport-channel halo exchange."""
 
+    @pytest.mark.parametrize("transport", ["mp-pipe", "tcp"])
     @pytest.mark.parametrize("label,factory,discrete", BALANCER_FACTORIES,
                              ids=[b[0] for b in BALANCER_FACTORIES])
-    def test_process_matches_serial(self, label, factory, discrete):
+    def test_process_matches_serial(self, label, factory, discrete, transport):
         topo = torus_2d(6, 6)
         loads = _loads(topo, discrete)
         expected = _serial_snapshots(factory(topo), loads.copy())
         psim = PartitionedSimulator(
             factory(topo), partitions=3, strategy="bfs",
             stopping=[MaxRounds(ROUNDS)], keep_snapshots=True, mode="process",
+            transport=transport,
         )
         trace = psim.run(loads.copy())
         for t, snap in enumerate(expected):
             assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
         assert psim.halo_stats["mode"] == "process"
+        assert psim.halo_stats["transport"] == transport
+        # Transport channels account payload bytes per directed link.
+        assert psim.halo_stats["halo_bytes"] > 0
+        assert all(v > 0 for v in psim.halo_stats["links"].values())
+
+    @pytest.mark.parametrize("transport", ["mp-pipe", "tcp"])
+    def test_dynamic_edge_failures_over_transport(self, transport):
+        """Satellite: a dynamic topology's cut set changes per round;
+        the pairwise halo protocol must not desync over TCP (or pipes) —
+        snapshots stay bit-for-bit equal to the serial run."""
+        base = torus_2d(6, 6)
+        loads = _loads(base, discrete=True)
+        make = lambda: DiffusionBalancer(
+            EdgeSamplingDynamics(base, p=0.6, seed=9), mode="discrete"
+        )
+        expected = _serial_snapshots(make(), loads.copy())
+        psim = PartitionedSimulator(
+            make(), partitions=4, strategy="bfs",
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True, mode="process",
+            transport=transport,
+        )
+        trace = psim.run(loads.copy())
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+        assert psim.halo_stats["halo_values"] > 0
+        assert psim.halo_stats["halo_bytes"] > 0
+
+    def test_transports_move_identical_payload_bytes(self):
+        """Same run, same pickled halo frames: the per-link byte totals
+        are transport-independent (the counters count payloads, not wire
+        overhead), so bench numbers compare across wires."""
+        topo = torus_2d(6, 6)
+        loads = _loads(topo, discrete=True)
+        totals = {}
+        for transport in ("mp-pipe", "tcp"):
+            psim = PartitionedSimulator(
+                DiffusionBalancer(topo, mode="discrete"), partitions=3,
+                stopping=[MaxRounds(10)], mode="process", transport=transport,
+            )
+            psim.run(loads.copy())
+            totals[transport] = (
+                psim.halo_stats["halo_bytes"], dict(psim.halo_stats["links"])
+            )
+        assert totals["mp-pipe"] == totals["tcp"]
+
+    def test_dead_block_worker_raises_instead_of_hanging(self):
+        """SIGKILL a block worker mid-run: the coordinator must surface
+        a diagnostic RuntimeError promptly.  EOF semantics depend on fd
+        hygiene — every process drops the endpoint copies that are not
+        its own — so a crashed worker's links actually close."""
+        import multiprocessing as mp
+        import os
+        import signal
+        import threading
+        import time
+
+        topo = torus_2d(8, 8)
+        loads = _loads(topo, discrete=True)
+        psim = PartitionedSimulator(
+            DiffusionBalancer(topo, mode="discrete"), partitions=3, mode="process",
+            # A threshold no discrete trajectory reaches: only the kill
+            # ends the run (per-round chunks, so the coordinator is
+            # mid-protocol when the worker dies).
+            stopping=[PotentialFractionBelow(1e-300), MaxRounds(10_000_000)],
+        )
+        outcome = {}
+
+        def run():
+            try:
+                psim.run(loads.copy())
+                outcome["result"] = "completed"
+            except RuntimeError as exc:
+                outcome["result"] = f"error: {exc}"
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        time.sleep(1.0)
+        victims = mp.active_children()
+        assert victims, "no block workers running"
+        os.kill(victims[0].pid, signal.SIGKILL)
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "coordinator hung after worker death"
+        assert outcome["result"].startswith("error:"), outcome
+
+    def test_loopback_transport_rejected_for_process_mode(self):
+        topo = torus_2d(4, 4)
+        with pytest.raises(ValueError, match="transport"):
+            PartitionedSimulator(
+                DiffusionBalancer(topo), partitions=2, mode="process",
+                transport="loopback",
+            )
+
+    def test_inprocess_mode_reports_no_transport(self):
+        topo = torus_2d(4, 4)
+        psim = PartitionedSimulator(
+            DiffusionBalancer(topo), partitions=2, stopping=[MaxRounds(3)]
+        )
+        psim.run(_loads(topo, discrete=False))
+        assert psim.halo_stats["transport"] is None
+        assert psim.halo_stats["halo_bytes"] == 0
 
     def test_process_chunked_free_run_final_loads(self):
         """MaxRounds-only stopping free-runs workers without per-round

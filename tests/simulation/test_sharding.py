@@ -239,8 +239,9 @@ class TestShardedEnsembleEquivalence:
             spawn_rngs(0, 1),
             [MaxRounds(3)],
             "auto", False, True, 1e-6,
+            False,  # one slice of a split batch, not the whole batch
         )
-        trace = sharding._run_shard(payload)  # in-process, same code the pool runs
+        trace = sharding.run_shard_payload(payload)  # in-process, same code the pool runs
         assert trace.replicas == 1 and trace.rounds == 3
 
     def test_singleton_shards_formula_consistent_under_cancellation(self, topo):
@@ -267,6 +268,63 @@ class TestShardedEnsembleEquivalence:
             run_sharded_ensemble(
                 DiffusionBalancer(topo), np.ones((3, topo.n)), seed=0, replicas=5, workers=2
             )
+
+
+class TestShardTransports:
+    """The shard pool runs over the transport seam; wires are equivalent."""
+
+    @pytest.mark.parametrize("transport", ["mp-pipe", "tcp"])
+    def test_tcp_and_pipe_shards_bit_identical(self, transport):
+        from repro.graphs import generators as g
+
+        topo = g.torus_2d(5, 5)
+        loads = point_load(topo.n, total=100 * topo.n, discrete=True)
+        single = EnsembleSimulator(
+            DiffusionBalancer(topo, mode="discrete"),
+            stopping=[MaxRounds(12)], keep_snapshots=True, serial_singleton=False,
+        ).run(loads, seed=3, replicas=6)
+        sharded = run_sharded_ensemble(
+            DiffusionBalancer(topo, mode="discrete"), loads, seed=3, replicas=6,
+            workers=3, stopping=[MaxRounds(12)], keep_snapshots=True,
+            transport=transport,
+        )
+        assert np.array_equal(single.final_loads, sharded.final_loads)
+        for t in range(single.recorded_states):
+            assert np.array_equal(single.snapshots[t], sharded.snapshots[t]), f"round {t}"
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_loopback_transport_rejected(self, workers):
+        """Invalid transports fail on the call that introduces them —
+        the single-shard early return must not skip validation."""
+        from repro.graphs import generators as g
+
+        topo = g.torus_2d(4, 4)
+        with pytest.raises(ValueError, match="transport"):
+            run_sharded_ensemble(
+                DiffusionBalancer(topo), point_load(topo.n, discrete=False),
+                replicas=4, workers=workers, stopping=[MaxRounds(2)],
+                transport="loopback",
+            )
+
+    def test_shard_payloads_pure_function_of_inputs(self):
+        """Payload derivation is independent of execution venue: the
+        same request yields the same shard cuts and RNG states — the
+        property that makes local and dispatched shards interchangeable."""
+        from repro.graphs import generators as g
+        from repro.simulation.sharding import shard_payloads
+
+        topo = g.torus_2d(4, 4)
+        loads = point_load(topo.n, discrete=False)
+        a = shard_payloads(DiffusionBalancer(topo), loads, seed=7, replicas=10, workers=4)
+        b = shard_payloads(DiffusionBalancer(topo), loads, seed=7, replicas=10, workers=4)
+        assert len(a) == len(b) == 4
+        for pa, pb in zip(a, b):
+            assert np.array_equal(pa[1], pb[1])  # shard loads
+            assert len(pa[2]) == len(pb[2])
+            for ra, rb in zip(pa[2], pb[2]):
+                sa = ra.bit_generator.state
+                sb = rb.bit_generator.state
+                assert sa == sb
 
 
 class TestShardPayloadHygiene:

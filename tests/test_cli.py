@@ -162,6 +162,23 @@ class TestPartitionsFlag:
         assert rc == 2
         assert "strategy" in capsys.readouterr().err
 
+    def test_partition_info_json(self, capsys):
+        """--json emits machine-readable metrics (no table scraping)."""
+        import json
+
+        rc = main([
+            "partition-info", "--topology", "torus:8x8", "--json",
+            "--partitions", "4:bfs", "2:contiguous",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["topology"].startswith("torus") and doc["n"] == 64
+        assert [row["spec"] for row in doc["partitions"]] == ["4:bfs", "2:contiguous"]
+        row = doc["partitions"][0]
+        assert row["blocks"] == 4 and row["strategy"] == "bfs"
+        for key in ("edge_cut", "halo_volume", "imbalance", "block_min", "block_max"):
+            assert key in row
+
     def test_run_partitioned_matches_unpartitioned(self, capsys):
         """--partitions is an execution knob: the trace summary is identical.
 
@@ -253,6 +270,17 @@ class TestBackendFlag:
         out = capsys.readouterr().out
         assert "numpy" in out and "scipy" in out and "numba" in out
         assert "'auto' resolves to" in out
+
+    def test_backends_json(self, capsys):
+        import json
+
+        assert main(["backends", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in doc["backends"]}
+        assert {"numpy", "scipy", "numba"} <= names
+        assert doc["auto"] in names
+        numpy_row = next(row for row in doc["backends"] if row["name"] == "numpy")
+        assert numpy_row["available"] is True
 
     def test_run_with_numpy_backend(self, capsys):
         rc = main([
