@@ -13,13 +13,15 @@ Subcommands
   block balance) for a topology and strategy;
 - ``worker`` — serve as a distributed-runtime worker (TCP rendezvous);
 - ``dispatch`` — run partition blocks or replica shards on remote
-  ``worker`` processes and combine the results exactly.
+  ``worker`` processes and combine the results exactly;
+- ``mpi-run`` — run partition blocks rank-per-block under ``mpiexec``
+  (needs ``mpi4py``; see :mod:`repro.distributed.mpi`).
 
-``backends`` and ``partition-info`` take ``--json`` for machine-readable
-output (the dispatcher and scripts consume diagnostics without scraping
-tables).  The CLI is a thin layer: every command resolves to a library
-call that the tests exercise directly, so the CLI tests only assert
-wiring.
+``backends``, ``partition-info`` and ``dispatch`` take ``--json`` for
+machine-readable output (the dispatcher and scripts consume diagnostics
+and run summaries without scraping tables).  The CLI is a thin layer:
+every command resolves to a library call that the tests exercise
+directly, so the CLI tests only assert wiring.
 """
 
 from __future__ import annotations
@@ -202,7 +204,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0,
         help="seconds any dispatcher-side wait may block before aborting the run",
     )
+    p_disp.add_argument(
+        "--json", action="store_true",
+        help="emit the run summary as JSON (trace summary + distributed stats: "
+        "per-link bytes/round, control traffic, worker roster)",
+    )
     _add_backend_flag(p_disp)
+
+    p_mpi = sub.add_parser(
+        "mpi-run",
+        help="run partition blocks rank-per-block under mpiexec (needs mpi4py)",
+        description="Collective entry point: launch with "
+        "'mpiexec -n P+1 python -m repro mpi-run --partitions P ...'. "
+        "Rank 0 coordinates and prints the summary; ranks 1..P each host "
+        "one block. Trajectories are bit-for-bit identical to the serial "
+        "engines (--verify re-runs serially on rank 0 and asserts it).",
+    )
+    p_mpi.add_argument("--balancer", required=True, choices=registered_balancers())
+    p_mpi.add_argument("--topology", required=True, help='e.g. "torus:64x64"')
+    p_mpi.add_argument("--loads", default="point", choices=sorted(GENERATORS))
+    p_mpi.add_argument("--rounds", type=int, default=1000)
+    p_mpi.add_argument("--eps", type=float, default=None, help="stop at Phi <= eps*Phi0")
+    p_mpi.add_argument("--seed", type=int, default=0)
+    p_mpi.add_argument("--replicas", type=int, default=1)
+    p_mpi.add_argument(
+        "--partitions", default="2",
+        help="node axis: P halo-exchanging blocks ('P' or 'P:strategy'), "
+        "one MPI rank per block plus the rank-0 coordinator",
+    )
+    p_mpi.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds any channel wait may block before aborting the run",
+    )
+    p_mpi.add_argument(
+        "--verify", action="store_true",
+        help="after the MPI run, re-run serially on rank 0 and assert the "
+        "trajectories match bit-for-bit",
+    )
+    p_mpi.add_argument(
+        "--json", action="store_true",
+        help="emit the run summary as JSON (same shape as dispatch --json)",
+    )
+    _add_backend_flag(p_mpi)
     return parser
 
 
@@ -533,6 +576,9 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     except DispatcherError as exc:
         print(f"dispatch failed: {exc}", file=sys.stderr)
         return 1
+    if args.json:
+        print(_run_summary_json(trace, stats))
+        return 0
     for key, value in trace.summary().items():
         print(f"{key:>20}: {value}")
     if stats.get("mode") == "sharded-dispatch":
@@ -553,6 +599,110 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         )
         for link, nbytes in sorted(stats.get("links", {}).items()):
             print(f"{'link ' + link:>20}: {nbytes} B total, {nbytes / rounds:.1f} B/round")
+    return 0
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays for ``json.dumps``."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _run_summary_json(trace, stats: dict) -> str:
+    """The machine-readable run summary shared by dispatch/mpi-run --json."""
+    import json
+
+    rounds = max(int(stats.get("rounds", 0)), 1)
+    payload = {
+        "trace": _jsonable(trace.summary()),
+        "distributed": _jsonable(stats),
+        "links_per_round": {
+            link: nbytes / rounds
+            for link, nbytes in sorted(_jsonable(stats.get("links", {})).items())
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _cmd_mpi_run(args: argparse.Namespace) -> int:
+    from repro.distributed.mpi import mpi_available, run_partitioned_mpi
+    from repro.distributed.transport import TransportError
+    from repro.graphs.partition import parse_partitions
+
+    if not mpi_available():
+        print("mpi-run requires mpi4py (launch under mpiexec with mpi4py installed)",
+              file=sys.stderr)
+        return 2
+    topo = by_name(args.topology)
+    bal = get_balancer(args.balancer, topo)
+    backend, err = _resolve_backend_arg(args.backend)
+    if err:
+        print(err, file=sys.stderr)
+        return 2
+    if not getattr(bal, "supports_partition", False):
+        print(f"{args.balancer} has no partitioned kernel", file=sys.stderr)
+        return 2
+    part_blocks, part_strategy = parse_partitions(args.partitions)
+    rng = np.random.default_rng(args.seed)
+    loads = make_loads(args.loads, topo.n, rng=rng, discrete=bal.mode == "discrete")
+    stopping = [MaxRounds(args.rounds)]
+    if args.eps is not None:
+        stopping.insert(0, PotentialFractionBelow(args.eps))
+    try:
+        result = run_partitioned_mpi(
+            bal, loads,
+            partitions=part_blocks, strategy=part_strategy,
+            stopping=stopping, backend=backend, replicas=args.replicas,
+            timeout=args.timeout,
+        )
+    except TransportError as exc:
+        print(f"mpi-run failed: {exc}", file=sys.stderr)
+        return 1
+    if result is None:  # block rank: served its block, exit quietly
+        return 0
+    trace, stats = result
+    if args.verify:
+        from repro.simulation.partitioned import PartitionedSimulator
+
+        bal2 = get_balancer(args.balancer, topo)
+        serial = PartitionedSimulator(
+            bal2, partitions=part_blocks, strategy=part_strategy,
+            stopping=[MaxRounds(args.rounds)] if args.eps is None
+            else [PotentialFractionBelow(args.eps), MaxRounds(args.rounds)],
+            backend=backend,
+        ).run(loads, replicas=args.replicas)
+        same = (
+            serial.rounds == trace.rounds
+            and np.array_equal(serial.final_loads, trace.final_loads)
+            and np.array_equal(serial.potentials_matrix, trace.potentials_matrix)
+        )
+        if not same:
+            print("verify FAILED: MPI trajectory diverges from the serial run",
+                  file=sys.stderr)
+            return 1
+        print(f"verify OK: bit-for-bit identical to the serial run over "
+              f"{trace.rounds} rounds")
+    if args.json:
+        print(_run_summary_json(trace, stats))
+        return 0
+    for key, value in trace.summary().items():
+        print(f"{key:>20}: {value}")
+    rounds = max(int(stats.get("rounds", 0)), 1)
+    print(
+        f"{'distributed':>20}: {len(stats['blocks_by_rank'])} block(s) over "
+        f"{stats['ranks']} rank(s) [mpi], "
+        f"{stats['halo_values']} halo values / {stats['halo_bytes']} payload bytes "
+        f"exchanged over {stats['rounds']} rounds"
+    )
+    for link, nbytes in sorted(stats.get("links", {}).items()):
+        print(f"{'link ' + link:>20}: {nbytes} B total, {nbytes / rounds:.1f} B/round")
     return 0
 
 
@@ -618,6 +768,7 @@ _COMMANDS = {
     "partition-info": _cmd_partition_info,
     "worker": _cmd_worker,
     "dispatch": _cmd_dispatch,
+    "mpi-run": _cmd_mpi_run,
 }
 
 

@@ -7,14 +7,17 @@ transport-agnostic: a partitioned block only needs per-peer ``send`` /
 ``recv`` channels, and a replica shard only needs a channel back to the
 coordinator.  This package supplies those channels
 (:mod:`repro.distributed.transport` — ``mp-pipe``, ``tcp`` and
-``loopback`` backends behind one framing/accounting seam), the worker
+``loopback`` backends behind one zero-copy framing/accounting seam, plus
+an import-gated ``mpi`` backend when ``mpi4py`` is present), the worker
 loops that drive blocks and shards over them
 (:mod:`repro.distributed.worker`, also the ``repro-lb worker`` server),
-and the cluster dispatcher that spans hosts
+the cluster dispatcher that spans hosts
 (:mod:`repro.distributed.dispatcher`, the ``repro-lb dispatch`` verb):
 rendezvous handshake, block/shard assignment, pickled state shipping,
 per-round statistic partials streamed back for the coordinator's exact
-combine, and clean abort on worker failure.
+combine, and clean abort on worker failure — and the rank-per-block MPI
+runner for HPC clusters (:mod:`repro.distributed.mpi`, the
+``repro-lb mpi-run`` verb under ``mpiexec``).
 
 Trajectories stay **bit-for-bit identical** to the serial engines across
 every transport — the channels move bytes, never arithmetic.
@@ -25,6 +28,8 @@ from repro.distributed.transport import (
     ChannelClosed,
     TransportError,
     TransportTimeout,
+    available_transports,
+    have_mpi,
     make_pair,
     parse_address,
 )
@@ -34,6 +39,8 @@ __all__ = [
     "ChannelClosed",
     "TransportError",
     "TransportTimeout",
+    "available_transports",
+    "have_mpi",
     "make_pair",
     "parse_address",
 ]

@@ -7,17 +7,53 @@ dispatcher drives remote workers over a control link.  This module gives
 all of them one :class:`Channel` contract:
 
 ``send(obj)`` / ``recv(timeout)``
-    One pickled message per call, reliable and ordered, with FIFO
-    semantics per direction.  Messages are self-delimiting (the wire
-    format is a length-prefixed pickle frame), so a reader can never
+    One message per call, reliable and ordered, with FIFO semantics per
+    direction.  Messages are self-delimiting, so a reader can never
     split or merge frames — the property the deadlock-free pairwise halo
     protocol (lower block id sends first, links walked in ascending peer
     order) relies on.
 ``bytes_sent`` / ``bytes_received`` / ``messages_sent`` / ``messages_received``
-    Payload accounting on every channel, maintained by the base class so
-    every backend reports identically — the per-link bytes/round
-    counters the bench's distributed section shows next to the halo
-    value counters.
+    Logical frame-byte accounting on every channel, maintained by the
+    base class so every backend reports identically — the per-link
+    bytes/round counters the bench's distributed section shows next to
+    the halo value counters.
+
+Frame format (wire protocol 2)
+------------------------------
+A frame is encoded once, transport-independently, by
+:func:`encode_frame` as pickle protocol-5 with *out-of-band buffers*:
+
+1. a fixed header (``>IQQ``: buffer count, metadata length, chunk size)
+   plus a ``>Q`` buffer-length table — :data:`HEAD_FIXED` below;
+2. the pickled metadata, with every contiguous buffer of at least
+   :data:`INLINE_BUFFER_LIMIT` bytes (numpy slabs, bytearrays) elided
+   out-of-band;
+3. the raw buffer bytes themselves, untouched.
+
+Because the slab bytes never pass through the pickler, a halo or trace
+slab is not copied on the sending side: ``tcp`` writes header, metadata
+and buffer views with one vectored ``socket.sendmsg`` batch, ``mp-pipe``
+hands each view straight to ``Connection.send_bytes``, ``loopback``
+passes the buffer views by reference (the receiver aliases the sender's
+memory — senders must not mutate a slab after sending it, which the halo
+and trace paths honour by always sending freshly materialized arrays),
+and ``mpi`` posts each view as a nonblocking point-to-point send.
+Receivers rebuild each buffer with ``recv_into``-style reads into a
+preallocated ``bytearray``, so arrays reconstruct writable and without a
+second assembly copy.
+
+No segment is ever written (or received) in pieces larger than the
+module-level :data:`MAX_CHUNK_BYTES` — monkey-patchable, recorded in
+each frame's header so both peers always agree on the chunk geometry —
+which bounds the largest contiguous write a single frame can demand and
+keeps message-oriented backends (``mp-pipe``, ``mpi``) within their
+per-message limits for arbitrarily large payloads.
+
+Byte accounting counts the *logical frame*: length prefix + header +
+metadata + buffer bytes.  The encoding is transport-independent, so the
+counters are bit-for-bit comparable across every backend (asserted by
+``TestTransportParity``); transport-private envelopes (the pipe's own
+per-message prefix, MPI's envelope) are not counted.
 
 Backends
 --------
@@ -27,53 +63,72 @@ Backends
     the default for :class:`~repro.simulation.partitioned.PartitionedSimulator`'s
     process mode and the sharded ensemble pool.
 ``tcp``
-    Length-prefixed frames over a persistent TCP connection, with
-    configurable ``TCP_NODELAY`` (default on — halo messages are
-    latency-bound) and socket buffer sizes.  Spans hosts; also the wire
-    behind ``repro-lb worker`` / ``repro-lb dispatch``.
+    Frames over a persistent TCP connection via vectored ``sendmsg``
+    writes, with configurable ``TCP_NODELAY`` (default on — halo
+    messages are latency-bound) and socket buffer sizes.  Spans hosts;
+    also the wire behind ``repro-lb worker`` / ``repro-lb dispatch``.
 ``loopback``
     An in-memory queue pair.  Same-process (or same-process-different-
     thread) endpoints with zero OS dependencies — the deterministic
     harness for protocol tests, and the intra-worker channel between two
     blocks hosted by the same dispatch worker.
+``mpi``
+    ``mpi4py`` point-to-point messages (import-gated exactly like the
+    numba backend: present only when :func:`have_mpi` is true).  One
+    channel wraps a communicator, a peer rank and a tag; see
+    :mod:`repro.distributed.mpi` for the rank-per-block partitioned
+    runner that drives the same block loop over ``mpiexec``.
 
-All three serialize with the same pickle protocol, so byte counters are
+All backends serialize with the same frame codec, so byte counters are
 comparable across backends and a payload that works on one works on all.
 
 .. warning::
-   Frames are **pickle** — deserializing one executes whatever the peer
-   put in it, exactly like :mod:`multiprocessing.connection` payloads.
-   The transport performs no authentication, so a ``tcp`` endpoint must
-   only be exposed on trusted networks (loopback, a private cluster
-   fabric, an SSH tunnel).  ``repro-lb worker`` binds loopback by
-   default for this reason; an HMAC authkey challenge à la
-   ``multiprocessing`` is tracked as a roadmap item.
+   Frames are **pickle** — both the metadata segment and (unchanged by
+   the protocol-2 frame format) anything a peer puts in it execute code
+   when deserialized, exactly like :mod:`multiprocessing.connection`
+   payloads.  The fixed frame header itself is plain ``struct`` and is
+   validated before any allocation, but the metadata that follows is
+   still an arbitrary pickle.  The transport performs no authentication,
+   so a ``tcp`` endpoint must only be exposed on trusted networks
+   (loopback, a private cluster fabric, an SSH tunnel).  ``repro-lb
+   worker`` binds loopback by default for this reason; an HMAC authkey
+   challenge à la ``multiprocessing`` is tracked as a roadmap item.
 """
 
 from __future__ import annotations
 
 import abc
-import io
+import importlib.util
 import pickle
 import queue
 import socket
 import struct
 import time
+from typing import NamedTuple
 
 __all__ = [
     "PROTOCOL_VERSION",
     "TRANSPORTS",
+    "OPTIONAL_TRANSPORTS",
+    "MAX_CHUNK_BYTES",
+    "INLINE_BUFFER_LIMIT",
+    "available_transports",
+    "have_mpi",
     "TransportError",
     "TransportTimeout",
     "ChannelClosed",
     "Channel",
+    "Frame",
+    "encode_frame",
     "LoopbackChannel",
     "PipeChannel",
     "TcpChannel",
     "TcpListener",
+    "MpiChannel",
     "loopback_pair",
     "pipe_pair",
     "tcp_pair",
+    "mpi_pair",
     "make_pair",
     "tcp_connect",
     "parse_address",
@@ -82,19 +137,53 @@ __all__ = [
 
 #: Rendezvous protocol version spoken by ``repro-lb worker``/``dispatch``.
 #: Bumped on any wire-visible change; mismatched peers refuse the job at
-#: handshake time instead of failing mid-run.
-PROTOCOL_VERSION = 1
+#: handshake time instead of failing mid-run.  Version 2 introduced the
+#: out-of-band frame format described in the module docstring.
+PROTOCOL_VERSION = 2
 
-#: Registered channel backends (the ``transport=`` choices).
+#: Channel backends that are always available (the core ``transport=``
+#: choices).  ``mpi`` joins via :func:`available_transports` when
+#: ``mpi4py`` is importable.
 TRANSPORTS = ("mp-pipe", "tcp", "loopback")
 
+#: Backends that exist only when their optional dependency does.
+OPTIONAL_TRANSPORTS = ("mpi",)
+
 #: One pickle protocol for every backend, so byte accounting and payload
-#: compatibility do not depend on the transport choice.  Protocol 5
-#: (out-of-band-capable, py3.8+) keeps large ndarray frames single-copy
-#: on the pickling side.
+#: compatibility do not depend on the transport choice.  Protocol 5 is
+#: required: the frame format ships ndarray slabs as out-of-band buffers.
 _PICKLE_PROTOCOL = 5
 
-_FRAME_HEADER = struct.Struct(">Q")
+#: Ceiling on one contiguous wire write/read per frame segment.
+#: Module-level and monkey-patchable (tests force it tiny to exercise
+#: reassembly); the value used by the *sender* is recorded in the frame
+#: header, so peers never need to agree on it out of band.
+MAX_CHUNK_BYTES = 64 * 1024 * 1024
+
+#: Buffers smaller than this stay in-band inside the metadata pickle —
+#: below a few KiB the extra wire segment costs more than the copy saves.
+INLINE_BUFFER_LIMIT = 4096
+
+#: Fixed frame header: out-of-band buffer count, metadata byte length,
+#: sender's chunk size.  Followed by one ``>Q`` length per buffer.
+HEAD_FIXED = struct.Struct(">IQQ")
+_LEN = struct.Struct(">Q")
+
+#: ``tcp`` length prefix for the header blob (the stream needs one
+#: explicit delimiter; message-oriented backends self-delimit).  Counted
+#: in the logical frame bytes on every backend so counters stay equal.
+_HEAD_PREFIX = struct.Struct(">I")
+
+#: Sanity cap on the buffer table — rejects desynced/hostile headers
+#: before any table-sized allocation happens.
+_MAX_BUFFERS = 1 << 16
+
+#: Join the header and metadata into one wire message when their total
+#: stays under this (and under the chunk size): control frames then cost
+#: a single write instead of two.
+_JOIN_LIMIT = 1 << 16
+
+_MAX_HEAD_BYTES = HEAD_FIXED.size + _MAX_BUFFERS * _LEN.size + _JOIN_LIMIT
 
 
 class TransportError(RuntimeError):
@@ -109,12 +198,147 @@ class ChannelClosed(TransportError):
     """The peer endpoint is gone (EOF, reset, or explicit close)."""
 
 
+def have_mpi() -> bool:
+    """True when ``mpi4py`` is importable (checked without initializing MPI)."""
+    try:
+        return importlib.util.find_spec("mpi4py") is not None
+    except (ImportError, ValueError):  # pragma: no cover - broken metadata
+        return False
+
+
+def available_transports() -> tuple[str, ...]:
+    """:data:`TRANSPORTS` plus every optional backend whose dependency exists."""
+    extra = tuple(t for t in OPTIONAL_TRANSPORTS if t != "mpi" or have_mpi())
+    return TRANSPORTS + extra
+
+
+# ----------------------------------------------------------------------
+# frame codec (transport-independent)
+# ----------------------------------------------------------------------
+class Frame(NamedTuple):
+    """One encoded message: header blob, metadata pickle, raw buffers.
+
+    ``chunk`` is the sender-side :data:`MAX_CHUNK_BYTES` captured at
+    encode time (and recorded inside ``head``); ``nbytes`` is the
+    logical frame size every backend books into ``bytes_sent``.
+    """
+
+    head: bytes
+    meta: bytes
+    buffers: list
+    chunk: int
+    nbytes: int
+
+
+def encode_frame(obj) -> Frame:
+    """Encode ``obj`` once, transport-independently.
+
+    Contiguous buffers of at least :data:`INLINE_BUFFER_LIMIT` bytes are
+    exported out-of-band as zero-copy ``memoryview``s; everything else
+    stays inside the metadata pickle.
+    """
+    buffers: list[memoryview] = []
+
+    def grab(pb: pickle.PickleBuffer) -> bool:
+        # pickle semantics: a truthy return keeps the buffer in-band,
+        # a falsy one takes it out-of-band.
+        try:
+            view = pb.raw()
+        except BufferError:
+            # Non-contiguous exporter: let pickle serialize it in-band.
+            return True
+        if view.nbytes < INLINE_BUFFER_LIMIT:
+            return True
+        buffers.append(view)
+        return False
+
+    meta = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL, buffer_callback=grab)
+    chunk = max(int(MAX_CHUNK_BYTES), 1)
+    head = HEAD_FIXED.pack(len(buffers), len(meta), chunk) + b"".join(
+        _LEN.pack(v.nbytes) for v in buffers
+    )
+    nbytes = _HEAD_PREFIX.size + len(head) + len(meta) + sum(v.nbytes for v in buffers)
+    return Frame(head, meta, buffers, chunk, nbytes)
+
+
+class _HeadInfo(NamedTuple):
+    head_len: int
+    meta_len: int
+    buf_lens: list[int]
+    chunk: int
+    meta_prefix: memoryview  # metadata bytes that rode in the head message
+
+
+def _split_head(msg0) -> _HeadInfo:
+    """Parse (and validate) a header message; tolerate joined metadata.
+
+    Senders may append the start of the metadata segment to the header
+    message (the small-frame fast path); whatever follows the buffer
+    table is returned as ``meta_prefix``.
+    """
+    view = memoryview(msg0).cast("B") if not isinstance(msg0, memoryview) else msg0
+    if view.nbytes < HEAD_FIXED.size:
+        raise TransportError(f"undecodable frame header ({view.nbytes} B)")
+    nbufs, meta_len, chunk = HEAD_FIXED.unpack_from(view, 0)
+    head_len = HEAD_FIXED.size + nbufs * _LEN.size
+    if nbufs > _MAX_BUFFERS or chunk < 1 or view.nbytes < head_len:
+        raise TransportError(
+            f"undecodable frame header (buffers={nbufs}, chunk={chunk})"
+        )
+    buf_lens = [
+        int(_LEN.unpack_from(view, HEAD_FIXED.size + i * _LEN.size)[0])
+        for i in range(nbufs)
+    ]
+    meta_prefix = view[head_len:]
+    if meta_prefix.nbytes > meta_len:
+        raise TransportError(
+            f"frame desync: {meta_prefix.nbytes} trailing header bytes for a "
+            f"{meta_len} B metadata segment"
+        )
+    return _HeadInfo(head_len, int(meta_len), buf_lens, int(chunk), meta_prefix)
+
+
+def _chunks(segment, chunk: int):
+    """Yield ``segment`` as flat byte views of at most ``chunk`` bytes."""
+    mv = segment if isinstance(segment, memoryview) else memoryview(segment)
+    if mv.nbytes <= chunk:
+        if mv.nbytes:
+            yield mv
+        return
+    for off in range(0, mv.nbytes, chunk):
+        yield mv[off : off + chunk]
+
+
+def _frame_messages(frame: Frame):
+    """Message-oriented wire plan: the first message, then chunked segments.
+
+    Small frames join header + metadata into the first message (one
+    write instead of two); the receiver detects the join from the header
+    lengths, so the two shapes interoperate.
+    """
+    if not frame.buffers and len(frame.head) + len(frame.meta) <= min(
+        frame.chunk, _JOIN_LIMIT
+    ):
+        return frame.head + frame.meta, iter(())
+
+    def rest():
+        yield from _chunks(frame.meta, frame.chunk)
+        for buf in frame.buffers:
+            yield from _chunks(buf, frame.chunk)
+
+    return frame.head, rest()
+
+
+def _frame_total(head_len: int, meta_len: int, buf_lens) -> int:
+    return _HEAD_PREFIX.size + head_len + meta_len + sum(buf_lens)
+
+
 class Channel(abc.ABC):
     """One endpoint of a reliable, ordered, message-oriented link.
 
-    Subclasses implement ``_send_payload``/``_recv_payload`` on raw
-    bytes; serialization and traffic accounting live here so every
-    backend behaves — and counts — identically.
+    Subclasses implement ``_send_frame``/``_recv_frame`` on encoded
+    :class:`Frame` parts; serialization and traffic accounting live here
+    so every backend behaves — and counts — identically.
     """
 
     #: transport name as registered in :data:`TRANSPORTS`
@@ -126,12 +350,13 @@ class Channel(abc.ABC):
         self.messages_sent = 0
         self.messages_received = 0
 
-    # -- abstract byte plumbing ---------------------------------------
+    # -- abstract frame plumbing --------------------------------------
     @abc.abstractmethod
-    def _send_payload(self, payload: bytes) -> None: ...
+    def _send_frame(self, frame: Frame) -> None: ...
 
     @abc.abstractmethod
-    def _recv_payload(self, timeout: float | None) -> bytes: ...
+    def _recv_frame(self, timeout: float | None) -> tuple[int, object, list]:
+        """Return ``(head_len, meta, buffers)`` for one inbound frame."""
 
     @abc.abstractmethod
     def close(self) -> None: ...
@@ -149,15 +374,21 @@ class Channel(abc.ABC):
 
     # -- public message API -------------------------------------------
     def send(self, obj) -> int:
-        """Pickle ``obj`` into one frame and send it; returns frame bytes."""
-        payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
-        self._send_payload(payload)
-        self.bytes_sent += len(payload)
+        """Encode ``obj`` into one frame and send it; returns frame bytes.
+
+        Large contiguous buffers inside ``obj`` (ndarray slabs) leave
+        zero-copy; callers must not mutate them until the peer has
+        received the frame (the halo/trace paths always send freshly
+        materialized slabs, so this never constrains them).
+        """
+        frame = encode_frame(obj)
+        self._send_frame(frame)
+        self.bytes_sent += frame.nbytes
         self.messages_sent += 1
-        return len(payload)
+        return frame.nbytes
 
     def recv(self, timeout: float | None = None):
-        """Receive one frame and unpickle it.
+        """Receive one frame and decode it.
 
         ``timeout`` (seconds) raises :class:`TransportTimeout` when no
         complete frame arrives in time; ``None`` blocks indefinitely.
@@ -166,16 +397,21 @@ class Channel(abc.ABC):
         :class:`TransportError` so servers can drop the connection
         instead of crashing on a stray ``UnpicklingError``.
         """
-        payload = self._recv_payload(timeout)
-        self.bytes_received += len(payload)
+        head_len, meta, buffers = self._recv_frame(timeout)
+        nbytes = _frame_total(
+            head_len,
+            memoryview(meta).nbytes,
+            (memoryview(b).nbytes for b in buffers),
+        )
+        self.bytes_received += nbytes
         self.messages_received += 1
         try:
-            return pickle.loads(payload)
+            return pickle.loads(meta, buffers=buffers)
         except Exception as exc:
-            raise TransportError(f"undecodable frame ({len(payload)} B): {exc}") from exc
+            raise TransportError(f"undecodable frame ({nbytes} B): {exc}") from exc
 
     def traffic(self) -> dict[str, int]:
-        """Cumulative payload-byte/message counters for this endpoint."""
+        """Cumulative logical frame-byte/message counters for this endpoint."""
         return {
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
@@ -207,6 +443,11 @@ class LoopbackChannel(Channel):
     Sends never block (the queue is unbounded), which is what makes the
     single-threaded test usage of the lower-id-sends-first protocol
     well-defined.
+
+    Out-of-band buffers pass **by reference**: the decoded arrays alias
+    the sender's memory, which is the whole point of a zero-copy local
+    hop.  Counters still book the same logical frame bytes as every
+    other backend.
     """
 
     transport = "loopback"
@@ -217,12 +458,12 @@ class LoopbackChannel(Channel):
         self._outbox = outbox
         self._closed = False
 
-    def _send_payload(self, payload: bytes) -> None:
+    def _send_frame(self, frame: Frame) -> None:
         if self._closed:
             raise ChannelClosed("loopback channel is closed")
-        self._outbox.put(payload)
+        self._outbox.put((frame.head, frame.meta, frame.buffers))
 
-    def _recv_payload(self, timeout: float | None) -> bytes:
+    def _recv_frame(self, timeout: float | None):
         if self._closed:
             raise ChannelClosed("loopback channel is closed")
         try:
@@ -233,7 +474,8 @@ class LoopbackChannel(Channel):
             # Propagate for any further reader, then report EOF.
             self._inbox.put(_CLOSED)
             raise ChannelClosed("loopback peer closed the channel")
-        return item
+        head, meta, buffers = item
+        return len(head), meta, buffers
 
     def close(self) -> None:
         if not self._closed:
@@ -253,11 +495,13 @@ def loopback_pair() -> tuple[LoopbackChannel, LoopbackChannel]:
 class PipeChannel(Channel):
     """A ``multiprocessing.connection.Connection`` behind the seam.
 
-    Frames ride ``send_bytes``/``recv_bytes`` (the pipe's own length
-    prefix), so the payload accounting matches the other backends byte
-    for byte.  Picklable the same way a raw ``Connection`` is — i.e. as
-    a ``Process`` argument under any start method — which is how the
-    sharded pool ships a worker its endpoint.
+    Each frame part rides its own ``send_bytes`` (the pipe is message
+    oriented), so slab views go straight from the array to the pipe
+    write with no join copy; the receiver rebuilds each segment with
+    ``recv_bytes_into`` on a preallocated ``bytearray``.  Picklable the
+    same way a raw ``Connection`` is — i.e. as a ``Process`` argument
+    under any start method — which is how the sharded pool ships a
+    worker its endpoint.
     """
 
     transport = "mp-pipe"
@@ -266,19 +510,63 @@ class PipeChannel(Channel):
         super().__init__()
         self._conn = conn
 
-    def _send_payload(self, payload: bytes) -> None:
+    def _send_frame(self, frame: Frame) -> None:
+        first, rest = _frame_messages(frame)
         try:
-            self._conn.send_bytes(payload)
+            self._conn.send_bytes(first)
+            for part in rest:
+                self._conn.send_bytes(part)
         except (BrokenPipeError, EOFError, OSError) as exc:
             raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
 
-    def _recv_payload(self, timeout: float | None) -> bytes:
+    def _wait_readable(self, deadline: float | None) -> None:
+        if deadline is None:
+            return
+        budget = deadline - time.monotonic()
         try:
-            if timeout is not None and not self._conn.poll(timeout):
-                raise TransportTimeout(f"no frame within {timeout}s on pipe channel")
-            return self._conn.recv_bytes()
+            if budget <= 0 or not self._conn.poll(budget):
+                raise TransportTimeout("no complete frame before deadline on pipe channel")
         except (BrokenPipeError, EOFError, OSError) as exc:
             raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+
+    def _recv_segment(self, nbytes: int, chunk: int, deadline: float | None,
+                      prefix: memoryview) -> bytearray:
+        """Reassemble one ``nbytes`` segment from chunked pipe messages."""
+        out = bytearray(nbytes)
+        mv = memoryview(out)
+        pos = prefix.nbytes
+        if pos:
+            mv[:pos] = prefix
+        while pos < nbytes:
+            want = min(chunk, nbytes - pos)
+            self._wait_readable(deadline)
+            try:
+                got = self._conn.recv_bytes_into(mv[pos : pos + want])
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+            except Exception as exc:  # BufferTooShort: sender/receiver desync
+                raise TransportError(f"pipe frame desync: {exc}") from exc
+            if got != want:
+                raise TransportError(
+                    f"pipe frame desync: expected a {want} B chunk, got {got} B"
+                )
+            pos += got
+        return out
+
+    def _recv_frame(self, timeout: float | None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._wait_readable(deadline)
+        try:
+            msg0 = self._conn.recv_bytes()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+        info = _split_head(memoryview(msg0))
+        meta = self._recv_segment(info.meta_len, info.chunk, deadline, info.meta_prefix)
+        empty = memoryview(b"")
+        buffers = [
+            self._recv_segment(n, info.chunk, deadline, empty) for n in info.buf_lens
+        ]
+        return info.head_len, meta, buffers
 
     def close(self) -> None:
         try:
@@ -304,24 +592,31 @@ def pipe_pair(ctx=None) -> tuple[PipeChannel, PipeChannel]:
 
 
 # ----------------------------------------------------------------------
-# tcp: length-prefixed frames over a persistent socket
+# tcp: vectored frames over a persistent socket
 # ----------------------------------------------------------------------
-#: Default ceiling on one TCP ``sendall``.  Generous — a send only stalls
+#: Default ceiling on one TCP send.  Generous — a send only stalls
 #: this long when the peer stops draining entirely — but finite, so a
 #: SIGSTOPped/wedged peer surfaces as a TransportTimeout instead of
 #: hanging the dispatcher or worker forever.
 DEFAULT_SEND_TIMEOUT = 600.0
 
+#: iovec batch per ``sendmsg`` call — far below any platform IOV_MAX,
+#: and forced-chunking tests can produce thousands of views.
+_IOV_BATCH = 64
+
 
 class TcpChannel(Channel):
     """One endpoint of a persistent TCP connection.
 
-    Wire format: an 8-byte big-endian payload length, then the payload.
-    ``nodelay`` (default on) disables Nagle — halo frames are small and
-    latency-bound, and the pairwise protocol serializes round trips.
-    ``buffer_size`` sets ``SO_SNDBUF``/``SO_RCVBUF`` when given (large
-    ``(n_block, B)`` slabs benefit from roomy kernel buffers);
-    ``send_timeout`` bounds each send (see :data:`DEFAULT_SEND_TIMEOUT`).
+    Wire format: a 4-byte big-endian header length, the frame header,
+    then metadata and raw buffer bytes — all written as one vectored
+    ``socket.sendmsg`` batch, so slabs go from array memory to the
+    kernel without an intermediate join.  ``nodelay`` (default on)
+    disables Nagle — halo frames are small and latency-bound, and the
+    pairwise protocol serializes round trips.  ``buffer_size`` sets
+    ``SO_SNDBUF``/``SO_RCVBUF`` when given (large ``(n_block, B)`` slabs
+    benefit from roomy kernel buffers); ``send_timeout`` bounds each
+    send (see :data:`DEFAULT_SEND_TIMEOUT`).
     """
 
     transport = "tcp"
@@ -338,51 +633,86 @@ class TcpChannel(Channel):
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, int(buffer_size))
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, int(buffer_size))
 
-    def _send_payload(self, payload: bytes) -> None:
+    def _sendmsg_all(self, views: list) -> None:
+        """Drain ``views`` (flat byte memoryviews) with vectored writes."""
+        if not hasattr(self._sock, "sendmsg"):  # pragma: no cover - exotic platform
+            for v in views:
+                self._sock.sendall(v)
+            return
+        idx = 0
+        while idx < len(views):
+            sent = self._sock.sendmsg(views[idx : idx + _IOV_BATCH])
+            while sent > 0:
+                v = views[idx]
+                if sent >= v.nbytes:
+                    sent -= v.nbytes
+                    idx += 1
+                else:
+                    views[idx] = v[sent:]
+                    sent = 0
+
+    def _send_frame(self, frame: Frame) -> None:
+        views = [memoryview(_HEAD_PREFIX.pack(len(frame.head)) + frame.head)]
+        views.extend(_chunks(frame.meta, frame.chunk))
+        for buf in frame.buffers:
+            views.extend(_chunks(buf, frame.chunk))
         try:
             # Replace whatever remaining budget a preceding timed recv
             # left on the socket with the send bound — inheriting a
             # near-zero recv budget would abort healthy sends, and an
             # unbounded send would hang on a wedged (not dead) peer.
             self._sock.settimeout(self._send_timeout)
-            self._sock.sendall(_FRAME_HEADER.pack(len(payload)))
-            self._sock.sendall(payload)
+            self._sendmsg_all(views)
         except socket.timeout:
             raise TransportTimeout(
-                f"tcp send of {len(payload)} B made no progress within "
+                f"tcp send of {frame.nbytes} B made no progress within "
                 f"{self._send_timeout}s (peer wedged?)"
             ) from None
         except (BrokenPipeError, ConnectionError, OSError) as exc:
             raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
 
-    def _recv_exact(self, nbytes: int, deadline: float | None) -> bytes:
-        buf = io.BytesIO()
-        remaining = nbytes
-        while remaining:
+    def _recv_exact_into(self, mv: memoryview, deadline: float | None) -> None:
+        pos = 0
+        total = mv.nbytes
+        while pos < total:
             if deadline is not None:
                 budget = deadline - time.monotonic()
                 if budget <= 0:
-                    raise TransportTimeout(f"no complete frame before deadline on tcp channel")
+                    raise TransportTimeout("no complete frame before deadline on tcp channel")
                 self._sock.settimeout(budget)
             else:
                 self._sock.settimeout(None)
             try:
-                chunk = self._sock.recv(min(remaining, 1 << 20))
+                got = self._sock.recv_into(mv[pos:])
             except socket.timeout:
                 raise TransportTimeout("tcp recv timed out mid-frame") from None
             except (ConnectionError, OSError) as exc:
                 raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
-            if not chunk:
+            if not got:
                 raise ChannelClosed("tcp peer closed the connection")
-            buf.write(chunk)
-            remaining -= len(chunk)
-        return buf.getvalue()
+            pos += got
 
-    def _recv_payload(self, timeout: float | None) -> bytes:
+    def _recv_frame(self, timeout: float | None):
         deadline = None if timeout is None else time.monotonic() + timeout
-        header = self._recv_exact(_FRAME_HEADER.size, deadline)
-        (length,) = _FRAME_HEADER.unpack(header)
-        return self._recv_exact(int(length), deadline)
+        prefix = bytearray(_HEAD_PREFIX.size)
+        self._recv_exact_into(memoryview(prefix), deadline)
+        (head_len,) = _HEAD_PREFIX.unpack(prefix)
+        if not HEAD_FIXED.size <= head_len <= _MAX_HEAD_BYTES:
+            raise TransportError(f"undecodable frame header ({head_len} B)")
+        msg0 = bytearray(head_len)
+        self._recv_exact_into(memoryview(msg0), deadline)
+        info = _split_head(memoryview(msg0))
+        meta = bytearray(info.meta_len)
+        mv = memoryview(meta)
+        if info.meta_prefix.nbytes:
+            mv[: info.meta_prefix.nbytes] = info.meta_prefix
+        self._recv_exact_into(mv[info.meta_prefix.nbytes :], deadline)
+        buffers = []
+        for n in info.buf_lens:
+            buf = bytearray(n)
+            self._recv_exact_into(memoryview(buf), deadline)
+            buffers.append(buf)
+        return info.head_len, meta, buffers
 
     def close(self) -> None:
         if not self._closed:
@@ -500,6 +830,197 @@ def tcp_pair(**options) -> tuple[TcpChannel, TcpChannel]:
 
 
 # ----------------------------------------------------------------------
+# mpi: mpi4py point-to-point (import-gated, like the numba backend)
+# ----------------------------------------------------------------------
+#: Poll interval while waiting on a timed MPI probe.
+_MPI_POLL_S = 0.0005
+
+
+def _require_mpi():
+    try:
+        from mpi4py import MPI  # noqa: PLC0415
+    except ImportError as exc:  # pragma: no cover - exercised without mpi4py
+        raise TransportError(
+            "mpi transport requires mpi4py (install it, or pick one of "
+            f"{TRANSPORTS})"
+        ) from exc
+    return MPI
+
+
+class _CommOwner:
+    """Refcounted ownership of a duped communicator shared by a pair."""
+
+    def __init__(self, comm, refs: int = 2):
+        self._comm = comm
+        self._refs = refs
+
+    def release(self) -> None:
+        self._refs -= 1
+        if self._refs == 0:
+            try:
+                self._comm.Free()
+            except Exception:  # pragma: no cover - finalized MPI
+                pass
+
+
+class MpiChannel(Channel):
+    """One endpoint of an ``mpi4py`` point-to-point link.
+
+    Frame parts are posted with nonblocking ``Isend`` (completed
+    requests are reaped opportunistically, so self-pairs and the
+    lower-id-sends-first halo protocol never deadlock on rendezvous)
+    and received with a probe/``Recv``-into sequence that lands each
+    chunk directly in its slice of the preallocated segment.  An
+    explicit zero-length message signals close, standing in for the EOF
+    a socket peer would see.  One endpoint belongs to one thread —
+    probe-then-recv is not atomic across threads sharing a (comm, peer,
+    tag) triple, matching how every other backend is used.
+    """
+
+    transport = "mpi"
+
+    def __init__(self, comm, peer: int, *, send_tag: int = 10, recv_tag: int | None = None,
+                 comm_owner: _CommOwner | None = None):
+        super().__init__()
+        self._MPI = _require_mpi()
+        self._comm = comm
+        self._peer = int(peer)
+        self._send_tag = int(send_tag)
+        self._recv_tag = self._send_tag if recv_tag is None else int(recv_tag)
+        self._pending: list = []  # (request, buffer) keep-alives
+        self._owner = comm_owner
+        self._closed = False
+        self._peer_closed = False
+
+    def _reap(self) -> None:
+        self._pending = [(req, buf) for req, buf in self._pending if not req.Test()]
+
+    def _post(self, part) -> None:
+        req = self._comm.Isend([part, self._MPI.BYTE], dest=self._peer, tag=self._send_tag)
+        self._pending.append((req, part))
+
+    def _send_frame(self, frame: Frame) -> None:
+        if self._closed:
+            raise ChannelClosed("mpi channel is closed")
+        first, rest = _frame_messages(frame)
+        try:
+            self._reap()
+            self._post(first)
+            for part in rest:
+                self._post(part)
+        except ChannelClosed:
+            raise
+        except Exception as exc:
+            raise ChannelClosed(f"mpi send failed: {exc}") from exc
+
+    def _next_message_size(self, deadline: float | None) -> int:
+        """Probe for the next inbound message; returns its byte count."""
+        MPI = self._MPI
+        status = MPI.Status()
+        if deadline is None:
+            self._comm.Probe(source=self._peer, tag=self._recv_tag, status=status)
+        else:
+            while not self._comm.Iprobe(source=self._peer, tag=self._recv_tag, status=status):
+                if time.monotonic() >= deadline:
+                    raise TransportTimeout(
+                        f"no complete frame before deadline on mpi channel "
+                        f"(peer rank {self._peer}, tag {self._recv_tag})"
+                    )
+                time.sleep(_MPI_POLL_S)
+        return status.Get_count(MPI.BYTE)
+
+    def _recv_into(self, mv, deadline: float | None) -> None:
+        """Receive exactly one message into ``mv`` (sizes must match)."""
+        size = self._next_message_size(deadline)
+        if size == 0:
+            self._peer_closed = True
+            # Drain the close marker so repeated recv calls keep reporting EOF.
+            self._comm.Recv([bytearray(0), self._MPI.BYTE],
+                            source=self._peer, tag=self._recv_tag)
+            raise ChannelClosed("mpi peer closed the channel")
+        if size != mv.nbytes:
+            raise TransportError(
+                f"mpi frame desync: expected a {mv.nbytes} B chunk, got {size} B"
+            )
+        self._comm.Recv([mv, self._MPI.BYTE], source=self._peer, tag=self._recv_tag)
+
+    def _recv_frame(self, timeout: float | None):
+        if self._closed:
+            raise ChannelClosed("mpi channel is closed")
+        if self._peer_closed:
+            raise ChannelClosed("mpi peer closed the channel")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            size = self._next_message_size(deadline)
+            if size == 0:
+                self._peer_closed = True
+                self._comm.Recv([bytearray(0), self._MPI.BYTE],
+                                source=self._peer, tag=self._recv_tag)
+                raise ChannelClosed("mpi peer closed the channel")
+            msg0 = bytearray(size)
+            self._comm.Recv([msg0, self._MPI.BYTE], source=self._peer, tag=self._recv_tag)
+        except TransportError:
+            raise
+        except Exception as exc:
+            raise ChannelClosed(f"mpi recv failed: {exc}") from exc
+        info = _split_head(memoryview(msg0))
+        meta = self._recv_segment(info.meta_len, info.chunk, deadline, info.meta_prefix)
+        empty = memoryview(b"")
+        buffers = [
+            self._recv_segment(n, info.chunk, deadline, empty) for n in info.buf_lens
+        ]
+        return info.head_len, meta, buffers
+
+    def _recv_segment(self, nbytes: int, chunk: int, deadline: float | None,
+                      prefix) -> bytearray:
+        out = bytearray(nbytes)
+        mv = memoryview(out)
+        pos = prefix.nbytes
+        if pos:
+            mv[:pos] = prefix
+        while pos < nbytes:
+            want = min(chunk, nbytes - pos)
+            try:
+                self._recv_into(mv[pos : pos + want], deadline)
+            except TransportError:
+                raise
+            except Exception as exc:
+                raise ChannelClosed(f"mpi recv failed: {exc}") from exc
+            pos += want
+        return out
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            # Zero-length message = EOF marker for the peer's reader.
+            self._post(b"")
+        except Exception:  # pragma: no cover - peer/world already gone
+            pass
+        self._reap()
+        if self._owner is not None:
+            self._owner.release()
+
+
+def mpi_pair(comm=None) -> tuple[MpiChannel, MpiChannel]:
+    """Two connected MPI endpoints inside one process (testing/benching).
+
+    Dups ``comm`` (default ``COMM_SELF``) so concurrent pairs never
+    share a tag space, and mirrors the tag pair so each endpoint reads
+    only the other's messages.  Cross-rank channels are built directly
+    via :class:`MpiChannel` (see :mod:`repro.distributed.mpi`).
+    """
+    MPI = _require_mpi()
+    dup = (comm if comm is not None else MPI.COMM_SELF).Dup()
+    owner = _CommOwner(dup)
+    rank = dup.Get_rank()
+    a = MpiChannel(dup, rank, send_tag=11, recv_tag=12, comm_owner=owner)
+    b = MpiChannel(dup, rank, send_tag=12, recv_tag=11, comm_owner=owner)
+    return a, b
+
+
+# ----------------------------------------------------------------------
 # registry + addresses
 # ----------------------------------------------------------------------
 def make_pair(transport: str = "mp-pipe", *, ctx=None, **options) -> tuple[Channel, Channel]:
@@ -507,7 +1028,8 @@ def make_pair(transport: str = "mp-pipe", *, ctx=None, **options) -> tuple[Chann
 
     ``mp-pipe`` accepts ``ctx`` (a multiprocessing context); ``tcp``
     accepts the socket options of :class:`TcpChannel`; ``loopback``
-    takes no options.  This is the seam the local runtimes build their
+    takes no options; ``mpi`` (available when ``mpi4py`` is importable)
+    accepts ``comm``.  This is the seam the local runtimes build their
     worker links through — swapping the string swaps the wire.
     """
     if transport == "mp-pipe":
@@ -520,7 +1042,14 @@ def make_pair(transport: str = "mp-pipe", *, ctx=None, **options) -> tuple[Chann
         if options:
             raise ValueError(f"loopback transport takes no options, got {sorted(options)}")
         return loopback_pair()
-    raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
+    if transport == "mpi":
+        unknown = sorted(set(options) - {"comm"})
+        if unknown:
+            raise ValueError(f"mpi transport takes only 'comm', got {unknown}")
+        return mpi_pair(**options)
+    raise ValueError(
+        f"unknown transport {transport!r}; choose from {TRANSPORTS + OPTIONAL_TRANSPORTS}"
+    )
 
 
 def parse_address(spec: str) -> tuple[str, int]:

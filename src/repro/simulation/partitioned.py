@@ -527,17 +527,22 @@ class PartitionedSimulator:
         Channel backend under process mode's halo links and control
         plane: ``"mp-pipe"`` (default) or ``"tcp"`` (localhost sockets —
         the exact wire a multi-host dispatch uses, so TCP parity on one
-        host certifies the distributed protocol).  Trajectories are
-        bit-for-bit identical across transports.
+        host certifies the distributed protocol).  For HPC clusters the
+        same block loop runs rank-per-block over MPI channels — see
+        :mod:`repro.distributed.mpi`.  Trajectories are bit-for-bit
+        identical across transports.
     stopping / record / keep_snapshots / check_conservation / cons_tol /
     backend:
         As :class:`~repro.simulation.ensemble.EnsembleSimulator`.
 
     After :meth:`run`, :attr:`halo_stats` reports the communication the
     run actually paid: rounds executed, halo values exchanged (ghost
-    values received per round, summed), payload bytes per directed link
+    values received per round, summed), bytes per directed link
     (``"p->q"``; process mode only — in-process ghost gathers move no
-    bytes), and the partition's quality metrics.
+    bytes), and the partition's quality metrics.  Link bytes are
+    *logical frame* bytes — length prefix + header + metadata + raw
+    buffer payload of the transport-independent encoding — so totals
+    are identical on every channel backend and comparable across wires.
     """
 
     DEFAULT_MAX_ROUNDS = 1_000_000

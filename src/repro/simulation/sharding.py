@@ -36,9 +36,10 @@ per-replica generators, initial shard loads) through a per-shard channel
 and ships the finished trace back — ``mp-pipe`` pipes by default, or
 ``tcp`` sockets, the same wire
 :func:`repro.distributed.dispatcher.dispatch_sharded` uses to send the
-*identical* payloads to remote hosts.  Payloads travel by pickle, so
-trials and balancers must be module-level/picklable exactly as
-``monte_carlo(workers=K)`` already requires.
+*identical* payloads to remote hosts.  Payloads travel as protocol-5
+frames (pickled metadata, numpy slabs as zero-copy out-of-band
+buffers), so trials and balancers must be module-level/picklable
+exactly as ``monte_carlo(workers=K)`` already requires.
 """
 
 from __future__ import annotations

@@ -1,0 +1,94 @@
+"""Tests for the rank-per-block MPI runner (skipped without mpi4py).
+
+Single-process tests exercise the rank-0 plumbing on ``COMM_SELF``; the
+end-to-end test launches a real ``mpiexec`` job when one is on PATH (the
+CI mpi leg always runs it).
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.distributed.transport import TransportError, have_mpi
+
+pytestmark = pytest.mark.skipif(not have_mpi(), reason="mpi4py not importable")
+
+
+def _comm_self():
+    from mpi4py import MPI
+
+    return MPI.COMM_SELF
+
+
+class TestRankZeroPlumbing:
+    def test_mpi_available_matches_gate(self):
+        from repro.distributed.mpi import mpi_available
+
+        assert mpi_available() is True
+
+    def test_too_few_ranks_raises_before_shipping(self):
+        """P blocks on a size-1 comm must fail with launch guidance."""
+        from repro.core.diffusion import DiffusionBalancer
+        from repro.distributed.mpi import run_partitioned_mpi
+        from repro.graphs import generators as g
+        from repro.simulation.stopping import MaxRounds
+
+        topo = g.cycle(12)
+        with pytest.raises(TransportError, match="mpiexec -n 3"):
+            run_partitioned_mpi(
+                DiffusionBalancer(topo), np.arange(12, dtype=np.float64),
+                partitions=2, stopping=[MaxRounds(3)], comm=_comm_self(),
+            )
+
+    def test_serve_block_rank_idles_out(self):
+        """An ("idle",) assignment returns without building halo links."""
+        from repro.distributed.mpi import CTRL_TAG, serve_block_rank
+        from repro.distributed.transport import MpiChannel
+
+        comm = _comm_self().Dup()
+        try:
+            poster = MpiChannel(comm, 0, send_tag=CTRL_TAG)
+            poster.send(("idle",))
+            serve_block_rank(comm, timeout=10.0)  # rank 0 == self on COMM_SELF
+            poster.close()
+        finally:
+            comm.Free()
+
+
+@pytest.mark.skipif(shutil.which("mpiexec") is None, reason="no mpiexec on PATH")
+class TestMpiExecEndToEnd:
+    def _launch(self, *extra, ranks=3):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        return subprocess.run(
+            ["mpiexec", "-n", str(ranks), sys.executable, "-m", "repro",
+             "mpi-run", "--balancer", "diffusion", "--topology", "cycle:16",
+             "--partitions", "2", "--rounds", "20", *extra],
+            capture_output=True, text=True, timeout=180,
+            env={"PYTHONPATH": src, "PATH": __import__("os").environ["PATH"]},
+        )
+
+    def test_verify_bit_for_bit(self):
+        out = self._launch("--verify")
+        assert out.returncode == 0, out.stdout + out.stderr
+        assert "verify OK: bit-for-bit identical" in out.stdout
+
+    def test_json_summary(self):
+        out = self._launch("--json")
+        assert out.returncode == 0, out.stdout + out.stderr
+        summary = json.loads(out.stdout)
+        dist = summary["distributed"]
+        assert dist["mode"] == "mpi" and dist["ranks"] == 3
+        assert set(dist["blocks_by_rank"]) == {"rank1", "rank2"}
+        assert dist["halo_bytes"] == sum(dist["links"].values())
+        assert summary["links_per_round"]
+        assert all(v["bytes_sent"] > 0 for v in dist["control_traffic"].values())
+
+    def test_surplus_ranks_idle_out(self):
+        out = self._launch(ranks=4)
+        assert out.returncode == 0, out.stdout + out.stderr
+        assert "rounds" in out.stdout

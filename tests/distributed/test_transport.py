@@ -1,20 +1,22 @@
 """Unit tests for the transport seam: framing, accounting, protocol."""
 
-import pickle
 import threading
 import time
 
 import numpy as np
 import pytest
 
+import repro.distributed.transport as transport
 from repro.distributed.transport import (
     PROTOCOL_VERSION,
-    TRANSPORTS,
     ChannelClosed,
     TcpListener,
     TransportError,
     TransportTimeout,
+    available_transports,
+    encode_frame,
     format_address,
+    have_mpi,
     loopback_pair,
     make_pair,
     parse_address,
@@ -23,8 +25,9 @@ from repro.distributed.transport import (
 )
 
 #: transports whose pair() endpoints both live in this process (mp-pipe
-#: pairs do too until a Process inherits one end).
-ALL_PAIRS = ["loopback", "mp-pipe", "tcp"]
+#: pairs do too until a Process inherits one end; mpi self-pairs join
+#: whenever mpi4py is importable).
+ALL_PAIRS = list(available_transports())
 
 
 @pytest.fixture(params=ALL_PAIRS, ids=ALL_PAIRS)
@@ -80,9 +83,20 @@ class TestFraming:
         assert n > 0 and a.bytes_sent == n and a.messages_sent == 1
         b.recv(timeout=10.0)
         assert b.bytes_received == n and b.messages_received == 1
-        # Counters are payload bytes of the same pickle on every
-        # transport, so bench rows are comparable across wires.
-        assert n == len(pickle.dumps({"x": np.arange(100)}, protocol=5))
+        # Counters are the logical frame bytes (length prefix + header +
+        # metadata + out-of-band buffers) of the same transport-
+        # independent encoding on every backend, so bench rows are
+        # comparable across wires.
+        assert n == encode_frame({"x": np.arange(100)}).nbytes
+
+    def test_large_buffers_leave_the_pickle_stream(self):
+        """Slab-sized arrays ride out-of-band; small ones stay in-band."""
+        slab = np.arange(131072, dtype=np.float64)
+        frame = encode_frame({"slab": slab, "tiny": np.arange(4)})
+        assert len(frame.buffers) == 1
+        assert frame.buffers[0].nbytes == slab.nbytes
+        assert len(frame.meta) < slab.nbytes // 100  # slab bytes not re-pickled
+        assert encode_frame(np.arange(4)).buffers == []
 
     def test_timeout_raises(self, pair):
         a, b = pair
@@ -189,8 +203,74 @@ class TestAddresses:
     def test_unknown_transport_rejected(self):
         with pytest.raises(ValueError, match="unknown transport"):
             make_pair("smoke-signals")
-        assert set(ALL_PAIRS) == set(TRANSPORTS)
+        assert set(ALL_PAIRS) == set(available_transports())
+        assert set(transport.TRANSPORTS) <= set(ALL_PAIRS)
+
+    def test_mpi_transport_gated_on_mpi4py(self):
+        assert ("mpi" in available_transports()) == have_mpi()
+        if not have_mpi():
+            with pytest.raises(TransportError, match="requires mpi4py"):
+                make_pair("mpi")
 
     def test_transport_option_validation(self):
         with pytest.raises(ValueError, match="no options"):
             make_pair("loopback", nodelay=True)
+
+
+class TestChunking:
+    """Forced chunking: a tiny MAX_CHUNK_BYTES must change the wire
+    geometry (many chunk messages per frame) but nothing observable."""
+
+    @pytest.fixture(autouse=True)
+    def tiny_chunks(self, monkeypatch):
+        monkeypatch.setattr(transport, "MAX_CHUNK_BYTES", 64)
+
+    def test_chunk_size_recorded_in_header(self):
+        frame = encode_frame(np.arange(8192, dtype=np.int64))
+        assert frame.chunk == 64
+        # > 1000 chunks for the 64 KiB buffer at 64 B per chunk.
+        assert frame.buffers[0].nbytes // frame.chunk > 1000
+
+    @pytest.mark.parametrize("t", ALL_PAIRS)
+    def test_multi_chunk_reassembly(self, t):
+        a, b = make_pair(t)
+        rng = np.random.default_rng(7)
+        payload = {
+            "slab": rng.integers(-1000, 1000, (321, 17)),
+            "floats": rng.standard_normal(4099),
+            "blob": bytes(rng.integers(0, 256, 10_001, dtype=np.uint8)),
+            "small": list(range(40)),
+        }
+        box = {}
+        reader = threading.Thread(target=lambda: box.update(got=b.recv(timeout=30.0)))
+        reader.start()
+        n = a.send(payload)
+        reader.join(timeout=30)
+        assert not reader.is_alive()
+        got = box["got"]
+        assert np.array_equal(got["slab"], payload["slab"])
+        assert np.array_equal(got["floats"], payload["floats"])
+        assert got["blob"] == payload["blob"] and got["small"] == payload["small"]
+        assert a.bytes_sent == b.bytes_received == n
+        a.close(), b.close()
+
+    def test_chunked_totals_match_unchunked(self, monkeypatch):
+        """The chunk limit changes wire geometry, never the byte totals."""
+        payload = {"slab": np.arange(5000, dtype=np.float64)}
+        tiny = encode_frame(payload).nbytes
+        monkeypatch.setattr(transport, "MAX_CHUNK_BYTES", 64 * 1024 * 1024)
+        assert tiny == encode_frame(payload).nbytes
+
+    def test_sender_chunk_size_wins(self):
+        """Receivers follow the header's chunk size, so peers patched to
+        different limits still interoperate (as forked workers might be)."""
+        a, b = make_pair("mp-pipe")
+        # Small enough that its ~36 chunk messages fit the pipe buffer
+        # (per-message skb overhead makes tiny chunks expensive), so the
+        # single-threaded send cannot block.
+        payload = np.arange(256, dtype=np.int64)
+        n = a.send(payload)
+        transport.MAX_CHUNK_BYTES = 1 << 20  # receiver-side value differs
+        got = b.recv(timeout=10.0)
+        assert np.array_equal(got, payload) and b.bytes_received == n
+        a.close(), b.close()

@@ -423,6 +423,69 @@ class TestTransportParity:
                     assert np.array_equal(snaps, ref), f"{mode}: {transport} diverged"
                     assert stats == ref_bytes, f"{mode}: {transport} accounting diverged"
 
+    def test_channel_byte_totals_identical_across_all_channels(self):
+        """Every channel — mpi included when importable — books the same
+        logical frame bytes for the same payloads: the counters meter the
+        transport-independent encoding, not the wire."""
+        import threading
+
+        from repro.distributed.transport import (
+            available_transports,
+            encode_frame,
+            make_pair,
+        )
+
+        rng = np.random.default_rng(46)
+        payloads = [
+            ("run", 12, None),
+            {"slab": rng.standard_normal((160, 820))},  # ~1 MB out-of-band
+            rng.integers(0, 9, 300),
+        ]
+        expected = sum(encode_frame(p).nbytes for p in payloads)
+        totals = {}
+        for transport in available_transports():
+            a, b = make_pair(transport)
+            reader = threading.Thread(
+                target=lambda: [b.recv(timeout=30.0) for _ in payloads]
+            )
+            reader.start()
+            for p in payloads:
+                a.send(p)
+            reader.join(timeout=30)
+            assert not reader.is_alive(), f"{transport}: receiver wedged"
+            totals[transport] = (a.bytes_sent, b.bytes_received)
+            a.close(), b.close()
+        for transport, (sent, received) in totals.items():
+            assert sent == received == expected, (
+                f"{transport}: booked {sent}/{received} B, expected {expected}"
+            )
+
+    def test_forced_chunking_preserves_trajectories(self, monkeypatch):
+        """A tiny MAX_CHUNK_BYTES reshapes frames into many wire chunks;
+        trajectories and byte accounting must not notice (forked workers
+        inherit the patched value)."""
+        import repro.distributed.transport as transport
+        from repro.simulation.partitioned import PROCESS_TRANSPORTS, PartitionedSimulator
+
+        topo = g.torus_2d(5, 5)
+        loads = _float_batch(topo.n, B, seed=45)[0]
+
+        def run(wire):
+            psim = PartitionedSimulator(
+                DiffusionBalancer(topo, mode="continuous"), partitions=3,
+                strategy="bfs", stopping=[MaxRounds(self.ROUNDS)],
+                keep_snapshots=True, mode="process", transport=wire,
+            )
+            trace = psim.run(loads.copy())
+            return np.asarray(trace.snapshots), psim.halo_stats["halo_bytes"]
+
+        ref_snaps, ref_bytes = run("mp-pipe")  # unchunked reference
+        monkeypatch.setattr(transport, "MAX_CHUNK_BYTES", 512)
+        for wire in PROCESS_TRANSPORTS:
+            snaps, nbytes = run(wire)
+            assert np.array_equal(snaps, ref_snaps), f"{wire} diverged under chunking"
+            assert nbytes == ref_bytes, f"{wire} accounting changed under chunking"
+
     def test_sharded_trajectories_identical_across_transports(self):
         from repro.simulation.sharding import SHARD_TRANSPORTS, run_sharded_ensemble
 
