@@ -203,9 +203,15 @@ class FirstOrderBalancer(Balancer):
         """FOS runs on a fixed graph; every partitioned round uses it."""
         return self.topology
 
-    def block_step(self, local, ext_loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def block_step(
+        self,
+        local,
+        ext_loads: np.ndarray,
+        out: np.ndarray | None = None,
+        rows: str | None = None,
+    ) -> np.ndarray:
         """One continuous FOS round on one partition block (``I - alpha L`` rows)."""
-        return local.fos_round(self.alpha, ext_loads, out)
+        return local.fos_round(self.alpha, ext_loads, out, rows=rows)
 
 
 @register_balancer("fos")

@@ -458,7 +458,11 @@ def _cmd_partition_info(args: argparse.Namespace) -> int:
         # Report the *requested* strategy: two strategies can produce the
         # same assignment (e.g. on hypercubes), in which case the cached
         # partition carries whichever label built it first.
-        rows.append({**m, "spec": spec, "strategy": strategy})
+        rows.append({
+            **m, "spec": spec, "strategy": strategy,
+            "interior_by_block": [int(i.size) for i in part.interior_owned],
+            "boundary_by_block": [int(b.size) for b in part.boundary_owned],
+        })
     if args.json:
         print(json.dumps({"topology": topo.name, "n": topo.n, "m": topo.m,
                           "partitions": rows}, indent=2))
@@ -468,17 +472,23 @@ def _cmd_partition_info(args: argparse.Namespace) -> int:
         [
             "spec", "blocks", "strategy", "block_min", "block_max",
             "imbalance", "edge_cut", "cut_frac", "halo_volume", "max_halo",
+            "interior", "boundary", "bound_frac",
         ],
     )
     for m in rows:
         table.add_row(
             m["spec"], m["blocks"], m["strategy"], m["block_min"], m["block_max"],
             m["imbalance"], m["edge_cut"], m["cut_fraction"], m["halo_volume"], m["max_halo"],
+            "/".join(str(i) for i in m["interior_by_block"]),
+            "/".join(str(b) for b in m["boundary_by_block"]),
+            m["boundary_fraction"],
         )
     print(table.to_text())
     print(
         "\nedge_cut: edges crossing blocks; halo_volume: ghost values exchanged "
-        "per round; imbalance: max/mean block size (1.0 = even)."
+        "per round; imbalance: max/mean block size (1.0 = even);\n"
+        "interior/boundary: per-block owned rows computable before/after the "
+        "halo arrives (communication/computation overlap headroom)."
     )
     return 0
 

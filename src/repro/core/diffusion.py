@@ -192,11 +192,17 @@ class DiffusionBalancer(Balancer):
         """Round ``k``'s graph for the partitioned runtime (dynamic-aware)."""
         return self.topology_for_round(k)
 
-    def block_step(self, local, ext_loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def block_step(
+        self,
+        local,
+        ext_loads: np.ndarray,
+        out: np.ndarray | None = None,
+        rows: str | None = None,
+    ) -> np.ndarray:
         """One Algorithm-1 round on one partition block's extended loads."""
         if self.mode == DISCRETE:
-            return local.round_discrete(ext_loads, out)
-        return local.round_continuous(ext_loads, out)
+            return local.round_discrete(ext_loads, out, rows=rows)
+        return local.round_continuous(ext_loads, out, rows=rows)
 
 
 @register_balancer("diffusion")

@@ -135,7 +135,13 @@ class Balancer(ABC):
         """
         raise NotImplementedError(f"{type(self).__name__} does not support partitioned stepping")
 
-    def block_step(self, local, ext_loads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def block_step(
+        self,
+        local,
+        ext_loads: np.ndarray,
+        out: np.ndarray | None = None,
+        rows: str | None = None,
+    ) -> np.ndarray:
         """One round of this scheme on one partition block.
 
         ``local`` is a :class:`~repro.simulation.partitioned.BlockLocal`
@@ -146,6 +152,15 @@ class Balancer(ABC):
         row ``i`` must be **bit-for-bit** what a global :meth:`step_batch`
         would put at the corresponding global node.  Schemes opt in by
         overriding this and setting ``supports_partition``.
+
+        ``rows`` selects a row subset for split-phase execution:
+        ``None`` computes every owned row, ``"interior"`` only rows whose
+        operator support lies on owned columns (computable before the
+        halo arrives), ``"boundary"`` only rows touching ghost columns.
+        Subset calls update exactly those rows of ``out`` and must
+        produce the same per-row values as a full call — row updates are
+        independent given the extended vector, which is what makes the
+        communication/computation overlap bit-for-bit safe.
         """
         raise NotImplementedError(f"{type(self).__name__} does not support partitioned stepping")
 

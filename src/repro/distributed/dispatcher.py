@@ -220,6 +220,8 @@ class _RemoteBlockExecutor:
                     sim.backend,
                     want_disc,
                     want_mov,
+                    getattr(sim, "overlap", False),
+                    getattr(sim, "delta_frames", False),
                 )
                 for p in self.blocks_of[w]
             }

@@ -97,6 +97,8 @@ class _MpiBlockExecutor:
                 sim.backend,
                 want_disc,
                 want_mov,
+                getattr(sim, "overlap", False),
+                getattr(sim, "delta_frames", False),
             )
             ch.send(("block", payload))
 

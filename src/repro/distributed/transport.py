@@ -12,6 +12,25 @@ all of them one :class:`Channel` contract:
     split or merge frames — the property the deadlock-free pairwise halo
     protocol (lower block id sends first, links walked in ascending peer
     order) relies on.
+``send_nowait(obj)`` / ``poll(timeout)`` / ``flush(timeout)``
+    The split-phase primitives.  ``send_nowait`` books and enqueues a
+    frame, writes as much as the OS accepts *without blocking*, and
+    returns — residue sits in a per-channel FIFO backlog.  Every
+    ``recv`` on the same endpoint pumps the backlog while it waits, so
+    two peers that both posted large sends first still drain each other
+    (no head-to-head write deadlock); ``flush`` blocks until the backlog
+    is fully written and MUST be called before abandoning the channel to
+    a quiet period (e.g. before a worker stops receiving to report
+    stats), and ``poll`` answers "is a frame ready?" without consuming
+    it.  Queue- and MPI-backed channels never block on send, so for them
+    ``send_nowait`` is plain ``send`` and ``flush`` is a no-op.
+``recv_into(out, timeout)``
+    ``recv`` with a caller-supplied landing zone: when the inbound frame
+    carries exactly one out-of-band buffer whose size matches ``out``'s
+    memory, the bytes are received straight into ``out`` (the decoded
+    array aliases it — zero copies on the receive path).  Otherwise it
+    degrades to a plain ``recv``; callers detect which happened with
+    ``np.shares_memory``.
 ``bytes_sent`` / ``bytes_received`` / ``messages_sent`` / ``messages_received``
     Logical frame-byte accounting on every channel, maintained by the
     base class so every backend reports identically — the per-link
@@ -99,11 +118,14 @@ from __future__ import annotations
 
 import abc
 import importlib.util
+import os
 import pickle
 import queue
+import select
 import socket
 import struct
 import time
+from collections import deque
 from typing import NamedTuple
 
 __all__ = [
@@ -138,8 +160,10 @@ __all__ = [
 #: Rendezvous protocol version spoken by ``repro-lb worker``/``dispatch``.
 #: Bumped on any wire-visible change; mismatched peers refuse the job at
 #: handshake time instead of failing mid-run.  Version 2 introduced the
-#: out-of-band frame format described in the module docstring.
-PROTOCOL_VERSION = 2
+#: out-of-band frame format described in the module docstring; version 3
+#: extended the partition block payload with the split-phase overlap and
+#: delta-frame flags.
+PROTOCOL_VERSION = 3
 
 #: Channel backends that are always available (the core ``transport=``
 #: choices).  ``mpi`` joins via :func:`available_transports` when
@@ -355,8 +379,19 @@ class Channel(abc.ABC):
     def _send_frame(self, frame: Frame) -> None: ...
 
     @abc.abstractmethod
-    def _recv_frame(self, timeout: float | None) -> tuple[int, object, list]:
-        """Return ``(head_len, meta, buffers)`` for one inbound frame."""
+    def _recv_frame(self, timeout: float | None, alloc=None) -> tuple[int, object, list]:
+        """Return ``(head_len, meta, buffers)`` for one inbound frame.
+
+        ``alloc(index, nbytes)``, when given, may return a writable flat
+        byte ``memoryview`` to receive out-of-band buffer ``index``
+        directly into (or ``None`` to fall back to a fresh allocation) —
+        the hook behind :meth:`recv_into`.
+        """
+
+    def _send_frame_nowait(self, frame: Frame) -> None:
+        """Hand ``frame`` to the OS without blocking; backends whose
+        writes can block override this to enqueue + pump a backlog."""
+        self._send_frame(frame)
 
     @abc.abstractmethod
     def close(self) -> None: ...
@@ -387,6 +422,39 @@ class Channel(abc.ABC):
         self.messages_sent += 1
         return frame.nbytes
 
+    def send_nowait(self, obj) -> int:
+        """Like :meth:`send`, but never blocks on a full pipe/socket.
+
+        The frame is booked and enqueued; whatever the OS will not take
+        immediately stays in this channel's backlog, which every
+        subsequent ``recv``/``poll``/``send*`` on this endpoint pumps
+        opportunistically.  Call :meth:`flush` before the channel goes
+        quiet (no further calls for a while), or the residue never
+        drains.  Same zero-copy caveat as :meth:`send` — plus the
+        backlog holds *views* of the payload, so the don't-mutate window
+        lasts until the backlog empties.
+        """
+        frame = encode_frame(obj)
+        self._send_frame_nowait(frame)
+        self.bytes_sent += frame.nbytes
+        self.messages_sent += 1
+        return frame.nbytes
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Block until every ``send_nowait`` backlog byte is written.
+
+        No-op on backends whose sends never block (loopback queues, MPI
+        nonblocking posts).
+        """
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when an inbound frame (or its first bytes) is ready.
+
+        ``timeout`` seconds of waiting at most; ``0`` is a pure check.
+        Pumps any outbound backlog while it waits.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not implement poll")
+
     def recv(self, timeout: float | None = None):
         """Receive one frame and decode it.
 
@@ -397,7 +465,35 @@ class Channel(abc.ABC):
         :class:`TransportError` so servers can drop the connection
         instead of crashing on a stray ``UnpicklingError``.
         """
-        head_len, meta, buffers = self._recv_frame(timeout)
+        return self._recv(timeout, None)
+
+    def recv_into(self, out, timeout: float | None = None):
+        """Receive one frame, landing its payload directly in ``out``.
+
+        When the frame carries exactly one out-of-band buffer whose byte
+        count equals ``out``'s (``out`` must expose a writable
+        C-contiguous buffer — an ndarray slab slice), the wire bytes are
+        received straight into ``out``'s memory and the decoded array
+        aliases it.  Any other frame shape decodes normally; callers
+        check ``np.shares_memory(decoded, out)`` and copy on the slow
+        path.  Loopback passes buffers by reference, so it always takes
+        the slow path.
+        """
+        try:
+            view = memoryview(out)
+            view = view.cast("B") if view.contiguous and not view.readonly else None
+        except (BufferError, TypeError):
+            view = None
+
+        def alloc(index: int, nbytes: int):
+            if index == 0 and view is not None and nbytes == view.nbytes:
+                return view
+            return None
+
+        return self._recv(timeout, alloc)
+
+    def _recv(self, timeout: float | None, alloc):
+        head_len, meta, buffers = self._recv_frame(timeout, alloc)
         nbytes = _frame_total(
             head_len,
             memoryview(meta).nbytes,
@@ -463,7 +559,23 @@ class LoopbackChannel(Channel):
             raise ChannelClosed("loopback channel is closed")
         self._outbox.put((frame.head, frame.meta, frame.buffers))
 
-    def _recv_frame(self, timeout: float | None):
+    # Queue puts never block, so send_nowait is plain send and flush is
+    # the base-class no-op.
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._closed:
+            raise ChannelClosed("loopback channel is closed")
+        deadline = time.monotonic() + timeout if timeout > 0 else None
+        while True:
+            if not self._inbox.empty():
+                return True
+            if deadline is None or time.monotonic() >= deadline:
+                return not self._inbox.empty()
+            time.sleep(0.0005)
+
+    def _recv_frame(self, timeout: float | None, alloc=None):
+        # alloc is ignored: buffers pass by reference, there is nothing
+        # to receive "into" (recv_into degrades to a caller-side copy).
         if self._closed:
             raise ChannelClosed("loopback channel is closed")
         try:
@@ -492,16 +604,28 @@ def loopback_pair() -> tuple[LoopbackChannel, LoopbackChannel]:
 # ----------------------------------------------------------------------
 # mp-pipe: multiprocessing pipe pair
 # ----------------------------------------------------------------------
+#: Poll slice while a channel pumps its outbound backlog inside a recv —
+#: short enough that a peer blocked mid-frame on us drains promptly.
+_PUMP_SLICE_S = 0.05
+
+_PIPE_PREFIX = struct.Struct("!i")
+_PIPE_LONG = struct.Struct("!Q")
+
+
 class PipeChannel(Channel):
     """A ``multiprocessing.connection.Connection`` behind the seam.
 
-    Each frame part rides its own ``send_bytes`` (the pipe is message
+    Each frame part rides as its own pipe message (the pipe is message
     oriented), so slab views go straight from the array to the pipe
     write with no join copy; the receiver rebuilds each segment with
-    ``recv_bytes_into`` on a preallocated ``bytearray``.  Picklable the
-    same way a raw ``Connection`` is — i.e. as a ``Process`` argument
-    under any start method — which is how the sharded pool ships a
-    worker its endpoint.
+    ``recv_bytes_into`` on a preallocated buffer.  Writes go through
+    ``os.write`` with ``Connection``'s exact message framing (a 4-byte
+    ``!i`` length prefix, the large-message escape above 2 GiB) so the
+    channel can toggle the fd nonblocking for :meth:`send_nowait`'s
+    backlog pump while staying wire-compatible with ``recv_bytes``.
+    Picklable the same way a raw ``Connection`` is — i.e. as a
+    ``Process`` argument under any start method — which is how the
+    sharded pool ships a worker its endpoint.
     """
 
     transport = "mp-pipe"
@@ -509,62 +633,189 @@ class PipeChannel(Channel):
     def __init__(self, conn):
         super().__init__()
         self._conn = conn
+        #: pending outbound wire views (flat bytes, FIFO)
+        self._backlog: deque = deque()
+
+    # -- outbound: Connection-framed wire views + backlog pump ---------
+    @staticmethod
+    def _wire_views(part):
+        """``part`` as wire views matching ``Connection._send_bytes``."""
+        mv = part if isinstance(part, memoryview) else memoryview(part)
+        n = mv.nbytes
+        if n > 0x7FFFFFFF:  # pragma: no cover - needs a >2 GiB message
+            yield memoryview(_PIPE_PREFIX.pack(-1) + _PIPE_LONG.pack(n))
+            yield mv
+        elif n > 16384:
+            yield memoryview(_PIPE_PREFIX.pack(n))
+            yield mv
+        else:
+            # Small message: join prefix + payload (one syscall), exactly
+            # like Connection does for wire compatibility.
+            yield memoryview(_PIPE_PREFIX.pack(n) + mv.tobytes())
+
+    def _enqueue(self, frame: Frame) -> None:
+        first, rest = _frame_messages(frame)
+        self._backlog.extend(self._wire_views(first))
+        for part in rest:
+            self._backlog.extend(self._wire_views(part))
+
+    def _pump(self) -> bool:
+        """Write backlog bytes until the pipe would block; True = empty."""
+        if not self._backlog:
+            return True
+        try:
+            fd = self._conn.fileno()
+            os.set_blocking(fd, False)
+        except OSError as exc:
+            raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+        try:
+            while self._backlog:
+                view = self._backlog[0]
+                try:
+                    n = os.write(fd, view)
+                except BlockingIOError:
+                    return False
+                except (BrokenPipeError, OSError) as exc:
+                    raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+                if n == view.nbytes:
+                    self._backlog.popleft()
+                else:
+                    self._backlog[0] = view[n:]
+        finally:
+            try:
+                os.set_blocking(fd, True)
+            except OSError:  # pragma: no cover - closed mid-pump
+                pass
+        return True
+
+    def _send_frame_nowait(self, frame: Frame) -> None:
+        self._enqueue(frame)
+        self._pump()
 
     def _send_frame(self, frame: Frame) -> None:
-        first, rest = _frame_messages(frame)
+        self._enqueue(frame)
+        self.flush()
+
+    def flush(self, timeout: float | None = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._pump():
+            budget = None
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise TransportTimeout(
+                        f"pipe send backlog made no progress within {timeout}s"
+                    )
+            try:
+                select.select([], [self._conn.fileno()], [], budget)
+            except OSError as exc:
+                raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._backlog:
+            self._pump()
         try:
-            self._conn.send_bytes(first)
-            for part in rest:
-                self._conn.send_bytes(part)
+            return bool(self._conn.poll(timeout))
         except (BrokenPipeError, EOFError, OSError) as exc:
             raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
 
+    # -- inbound: pump-aware incremental reads -------------------------
+    # ``Connection.recv_bytes_into`` blocks for the *whole* message, so a
+    # peer waiting on our backlog could deadlock us mid-message.  The
+    # channel reads the (Connection-framed) stream itself with short
+    # ``os.readv`` slices instead, pumping the outbound backlog between
+    # reads — progress on both directions is guaranteed as long as each
+    # endpoint is either reading or flushing.
     def _wait_readable(self, deadline: float | None) -> None:
-        if deadline is None:
-            return
-        budget = deadline - time.monotonic()
-        try:
-            if budget <= 0 or not self._conn.poll(budget):
+        while True:
+            if self._backlog:
+                self._pump()
+            budget = None if deadline is None else deadline - time.monotonic()
+            if budget is not None and budget <= 0:
                 raise TransportTimeout("no complete frame before deadline on pipe channel")
-        except (BrokenPipeError, EOFError, OSError) as exc:
-            raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+            if self._backlog:
+                # Outbound residue pending: wait in short slices, pumping
+                # between them, so a peer blocked mid-frame on us drains.
+                piece = _PUMP_SLICE_S if budget is None else min(_PUMP_SLICE_S, budget)
+            else:
+                piece = budget
+            try:
+                if self._conn.poll(piece):
+                    return
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+            if not self._backlog and budget is not None:
+                raise TransportTimeout("no complete frame before deadline on pipe channel")
+
+    def _read_exact(self, mv: memoryview, deadline: float | None) -> None:
+        """Read exactly ``mv.nbytes`` stream bytes into ``mv``."""
+        pos = 0
+        total = mv.nbytes
+        while pos < total:
+            self._wait_readable(deadline)
+            try:
+                got = os.readv(self._conn.fileno(), [mv[pos:]])
+            except BlockingIOError:  # pragma: no cover - raced a pump toggle
+                continue
+            except OSError as exc:
+                raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+            if got == 0:
+                raise ChannelClosed("pipe peer closed the connection")
+            pos += got
+
+    def _read_message_size(self, deadline: float | None) -> int:
+        """Read one Connection message length prefix."""
+        hdr = bytearray(_PIPE_PREFIX.size)
+        self._read_exact(memoryview(hdr), deadline)
+        (n,) = _PIPE_PREFIX.unpack(hdr)
+        if n == -1:  # pragma: no cover - needs a >2 GiB message
+            big = bytearray(_PIPE_LONG.size)
+            self._read_exact(memoryview(big), deadline)
+            (n,) = _PIPE_LONG.unpack(big)
+        if n < 0:
+            raise TransportError(f"pipe frame desync: negative message size {n}")
+        return n
 
     def _recv_segment(self, nbytes: int, chunk: int, deadline: float | None,
-                      prefix: memoryview) -> bytearray:
-        """Reassemble one ``nbytes`` segment from chunked pipe messages."""
-        out = bytearray(nbytes)
-        mv = memoryview(out)
+                      prefix: memoryview, target: memoryview | None = None):
+        """Reassemble one ``nbytes`` segment from chunked pipe messages.
+
+        ``target``, when given, is a preallocated writable byte view the
+        segment lands in (the :meth:`recv_into` fast path); otherwise a
+        fresh ``bytearray`` is allocated.
+        """
+        out = bytearray(nbytes) if target is None else target
+        mv = memoryview(out) if target is None else target
         pos = prefix.nbytes
         if pos:
             mv[:pos] = prefix
         while pos < nbytes:
             want = min(chunk, nbytes - pos)
-            self._wait_readable(deadline)
-            try:
-                got = self._conn.recv_bytes_into(mv[pos : pos + want])
-            except (BrokenPipeError, EOFError, OSError) as exc:
-                raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
-            except Exception as exc:  # BufferTooShort: sender/receiver desync
-                raise TransportError(f"pipe frame desync: {exc}") from exc
+            got = self._read_message_size(deadline)
             if got != want:
                 raise TransportError(
                     f"pipe frame desync: expected a {want} B chunk, got {got} B"
                 )
+            self._read_exact(mv[pos : pos + want], deadline)
             pos += got
         return out
 
-    def _recv_frame(self, timeout: float | None):
+    def _recv_frame(self, timeout: float | None, alloc=None):
         deadline = None if timeout is None else time.monotonic() + timeout
-        self._wait_readable(deadline)
-        try:
-            msg0 = self._conn.recv_bytes()
-        except (BrokenPipeError, EOFError, OSError) as exc:
-            raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+        n0 = self._read_message_size(deadline)
+        if not HEAD_FIXED.size <= n0 <= _MAX_HEAD_BYTES:
+            raise TransportError(f"undecodable frame header ({n0} B)")
+        msg0 = bytearray(n0)
+        self._read_exact(memoryview(msg0), deadline)
         info = _split_head(memoryview(msg0))
         meta = self._recv_segment(info.meta_len, info.chunk, deadline, info.meta_prefix)
         empty = memoryview(b"")
         buffers = [
-            self._recv_segment(n, info.chunk, deadline, empty) for n in info.buf_lens
+            self._recv_segment(
+                n, info.chunk, deadline, empty,
+                target=alloc(i, n) if alloc is not None else None,
+            )
+            for i, n in enumerate(info.buf_lens)
         ]
         return info.head_len, meta, buffers
 
@@ -628,63 +879,116 @@ class TcpChannel(Channel):
         self._sock = sock
         self._closed = False
         self._send_timeout = send_timeout
+        #: pending outbound wire views (flat bytes, FIFO)
+        self._backlog: deque = deque()
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1 if nodelay else 0)
         if buffer_size is not None:
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, int(buffer_size))
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, int(buffer_size))
 
-    def _sendmsg_all(self, views: list) -> None:
-        """Drain ``views`` (flat byte memoryviews) with vectored writes."""
-        if not hasattr(self._sock, "sendmsg"):  # pragma: no cover - exotic platform
-            for v in views:
-                self._sock.sendall(v)
-            return
-        idx = 0
-        while idx < len(views):
-            sent = self._sock.sendmsg(views[idx : idx + _IOV_BATCH])
-            while sent > 0:
-                v = views[idx]
-                if sent >= v.nbytes:
-                    sent -= v.nbytes
-                    idx += 1
-                else:
-                    views[idx] = v[sent:]
-                    sent = 0
+    # -- outbound: backlog + nonblocking vectored pump -----------------
+    def _enqueue(self, frame: Frame) -> None:
+        self._backlog.append(memoryview(_HEAD_PREFIX.pack(len(frame.head)) + frame.head))
+        self._backlog.extend(_chunks(frame.meta, frame.chunk))
+        for buf in frame.buffers:
+            self._backlog.extend(_chunks(buf, frame.chunk))
+
+    def _pump(self) -> bool:
+        """Vectored-write backlog until the socket would block; True = empty."""
+        if not self._backlog:
+            return True
+        try:
+            self._sock.settimeout(0)
+        except OSError as exc:
+            raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
+        try:
+            while self._backlog:
+                batch = [self._backlog[i] for i in range(min(_IOV_BATCH, len(self._backlog)))]
+                try:
+                    if hasattr(self._sock, "sendmsg"):
+                        sent = self._sock.sendmsg(batch)
+                    else:  # pragma: no cover - exotic platform
+                        sent = self._sock.send(batch[0])
+                except (BlockingIOError, InterruptedError):
+                    return False
+                except (BrokenPipeError, ConnectionError, OSError) as exc:
+                    raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
+                while sent > 0:
+                    v = self._backlog[0]
+                    if sent >= v.nbytes:
+                        sent -= v.nbytes
+                        self._backlog.popleft()
+                    else:
+                        self._backlog[0] = v[sent:]
+                        sent = 0
+        finally:
+            try:
+                self._sock.settimeout(None)
+            except OSError:  # pragma: no cover - closed mid-pump
+                pass
+        return True
+
+    def _send_frame_nowait(self, frame: Frame) -> None:
+        self._enqueue(frame)
+        self._pump()
 
     def _send_frame(self, frame: Frame) -> None:
-        views = [memoryview(_HEAD_PREFIX.pack(len(frame.head)) + frame.head)]
-        views.extend(_chunks(frame.meta, frame.chunk))
-        for buf in frame.buffers:
-            views.extend(_chunks(buf, frame.chunk))
-        try:
-            # Replace whatever remaining budget a preceding timed recv
-            # left on the socket with the send bound — inheriting a
-            # near-zero recv budget would abort healthy sends, and an
-            # unbounded send would hang on a wedged (not dead) peer.
-            self._sock.settimeout(self._send_timeout)
-            self._sendmsg_all(views)
-        except socket.timeout:
-            raise TransportTimeout(
-                f"tcp send of {frame.nbytes} B made no progress within "
-                f"{self._send_timeout}s (peer wedged?)"
-            ) from None
-        except (BrokenPipeError, ConnectionError, OSError) as exc:
-            raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
+        self._enqueue(frame)
+        # Bound the drain by the send timeout — a send only stalls this
+        # long when the peer stops draining entirely.
+        self.flush(self._send_timeout)
 
+    def flush(self, timeout: float | None = None) -> None:
+        if timeout is None:
+            timeout = self._send_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._pump():
+            budget = None
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise TransportTimeout(
+                        f"tcp send backlog made no progress within {timeout}s "
+                        f"(peer wedged?)"
+                    )
+            piece = 0.25 if budget is None else min(0.25, budget)
+            try:
+                select.select([], [self._sock], [], piece)
+            except OSError as exc:
+                raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._backlog:
+            self._pump()
+        try:
+            ready, _, _ = select.select([self._sock], [], [], timeout)
+        except OSError as exc:
+            raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
+        return bool(ready)
+
+    # -- inbound -------------------------------------------------------
     def _recv_exact_into(self, mv: memoryview, deadline: float | None) -> None:
         pos = 0
         total = mv.nbytes
         while pos < total:
+            budget = None
             if deadline is not None:
                 budget = deadline - time.monotonic()
                 if budget <= 0:
                     raise TransportTimeout("no complete frame before deadline on tcp channel")
-                self._sock.settimeout(budget)
+            if self._backlog:
+                # Outbound residue pending: read in short slices, pumping
+                # between them, so a peer blocked mid-frame on us drains.
+                self._pump()
+                slice_ = _PUMP_SLICE_S if budget is None else min(_PUMP_SLICE_S, budget)
             else:
-                self._sock.settimeout(None)
+                slice_ = budget
+            self._sock.settimeout(slice_)
             try:
                 got = self._sock.recv_into(mv[pos:])
             except socket.timeout:
+                if slice_ is not None and (budget is None or slice_ < budget):
+                    continue  # partial slice expired, overall budget has not
                 raise TransportTimeout("tcp recv timed out mid-frame") from None
             except (ConnectionError, OSError) as exc:
                 raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
@@ -692,7 +996,7 @@ class TcpChannel(Channel):
                 raise ChannelClosed("tcp peer closed the connection")
             pos += got
 
-    def _recv_frame(self, timeout: float | None):
+    def _recv_frame(self, timeout: float | None, alloc=None):
         deadline = None if timeout is None else time.monotonic() + timeout
         prefix = bytearray(_HEAD_PREFIX.size)
         self._recv_exact_into(memoryview(prefix), deadline)
@@ -708,9 +1012,10 @@ class TcpChannel(Channel):
             mv[: info.meta_prefix.nbytes] = info.meta_prefix
         self._recv_exact_into(mv[info.meta_prefix.nbytes :], deadline)
         buffers = []
-        for n in info.buf_lens:
-            buf = bytearray(n)
-            self._recv_exact_into(memoryview(buf), deadline)
+        for i, n in enumerate(info.buf_lens):
+            target = alloc(i, n) if alloc is not None else None
+            buf = bytearray(n) if target is None else target
+            self._recv_exact_into(memoryview(buf) if target is None else target, deadline)
             buffers.append(buf)
         return info.head_len, meta, buffers
 
@@ -913,6 +1218,23 @@ class MpiChannel(Channel):
         except Exception as exc:
             raise ChannelClosed(f"mpi send failed: {exc}") from exc
 
+    def flush(self, timeout: float | None = None) -> None:
+        # Isend already hands bytes to MPI's progress engine; a flush is
+        # just an opportunistic reap of completed requests.
+        self._reap()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._closed:
+            raise ChannelClosed("mpi channel is closed")
+        self._reap()
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._comm.Iprobe(source=self._peer, tag=self._recv_tag):
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(_MPI_POLL_S)
+
     def _next_message_size(self, deadline: float | None) -> int:
         """Probe for the next inbound message; returns its byte count."""
         MPI = self._MPI
@@ -944,7 +1266,7 @@ class MpiChannel(Channel):
             )
         self._comm.Recv([mv, self._MPI.BYTE], source=self._peer, tag=self._recv_tag)
 
-    def _recv_frame(self, timeout: float | None):
+    def _recv_frame(self, timeout: float | None, alloc=None):
         if self._closed:
             raise ChannelClosed("mpi channel is closed")
         if self._peer_closed:
@@ -967,14 +1289,18 @@ class MpiChannel(Channel):
         meta = self._recv_segment(info.meta_len, info.chunk, deadline, info.meta_prefix)
         empty = memoryview(b"")
         buffers = [
-            self._recv_segment(n, info.chunk, deadline, empty) for n in info.buf_lens
+            self._recv_segment(
+                n, info.chunk, deadline, empty,
+                target=alloc(i, n) if alloc is not None else None,
+            )
+            for i, n in enumerate(info.buf_lens)
         ]
         return info.head_len, meta, buffers
 
     def _recv_segment(self, nbytes: int, chunk: int, deadline: float | None,
-                      prefix) -> bytearray:
-        out = bytearray(nbytes)
-        mv = memoryview(out)
+                      prefix, target: memoryview | None = None):
+        out = bytearray(nbytes) if target is None else target
+        mv = memoryview(out) if target is None else target
         pos = prefix.nbytes
         if pos:
             mv[:pos] = prefix

@@ -74,21 +74,175 @@ def exchange_halos(local, owned: np.ndarray, peers: dict[int, Channel],
     pair at any time).  The protocol only needs ordered, message-framed
     channels — the transport seam's contract — so it is identical over
     pipes, TCP and loopback queues.
+
+    This is the standalone, allocation-per-call form of the exchange;
+    :class:`_SlabRunner` is the persistent-slab round driver the block
+    loop actually runs on.
     """
     ghost = np.empty((local.n_ghost,) + owned.shape[1:], dtype=owned.dtype)
     sent = 0
     width = int(np.prod(owned.shape[1:], dtype=np.int64)) if owned.ndim > 1 else 1
     for link in local.links:
         ch = peers[link.peer]
+        # Fancy indexing already yields a fresh C-contiguous array, so the
+        # send side needs no extra copy.
         if local.p < link.peer:
-            ch.send(np.ascontiguousarray(owned[link.send_idx]))
+            ch.send(owned[link.send_idx])
             ghost[link.recv_idx] = ch.recv(timeout)
         else:
             chunk = ch.recv(timeout)
-            ch.send(np.ascontiguousarray(owned[link.send_idx]))
+            ch.send(owned[link.send_idx])
             ghost[link.recv_idx] = chunk
         sent += int(link.send_idx.size) * width
     return np.concatenate([owned, ghost], axis=0), sent
+
+
+class _SlabRunner:
+    """Persistent extended-slab round driver for one block worker.
+
+    Owns two ``(n_owned + n_ghost, B)`` slabs per block (``cur`` holds
+    this round's loads, ``nxt`` receives the next round's) so the hot
+    loop never concatenates: owned rows are computed in place and halo
+    frames land directly in ``cur``'s per-peer ghost slices via
+    :meth:`Channel.recv_into`.  The slabs ping-pong each round.
+
+    Two round protocols, bit-for-bit identical results:
+
+    - *sync* (default): the classic pairwise ordered exchange (lower
+      block id sends first), then one full ``block_step``.
+    - *overlap*: post every link's send with :meth:`Channel.send_nowait`,
+      compute the interior rows (owned-only operator support — ghost
+      staleness cannot reach them), drain the receives into the ghost
+      slices, then compute the boundary rows.  Row updates are
+      independent given the extended vector, so the split phases equal
+      the full round exactly.
+
+    Delta frames (opt-in): each link remembers the rows it sent in the
+    last *two* rounds — the receiver's double-buffered ghost slice holds
+    the round ``r - 2`` values — and ships only the changed rows as a
+    ``("delta", vals, idx)`` frame when that is smaller than the dense
+    payload.  Snapshots reset whenever the block's :class:`BlockLocal`
+    changes (dynamic topologies), falling back to dense frames.
+    """
+
+    def __init__(self, peers: dict[int, Channel], *, overlap: bool = False,
+                 delta: bool = False, timeout: float | None = None):
+        self.peers = peers
+        self.overlap = bool(overlap)
+        self.delta = bool(delta)
+        self.timeout = timeout
+        #: logical halo values shipped (sum of send rows x batch width)
+        self.halo_values = 0
+        self._local = None
+        self._cur: np.ndarray | None = None
+        self._nxt: np.ndarray | None = None
+        #: per-peer last-two-rounds sent rows, keyed ``round % 2``
+        self._snap: dict[int, list] = {}
+
+    @property
+    def owned(self) -> np.ndarray:
+        """This round's owned loads (a live view into the current slab)."""
+        return self._cur[: self._local.n_owned]
+
+    def bind(self, local, init: np.ndarray | None = None) -> None:
+        """(Re)build the slabs when the round's :class:`BlockLocal` changes.
+
+        ``init`` seeds the owned rows; without it they carry over from
+        the previous slab (same owned ids for every topology of a job —
+        the partition assignment is fixed).
+        """
+        if (
+            local is self._local
+            and init is None
+            and self._cur is not None
+        ):
+            return
+        if init is None:
+            init = self.owned
+        if init.ndim != 2:
+            raise ValueError(f"block loads must be (n_block, B), got {init.shape}")
+        cur = np.empty((local.n_ext,) + init.shape[1:], dtype=init.dtype)
+        cur[: local.n_owned] = init
+        self._cur = cur
+        self._nxt = np.empty_like(cur)
+        self._local = local
+        self._snap = {link.peer: [None, None] for link in local.links}
+
+    def _post_send(self, link, owned: np.ndarray, r: int, blocking: bool) -> None:
+        ch = self.peers[link.peer]
+        rows = owned[link.send_idx]  # fresh contiguous copy
+        self.halo_values += int(link.send_idx.size) * int(
+            np.prod(rows.shape[1:], dtype=np.int64)
+        )
+        payload: tuple = ("dense", rows)
+        if self.delta:
+            snap = self._snap[link.peer][r % 2]
+            if snap is not None and snap.shape == rows.shape:
+                changed = np.flatnonzero((rows != snap).any(axis=1))
+                vals = rows[changed]
+                # vals first: a dense frame's single out-of-band buffer is
+                # what recv_into may land in place; a true delta's vals
+                # buffer is strictly smaller than the ghost slice, so it
+                # can never be mistaken for one.
+                if vals.nbytes + changed.nbytes < rows.nbytes:
+                    payload = ("delta", vals, changed)
+            self._snap[link.peer][r % 2] = rows
+        if blocking:
+            ch.send(payload)
+        else:
+            ch.send_nowait(payload)
+
+    def _drain_recv(self, link) -> None:
+        a, b = self._local.recv_slices[link.peer]
+        region = self._cur[self._local.n_owned + a : self._local.n_owned + b]
+        msg = self.peers[link.peer].recv_into(region, self.timeout)
+        if msg[0] == "dense":
+            arr = msg[1]
+            if not np.shares_memory(arr, region):
+                region[...] = arr.reshape(region.shape)
+        elif msg[0] == "delta":
+            _, vals, idx = msg
+            region[idx] = vals.reshape((idx.size,) + region.shape[1:])
+        else:  # pragma: no cover - defensive
+            raise TransportError(f"unexpected halo frame tag {msg[0]!r}")
+
+    def round(self, local, balancer, frozen, r: int,
+              want_disc: bool, want_mov: bool):
+        """Advance one round; returns the round's statistics partial."""
+        self.bind(local)
+        cur, nxt = self._cur, self._nxt
+        owned = cur[: local.n_owned]
+        out = nxt[: local.n_owned]
+        if self.overlap:
+            for link in local.links:
+                self._post_send(link, owned, r, blocking=False)
+            if local.interior.size:
+                balancer.block_step(local, cur, out=out, rows="interior")
+            for link in local.links:
+                self._drain_recv(link)
+            if local.boundary.size:
+                balancer.block_step(local, cur, out=out, rows="boundary")
+        else:
+            for link in local.links:
+                if local.p < link.peer:
+                    self._post_send(link, owned, r, blocking=True)
+                    self._drain_recv(link)
+                else:
+                    self._drain_recv(link)
+                    self._post_send(link, owned, r, blocking=True)
+            balancer.block_step(local, cur, out=out)
+        if frozen is not None and frozen.any():
+            out[:, frozen] = owned[:, frozen]
+        from repro.simulation.partitioned import _partial_stats
+
+        stats = _partial_stats(out, owned, want_disc, want_mov)
+        self._cur, self._nxt = nxt, cur
+        return stats
+
+    def flush(self) -> None:
+        """Drain every peer backlog (end of chunk, before the quiet wait)."""
+        for ch in self.peers.values():
+            ch.flush(self.timeout)
 
 
 def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
@@ -104,8 +258,12 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
     link during the chunk; ``("gather",)`` replies with the owned slab;
     ``("stop",)`` exits.  Any exception is reported as ``("error", msg)``
     so the coordinator can fail loudly instead of hanging.
+
+    The payload tuple may carry two trailing flags beyond the classic
+    eight fields: ``overlap`` (split-phase rounds with nonblocking
+    sends) and ``delta`` (changed-rows halo frames); both default off.
     """
-    from repro.simulation.partitioned import _partial_stats, _PartitionMemo, block_local
+    from repro.simulation.partitioned import _PartitionMemo, block_local
 
     # Under the fork start method this process inherited a copy of every
     # endpoint the coordinator had created — including other blocks'.
@@ -115,39 +273,47 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
     # instead of waiting forever.
     for channel in inherited or ():
         channel.detach()
-    balancer, assignment, strategy, block_id, owned, backend, want_disc, want_mov = payload
+    (balancer, assignment, strategy, block_id, owned, backend,
+     want_disc, want_mov, *rest) = payload
+    overlap = bool(rest[0]) if len(rest) > 0 else False
+    delta = bool(rest[1]) if len(rest) > 1 else False
     try:
         balancer.reset()
         if backend is not None:
             balancer.backend = backend
         resolved = resolve_backend(backend)
         parts = _PartitionMemo(assignment, strategy)
+        runner = _SlabRunner(peers, overlap=overlap, delta=delta, timeout=peer_timeout)
         L = np.ascontiguousarray(owned)
+        bound = False
         r = 0
         while True:
             msg = ctrl.recv()
             if msg[0] == "run":
                 _, nrounds, frozen = msg
                 rows = []
-                halo_sent = 0
+                values_before = runner.halo_values
                 sent_before = {q: ch.bytes_sent for q, ch in peers.items()}
                 for _ in range(nrounds):
                     topo = balancer.partition_topology(r)
                     local = block_local(parts.get(topo), block_id, resolved)
-                    ext, sent = exchange_halos(local, L, peers, timeout=peer_timeout)
-                    halo_sent += sent
-                    new = balancer.block_step(local, ext)
-                    if frozen is not None and frozen.any():
-                        new[:, frozen] = L[:, frozen]
-                    rows.append(_partial_stats(new, L, want_disc, want_mov))
-                    L = new
+                    if not bound:
+                        runner.bind(local, L)
+                        bound = True
+                    rows.append(runner.round(local, balancer, frozen, r,
+                                             want_disc, want_mov))
                     r += 1
+                # Mandatory before going quiet: a peer may still be
+                # blocked on our last frame's unpumped backlog bytes.
+                runner.flush()
                 bytes_by_peer = {
                     q: ch.bytes_sent - sent_before[q] for q, ch in peers.items()
                 }
-                ctrl.send(("stats", rows, halo_sent, bytes_by_peer))
+                ctrl.send(("stats", rows, runner.halo_values - values_before,
+                           bytes_by_peer))
             elif msg[0] == "gather":
-                ctrl.send(("loads", L))
+                # Copy: the slab view is mutated by any later run command.
+                ctrl.send(("loads", np.array(runner.owned if bound else L)))
             elif msg[0] == "stop":
                 return
             else:  # pragma: no cover - defensive

@@ -371,6 +371,49 @@ class Partition:
         return merged
 
     @cached_property
+    def boundary_owned(self) -> list[np.ndarray]:
+        """Per-block positions (into ``owned[p]``) of boundary rows.
+
+        A boundary row is an owned node incident to at least one cut
+        edge: its round update reads ghost columns, so it cannot be
+        computed until the halo exchange delivers the peer values.
+        Positions are sorted (owned lists are sorted by global id, and
+        the incident node set is uniqued before translation).
+        """
+        edges = self.topo.edges
+        cut = self.cut_edges
+        out: list[np.ndarray] = []
+        u = edges[cut, 0] if cut.size else np.empty(0, dtype=np.int64)
+        v = edges[cut, 1] if cut.size else np.empty(0, dtype=np.int64)
+        bu = self.assignment[u]
+        bv = self.assignment[v]
+        for p in range(self.blocks):
+            nodes = np.unique(np.concatenate([u[bu == p], v[bv == p]]))
+            out.append(np.searchsorted(self.owned[p], nodes))
+        return out
+
+    @cached_property
+    def interior_owned(self) -> list[np.ndarray]:
+        """Per-block positions (into ``owned[p]``) of interior rows.
+
+        The complement of :attr:`boundary_owned`: rows whose operator
+        support lies entirely on owned columns, so their round update is
+        computable before (or concurrently with) the halo exchange —
+        the overlap window the split-phase runtime exploits.
+        """
+        out: list[np.ndarray] = []
+        for p in range(self.blocks):
+            mask = np.ones(self.owned[p].size, dtype=bool)
+            mask[self.boundary_owned[p]] = False
+            out.append(np.flatnonzero(mask))
+        return out
+
+    def boundary_fraction(self) -> float:
+        """Fraction of all nodes that are boundary rows (0.0 = no cut)."""
+        n = self.topo.n
+        return float(sum(b.size for b in self.boundary_owned) / n) if n else 0.0
+
+    @cached_property
     def halo_volume(self) -> int:
         """Total ghost count over all blocks — the values exchanged per round."""
         return int(sum(g.size for g in self.ghosts))
@@ -400,6 +443,9 @@ class Partition:
             "cut_fraction": round(self.cut_edges.size / m, 4) if m else 0.0,
             "halo_volume": self.halo_volume,
             "max_halo": self.max_halo,
+            "interior_rows": int(sum(i.size for i in self.interior_owned)),
+            "boundary_rows": int(sum(b.size for b in self.boundary_owned)),
+            "boundary_fraction": round(self.boundary_fraction(), 4),
         }
 
     def __repr__(self) -> str:

@@ -66,6 +66,7 @@ span hosts — one statistics combine, one stopping policy, any transport.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 from typing import Sequence
 
 import numpy as np
@@ -75,7 +76,7 @@ from repro.core.operators import RECIP_DIV_LIMIT, EdgeOperator, edge_operator
 from repro.core.protocols import Balancer
 from repro.distributed.transport import TransportError, make_pair
 from repro.distributed.worker import run_block_loop
-from repro.graphs.partition import Partition, make_partition, parse_partitions
+from repro.graphs.partition import HaloLink, Partition, make_partition, parse_partitions
 from repro.simulation.ensemble import (
     EnsembleTrace,
     apply_stopping,
@@ -91,6 +92,12 @@ _LOCALS_ATTR = "_block_locals"
 #: transports a local process-mode run can put under its halo links
 #: (loopback queues cannot cross a process boundary).
 PROCESS_TRANSPORTS = ("mp-pipe", "tcp")
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
 
 
 def _slice_csr_rows(
@@ -124,11 +131,22 @@ def _slice_csr_rows(
 class BlockLocal:
     """One block's local subproblem: operator row slices + halo metadata.
 
-    The extended index space is ``[owned nodes | ghost nodes]``, both
-    segments sorted by global id.  Round kernels map an
-    ``(n_ext, B)`` extended load matrix to the block's next
-    ``(n_owned, B)`` owned loads through this block's rows of the global
-    cached operators, executed by the configured kernel backend.
+    The extended index space is ``[owned nodes | ghost nodes]``: owned
+    nodes sorted by global id, then ghost nodes **grouped by owning
+    peer** (ascending peer id, ascending global id within each group).
+    The grouping makes every halo link's receive region a contiguous
+    slice of the ghost segment — :attr:`recv_slices` — so the runtime
+    can land incoming halo frames directly into a persistent extended
+    slab with no scatter.  Round kernels map an ``(n_ext, B)`` extended
+    load matrix to the block's next ``(n_owned, B)`` owned loads through
+    this block's rows of the global cached operators, executed by the
+    configured kernel backend.
+
+    Split-phase support: :attr:`interior` / :attr:`boundary` hold the
+    owned-row positions whose operator support is owned-only vs
+    ghost-touching, and every round kernel takes ``rows`` to compute
+    just one subset (same per-row folds, so subset results are
+    bit-for-bit the full round's rows).
     """
 
     def __init__(self, part: Partition, block_id: int, backend: str | None = None):
@@ -139,11 +157,35 @@ class BlockLocal:
         self.op: EdgeOperator = edge_operator(part.topo, backend)
         op = self.op
         self.owned = part.owned[self.p]
-        self.ghosts = part.ghosts[self.p]
-        self.links = part.halo_links[self.p]
         self.n_owned = int(self.owned.size)
+        ghosts_sorted = part.ghosts[self.p]
+        # Group ghosts by owning peer (stable, so ascending global id
+        # within each group — the peer's send order).  Each link's recv
+        # region becomes one contiguous slice of the ghost segment.
+        owners = part.assignment[ghosts_sorted]
+        gorder = np.argsort(owners, kind="stable")
+        self.ghosts = ghosts_sorted[gorder]
         self.n_ghost = int(self.ghosts.size)
         self.n_ext = self.n_owned + self.n_ghost
+        #: per-peer contiguous recv regions of the ghost segment:
+        #: ``{peer: (start, stop)}`` as positions into the ghost array.
+        self.recv_slices: dict[int, tuple[int, int]] = {}
+        bounds = np.searchsorted(owners[gorder], np.arange(part.blocks + 1))
+        links: list[HaloLink] = []
+        for link in part.halo_links[self.p]:
+            a, b = int(bounds[link.peer]), int(bounds[link.peer + 1])
+            self.recv_slices[link.peer] = (a, b)
+            links.append(
+                HaloLink(
+                    peer=link.peer,
+                    send_idx=link.send_idx,
+                    recv_idx=np.arange(a, b, dtype=np.int64),
+                )
+            )
+        self.links = links
+        #: owned-row positions computable before any halo arrives / not
+        self.interior = part.interior_owned[self.p]
+        self.boundary = part.boundary_owned[self.p]
         #: global ids of the extended index space (owned then ghosts)
         self.ext_ids = np.concatenate([self.owned, self.ghosts])
         colmap = np.full(part.topo.n, -1, dtype=np.int64)
@@ -165,6 +207,9 @@ class BlockLocal:
         self._fos_rows: dict[float, PlainCSR] = {}
         self._incidence_rows: PlainCSR | None = None
         self._scratch: dict[tuple, np.ndarray] = {}
+        # Split-phase caches: per row-subset operator slices (lazy).
+        self._sub_matvec: dict[tuple, PlainCSR] = {}
+        self._sub_discrete: dict[str, tuple] = {}
 
     def _get_scratch(self, key: str, shape: tuple, dtype) -> np.ndarray:
         full = (key, shape, np.dtype(dtype).char)
@@ -210,6 +255,93 @@ class BlockLocal:
         return self._incidence_rows
 
     # ------------------------------------------------------------------
+    # Row-subset plumbing (split-phase interior/boundary execution)
+    # ------------------------------------------------------------------
+    def _rows_positions(self, rows: str | None) -> np.ndarray | None:
+        if rows is None:
+            return None
+        if rows == "interior":
+            return self.interior
+        if rows == "boundary":
+            return self.boundary
+        raise ValueError(f"rows must be None, 'interior' or 'boundary', got {rows!r}")
+
+    @staticmethod
+    def _contiguous_range(pos: np.ndarray) -> tuple[int, int] | None:
+        """``(a, b)`` when ``pos`` is exactly ``a..b-1``, else ``None``."""
+        if pos.size == 0:
+            return (0, 0)
+        a, b = int(pos[0]), int(pos[-1]) + 1
+        return (a, b) if b - a == pos.size else None
+
+    def _subset_matvec_csr(self, kind: str, rows: str, alpha: float | None = None) -> PlainCSR:
+        """Row slice of a round matrix restricted to one owned-row subset.
+
+        Sliced from the *global* cached operator with the same column
+        map, so stored order and data are those of the full block slice
+        — subset folds are bitwise the full round's rows.
+        """
+        key = (kind, rows, alpha)
+        M = self._sub_matvec.get(key)
+        if M is None:
+            src = self.op.round_csr() if kind == "round" else self.op.fos_csr(float(alpha))
+            pos = self._rows_positions(rows)
+            M = self._sub_matvec[key] = _slice_csr_rows(
+                src, self.owned[pos], self._colmap, self.n_ext, self.op.idx_dtype
+            )
+        return M
+
+    def _matvec_subset(self, M: PlainCSR, ext: np.ndarray, out: np.ndarray, rows: str) -> np.ndarray:
+        """``out[subset] = M @ ext`` with a zero-copy contiguous fast path."""
+        pos = self._rows_positions(rows)
+        rng = self._contiguous_range(pos)
+        if rng is not None:
+            a, b = rng
+            self.op.kernels.matvec(M, ext, out[a:b])
+        else:
+            buf = self._get_scratch("mv_" + rows, (pos.size,) + ext.shape[1:], out.dtype)
+            self.op.kernels.matvec(M, ext, buf)
+            out[pos] = buf
+        return out
+
+    def _discrete_subset(self, rows: str) -> tuple:
+        """Edge/incidence structure restricted to one owned-row subset.
+
+        The subset's incident edges (ascending global edge id, the full
+        fold order) plus the matching incidence row slice with columns
+        renumbered to subset-edge positions.  ``owned_only`` records
+        whether every endpoint is an owned node — true for the interior
+        subset by construction, which is what lets the interior phase
+        run on stale ghost values.
+        """
+        cached = self._sub_discrete.get(rows)
+        if cached is None:
+            pos = self._rows_positions(rows)
+            member = np.zeros(self.n_ext, dtype=bool)
+            member[pos] = True
+            epos = np.flatnonzero(member[self.u_loc] | member[self.v_loc])
+            u_sub = np.ascontiguousarray(self.u_loc[epos])
+            v_sub = np.ascontiguousarray(self.v_loc[epos])
+            den_int = np.ascontiguousarray(self.denominators_int[epos])
+            den_recip = np.ascontiguousarray(self.denominators_recip[epos])
+            owned_only = bool(
+                (u_sub < self.n_owned).all() and (v_sub < self.n_owned).all()
+            )
+            ecolmap = np.full(self.op.m, -1, dtype=np.int64)
+            ecolmap[self.edge_ids[epos]] = np.arange(epos.size, dtype=np.int64)
+            inc = _slice_csr_rows(
+                self.op.incidence_csr(np.int64),
+                self.owned[pos],
+                ecolmap,
+                epos.size,
+                self.op.idx_dtype,
+            )
+            cached = self._sub_discrete[rows] = (
+                epos, u_sub, v_sub, den_int, den_recip, inc, owned_only
+            )
+        return cached
+
+    # ------------------------------------------------------------------
     # Round kernels (extended loads in, owned loads out)
     # ------------------------------------------------------------------
     def _out(self, ext: np.ndarray, out: np.ndarray | None, dtype=None) -> np.ndarray:
@@ -217,46 +349,106 @@ class BlockLocal:
             out = np.empty((self.n_owned,) + ext.shape[1:], dtype=dtype or ext.dtype)
         return out
 
-    def round_continuous(self, ext: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """One continuous Algorithm-1 round on this block."""
-        return self.op.kernels.matvec(self.round_rows(), ext, self._out(ext, out))
+    def round_continuous(
+        self, ext: np.ndarray, out: np.ndarray | None = None, rows: str | None = None
+    ) -> np.ndarray:
+        """One continuous Algorithm-1 round on this block (or one subset)."""
+        out = self._out(ext, out)
+        if rows is None:
+            return self.op.kernels.matvec(self.round_rows(), ext, out)
+        return self._matvec_subset(self._subset_matvec_csr("round", rows), ext, out, rows)
 
-    def fos_round(self, alpha: float, ext: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def fos_round(
+        self,
+        alpha: float,
+        ext: np.ndarray,
+        out: np.ndarray | None = None,
+        rows: str | None = None,
+    ) -> np.ndarray:
         """One FOS/Richardson round ``(I - alpha L) @ loads`` on this block."""
-        return self.op.kernels.matvec(self.fos_rows(alpha), ext, self._out(ext, out))
+        out = self._out(ext, out)
+        if rows is None:
+            return self.op.kernels.matvec(self.fos_rows(alpha), ext, out)
+        return self._matvec_subset(
+            self._subset_matvec_csr("fos", rows, float(alpha)), ext, out, rows
+        )
 
-    def round_discrete(self, ext: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def round_discrete(
+        self, ext: np.ndarray, out: np.ndarray | None = None, rows: str | None = None
+    ) -> np.ndarray:
         """One discrete Algorithm-1 round on this block (int64, exact).
 
         Per-edge flows over the block's incident edges (same gather /
         biased-reciprocal floor-divide / signed scatter as the global
         kernel), folded onto owned nodes through the incidence row
         slice.  Integer arithmetic end to end, so the owned results
-        equal the global round's rows exactly.
+        equal the global round's rows exactly.  With ``rows``, only the
+        subset's incident edges and incidence rows participate; the
+        interior subset's edges have owned-only endpoints, so its
+        magnitude bound (which merely *selects* between two exact
+        division paths) is taken over the owned region alone and never
+        reads a ghost value.
         """
-        shape = (self.edge_ids.size,) + ext.shape[1:]
-        diff = self._get_scratch("diff", shape, np.int64)
-        tmp = self._get_scratch("tmp", shape, np.int64)
-        np.take(ext, self.u_loc, axis=0, out=diff)
-        np.take(ext, self.v_loc, axis=0, out=tmp)
+        if rows is None:
+            shape = (self.edge_ids.size,) + ext.shape[1:]
+            diff = self._get_scratch("diff", shape, np.int64)
+            tmp = self._get_scratch("tmp", shape, np.int64)
+            np.take(ext, self.u_loc, axis=0, out=diff)
+            np.take(ext, self.v_loc, axis=0, out=tmp)
+            np.subtract(diff, tmp, out=diff)
+            bound = int(ext.max(initial=0)) - min(int(ext.min(initial=0)), 0)
+            flows = self._floor_divide(
+                diff, tmp, bound, self.denominators_int, self.denominators_recip
+            )
+            out = self._out(ext, out, dtype=np.int64)
+            return self.op.kernels.add_matvec(
+                self.incidence_rows(), ext[: self.n_owned], flows, out
+            )
+        epos, u_sub, v_sub, den_int, den_recip, inc, owned_only = self._discrete_subset(rows)
+        pos = self._rows_positions(rows)
+        shape = (epos.size,) + ext.shape[1:]
+        diff = self._get_scratch("diff_" + rows, shape, np.int64)
+        tmp = self._get_scratch("tmp_" + rows, shape, np.int64)
+        np.take(ext, u_sub, axis=0, out=diff)
+        np.take(ext, v_sub, axis=0, out=tmp)
         np.subtract(diff, tmp, out=diff)
-        bound = int(ext.max(initial=0)) - min(int(ext.min(initial=0)), 0)
-        flows = self._floor_divide(diff, tmp, bound)
+        region = ext[: self.n_owned] if owned_only else ext
+        bound = int(region.max(initial=0)) - min(int(region.min(initial=0)), 0)
+        flows = self._floor_divide(diff, tmp, bound, den_int, den_recip)
         out = self._out(ext, out, dtype=np.int64)
-        return self.op.kernels.add_matvec(self.incidence_rows(), ext[: self.n_owned], flows, out)
+        rng = self._contiguous_range(pos)
+        if rng is not None:
+            a, b = rng
+            self.op.kernels.add_matvec(inc, ext[a:b], flows, out[a:b])
+        else:
+            base = self._get_scratch("base_" + rows, (pos.size,) + ext.shape[1:], np.int64)
+            np.take(ext, pos, axis=0, out=base)
+            buf = self._get_scratch("dsc_" + rows, (pos.size,) + ext.shape[1:], np.int64)
+            self.op.kernels.add_matvec(inc, base, flows, buf)
+            out[pos] = buf
+        return out
 
-    def _floor_divide(self, diff: np.ndarray, out: np.ndarray, bound: int) -> np.ndarray:
-        """``sign(diff) * (|diff| // denominators)`` over the block's edges
-        (the block-local clone of ``EdgeOperator.floor_divide_denominators``)."""
+    def _floor_divide(
+        self,
+        diff: np.ndarray,
+        out: np.ndarray,
+        bound: int,
+        den_int: np.ndarray,
+        den_recip: np.ndarray,
+    ) -> np.ndarray:
+        """``sign(diff) * (|diff| // denominators)`` over the given edges
+        (the block-local clone of ``EdgeOperator.floor_divide_denominators``).
+        Both paths are exact, so the ``bound`` threshold only picks the
+        cheaper one — never the result."""
         if diff.size == 0:
             return out
         if bound < RECIP_DIV_LIMIT:
-            recip = self.denominators_recip if diff.ndim == 1 else self.denominators_recip[:, None]
+            recip = den_recip if diff.ndim == 1 else den_recip[:, None]
             qf = self._get_scratch("qf", diff.shape, np.float64)
             np.multiply(diff, recip, out=qf)
             np.copyto(out, qf, casting="unsafe")  # trunc toward zero
             return out
-        denom = self.denominators_int if diff.ndim == 1 else self.denominators_int[:, None]
+        denom = den_int if diff.ndim == 1 else den_int[:, None]
         mag = self._get_scratch("mag", diff.shape, np.int64)
         np.abs(diff, out=mag)
         np.floor_divide(mag, denom, out=mag)
@@ -417,6 +609,8 @@ class _LocalProcessExecutor:
                 sim.backend,
                 want_disc,
                 want_mov,
+                sim.overlap,
+                sim.delta_frames,
             )
             mine = [ctrl[p][1], *peers.values()]
             worker_ends.append(mine)
@@ -561,6 +755,8 @@ class PartitionedSimulator:
         mode: str = "inprocess",
         backend: str | None = None,
         transport: str = "mp-pipe",
+        overlap: bool | None = None,
+        delta_frames: bool | None = None,
     ) -> None:
         if not getattr(balancer, "supports_partition", False):
             raise TypeError(
@@ -601,6 +797,17 @@ class PartitionedSimulator:
         self.cons_tol = cons_tol
         self.mode = mode
         self.transport = transport
+        #: split-phase rounds: post sends -> compute interior -> drain
+        #: recvs -> compute boundary (process mode only; bit-for-bit
+        #: identical to the synchronous exchange).  ``None`` reads the
+        #: ``REPRO_OVERLAP`` env toggle.
+        self.overlap = _env_flag("REPRO_OVERLAP") if overlap is None else bool(overlap)
+        #: delta-compressed halo frames: send only changed ghost rows
+        #: (dense fallback when not smaller).  ``None`` reads
+        #: ``REPRO_DELTA``.
+        self.delta_frames = (
+            _env_flag("REPRO_DELTA") if delta_frames is None else bool(delta_frames)
+        )
         #: communication accounting of the most recent run
         self.halo_stats: dict = {}
 
@@ -631,6 +838,8 @@ class PartitionedSimulator:
             "transport": self.transport if mode == "process" else None,
             "blocks": int(assignment.max()) + 1,
             "strategy": self.strategy,
+            "overlap": self.overlap if mode == "process" else False,
+            "delta_frames": self.delta_frames if mode == "process" else False,
             "rounds": 0,
             "halo_values": 0,
             "halo_bytes": 0,

@@ -274,3 +274,116 @@ class TestChunking:
         got = b.recv(timeout=10.0)
         assert np.array_equal(got, payload) and b.bytes_received == n
         a.close(), b.close()
+
+
+class TestNonblockingPrimitives:
+    """send_nowait / poll / flush / recv_into across every transport."""
+
+    def test_send_nowait_poll_recv(self, pair):
+        a, b = pair
+        assert not b.poll(0.0)
+        n = a.send_nowait(("tag", np.arange(32)))
+        a.flush(5.0)
+        assert n > 0 and a.bytes_sent == n and a.messages_sent == 1
+        assert b.poll(5.0)
+        tag, arr = b.recv(timeout=5.0)
+        assert tag == "tag" and np.array_equal(arr, np.arange(32))
+        assert b.bytes_received == n
+        assert not b.poll(0.0)
+
+    def test_send_nowait_books_bytes_immediately(self, pair):
+        """Byte accounting is per logical frame at enqueue time, so the
+        per-link counters are identical whether or not the kernel has
+        accepted the bytes yet — and identical across transports."""
+        a, _ = pair
+        n = a.send_nowait(np.arange(64, dtype=np.int64))
+        assert a.bytes_sent == n == encode_frame(np.arange(64, dtype=np.int64)).nbytes
+
+    def test_flush_with_concurrent_reader_drains_large_backlog(self, pair):
+        """A payload far beyond any kernel buffer fully drains through
+        flush while the peer reads it."""
+        a, b = pair
+        big = np.random.default_rng(3).standard_normal((800, 1024))  # ~6.5 MB
+        box = {}
+        t = threading.Thread(target=lambda: box.update(got=b.recv(timeout=30.0)))
+        t.start()
+        a.send_nowait(("big", big))
+        a.flush(30.0)
+        t.join(timeout=30)
+        assert not t.is_alive()
+        assert np.array_equal(box["got"][1], big)
+
+    def test_head_to_head_send_nowait_never_deadlocks(self, pair):
+        """Both sides post a slab-sized send before either receives —
+        the overlap round's wire pattern.  Receive paths pump the
+        outbound backlog, so the pattern cannot wedge."""
+        a, b = pair
+        big = np.arange(1_500_000, dtype=np.float64)  # 12 MB each way
+        res = {}
+
+        def side(ch, label):
+            ch.send_nowait((label, big))
+            res[label] = ch.recv(timeout=30.0)
+            ch.flush(30.0)
+
+        ta = threading.Thread(target=side, args=(a, "a"))
+        tb = threading.Thread(target=side, args=(b, "b"))
+        ta.start(), tb.start()
+        ta.join(timeout=30), tb.join(timeout=30)
+        assert not ta.is_alive() and not tb.is_alive(), "head-to-head wedged"
+        assert res["a"][0] == "b" and np.array_equal(res["a"][1], big)
+        assert res["b"][0] == "a" and np.array_equal(res["b"][1], big)
+        assert a.bytes_sent == b.bytes_received == b.bytes_sent == a.bytes_received
+
+    def test_recv_into_lands_buffer_in_target(self, pair):
+        a, b = pair
+        payload = np.random.default_rng(4).standard_normal((64, 128))
+        out = np.zeros_like(payload)
+        box = {}
+        t = threading.Thread(
+            target=lambda: box.update(got=b.recv_into(out, timeout=10.0)))
+        t.start()
+        a.send_nowait(("dense", payload))
+        a.flush(10.0)
+        t.join(timeout=10)
+        assert not t.is_alive()
+        tag, arr = box["got"]
+        assert tag == "dense" and np.array_equal(arr, payload)
+        if a.transport in ("mp-pipe", "tcp"):
+            # Zero-copy landing: the decoded array aliases the target.
+            assert np.shares_memory(arr, out)
+            assert np.array_equal(out, payload)
+
+    def test_recv_into_mismatched_size_falls_back(self, pair):
+        """A target whose size does not match the inbound buffer is
+        ignored — the frame still decodes into fresh memory."""
+        a, b = pair
+        payload = np.arange(4096, dtype=np.float64)
+        out = np.zeros(7)  # wrong size
+        a.send_nowait(payload)
+        a.flush(5.0)
+        got = b.recv_into(out, timeout=5.0)
+        assert np.array_equal(got, payload)
+        assert not np.shares_memory(got, out)
+
+    def test_zero_row_frame_roundtrip(self, pair):
+        """Degenerate halo payload: an empty (0, B) slab crosses every
+        transport as a well-formed frame with equal byte accounting."""
+        a, b = pair
+        empty = np.empty((0, 8), dtype=np.int64)
+        n = a.send_nowait(("dense", empty))
+        a.flush(5.0)
+        tag, arr = b.recv(timeout=5.0)
+        assert tag == "dense" and arr.shape == (0, 8) and arr.dtype == np.int64
+        assert n == encode_frame(("dense", empty)).nbytes
+        assert b.bytes_received == n
+
+    def test_flush_is_noop_when_backlog_empty(self, pair):
+        a, _ = pair
+        a.flush(0.1)  # nothing pending: returns immediately
+
+    def test_poll_timeout_expires_cleanly(self, pair):
+        _, b = pair
+        t0 = time.monotonic()
+        assert not b.poll(0.15)
+        assert time.monotonic() - t0 < 5.0

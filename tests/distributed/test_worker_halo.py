@@ -1,0 +1,116 @@
+"""Degenerate halo payloads through the worker exchange helpers.
+
+Real partitions of undirected graphs never produce an empty ``send_idx``
+(a cut edge puts boundary nodes on both sides), so the zero-row frame
+path is exercised here with stub locals: one direction of a link ships a
+``(0, B)`` slab while the other ships real rows.  The exchange must stay
+deadlock-free, deliver exact values, and account bytes identically over
+loopback, pipes and TCP.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed.transport import make_pair
+from repro.distributed.worker import exchange_halos
+from repro.graphs.partition import HaloLink
+
+TRANSPORTS = ["loopback", "mp-pipe", "tcp"]
+
+
+class _StubLocal:
+    def __init__(self, p, links, n_owned, n_ghost):
+        self.p = p
+        self.links = links
+        self.n_owned = n_owned
+        self.n_ghost = n_ghost
+        self.n_ext = n_owned + n_ghost
+
+
+def _asymmetric_pair():
+    """Block 0 sends zero rows to block 1; block 1 sends two rows back."""
+    local0 = _StubLocal(
+        0,
+        [HaloLink(peer=1, send_idx=np.empty(0, dtype=np.int64),
+                  recv_idx=np.arange(2, dtype=np.int64))],
+        n_owned=3, n_ghost=2,
+    )
+    local1 = _StubLocal(
+        1,
+        [HaloLink(peer=0, send_idx=np.array([1, 3], dtype=np.int64),
+                  recv_idx=np.empty(0, dtype=np.int64))],
+        n_owned=4, n_ghost=0,
+    )
+    return local0, local1
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_empty_send_idx_exchanges_cleanly(transport):
+    local0, local1 = _asymmetric_pair()
+    ch0, ch1 = make_pair(transport)
+    owned0 = np.arange(6, dtype=np.float64).reshape(3, 2)
+    owned1 = np.arange(100, 108, dtype=np.float64).reshape(4, 2)
+    results = {}
+
+    def side(local, owned, peers, key):
+        results[key] = exchange_halos(local, owned, peers, timeout=10.0)
+
+    t0 = threading.Thread(target=side, args=(local0, owned0, {1: ch0}, 0))
+    t1 = threading.Thread(target=side, args=(local1, owned1, {0: ch1}, 1))
+    t0.start(), t1.start()
+    t0.join(timeout=10), t1.join(timeout=10)
+    assert not t0.is_alive() and not t1.is_alive(), "exchange wedged"
+    ext0, sent0 = results[0]
+    ext1, sent1 = results[1]
+    assert sent0 == 0 and sent1 == 4  # 2 rows x batch width 2
+    assert np.array_equal(ext0[:3], owned0)
+    assert np.array_equal(ext0[3:], owned1[[1, 3]])
+    assert np.array_equal(ext1, owned1)  # no ghosts on block 1
+    ch0.close(), ch1.close()
+
+
+def test_byte_totals_identical_across_transports_for_zero_row_frames():
+    totals = {}
+    for transport in TRANSPORTS:
+        local0, local1 = _asymmetric_pair()
+        ch0, ch1 = make_pair(transport)
+        owned0 = np.zeros((3, 2))
+        owned1 = np.ones((4, 2))
+        done = {}
+
+        def side(local, owned, peers, key):
+            done[key] = exchange_halos(local, owned, peers, timeout=10.0)
+
+        t0 = threading.Thread(target=side, args=(local0, owned0, {1: ch0}, 0))
+        t1 = threading.Thread(target=side, args=(local1, owned1, {0: ch1}, 1))
+        t0.start(), t1.start()
+        t0.join(timeout=10), t1.join(timeout=10)
+        assert not t0.is_alive() and not t1.is_alive()
+        totals[transport] = (ch0.bytes_sent, ch1.bytes_sent)
+        ch0.close(), ch1.close()
+    assert len(set(totals.values())) == 1, totals
+
+
+def test_exchange_sends_fresh_row_copies():
+    """Fancy indexing snapshots the send rows, so mutating ``owned``
+    after the exchange cannot corrupt what the peer received — even over
+    loopback, which delivers objects by reference."""
+    local0, local1 = _asymmetric_pair()
+    ch0, ch1 = make_pair("loopback")
+    owned0 = np.zeros((3, 2))
+    owned1 = np.arange(8, dtype=np.float64).reshape(4, 2)
+    results = {}
+
+    def side(local, owned, peers, key):
+        results[key] = exchange_halos(local, owned, peers, timeout=5.0)
+
+    t0 = threading.Thread(target=side, args=(local0, owned0, {1: ch0}, 0))
+    t1 = threading.Thread(target=side, args=(local1, owned1, {0: ch1}, 1))
+    t0.start(), t1.start()
+    t0.join(timeout=5), t1.join(timeout=5)
+    expected = owned1[[1, 3]].copy()
+    owned1[...] = -1.0  # sender mutates after the exchange
+    assert np.array_equal(results[0][0][3:], expected)
+    ch0.close(), ch1.close()

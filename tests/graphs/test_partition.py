@@ -66,6 +66,23 @@ def _check_invariants(topo, part):
         )
         assert sorted(covered.tolist()) == list(range(part.ghosts[p].size))
 
+    # Interior/boundary rows partition each block's owned rows, and the
+    # boundary is exactly the owned endpoints of cut edges (the rows
+    # whose update reads ghost columns).
+    for p in range(part.blocks):
+        interior = part.interior_owned[p]
+        boundary = part.boundary_owned[p]
+        both = np.concatenate([interior, boundary])
+        assert sorted(both.tolist()) == list(range(part.owned[p].size))
+        owned = set(part.owned[p].tolist())
+        expected_boundary = {
+            i for i, node in enumerate(part.owned[p])
+            if any(int(nb) not in owned for nb in topo.neighbors(int(node)))
+        }
+        assert set(boundary.tolist()) == expected_boundary
+        assert np.array_equal(boundary, np.sort(boundary))
+        assert np.array_equal(interior, np.sort(interior))
+
     # Metrics agree with the derived structure.
     m = part.metrics()
     assert m["edge_cut"] == len(expected_cut)
@@ -73,6 +90,10 @@ def _check_invariants(topo, part):
     assert m["max_halo"] == max((g.size for g in part.ghosts), default=0)
     assert m["block_max"] == int(part.block_sizes.max())
     assert m["imbalance"] >= 1.0
+    assert m["interior_rows"] + m["boundary_rows"] == n
+    assert m["boundary_fraction"] == round(m["boundary_rows"] / n, 4)
+    if len(expected_cut) == 0:
+        assert m["boundary_rows"] == 0 and m["boundary_fraction"] == 0.0
 
 
 class TestPartitionInvariants:

@@ -421,3 +421,186 @@ class TestPartitionedValidation:
         trace = psim.run(loads.copy())
         assert trace.rounds == 10
         assert psim.halo_stats["halo_values"] == 0
+
+
+class TestSplitPhaseKernels:
+    """Row-subset round kernels: interior + boundary == full, bit for bit."""
+
+    @pytest.mark.parametrize("label,factory,discrete", BALANCER_FACTORIES,
+                             ids=[b[0] for b in BALANCER_FACTORIES])
+    @pytest.mark.parametrize("P", [2, 4])
+    def test_subset_rounds_equal_full_round(self, label, factory, discrete, P):
+        topo = torus_2d(6, 6)
+        part = make_partition(topo, P, "bfs")
+        bal = factory(topo)
+        rng = np.random.default_rng(11)
+        L = (rng.integers(0, 500, (topo.n, 3)).astype(np.int64) if discrete
+             else rng.uniform(0.0, 500.0, (topo.n, 3)))
+        for p in range(P):
+            loc = block_local(part, p)
+            ext = L[loc.ext_ids]
+            full = bal.block_step(loc, ext)
+            split = np.full_like(full, -1)
+            bal.block_step(loc, ext, out=split, rows="interior")
+            bal.block_step(loc, ext, out=split, rows="boundary")
+            assert np.array_equal(full, split), f"block {p}"
+
+    def test_interior_rows_ignore_ghost_values(self):
+        """The overlap contract: interior rows have owned-only operator
+        support, so garbage in the ghost slice cannot change them."""
+        topo = torus_2d(8, 8)
+        part = make_partition(topo, 2, "bfs")
+        bal = DiffusionBalancer(topo, mode="discrete")
+        loc = block_local(part, 0)
+        rng = np.random.default_rng(12)
+        L = rng.integers(0, 500, (topo.n, 2)).astype(np.int64)
+        ext = L[loc.ext_ids]
+        clean = np.zeros((loc.n_owned, 2), dtype=np.int64)
+        bal.block_step(loc, ext, out=clean, rows="interior")
+        trashed = ext.copy()
+        trashed[loc.n_owned:] = 999_983  # stale/garbage ghosts
+        dirty = np.zeros_like(clean)
+        bal.block_step(loc, trashed, out=dirty, rows="interior")
+        assert loc.interior.size > 0
+        assert np.array_equal(clean[loc.interior], dirty[loc.interior])
+
+    def test_ghosts_grouped_by_owner(self):
+        """BlockLocal reorders its private ghost segment grouped by owning
+        block (ascending global id within each group) so every link's
+        receive region is one contiguous slice."""
+        topo = torus_2d(6, 6)
+        part = make_partition(topo, 4, "bfs")
+        for p in range(4):
+            loc = block_local(part, p)
+            ghost_ids = loc.ext_ids[loc.n_owned:]
+            assert set(ghost_ids.tolist()) == set(part.ghosts[p].tolist())
+            owners = part.assignment[ghost_ids]
+            # grouped: owner sequence is non-decreasing
+            assert (np.diff(owners) >= 0).all()
+            for link in loc.links:
+                a, b = loc.recv_slices[link.peer]
+                assert np.array_equal(link.recv_idx, np.arange(a, b))
+                assert (owners[a:b] == link.peer).all()
+                # ascending global id within the group
+                assert (np.diff(ghost_ids[a:b]) > 0).all()
+
+
+class TestOverlapAndDeltaFrames:
+    """Split-phase overlap + delta halo frames: parity and byte wins."""
+
+    @pytest.mark.parametrize("transport", ["mp-pipe", "tcp"])
+    @pytest.mark.parametrize("label,factory,discrete", BALANCER_FACTORIES,
+                             ids=[b[0] for b in BALANCER_FACTORIES])
+    def test_overlap_matches_serial(self, label, factory, discrete, transport):
+        topo = torus_2d(6, 6)
+        loads = _loads(topo, discrete)
+        expected = _serial_snapshots(factory(topo), loads.copy())
+        psim = PartitionedSimulator(
+            factory(topo), partitions=3, strategy="bfs",
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True, mode="process",
+            transport=transport, overlap=True,
+        )
+        trace = psim.run(loads.copy())
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+        assert psim.halo_stats["overlap"] is True
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_delta_frames_match_serial_and_count_fewer_bytes(self, overlap):
+        """Near convergence most discrete rows stop changing: delta frames
+        ship fewer bytes while trajectories stay identical."""
+        topo = torus_2d(8, 8)
+        loads = np.full(topo.n, 100, dtype=np.int64)
+        loads[:4] += np.array([40, 30, 20, 10])
+        expected = _serial_snapshots(
+            DiffusionBalancer(topo, mode="discrete"), loads.copy(), rounds=30)
+        totals = {}
+        for delta in (False, True):
+            psim = PartitionedSimulator(
+                DiffusionBalancer(topo, mode="discrete"), partitions=3,
+                strategy="bfs", stopping=[MaxRounds(30)], keep_snapshots=True,
+                mode="process", overlap=overlap, delta_frames=delta,
+            )
+            trace = psim.run(loads.copy())
+            for t, snap in enumerate(expected):
+                assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+            totals[delta] = psim.halo_stats["halo_bytes"]
+            assert psim.halo_stats["delta_frames"] is delta
+        assert totals[True] < totals[False]
+
+    def test_delta_degenerates_to_dense_on_full_churn(self):
+        """Continuous loads change every row every round, so the delta
+        encoder always falls back to dense frames — byte totals equal the
+        delta-off run exactly."""
+        topo = torus_2d(6, 6)
+        loads = _loads(topo, discrete=False)
+        totals = {}
+        for delta in (False, True):
+            psim = PartitionedSimulator(
+                DiffusionBalancer(topo), partitions=3, strategy="bfs",
+                stopping=[MaxRounds(12)], mode="process", delta_frames=delta,
+            )
+            psim.run(loads.copy())
+            totals[delta] = (
+                psim.halo_stats["halo_bytes"], dict(psim.halo_stats["links"]))
+        assert totals[True] == totals[False]
+
+    @pytest.mark.parametrize("transport", ["mp-pipe", "tcp"])
+    def test_overlap_delta_dynamic_topology(self, transport):
+        """Dynamic cut sets rebuild the slabs and reset delta snapshots
+        every round; trajectories stay bit-for-bit serial."""
+        base = torus_2d(6, 6)
+        loads = _loads(base, discrete=True)
+        make = lambda: DiffusionBalancer(
+            EdgeSamplingDynamics(base, p=0.6, seed=9), mode="discrete")
+        expected = _serial_snapshots(make(), loads.copy())
+        psim = PartitionedSimulator(
+            make(), partitions=4, strategy="bfs",
+            stopping=[MaxRounds(ROUNDS)], keep_snapshots=True, mode="process",
+            transport=transport, overlap=True, delta_frames=True,
+        )
+        trace = psim.run(loads.copy())
+        for t, snap in enumerate(expected):
+            assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+
+    def test_delta_frames_under_forced_chunking(self, monkeypatch):
+        """Delta frames survive a tiny MAX_CHUNK_BYTES: many wire chunks
+        per frame, identical trajectories and identical logical byte
+        totals across transports."""
+        import repro.distributed.transport as transport_mod
+        monkeypatch.setattr(transport_mod, "MAX_CHUNK_BYTES", 512)
+        topo = torus_2d(6, 6)
+        loads = np.full(topo.n, 50, dtype=np.int64)
+        loads[0] += 77
+        expected = _serial_snapshots(
+            DiffusionBalancer(topo, mode="discrete"), loads.copy(), rounds=15)
+        totals = {}
+        for transport in ("mp-pipe", "tcp"):
+            psim = PartitionedSimulator(
+                DiffusionBalancer(topo, mode="discrete"), partitions=3,
+                strategy="bfs", stopping=[MaxRounds(15)], keep_snapshots=True,
+                mode="process", transport=transport, overlap=True,
+                delta_frames=True,
+            )
+            trace = psim.run(loads.copy())
+            for t, snap in enumerate(expected):
+                assert np.array_equal(snap, trace.snapshots[t][0]), f"round {t}"
+            totals[transport] = (
+                psim.halo_stats["halo_bytes"], dict(psim.halo_stats["links"]))
+        assert totals["mp-pipe"] == totals["tcp"]
+
+    def test_env_toggles_default_the_flags(self, monkeypatch):
+        topo = torus_2d(4, 4)
+        bal = DiffusionBalancer(topo)
+        monkeypatch.setenv("REPRO_OVERLAP", "1")
+        monkeypatch.setenv("REPRO_DELTA", "true")
+        sim = PartitionedSimulator(bal, partitions=2, mode="process")
+        assert sim.overlap is True and sim.delta_frames is True
+        # Explicit kwargs win over the environment.
+        sim = PartitionedSimulator(bal, partitions=2, mode="process",
+                                   overlap=False, delta_frames=False)
+        assert sim.overlap is False and sim.delta_frames is False
+        monkeypatch.delenv("REPRO_OVERLAP")
+        monkeypatch.delenv("REPRO_DELTA")
+        sim = PartitionedSimulator(bal, partitions=2, mode="process")
+        assert sim.overlap is False and sim.delta_frames is False

@@ -147,6 +147,8 @@ class TestPartitionsFlag:
         out = capsys.readouterr().out
         assert "edge_cut" in out and "halo_volume" in out and "imbalance" in out
         assert "contiguous" in out and "bfs" in out
+        # Overlap-headroom columns: per-block interior/boundary row counts.
+        assert "interior" in out and "boundary" in out and "bound_frac" in out
 
     def test_partition_info_explicit_specs(self, capsys):
         rc = main([
@@ -178,6 +180,14 @@ class TestPartitionsFlag:
         assert row["blocks"] == 4 and row["strategy"] == "bfs"
         for key in ("edge_cut", "halo_volume", "imbalance", "block_min", "block_max"):
             assert key in row
+        # Split-phase headroom report: per-block interior/boundary rows
+        # partition the 64 owned rows, consistent with the summary keys.
+        assert len(row["interior_by_block"]) == 4
+        assert len(row["boundary_by_block"]) == 4
+        assert sum(row["interior_by_block"]) == row["interior_rows"]
+        assert sum(row["boundary_by_block"]) == row["boundary_rows"]
+        assert row["interior_rows"] + row["boundary_rows"] == 64
+        assert 0.0 < row["boundary_fraction"] <= 1.0
 
     def test_run_partitioned_matches_unpartitioned(self, capsys):
         """--partitions is an execution knob: the trace summary is identical.
