@@ -541,6 +541,144 @@ def measure_dispatch_sharded(side, replicas, mode, rounds, worker_addrs,
     }
 
 
+def measure_dispatch_hardened(side, replicas, mode, rounds, plain_row,
+                              repeats: int = 2) -> dict:
+    """Heartbeat + HMAC-auth overhead on the sharded dispatch row.
+
+    Spawns its own pair of *keyed* workers (the hardened handshake needs
+    both sides keyed), reruns the exact workload of ``plain_row`` with a
+    heartbeat stream and authenticated rendezvous, and reports the
+    overhead against that row's plain dispatched time.  Recorded, not
+    gated — the expectation is "within noise": auth costs two HMAC
+    round-trips at rendezvous and beats ride send_nowait.
+    """
+    from repro.distributed.dispatcher import dispatch_sharded
+    from repro.distributed.worker import launch_worker_process
+
+    authkey = "bench-hardened"
+    heartbeat = 0.5
+    topo = torus_2d(side, side)
+    loads = _initial_loads(topo.n, discrete=mode == "discrete")
+    procs, addrs = [], []
+    try:
+        for _ in range(2):
+            proc, addr = launch_worker_process(extra_args=("--authkey", authkey))
+            procs.append(proc)
+            addrs.append(addr)
+        disp_s = float("inf")
+        stats: dict = {}
+        for _ in range(repeats):
+            bal = DiffusionBalancer(topo, mode=mode)
+            start = time.perf_counter()
+            _, s = dispatch_sharded(
+                bal, loads, addrs, shards=len(addrs), seed=SEED,
+                replicas=replicas, stopping=[MaxRounds(rounds)],
+                authkey=authkey, heartbeat=heartbeat,
+            )
+            elapsed = time.perf_counter() - start
+            if elapsed < disp_s:
+                disp_s, stats = elapsed, s
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except Exception:  # pragma: no cover - defensive
+                proc.kill()
+    plain_s = plain_row["dispatched_seconds"]
+    return {
+        "kind": "sharded-dispatch-hardened",
+        "n": topo.n,
+        "replicas": replicas,
+        "mode": mode,
+        "rounds": rounds,
+        "workers": len(addrs),
+        "transport": "tcp",
+        "auth": stats.get("auth", False),
+        "heartbeat": heartbeat,
+        "plain_seconds": plain_s,
+        "hardened_seconds": round(disp_s, 6),
+        "hardened_overhead_pct": round(100.0 * (disp_s - plain_s) / plain_s, 1),
+    }
+
+
+def measure_recovery_row(smoke: bool) -> dict:
+    """Kill-one-worker re-dispatch: recovery time on a 3-worker sweep.
+
+    Runs the same sharded ensemble twice over 3 self-spawned workers:
+    once clean, once SIGKILLing one worker mid-sweep so its in-flight
+    shards re-queue onto the survivors.  Reports the wall-clock cost of
+    the recovery (detect EOF, probe the dead address, re-deal) on top of
+    the clean run.  Both traces are bit-for-bit identical by the
+    re-queue determinism contract; the row records only timing.
+    """
+    import threading
+
+    from repro.distributed.dispatcher import dispatch_sharded
+    from repro.distributed.worker import launch_worker_process
+
+    side = 32
+    replicas, shards = 6, 6
+    # Sized so each single-replica shard runs >~1 s (per-round engine
+    # overhead dominates at this n) — the kill must land while the
+    # victim still has shards in flight.
+    rounds = 5_000 if smoke else 10_000
+    kill_at = 0.4 if smoke else 0.8
+    topo = torus_2d(side, side)
+    loads = _initial_loads(topo.n, discrete=False)
+
+    def _run(kill: bool):
+        procs, addrs = [], []
+        try:
+            for _ in range(3):
+                proc, addr = launch_worker_process()
+                procs.append(proc)
+                addrs.append(addr)
+            killer = threading.Timer(kill_at, procs[0].kill) if kill else None
+            if killer is not None:
+                killer.start()
+            start = time.perf_counter()
+            try:
+                _, stats = dispatch_sharded(
+                    DiffusionBalancer(topo), loads, addrs, shards=shards,
+                    seed=SEED, replicas=replicas, stopping=[MaxRounds(rounds)],
+                    timeout=120.0,
+                )
+            finally:
+                if killer is not None:
+                    killer.cancel()
+            return time.perf_counter() - start, stats
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except Exception:  # pragma: no cover - defensive
+                    proc.kill()
+
+    clean_s, _ = _run(kill=False)
+    killed_s, stats = _run(kill=True)
+    return {
+        "kind": "sharded-dispatch-recovery",
+        "n": topo.n,
+        "replicas": replicas,
+        "shards": shards,
+        "mode": "continuous",
+        "rounds": rounds,
+        "workers": 3,
+        "transport": "tcp",
+        "killed_after_seconds": kill_at,
+        "clean_seconds": round(clean_s, 6),
+        "recovered_seconds": round(killed_s, 6),
+        "recovery_overhead_seconds": round(killed_s - clean_s, 6),
+        "requeued_shards": stats.get("requeued_shards", 0),
+        "retries": stats.get("retries", 0),
+    }
+
+
 def measure_distributed_section(smoke: bool, worker_addrs: list[str] | None = None) -> dict:
     """The dispatcher rows, against given workers or 2 self-spawned ones.
 
@@ -562,6 +700,9 @@ def measure_distributed_section(smoke: bool, worker_addrs: list[str] | None = No
             measure_dispatch_partitioned(side, "discrete", rounds, worker_addrs),
             measure_dispatch_sharded(side, replicas, "continuous", rounds, worker_addrs),
         ]
+        rows.append(
+            measure_dispatch_hardened(side, replicas, "continuous", rounds, rows[-1])
+        )
     finally:
         for proc in procs:
             proc.terminate()
@@ -570,6 +711,7 @@ def measure_distributed_section(smoke: bool, worker_addrs: list[str] | None = No
                 proc.wait(timeout=10)
             except Exception:  # pragma: no cover - defensive
                 proc.kill()
+    rows.append(measure_recovery_row(smoke))
     for row in rows:
         if row["kind"] == "partitioned-dispatch":
             print(
@@ -578,6 +720,23 @@ def measure_distributed_section(smoke: bool, worker_addrs: list[str] | None = No
                 f"speedup {row['dispatched_speedup']:.2f}x  "
                 f"halo {row['halo_values_per_round']:.0f} values "
                 f"/ {row['halo_bytes_per_round']:.0f} B per round"
+            )
+        elif row["kind"] == "sharded-dispatch-hardened":
+            print(
+                f"{'dispatch':12s} n={row['n']:5d} B={row['replicas']:3d} "
+                f"{row['mode']:10s} [auth+hb, {row['workers']} workers, tcp]: "
+                f"hardened {row['hardened_seconds']:.3f}s vs plain "
+                f"{row['plain_seconds']:.3f}s "
+                f"({row['hardened_overhead_pct']:+.1f}%)"
+            )
+        elif row["kind"] == "sharded-dispatch-recovery":
+            print(
+                f"{'dispatch':12s} n={row['n']:5d} B={row['replicas']:3d} "
+                f"{row['mode']:10s} [kill 1/{row['workers']} workers, tcp]: "
+                f"recovered {row['recovered_seconds']:.3f}s vs clean "
+                f"{row['clean_seconds']:.3f}s  "
+                f"requeued {row['requeued_shards']} shard(s) "
+                f"over {row['retries']} retry(ies)"
             )
         else:
             print(

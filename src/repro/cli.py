@@ -171,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
         "when one address works cluster-wide; set explicitly when peers route "
         "to this machine differently than the dispatcher does",
     )
+    p_worker.add_argument(
+        "--authkey", default=None, metavar="KEY",
+        help="require HMAC authentication on the rendezvous and on halo peer "
+        "links (default: the REPRO_AUTHKEY environment variable; unset = "
+        "unauthenticated, loopback-trust mode)",
+    )
 
     p_disp = sub.add_parser(
         "dispatch",
@@ -203,6 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_disp.add_argument(
         "--timeout", type=float, default=300.0,
         help="seconds any dispatcher-side wait may block before aborting the run",
+    )
+    p_disp.add_argument(
+        "--authkey", default=None, metavar="KEY",
+        help="authenticate the rendezvous with this HMAC key (default: the "
+        "REPRO_AUTHKEY environment variable; must match the workers')",
+    )
+    p_disp.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="ask workers to stream liveness frames at this interval so a "
+        "stalled/partitioned worker is detected in bounded time (default: off; "
+        "detection fires after ~2x the interval of silence)",
+    )
+    p_disp.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="partitioned runs only: snapshot block state every N rounds so a "
+        "worker death replays from the snapshot on the survivors instead of "
+        "aborting (default: off = abort on failure)",
+    )
+    p_disp.add_argument(
+        "--retry-budget", type=int, default=3, metavar="K",
+        help="max re-queues per shard / recoveries per partitioned run before "
+        "the dispatcher gives up",
     )
     p_disp.add_argument(
         "--json", action="store_true",
@@ -522,7 +550,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     try:
         return serve(args.bind, max_jobs=args.max_jobs, timeout=args.timeout,
-                     advertise=args.advertise)
+                     advertise=args.advertise, authkey=args.authkey)
     except (TransportError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 1
@@ -569,6 +597,9 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
                 partitions=part_blocks, strategy=part_strategy,
                 stopping=stopping, backend=backend,
                 replicas=args.replicas, timeout=args.timeout,
+                authkey=args.authkey, heartbeat=args.heartbeat,
+                checkpoint_every=args.checkpoint_every,
+                retry_budget=args.retry_budget,
             )
         else:
             if not getattr(bal, "supports_batch", False) and args.replicas > 1:
@@ -579,6 +610,8 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
                 bal, loads, args.workers,
                 shards=args.shards, seed=args.seed, replicas=args.replicas,
                 stopping=stopping, backend=backend, timeout=args.timeout,
+                authkey=args.authkey, heartbeat=args.heartbeat,
+                retry_budget=args.retry_budget,
             )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -609,6 +642,13 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         )
         for link, nbytes in sorted(stats.get("links", {}).items()):
             print(f"{'link ' + link:>20}: {nbytes} B total, {nbytes / rounds:.1f} B/round")
+    if stats.get("retries") or stats.get("requeued_shards") or stats.get("requeued_blocks"):
+        requeued = stats.get("requeued_shards", 0) or stats.get("requeued_blocks", 0)
+        what = "shard(s)" if "requeued_shards" in stats else "block(s)"
+        print(
+            f"{'recovery':>20}: {requeued} {what} re-queued over "
+            f"{stats['retries']} reconnect attempt(s)"
+        )
     return 0
 
 

@@ -5,7 +5,10 @@ the addresses of running ``repro-lb worker`` processes it
 
 1. performs the **rendezvous handshake** (``hello``/``ready`` with a
    protocol-version check; each worker's reply advertises the peer port
-   its halo links listen on),
+   its halo links listen on).  With an authkey (``authkey=`` /
+   ``REPRO_AUTHKEY``) the hello is followed by an HMAC
+   challenge–response in both directions, so neither side will feed
+   pickles to an unauthenticated peer,
 2. **assigns work** — partition blocks round-robin over the workers (a
    worker hosting several blocks runs them on threads with loopback
    channels in between), or contiguous replica shards the same way the
@@ -16,11 +19,22 @@ the addresses of running ``repro-lb worker`` processes it
    exact block combine of
    :mod:`repro.simulation.partitioned`) or whole shard traces (for
    :func:`~repro.simulation.sharding.merge_ensemble_traces`), and
-5. on any worker failure **aborts cleanly**: every surviving channel is
-   closed (which unwedges peers blocked in halo exchanges), a
-   :class:`DispatcherError` naming the failed worker is raised, and the
-   CLI turns it into a nonzero exit — never a hang (all waits are
-   bounded by ``timeout``).
+5. on worker failure **degrades or recovers**: sharded dispatch
+   re-queues the dead worker's unfinished shards onto survivors (shard
+   payloads are placement-independent, so the merged trace is still
+   bit-for-bit identical); partitioned dispatch replays from the last
+   round-boundary snapshot when ``checkpoint_every`` is set, and
+   otherwise aborts cleanly — every surviving channel is closed (which
+   unwedges peers blocked in halo exchanges) and a
+   :class:`DispatcherError` naming the failed worker is raised, never a
+   hang (all waits are bounded by ``timeout``).
+
+**Liveness** is push-based: when ``heartbeat`` is set at rendezvous,
+each worker streams ``("hb", seq)`` frames on the control channel from
+a dedicated thread, and every dispatcher-side wait slices its blocking
+receives so a worker that goes silent past ``heartbeat * miss_budget``
+seconds (SIGSTOP, network partition) is detected in bounded time
+instead of via the generic send timeout.
 
 Because block execution reuses :func:`repro.distributed.worker.run_block_loop`
 and shard execution reuses the exact local shard payloads, trajectories
@@ -31,6 +45,10 @@ shard order as the single-host paths.
 
 from __future__ import annotations
 
+import os
+import random
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -39,10 +57,15 @@ import numpy as np
 from repro.core.protocols import Balancer
 from repro.distributed.transport import (
     PROTOCOL_VERSION,
+    AuthenticationError,
     Channel,
     TransportError,
+    TransportTimeout,
+    answer_challenge,
+    deliver_challenge,
     format_address,
     parse_address,
+    resolve_authkey,
     tcp_connect,
 )
 from repro.simulation.ensemble import EnsembleTrace
@@ -50,7 +73,10 @@ from repro.simulation.stopping import StoppingRule
 
 __all__ = [
     "DEFAULT_TIMEOUT",
+    "DEFAULT_HEARTBEAT_MISS_BUDGET",
+    "DEFAULT_RETRY_BUDGET",
     "DispatcherError",
+    "HeartbeatLost",
     "WorkerHandle",
     "connect_workers",
     "close_workers",
@@ -63,18 +89,64 @@ __all__ = [
 #: so a wedged cluster surfaces as a diagnostic instead of a hang.
 DEFAULT_TIMEOUT = 600.0
 
+#: A worker is declared dead after ``heartbeat * miss_budget`` seconds of
+#: silence.  2.0 tolerates one lost/late beat while keeping detection of
+#: a SIGSTOPped worker under 3x the heartbeat interval (the check runs
+#: every quarter interval).
+DEFAULT_HEARTBEAT_MISS_BUDGET = 2.0
+
+#: Recovery attempts per run (partitioned) / re-queues per shard
+#: (sharded) before giving up on fault tolerance and aborting.
+DEFAULT_RETRY_BUDGET = 3
+
+#: Poll slice while multiplexing worker control channels in the sharded
+#: event loop — short enough to keep per-pass latency low with a handful
+#: of workers, long enough not to spin.
+_MUX_SLICE = 0.02
+
+#: Reconnect probe for a worker that just failed: a crashed process
+#: refuses within the deadline, a worker that merely dropped a bad job
+#: is back in accept within a retry or two.
+_RECONNECT_OPTIONS = {"retries": 4, "retry_delay": 0.2, "deadline": 3.0}
+_RECONNECT_TIMEOUT = 5.0
+
 
 class DispatcherError(RuntimeError):
     """A distributed run failed (unreachable/failed worker, bad reply)."""
 
 
-@dataclass
+class HeartbeatLost(TransportError):
+    """A worker went silent past its heartbeat miss budget."""
+
+
+class _WorkerDied(RuntimeError):
+    """Internal: one worker failed mid-run; ``detail`` is the public
+    diagnostic.  Converted to :class:`DispatcherError` (abort) or
+    consumed by checkpoint recovery, depending on configuration."""
+
+    def __init__(self, handle: "WorkerHandle", detail: str):
+        super().__init__(detail)
+        self.handle = handle
+        self.detail = detail
+
+
+@dataclass(eq=False)
 class WorkerHandle:
-    """One connected worker: control channel + rendezvous info."""
+    """One connected worker: control channel, rendezvous info, liveness.
+
+    ``heartbeat``/``miss_budget`` configure the push-based liveness
+    check: :meth:`recv` and :meth:`try_recv` silently consume ``("hb",
+    seq)`` frames, refresh ``last_seen`` on *any* inbound frame, and
+    raise :class:`HeartbeatLost` once the silence exceeds the budget.
+    """
 
     address: tuple[str, int]
     channel: Channel
     info: dict = field(default_factory=dict)
+    heartbeat: float | None = None
+    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET
+    authkey: bytes | None = field(default=None, repr=False)
+    last_seen: float = field(default_factory=time.monotonic)
 
     @property
     def label(self) -> str:
@@ -97,14 +169,151 @@ class WorkerHandle:
         host = self.info.get("advertise_host") or self.address[0]
         return host, int(self.info["peer_address"][1])
 
+    def touch(self) -> None:
+        self.last_seen = time.monotonic()
+
+    def _liveness_check(self) -> None:
+        if not self.heartbeat:
+            return
+        silent = time.monotonic() - self.last_seen
+        limit = self.heartbeat * self.miss_budget
+        if silent > limit:
+            raise HeartbeatLost(
+                f"worker {self.label} silent for {silent:.2f}s "
+                f"(heartbeat {self.heartbeat}s x miss budget {self.miss_budget})"
+            )
+
+    def recv(self, timeout: float | None = None):
+        """Receive the next non-heartbeat frame, enforcing liveness.
+
+        Without a heartbeat this is a plain bounded ``channel.recv``.
+        With one, the wait is sliced into quarter-interval polls so a
+        silent worker raises :class:`HeartbeatLost` in bounded time; the
+        poll/recv split keeps frames atomic (a poll consumes no bytes,
+        and once a frame has started arriving the full budget applies).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            budget = None if deadline is None else deadline - time.monotonic()
+            if budget is not None and budget <= 0:
+                raise TransportTimeout(
+                    f"no reply from worker {self.label} within {timeout}s"
+                )
+            if self.heartbeat:
+                wait = self.heartbeat / 4.0
+                if budget is not None:
+                    wait = min(wait, budget)
+                if not self.channel.poll(max(wait, 0.0)):
+                    # Liveness is judged only when the wire is quiet: a
+                    # backlog of unread beats (dispatcher busy elsewhere)
+                    # must drain and refresh last_seen, not count as
+                    # silence.
+                    self._liveness_check()
+                    continue
+                msg = self.channel.recv(budget)
+            else:
+                msg = self.channel.recv(budget)
+            self.touch()
+            if isinstance(msg, tuple) and msg and msg[0] == "hb":
+                continue
+            return msg
+
+    def try_recv(self, wait: float, frame_timeout: float | None = None):
+        """Poll for up to ``wait`` seconds; return a frame or ``None``.
+
+        Heartbeat frames refresh liveness and report as ``None`` (no
+        payload progress).  Used by the sharded event loop to multiplex
+        several workers without dedicating a thread per channel.
+        """
+        if not self.channel.poll(wait):
+            # Judge liveness only on a quiet wire (see recv): queued
+            # beats must refresh last_seen before silence is measured.
+            self._liveness_check()
+            return None
+        msg = self.channel.recv(frame_timeout)
+        self.touch()
+        if isinstance(msg, tuple) and msg and msg[0] == "hb":
+            return None
+        return msg
+
+
+def _handshake(channel: Channel, timeout: float, authkey: bytes | None,
+               heartbeat: float | None, label: str) -> dict:
+    """Hello + optional mutual HMAC auth; returns the worker's info dict.
+
+    A keyed worker challenges first (we cannot know it will until its
+    first reply arrives, hence the pre-received ``challenge=``
+    pass-through); a keyed dispatcher then counter-challenges so both
+    sides prove possession before any job bytes flow.
+    """
+    opts: dict = {}
+    if heartbeat:
+        opts["heartbeat"] = float(heartbeat)
+    if authkey is not None:
+        opts["auth"] = True
+    channel.send(("hello", PROTOCOL_VERSION, opts) if opts else ("hello", PROTOCOL_VERSION))
+    reply = channel.recv(timeout)
+    if isinstance(reply, tuple) and reply and reply[0] == "auth-challenge":
+        if authkey is None:
+            raise DispatcherError(
+                f"worker {label} requires an authkey "
+                "(pass authkey= / --authkey or set REPRO_AUTHKEY)"
+            )
+        try:
+            answer_challenge(channel, authkey, timeout, challenge=reply)
+            deliver_challenge(channel, authkey, timeout)
+        except AuthenticationError as exc:
+            raise DispatcherError(f"worker {label} authentication failed: {exc}") from exc
+        reply = channel.recv(timeout)
+    if not (isinstance(reply, tuple) and reply and reply[0] == "ready"):
+        detail = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
+        raise DispatcherError(f"worker {label} refused the handshake: {detail}")
+    return reply[1]
+
+
+def _connect_worker(address: tuple[str, int], *, timeout: float,
+                    tcp_options: dict | None = None,
+                    authkey: bytes | None = None,
+                    heartbeat: float | None = None,
+                    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET) -> WorkerHandle:
+    """Connect + handshake one worker (``authkey`` already resolved)."""
+    label = format_address(address)
+    channel = None
+    # The connect timeout doubles as the total retry deadline: a worker
+    # that is still coming up gets the whole window, a dead one fails
+    # the rendezvous in bounded time (explicit tcp_options still win).
+    options = {"deadline": timeout, **(tcp_options or {})}
+    try:
+        channel = tcp_connect(address, timeout=timeout, **options)
+        info = _handshake(channel, timeout, authkey, heartbeat, label)
+    except TransportError as exc:
+        if channel is not None:
+            channel.close()
+        raise DispatcherError(f"cannot reach worker {label}: {exc}") from exc
+    except BaseException:
+        if channel is not None:
+            channel.close()
+        raise
+    return WorkerHandle(
+        address=address, channel=channel, info=info,
+        heartbeat=float(heartbeat) if heartbeat else None,
+        miss_budget=miss_budget, authkey=authkey,
+    )
+
 
 def connect_workers(addresses: Sequence[str | tuple[str, int]], *,
-                    timeout: float = 30.0, tcp_options: dict | None = None) -> list[WorkerHandle]:
+                    timeout: float = 30.0, tcp_options: dict | None = None,
+                    authkey: str | bytes | None = None,
+                    heartbeat: float | None = None,
+                    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET) -> list[WorkerHandle]:
     """Connect + handshake with every worker address, in order.
 
-    Raises :class:`DispatcherError` naming the first unreachable or
-    version-mismatched worker; already-opened channels are closed before
-    the raise so a failed rendezvous leaves nothing dangling.
+    ``authkey`` (or the ``REPRO_AUTHKEY`` environment variable) enables
+    mutual HMAC authentication; ``heartbeat`` asks each worker to stream
+    liveness frames at that interval.  Raises :class:`DispatcherError`
+    naming the first unreachable or version-mismatched worker;
+    already-opened channels are closed before the raise so a failed
+    rendezvous leaves nothing dangling.
     """
     normalized = [
         parse_address(spec) if isinstance(spec, str) else (spec[0], int(spec[1]))
@@ -120,23 +329,16 @@ def connect_workers(addresses: Sequence[str | tuple[str, int]], *,
             "duplicate worker address(es): "
             + ", ".join(sorted(format_address(a) for a in duplicates))
         )
+    key = resolve_authkey(authkey)
     handles: list[WorkerHandle] = []
     try:
         for address in normalized:
-            try:
-                channel = tcp_connect(address, timeout=timeout, **(tcp_options or {}))
-                channel.send(("hello", PROTOCOL_VERSION))
-                reply = channel.recv(timeout)
-            except TransportError as exc:
-                raise DispatcherError(
-                    f"cannot reach worker {format_address(address)}: {exc}"
-                ) from exc
-            if not (isinstance(reply, tuple) and reply and reply[0] == "ready"):
-                detail = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
-                raise DispatcherError(
-                    f"worker {format_address(address)} refused the handshake: {detail}"
+            handles.append(
+                _connect_worker(
+                    address, timeout=timeout, tcp_options=tcp_options,
+                    authkey=key, heartbeat=heartbeat, miss_budget=miss_budget,
                 )
-            handles.append(WorkerHandle(address=address, channel=channel, info=reply[1]))
+            )
     except BaseException:
         close_workers(handles)
         raise
@@ -155,13 +357,19 @@ def _abort(handles: Sequence[WorkerHandle]) -> None:
     close_workers(handles)
 
 
-def _resolve_handles(workers, timeout, tcp_options):
+def _resolve_handles(workers, timeout, tcp_options, *, authkey=None,
+                     heartbeat=None,
+                     miss_budget=DEFAULT_HEARTBEAT_MISS_BUDGET):
     """Accept addresses or pre-connected handles; returns (handles, own)."""
     if not workers:
         raise DispatcherError("need at least one worker address")
     if all(isinstance(w, WorkerHandle) for w in workers):
         return list(workers), False
-    return connect_workers(workers, timeout=timeout, tcp_options=tcp_options), True
+    handles = connect_workers(
+        workers, timeout=timeout, tcp_options=tcp_options,
+        authkey=authkey, heartbeat=heartbeat, miss_budget=miss_budget,
+    )
+    return handles, True
 
 
 # ----------------------------------------------------------------------
@@ -172,27 +380,75 @@ class _RemoteBlockExecutor:
     :class:`~repro.simulation.partitioned.PartitionedSimulator` seam).
 
     Blocks are assigned round-robin (block ``p`` → worker ``p % W``), so
-    two workers can host a P=4 job.  The constructor ships every job
-    spec first and *then* collects the ``mesh-ok`` barrier — workers
-    accept and connect concurrently, so waiting per-worker in ship order
-    would deadlock the mesh setup.
+    two workers can host a P=4 job.  Every job spec is shipped first and
+    *then* the ``mesh-ok`` barrier is collected — workers accept and
+    connect concurrently, so waiting per-worker in ship order would
+    deadlock the mesh setup.
+
+    With ``checkpoint_every=N`` the executor snapshots the full load
+    matrix at round boundaries (a ``gather`` every N rounds) and keeps a
+    replay log of the ``(chunk, frozen)`` commands issued since.  When a
+    worker dies mid-chunk it reconnects to the survivors, re-places all
+    blocks over them, re-ships block state from the snapshot (payloads
+    carry ``start_round`` so dynamic topologies replay identically),
+    silently replays the logged chunks to rebuild worker-side state, and
+    re-runs the failed chunk — bit-for-bit with the serial engines,
+    because block rounds are deterministic.  Without checkpointing any
+    failure aborts the run cleanly, as before.
     """
 
     def __init__(self, sim, L: np.ndarray, B: int, assignment: np.ndarray,
                  handles: list[WorkerHandle], timeout: float,
-                 tcp_options: dict | None = None):
-        self.handles = handles
+                 tcp_options: dict | None = None, *,
+                 checkpoint_every: int | None = None,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET):
+        self.sim = sim
         self.timeout = timeout
+        self.tcp_options = tcp_options
         self.B = B
         self.n = L.shape[0]
-        P = int(assignment.max()) + 1
-        W = len(handles)
+        self.assignment = assignment
+        self.P = int(assignment.max()) + 1
+        self.owned = [np.flatnonzero(assignment == p) for p in range(self.P)]
+        self.block_order = list(range(self.P))
+        self.addresses = [h.address for h in handles]
+        self._authkey = handles[0].authkey if handles else None
+        self._heartbeat = handles[0].heartbeat if handles else None
+        self._miss_budget = (
+            handles[0].miss_budget if handles else DEFAULT_HEARTBEAT_MISS_BUDGET
+        )
+        self.checkpoint_every = int(checkpoint_every) if checkpoint_every else None
+        self.retry_budget = retry_budget
+        self.retries = 0
+        self.requeued_blocks = 0
+        self._round = 0
+        self._ckpt_round = 0
+        # Node-major snapshot the run can be rebuilt from — the initial
+        # batch doubles as the round-0 checkpoint.
+        self._ckpt_L = np.array(L, copy=True)
+        self._replay: list[tuple[int, object]] = []
+        self.handles = list(handles)
+        self._block_host: dict[int, str] = {}
+        try:
+            self._ship(self.handles, self._ckpt_L, 0)
+        except _WorkerDied as exc:
+            self._fail(exc)
+
+    def _ship(self, handles: list[WorkerHandle], L: np.ndarray,
+              start_round: int) -> None:
+        """(Re-)place all blocks over ``handles`` and ship job specs."""
+        sim = self.sim
+        P, W = self.P, len(handles)
         self.worker_of = {p: p % W for p in range(P)}
-        self.blocks_of = {w: [p for p in range(P) if self.worker_of[p] == w] for w in range(W)}
-        self.owned = [np.flatnonzero(assignment == p) for p in range(P)]
-        self.block_order = list(range(P))
+        self.blocks_of = {
+            w: [p for p in range(P) if self.worker_of[p] == w] for w in range(W)
+        }
         want_disc = sim._record_disc()
         want_mov = sim.record == "full"
+        # Fresh per-job nonce: peer-link headers are signed against it,
+        # so a stale (replayed) link header from an earlier mesh cannot
+        # attach to this job's halo exchange.
+        link_nonce = os.urandom(16) if self._authkey is not None else None
 
         local_pairs: dict[int, list[tuple[int, int]]] = {w: [] for w in range(W)}
         links: dict[int, dict[int, dict[int, tuple]]] = {
@@ -209,11 +465,11 @@ class _RemoteBlockExecutor:
                     links[wa][a][b] = ("accept",)
                     links[wb][b][a] = ("connect", handles[wa].peer_address)
         specs = []
-        for w, handle in enumerate(handles):
+        for w in range(W):
             payloads = {
                 p: (
                     sim.balancer,
-                    assignment,
+                    self.assignment,
                     sim.strategy,
                     p,
                     L[self.owned[p]],
@@ -222,48 +478,50 @@ class _RemoteBlockExecutor:
                     want_mov,
                     getattr(sim, "overlap", False),
                     getattr(sim, "delta_frames", False),
+                    start_round,
                 )
                 for p in self.blocks_of[w]
             }
-            specs.append(
-                {
-                    "kind": "partition",
-                    "blocks": self.blocks_of[w],
-                    "payloads": payloads,
-                    "local_pairs": local_pairs[w],
-                    "links": links[w],
-                    "timeout": timeout,
-                    "tcp": tcp_options or {},
-                }
-            )
+            spec = {
+                "kind": "partition",
+                "blocks": self.blocks_of[w],
+                "payloads": payloads,
+                "local_pairs": local_pairs[w],
+                "links": links[w],
+                "timeout": self.timeout,
+                "tcp": self.tcp_options or {},
+            }
+            if link_nonce is not None:
+                spec["link_nonce"] = link_nonce
+            specs.append(spec)
         # Ship all jobs, then barrier on every mesh-ok.
         for handle, spec in zip(handles, specs):
             self._send(handle, ("job", spec))
         for handle in handles:
             reply = self._recv(handle)
             if reply[0] != "mesh-ok":  # pragma: no cover - defensive
-                _abort(self.handles)
-                raise DispatcherError(
-                    f"worker {handle.label}: expected mesh-ok, got {reply[0]!r}"
+                raise _WorkerDied(
+                    handle,
+                    f"worker {handle.label}: expected mesh-ok, got {reply[0]!r}",
                 )
+        self._block_host = {
+            p: handles[self.worker_of[p]].label for p in range(P)
+        }
 
-    # -- channel plumbing with clean abort ----------------------------
+    # -- channel plumbing -----------------------------------------------
     def _send(self, handle: WorkerHandle, msg) -> None:
         try:
             handle.channel.send(msg)
         except TransportError as exc:
-            _abort(self.handles)
-            raise DispatcherError(f"worker {handle.label} died: {exc}") from exc
+            raise _WorkerDied(handle, f"worker {handle.label} died: {exc}") from exc
 
     def _recv(self, handle: WorkerHandle):
         try:
-            reply = handle.channel.recv(self.timeout)
+            reply = handle.recv(self.timeout)
         except TransportError as exc:
-            _abort(self.handles)
-            raise DispatcherError(f"worker {handle.label} died: {exc}") from exc
+            raise _WorkerDied(handle, f"worker {handle.label} died: {exc}") from exc
         if isinstance(reply, tuple) and reply and reply[0] == "error":
-            _abort(self.handles)
-            raise DispatcherError(f"worker {handle.label} failed: {reply[1]}")
+            raise _WorkerDied(handle, f"worker {handle.label} failed: {reply[1]}")
         return reply
 
     def _ask_all(self, msg) -> list:
@@ -271,8 +529,112 @@ class _RemoteBlockExecutor:
             self._send(handle, msg)
         return [self._recv(handle) for handle in self.handles]
 
+    def _fail(self, exc: _WorkerDied) -> None:
+        """Abort: close every channel and surface the diagnostic."""
+        _abort(self.handles)
+        raise DispatcherError(exc.detail) from exc
+
+    def _guarded(self, fn):
+        """Run ``fn``; on worker death recover from the snapshot and retry."""
+        while True:
+            try:
+                return fn()
+            except _WorkerDied as exc:
+                self._recover(exc)
+
+    def _recover(self, exc: _WorkerDied) -> None:
+        """Rebuild the mesh on the surviving workers from the snapshot.
+
+        Closing every control channel makes each surviving worker abort
+        its job and return to ``accept``, so the reconnect probe below
+        finds them listening again; the dead one refuses.  All blocks
+        are then re-placed over the survivors, state is re-shipped from
+        the last checkpoint, and the logged chunks since it are replayed
+        with their statistics discarded (the coordinator already
+        consumed them) — only the worker-side slab state matters.
+        """
+        detail = exc.detail
+        while True:
+            self.retries += 1
+            if self.retries > self.retry_budget:
+                _abort(self.handles)
+                raise DispatcherError(
+                    f"recovery budget ({self.retry_budget}) exhausted: {detail}"
+                ) from exc
+            _abort(self.handles)
+            delay = min(0.2 * (2 ** (self.retries - 1)), 2.0)
+            time.sleep(delay * (1.0 + random.uniform(-0.25, 0.25)))
+            survivors: list[WorkerHandle] = []
+            for address in self.addresses:
+                try:
+                    survivors.append(
+                        _connect_worker(
+                            address, timeout=_RECONNECT_TIMEOUT,
+                            tcp_options={**(self.tcp_options or {}), **_RECONNECT_OPTIONS},
+                            authkey=self._authkey, heartbeat=self._heartbeat,
+                            miss_budget=self._miss_budget,
+                        )
+                    )
+                except DispatcherError:
+                    continue
+            if not survivors:
+                detail = f"no reachable workers during recovery ({detail})"
+                continue
+            prev_host = dict(self._block_host)
+            self.handles = survivors
+            try:
+                self._ship(survivors, self._ckpt_L, self._ckpt_round)
+                for sub, frozen in self._replay:
+                    self._run_subchunk(sub, frozen)
+            except _WorkerDied as exc2:
+                detail = exc2.detail
+                continue
+            self.requeued_blocks += sum(
+                1 for p, host in self._block_host.items()
+                if prev_host.get(p) != host
+            )
+            return
+
+    def _checkpoint(self) -> None:
+        full = self._guarded(self._gather_once)  # replica-major (B, n)
+        self._ckpt_L = np.ascontiguousarray(full.T)
+        self._ckpt_round = self._round
+        self._replay.clear()
+
     # -- executor interface (see simulation.partitioned) ---------------
     def run_chunk(self, chunk: int, frozen) -> tuple[list[list], int, dict[str, int]]:
+        if not self.checkpoint_every:
+            try:
+                out = self._run_subchunk(chunk, frozen)
+            except _WorkerDied as exc:
+                self._fail(exc)
+            self._round += chunk
+            return out
+        # Checkpointing: split the chunk at snapshot boundaries so the
+        # replay log stays short and recovery re-runs at most
+        # checkpoint_every rounds of real work.
+        per_round: list[list] = []
+        halo_values = 0
+        link_bytes: dict[str, int] = {}
+        remaining = chunk
+        while remaining:
+            room = self.checkpoint_every - (self._round - self._ckpt_round)
+            sub = min(remaining, room if room > 0 else self.checkpoint_every)
+            rows, hv, lb = self._guarded(
+                lambda s=sub, f=frozen: self._run_subchunk(s, f)
+            )
+            per_round.extend(rows)
+            halo_values += hv
+            for link, nbytes in lb.items():
+                link_bytes[link] = link_bytes.get(link, 0) + nbytes
+            self._replay.append((sub, frozen))
+            self._round += sub
+            remaining -= sub
+            if self._round - self._ckpt_round >= self.checkpoint_every:
+                self._checkpoint()
+        return per_round, halo_values, link_bytes
+
+    def _run_subchunk(self, chunk: int, frozen) -> tuple[list[list], int, dict[str, int]]:
         replies = self._ask_all(("run", chunk, frozen))
         by_block: dict[int, tuple] = {}
         for reply in replies:
@@ -289,6 +651,14 @@ class _RemoteBlockExecutor:
         return per_round, halo_values, link_bytes
 
     def gather(self) -> np.ndarray:
+        if not self.checkpoint_every:
+            try:
+                return self._gather_once()
+            except _WorkerDied as exc:
+                self._fail(exc)
+        return self._guarded(self._gather_once)
+
+    def _gather_once(self) -> np.ndarray:
         replies = self._ask_all(("gather",))
         by_block: dict[int, np.ndarray] = {}
         for reply in replies:
@@ -331,20 +701,33 @@ def dispatch_partitioned(
     replicas: int | None = None,
     timeout: float = DEFAULT_TIMEOUT,
     tcp_options: dict | None = None,
+    authkey: str | bytes | None = None,
+    heartbeat: float | None = None,
+    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET,
+    checkpoint_every: int | None = None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
 ) -> tuple[EnsembleTrace, dict]:
     """Run a partition-capable balancer as halo-exchanging blocks on
     remote workers; returns ``(trace, distributed_stats)``.
 
     Accepts the same engine knobs as
     :class:`~repro.simulation.partitioned.PartitionedSimulator` plus the
-    worker addresses (or pre-connected :class:`WorkerHandle` objects).
-    The trace is bit-for-bit identical to the serial/partitioned engines;
-    ``distributed_stats`` extends ``halo_stats`` with the worker roster
-    and per-link/control traffic counters.
+    worker addresses (or pre-connected :class:`WorkerHandle` objects),
+    and the fault-tolerance knobs: ``authkey`` (HMAC rendezvous + signed
+    peer links), ``heartbeat``/``miss_budget`` (bounded-time liveness),
+    and ``checkpoint_every`` (opt-in round-boundary snapshots enabling
+    replay on the survivors instead of an abort, bounded by
+    ``retry_budget`` recoveries).  The trace is bit-for-bit identical to
+    the serial/partitioned engines; ``distributed_stats`` extends
+    ``halo_stats`` with the worker roster, per-link/control traffic
+    counters, and recovery counters (``retries``, ``requeued_blocks``).
     """
     from repro.simulation.partitioned import PartitionedSimulator
 
-    handles, own = _resolve_handles(workers, timeout, tcp_options)
+    handles, own = _resolve_handles(
+        workers, timeout, tcp_options,
+        authkey=authkey, heartbeat=heartbeat, miss_budget=miss_budget,
+    )
     sim = PartitionedSimulator(
         balancer,
         partitions=partitions,
@@ -363,7 +746,8 @@ def dispatch_partitioned(
 
     def factory(psim, L, B, resolved_assignment):
         executor = _RemoteBlockExecutor(
-            psim, L, B, resolved_assignment, handles, timeout, tcp_options
+            psim, L, B, resolved_assignment, handles, timeout, tcp_options,
+            checkpoint_every=checkpoint_every, retry_budget=retry_budget,
         )
         executor_box.append(executor)
         return executor
@@ -373,13 +757,31 @@ def dispatch_partitioned(
     finally:
         if own:
             close_workers(handles)
+        if executor_box:
+            # Recovery may have replaced the original connections; close
+            # any replacement handles the executor created itself.
+            original = set(map(id, handles))
+            close_workers(
+                [h for h in executor_box[0].handles if id(h) not in original]
+            )
     stats = dict(sim.halo_stats)
     stats["workers"] = [h.label for h in handles]
-    stats["blocks_by_worker"] = {
-        h.label: executor_box[0].blocks_of[w] for w, h in enumerate(handles)
-    } if executor_box else {}
     if executor_box:
-        stats["control_traffic"] = executor_box[0].control_traffic()
+        executor = executor_box[0]
+        stats["blocks_by_worker"] = {
+            executor.handles[w].label: blocks
+            for w, blocks in executor.blocks_of.items()
+        }
+        stats["control_traffic"] = executor.control_traffic()
+        stats["retries"] = executor.retries
+        stats["requeued_blocks"] = executor.requeued_blocks
+    else:  # pragma: no cover - factory never ran (early stop)
+        stats["blocks_by_worker"] = {}
+        stats["retries"] = 0
+        stats["requeued_blocks"] = 0
+    stats["auth"] = handles[0].authkey is not None
+    stats["heartbeat"] = handles[0].heartbeat
+    stats["checkpoint_every"] = checkpoint_every
     return trace, stats
 
 
@@ -402,6 +804,10 @@ def dispatch_sharded(
     backend: str | None = None,
     timeout: float = DEFAULT_TIMEOUT,
     tcp_options: dict | None = None,
+    authkey: str | bytes | None = None,
+    heartbeat: float | None = None,
+    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
 ) -> tuple[EnsembleTrace, dict]:
     """Run a replica ensemble as shards on remote workers; returns
     ``(trace, distributed_stats)``.
@@ -415,10 +821,25 @@ def dispatch_sharded(
     the worker count; shards are dealt round-robin, so any
     ``shards >= len(workers)`` works (each worker runs its shards
     sequentially and streams each trace back as it finishes).
+
+    Because shard payloads are placement-independent, this dispatch is a
+    **job queue**: when a worker dies (transport failure, heartbeat
+    loss, or silence past ``timeout``) its unfinished shards are
+    re-queued onto the survivors — each shard at most ``retry_budget``
+    times — and one bounded reconnect probe (exponential backoff +
+    jitter inside :func:`~repro.distributed.transport.tcp_connect`)
+    tries to bring the worker back into the pool.  The run fails only
+    when work remains and no worker is reachable.
     """
     from repro.simulation.sharding import merge_ensemble_traces, shard_payloads
 
-    handles, own = _resolve_handles(workers, timeout, tcp_options)
+    handles, own = _resolve_handles(
+        workers, timeout, tcp_options,
+        authkey=authkey, heartbeat=heartbeat, miss_budget=miss_budget,
+    )
+    key = handles[0].authkey
+    hb = handles[0].heartbeat
+    budget = handles[0].miss_budget
     if shards is None:
         shards = len(handles)
     if shards < 1:
@@ -438,53 +859,161 @@ def dispatch_sharded(
         cons_tol=cons_tol,
         backend=backend,
     )
+    S = len(payloads)
     W = len(handles)
-    by_worker = {w: [(i, payloads[i]) for i in range(w, len(payloads), W)] for w in range(W)}
     traces: dict[int, EnsembleTrace] = {}
+    completed_by: dict[int, str] = {}
+    pending: deque[int] = deque()
+    requeues: dict[int, int] = {}
+    #: live workers: handle -> {"inflight": [shard ids], "idle": bool}
+    states: dict[WorkerHandle, dict] = {}
+    replacements: list[WorkerHandle] = []
+    retries = 0
+    requeued_shards = 0
+
+    def _assign(handle: WorkerHandle, st: dict, idxs: list[int]) -> None:
+        handle.channel.send(
+            ("job", {"kind": "shard", "payloads": [(i, payloads[i]) for i in idxs]})
+        )
+        st["inflight"] = list(idxs)
+        st["idle"] = False
+
+    def _on_death(handle: WorkerHandle, st: dict, why) -> None:
+        nonlocal retries, requeued_shards
+        handle.channel.close()
+        states.pop(handle, None)
+        lost = list(st["inflight"])
+        for idx in lost:
+            count = requeues.get(idx, 0) + 1
+            requeues[idx] = count
+            if count > retry_budget:
+                raise DispatcherError(
+                    f"shard {idx} exceeded its retry budget ({retry_budget}) "
+                    f"after worker {handle.label} was lost: {why}"
+                )
+        if lost:
+            requeued_shards += len(lost)
+            pending.extend(lost)
+        # One bounded reconnect probe: a crashed worker refuses fast, a
+        # live worker that dropped the job is accepting again shortly.
+        retries += 1
+        try:
+            replacement = _connect_worker(
+                handle.address, timeout=_RECONNECT_TIMEOUT,
+                tcp_options={**(tcp_options or {}), **_RECONNECT_OPTIONS},
+                authkey=key, heartbeat=hb, miss_budget=budget,
+            )
+        except DispatcherError:
+            return
+        replacements.append(replacement)
+        states[replacement] = {"inflight": [], "idle": True}
+
     try:
         for w, handle in enumerate(handles):
+            st = {"inflight": [], "idle": True}
+            states[handle] = st
+            idxs = list(range(w, S, W))
+            if not idxs:
+                continue
             try:
-                handle.channel.send(("job", {"kind": "shard", "payloads": by_worker[w]}))
+                _assign(handle, st, idxs)
             except TransportError as exc:
-                raise DispatcherError(f"worker {handle.label} died: {exc}") from exc
-        for w, handle in enumerate(handles):
-            pending = len(by_worker[w])
-            while True:
+                _on_death(handle, st, exc)
+        while len(traces) < S:
+            if not states:
+                raise DispatcherError(
+                    f"all workers lost with {S - len(traces)} shard(s) unfinished"
+                )
+            for handle in list(states):
+                st = states.get(handle)
+                if st is None:
+                    continue
                 try:
-                    reply = handle.channel.recv(timeout)
+                    msg = handle.try_recv(_MUX_SLICE, timeout)
                 except TransportError as exc:
-                    raise DispatcherError(f"worker {handle.label} died: {exc}") from exc
-                if reply[0] == "trace":
-                    traces[reply[1]] = reply[2]
-                    pending -= 1
-                elif reply[0] == "done":
-                    if pending:  # pragma: no cover - defensive
-                        raise DispatcherError(
-                            f"worker {handle.label} finished with {pending} shard(s) missing"
+                    _on_death(handle, st, exc)
+                    continue
+                if msg is None:
+                    if st["inflight"] and time.monotonic() - handle.last_seen > timeout:
+                        _on_death(handle, st, f"no reply within {timeout}s")
+                    continue
+                kind = msg[0] if isinstance(msg, tuple) and msg else None
+                if kind == "trace":
+                    idx = msg[1]
+                    traces[idx] = msg[2]
+                    completed_by[idx] = handle.label
+                    if idx in st["inflight"]:
+                        st["inflight"].remove(idx)
+                elif kind == "done":
+                    if st["inflight"]:  # pragma: no cover - defensive
+                        _on_death(
+                            handle, st,
+                            f"finished with {len(st['inflight'])} shard(s) missing",
                         )
-                    break
-                elif reply[0] == "error":
-                    raise DispatcherError(f"worker {handle.label} failed: {reply[1]}")
+                        continue
+                    st["idle"] = True
+                elif kind == "error":
+                    # A job-level error is deterministic — the same
+                    # payload fails everywhere — so re-queueing it would
+                    # loop.  Abort with the worker's diagnostic.
+                    raise DispatcherError(f"worker {handle.label} failed: {msg[1]}")
                 else:  # pragma: no cover - defensive
                     raise DispatcherError(
-                        f"worker {handle.label}: unexpected reply {reply[0]!r}"
+                        f"worker {handle.label}: unexpected reply {kind!r}"
                     )
+            if pending:
+                for handle, st in list(states.items()):
+                    if not pending:
+                        break
+                    if st["idle"]:
+                        idxs = list(pending)
+                        pending.clear()
+                        try:
+                            _assign(handle, st, idxs)
+                        except TransportError as exc:
+                            _on_death(handle, st, exc)
+        # Drain outstanding completion markers: a worker's final "done"
+        # may still be in flight when its last trace completed the run,
+        # and a pre-connected handle must be left clean for the next job.
+        for handle, st in list(states.items()):
+            while not st["idle"]:
+                try:
+                    msg = handle.recv(timeout)
+                except TransportError:
+                    handle.channel.close()
+                    states.pop(handle, None)
+                    break
+                kind = msg[0] if isinstance(msg, tuple) and msg else None
+                if kind == "done":
+                    st["idle"] = True
+                elif kind != "trace":  # pragma: no cover - defensive
+                    handle.channel.close()
+                    states.pop(handle, None)
+                    break
     except BaseException:
+        _abort(list(states))
         _abort(handles)
+        _abort(replacements)
         raise
     finally:
         if own:
             close_workers(handles)
-    merged = merge_ensemble_traces([traces[i] for i in range(len(payloads))])
+        close_workers(replacements)
+    merged = merge_ensemble_traces([traces[i] for i in range(S)])
+    shards_by_worker: dict[str, list[int]] = {}
+    for idx in sorted(completed_by):
+        shards_by_worker.setdefault(completed_by[idx], []).append(idx)
     stats = {
         "mode": "sharded-dispatch",
         "transport": "tcp",
-        "shards": len(payloads),
+        "shards": S,
         "replicas": merged.replicas,
         "workers": [h.label for h in handles],
-        "shards_by_worker": {
-            handles[w].label: [i for i, _ in by_worker[w]] for w in range(W)
-        },
-        "control_traffic": {h.label: h.channel.traffic() for h in handles},
+        "shards_by_worker": shards_by_worker,
+        "retries": retries,
+        "requeued_shards": requeued_shards,
+        "auth": key is not None,
+        "heartbeat": hb,
+        "control_traffic": {h.label: h.channel.traffic() for h in states},
     }
     return merged, stats

@@ -107,23 +107,30 @@ comparable across backends and a payload that works on one works on all.
    when deserialized, exactly like :mod:`multiprocessing.connection`
    payloads.  The fixed frame header itself is plain ``struct`` and is
    validated before any allocation, but the metadata that follows is
-   still an arbitrary pickle.  The transport performs no authentication,
-   so a ``tcp`` endpoint must only be exposed on trusted networks
-   (loopback, a private cluster fabric, an SSH tunnel).  ``repro-lb
-   worker`` binds loopback by default for this reason; an HMAC authkey
-   challenge à la ``multiprocessing`` is tracked as a roadmap item.
+   still an arbitrary pickle.  The transport itself performs no
+   authentication; the rendezvous layer on top of it does, when given an
+   authkey — :func:`deliver_challenge`/:func:`answer_challenge` run an
+   HMAC-SHA256 challenge–response à la :mod:`multiprocessing.connection`
+   before any job payload is accepted, and :func:`sign_link` lets halo
+   meshes reject unauthenticated peer links.  The key authenticates but
+   does not encrypt: payloads still travel in the clear, so a ``tcp``
+   endpoint should only be exposed on trusted networks (loopback, a
+   private cluster fabric, an SSH tunnel) even with a key set.
 """
 
 from __future__ import annotations
 
 import abc
+import hmac
 import importlib.util
 import os
 import pickle
 import queue
+import random
 import select
 import socket
 import struct
+import threading
 import time
 from collections import deque
 from typing import NamedTuple
@@ -139,6 +146,12 @@ __all__ = [
     "TransportError",
     "TransportTimeout",
     "ChannelClosed",
+    "AuthenticationError",
+    "resolve_authkey",
+    "deliver_challenge",
+    "answer_challenge",
+    "sign_link",
+    "verify_link",
     "Channel",
     "Frame",
     "encode_frame",
@@ -162,8 +175,11 @@ __all__ = [
 #: handshake time instead of failing mid-run.  Version 2 introduced the
 #: out-of-band frame format described in the module docstring; version 3
 #: extended the partition block payload with the split-phase overlap and
-#: delta-frame flags.
-PROTOCOL_VERSION = 3
+#: delta-frame flags; version 4 added the hello options dict (heartbeat
+#: interval, auth announcement), the HMAC challenge–response, signed
+#: peer-link headers, and the ``start_round`` block-payload field that
+#: checkpoint replay resumes from.
+PROTOCOL_VERSION = 4
 
 #: Channel backends that are always available (the core ``transport=``
 #: choices).  ``mpi`` joins via :func:`available_transports` when
@@ -220,6 +236,105 @@ class TransportTimeout(TransportError):
 
 class ChannelClosed(TransportError):
     """The peer endpoint is gone (EOF, reset, or explicit close)."""
+
+
+class AuthenticationError(TransportError):
+    """The HMAC challenge–response failed (wrong or missing authkey)."""
+
+
+#: Challenge nonce size for the rendezvous HMAC handshake.
+_AUTH_NONCE_BYTES = 32
+
+#: Frame tags of the challenge sub-protocol (run *inside* the hello
+#: handshake, before any job payload is trusted).
+_AUTH_CHALLENGE = "auth-challenge"
+_AUTH_RESPONSE = "auth-response"
+_AUTH_WELCOME = "auth-welcome"
+
+
+def resolve_authkey(value) -> bytes | None:
+    """Normalize an authkey argument (str/bytes/None) to bytes.
+
+    ``None`` falls back to the ``REPRO_AUTHKEY`` environment variable, so
+    every worker/dispatcher in a shell session can share one exported
+    key; an empty value means "no authentication".
+    """
+    if value is None:
+        value = os.environ.get("REPRO_AUTHKEY") or None
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = value.encode("utf-8")
+    if not isinstance(value, (bytes, bytearray)):
+        raise TypeError(f"authkey must be str or bytes, got {type(value).__name__}")
+    return bytes(value) or None
+
+
+def _hmac_digest(authkey: bytes, nonce: bytes) -> bytes:
+    return hmac.new(authkey, nonce, "sha256").digest()
+
+
+def deliver_challenge(channel: Channel, authkey: bytes,
+                      timeout: float | None = None) -> None:
+    """Challenge the peer to prove it holds ``authkey``.
+
+    The verifying half of the :mod:`multiprocessing.connection`-style
+    handshake: send a random nonce, require the keyed HMAC-SHA256 of it
+    back, answer with a welcome.  On a bad or missing digest the peer is
+    told (``("error", ...)``) and :class:`AuthenticationError` is raised
+    — the caller drops the connection but survives.
+    """
+    nonce = os.urandom(_AUTH_NONCE_BYTES)
+    channel.send((_AUTH_CHALLENGE, nonce))
+    reply = channel.recv(timeout)
+    if not (isinstance(reply, tuple) and len(reply) == 2
+            and reply[0] == _AUTH_RESPONSE and isinstance(reply[1], bytes)):
+        channel.send(("error", "authentication failed: expected a digest response"))
+        raise AuthenticationError(f"peer did not answer the challenge (got {reply!r})")
+    if not hmac.compare_digest(_hmac_digest(authkey, nonce), reply[1]):
+        channel.send(("error", "authentication failed: digest mismatch (wrong authkey?)"))
+        raise AuthenticationError("digest mismatch (wrong authkey?)")
+    channel.send((_AUTH_WELCOME,))
+
+
+def answer_challenge(channel: Channel, authkey: bytes,
+                     timeout: float | None = None, challenge=None) -> None:
+    """Prove to the peer that we hold ``authkey`` (the answering half).
+
+    ``challenge`` short-circuits the initial receive when the caller
+    already consumed the challenge frame (the dispatcher cannot know
+    whether a keyed worker's first reply is a challenge or ``ready``
+    until it reads it).
+    """
+    msg = channel.recv(timeout) if challenge is None else challenge
+    if not (isinstance(msg, tuple) and len(msg) == 2 and msg[0] == _AUTH_CHALLENGE):
+        detail = msg[1] if isinstance(msg, tuple) and len(msg) > 1 else msg
+        raise AuthenticationError(f"expected an auth challenge, got {detail!r}")
+    channel.send((_AUTH_RESPONSE, _hmac_digest(authkey, msg[1])))
+    reply = channel.recv(timeout)
+    if not (isinstance(reply, tuple) and reply and reply[0] == _AUTH_WELCOME):
+        detail = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
+        raise AuthenticationError(f"authentication rejected by peer: {detail!r}")
+
+
+def sign_link(authkey: bytes, nonce: bytes, p: int, q: int) -> bytes:
+    """Digest authenticating one halo-link header for one job.
+
+    Peer links cannot run a challenge–response without deadlocking the
+    all-connect-then-all-accept mesh phase, so they carry a one-way
+    signature instead: the HMAC of the dispatcher-issued per-job nonce
+    plus the directed block pair.  An attacker without the key cannot
+    forge it; replaying a capture is useless because every job draws a
+    fresh nonce.
+    """
+    return hmac.new(authkey, nonce + b":%d:%d" % (int(p), int(q)), "sha256").digest()
+
+
+def verify_link(authkey: bytes, nonce: bytes, p: int, q: int, digest) -> bool:
+    """Constant-time check of a :func:`sign_link` digest."""
+    return isinstance(digest, bytes) and hmac.compare_digest(
+        sign_link(authkey, nonce, p, q), digest
+    )
 
 
 def have_mpi() -> bool:
@@ -635,6 +750,8 @@ class PipeChannel(Channel):
         self._conn = conn
         #: pending outbound wire views (flat bytes, FIFO)
         self._backlog: deque = deque()
+        #: serializes enqueue + pump (see TcpChannel._send_lock)
+        self._send_lock = threading.RLock()
 
     # -- outbound: Connection-framed wire views + backlog pump ---------
     @staticmethod
@@ -661,39 +778,42 @@ class PipeChannel(Channel):
 
     def _pump(self) -> bool:
         """Write backlog bytes until the pipe would block; True = empty."""
-        if not self._backlog:
-            return True
-        try:
-            fd = self._conn.fileno()
-            os.set_blocking(fd, False)
-        except OSError as exc:
-            raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
-        try:
-            while self._backlog:
-                view = self._backlog[0]
-                try:
-                    n = os.write(fd, view)
-                except BlockingIOError:
-                    return False
-                except (BrokenPipeError, OSError) as exc:
-                    raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
-                if n == view.nbytes:
-                    self._backlog.popleft()
-                else:
-                    self._backlog[0] = view[n:]
-        finally:
+        with self._send_lock:
+            if not self._backlog:
+                return True
             try:
-                os.set_blocking(fd, True)
-            except OSError:  # pragma: no cover - closed mid-pump
-                pass
-        return True
+                fd = self._conn.fileno()
+                os.set_blocking(fd, False)
+            except OSError as exc:
+                raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+            try:
+                while self._backlog:
+                    view = self._backlog[0]
+                    try:
+                        n = os.write(fd, view)
+                    except BlockingIOError:
+                        return False
+                    except (BrokenPipeError, OSError) as exc:
+                        raise ChannelClosed(f"pipe peer is gone: {exc}") from exc
+                    if n == view.nbytes:
+                        self._backlog.popleft()
+                    else:
+                        self._backlog[0] = view[n:]
+            finally:
+                try:
+                    os.set_blocking(fd, True)
+                except OSError:  # pragma: no cover - closed mid-pump
+                    pass
+            return True
 
     def _send_frame_nowait(self, frame: Frame) -> None:
-        self._enqueue(frame)
-        self._pump()
+        with self._send_lock:
+            self._enqueue(frame)
+            self._pump()
 
     def _send_frame(self, frame: Frame) -> None:
-        self._enqueue(frame)
+        with self._send_lock:
+            self._enqueue(frame)
         self.flush()
 
     def flush(self, timeout: float | None = None) -> None:
@@ -855,7 +975,6 @@ DEFAULT_SEND_TIMEOUT = 600.0
 #: and forced-chunking tests can produce thousands of views.
 _IOV_BATCH = 64
 
-
 class TcpChannel(Channel):
     """One endpoint of a persistent TCP connection.
 
@@ -881,10 +1000,18 @@ class TcpChannel(Channel):
         self._send_timeout = send_timeout
         #: pending outbound wire views (flat bytes, FIFO)
         self._backlog: deque = deque()
+        #: serializes enqueue + pump so two sender threads (job + heartbeat)
+        #: never interleave frame fragments; never held across a blocking wait
+        self._send_lock = threading.RLock()
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1 if nodelay else 0)
         if buffer_size is not None:
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, int(buffer_size))
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, int(buffer_size))
+        # Permanently nonblocking: every wait goes through select, never
+        # the socket-object timeout.  With no shared timeout state, a
+        # sender thread (e.g. a worker's heartbeat loop) is safe
+        # alongside a receiver blocked on the same socket.
+        sock.setblocking(False)
 
     # -- outbound: backlog + nonblocking vectored pump -----------------
     def _enqueue(self, frame: Frame) -> None:
@@ -894,14 +1021,14 @@ class TcpChannel(Channel):
             self._backlog.extend(_chunks(buf, frame.chunk))
 
     def _pump(self) -> bool:
-        """Vectored-write backlog until the socket would block; True = empty."""
-        if not self._backlog:
-            return True
-        try:
-            self._sock.settimeout(0)
-        except OSError as exc:
-            raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
-        try:
+        """Vectored-write backlog until the socket would block; True = empty.
+
+        The socket is permanently nonblocking, so a full send buffer
+        surfaces as ``BlockingIOError`` immediately — a pump can run
+        concurrently with a ``recv`` waiting in select on the same
+        socket (heartbeat thread vs. job thread).
+        """
+        with self._send_lock:
             while self._backlog:
                 batch = [self._backlog[i] for i in range(min(_IOV_BATCH, len(self._backlog)))]
                 try:
@@ -921,19 +1048,16 @@ class TcpChannel(Channel):
                     else:
                         self._backlog[0] = v[sent:]
                         sent = 0
-        finally:
-            try:
-                self._sock.settimeout(None)
-            except OSError:  # pragma: no cover - closed mid-pump
-                pass
-        return True
+            return True
 
     def _send_frame_nowait(self, frame: Frame) -> None:
-        self._enqueue(frame)
-        self._pump()
+        with self._send_lock:
+            self._enqueue(frame)
+            self._pump()
 
     def _send_frame(self, frame: Frame) -> None:
-        self._enqueue(frame)
+        with self._send_lock:
+            self._enqueue(frame)
         # Bound the drain by the send timeout — a send only stalls this
         # long when the peer stops draining entirely.
         self.flush(self._send_timeout)
@@ -983,13 +1107,18 @@ class TcpChannel(Channel):
                 slice_ = _PUMP_SLICE_S if budget is None else min(_PUMP_SLICE_S, budget)
             else:
                 slice_ = budget
-            self._sock.settimeout(slice_)
             try:
+                if slice_ is None:
+                    select.select([self._sock], [], [])
+                else:
+                    ready, _, _ = select.select([self._sock], [], [], slice_)
+                    if not ready:
+                        if budget is None or slice_ < budget:
+                            continue  # partial slice expired, budget has not
+                        raise TransportTimeout("tcp recv timed out mid-frame")
                 got = self._sock.recv_into(mv[pos:])
-            except socket.timeout:
-                if slice_ is not None and (budget is None or slice_ < budget):
-                    continue  # partial slice expired, overall budget has not
-                raise TransportTimeout("tcp recv timed out mid-frame") from None
+            except (BlockingIOError, InterruptedError):
+                continue  # readable raced away (concurrent drain/EINTR)
             except (ConnectionError, OSError) as exc:
                 raise ChannelClosed(f"tcp peer is gone: {exc}") from exc
             if not got:
@@ -1096,19 +1225,34 @@ class TcpListener:
         return False
 
 
+#: Cap on one backoff sleep inside :func:`tcp_connect` — the schedule is
+#: exponential with jitter but never waits longer than this per attempt.
+_CONNECT_MAX_DELAY = 2.0
+
+
 def tcp_connect(address: tuple[str, int], *, timeout: float | None = 30.0,
                 retries: int = 40, retry_delay: float = 0.25,
+                deadline: float | None = None,
                 nodelay: bool = True, buffer_size: int | None = None,
                 send_timeout: float | None = DEFAULT_SEND_TIMEOUT) -> TcpChannel:
     """Connect to a listening peer, retrying while it comes up.
 
     Workers and dispatchers start asynchronously (two terminals, two CI
-    background jobs), so a refused connect is retried ``retries`` times
-    ``retry_delay`` apart before giving up with :class:`TransportError`.
+    background jobs), so a refused connect is retried up to ``retries``
+    times with exponential backoff — ``retry_delay`` doubling per attempt
+    up to a couple of seconds, each sleep jittered ±25% so a fleet of
+    reconnecting dispatchers does not stampede the listener in lockstep.
+    ``deadline`` (seconds, wall-clock for the *whole* call) bounds the
+    retry loop regardless of the attempt budget.  Giving up raises
+    :class:`TransportError` naming the attempt count and elapsed time.
     """
     host, port = address
     last: Exception | None = None
+    start = time.monotonic()
+    give_up_at = None if deadline is None else start + deadline
+    attempts = 0
     for attempt in range(max(int(retries), 0) + 1):
+        attempts += 1
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.settimeout(timeout)
         try:
@@ -1120,10 +1264,21 @@ def tcp_connect(address: tuple[str, int], *, timeout: float | None = 30.0,
             sock.close()
             last = exc
             if attempt < retries and isinstance(exc, (ConnectionRefusedError, ConnectionResetError)):
-                time.sleep(retry_delay)
+                delay = min(retry_delay * (2.0 ** attempt), _CONNECT_MAX_DELAY)
+                delay *= 1.0 + random.uniform(-0.25, 0.25)
+                if give_up_at is not None:
+                    budget = give_up_at - time.monotonic()
+                    if budget <= 0:
+                        break
+                    delay = min(delay, budget)
+                time.sleep(max(delay, 0.0))
                 continue
             break
-    raise TransportError(f"cannot connect to {host}:{port}: {last}")
+    elapsed = time.monotonic() - start
+    raise TransportError(
+        f"cannot connect to {host}:{port} after {attempts} attempt(s) "
+        f"in {elapsed:.1f}s: {last}"
+    )
 
 
 def tcp_pair(**options) -> tuple[TcpChannel, TcpChannel]:

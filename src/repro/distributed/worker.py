@@ -41,14 +41,20 @@ import numpy as np
 from repro.core.backends import resolve_backend
 from repro.distributed.transport import (
     PROTOCOL_VERSION,
+    AuthenticationError,
     Channel,
     ChannelClosed,
     TcpListener,
     TransportError,
     TransportTimeout,
+    answer_challenge,
+    deliver_challenge,
     loopback_pair,
     parse_address,
+    resolve_authkey,
+    sign_link,
     tcp_connect,
+    verify_link,
 )
 
 __all__ = [
@@ -277,6 +283,9 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
      want_disc, want_mov, *rest) = payload
     overlap = bool(rest[0]) if len(rest) > 0 else False
     delta = bool(rest[1]) if len(rest) > 1 else False
+    # Checkpoint replay resumes mid-run: the round counter must continue
+    # from the snapshot's round so dynamic topologies replay identically.
+    start_round = int(rest[2]) if len(rest) > 2 else 0
     try:
         balancer.reset()
         if backend is not None:
@@ -286,7 +295,7 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
         runner = _SlabRunner(peers, overlap=overlap, delta=delta, timeout=peer_timeout)
         L = np.ascontiguousarray(owned)
         bound = False
-        r = 0
+        r = start_round
         while True:
             msg = ctrl.recv()
             if msg[0] == "run":
@@ -396,7 +405,7 @@ class _JobError(RuntimeError):
 
 def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
           timeout: float | None = 600.0, advertise: str | None = None,
-          log=_default_log) -> int:
+          authkey: str | bytes | None = None, log=_default_log) -> int:
     """Serve distributed jobs until killed (or after ``max_jobs`` jobs).
 
     Opens two listeners on the bind host: the *control* port (``bind``;
@@ -413,12 +422,21 @@ def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
     ``127.0.0.1``, peers on another machine): set ``--advertise`` to
     the externally routable host then.
 
+    ``authkey`` (or the ``REPRO_AUTHKEY`` environment variable) turns on
+    HMAC-SHA256 challenge–response authentication: every dispatcher must
+    prove it holds the same key before its hello is answered, and halo
+    peer links must carry a signed header.  A wrong or missing key is
+    rejected with an error frame and the worker keeps serving — a
+    confused (or hostile) client cannot take it down.
+
     .. warning::
-       Job payloads are pickle and the rendezvous has no
-       authentication: only bind beyond loopback (``0.0.0.0`` or an
-       external address) on a trusted network — anyone who can reach
-       the port can run code as this process (the same trust model as
-       an unkeyed ``multiprocessing.connection`` listener).
+       Job payloads are pickle: without an ``authkey``, only bind beyond
+       loopback (``0.0.0.0`` or an external address) on a trusted
+       network — anyone who can reach the port can run code as this
+       process (the same trust model as an unkeyed
+       ``multiprocessing.connection`` listener).  With a key, reaching
+       the port is not enough, but the key authenticates rather than
+       encrypts — payloads still travel in the clear.
 
     A dispatcher connection is handshaken once and may then submit any
     number of jobs back to back (the ``connect_workers`` →
@@ -432,12 +450,14 @@ def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
     logged and the worker keeps serving.
     """
     host, port = parse_address(bind)
+    key = resolve_authkey(authkey)
     listener = TcpListener(host, port)
     peer_listener = TcpListener(host, 0)
     ctrl_addr, peer_addr = listener.address, peer_listener.address
     log(
         f"worker listening on {ctrl_addr[0]}:{ctrl_addr[1]} "
-        f"(peer {peer_addr[0]}:{peer_addr[1]}, pid {os.getpid()})"
+        f"(peer {peer_addr[0]}:{peer_addr[1]}, pid {os.getpid()}"
+        f"{', auth on' if key is not None else ''})"
     )
     served = 0
     try:
@@ -452,7 +472,7 @@ def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
             try:
                 _serve_connection(
                     ctrl, peer_listener, timeout, log, remaining, advertise,
-                    jobs_started,
+                    jobs_started, authkey=key,
                 )
             except _JobError as exc:
                 log(f"worker: job failed: {exc}")
@@ -474,11 +494,31 @@ def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
     return 0
 
 
+def _heartbeat_loop(ctrl: Channel, interval: float, stop: threading.Event) -> None:
+    """Send ``("hb", seq)`` liveness frames until stopped or the link dies.
+
+    Runs on its own thread so heartbeats keep flowing while the job
+    thread is deep in a compute chunk — exactly the silence the
+    dispatcher must distinguish from a SIGSTOPped worker.  Sends are
+    nonblocking (``send_nowait``): a wedged dispatcher must not wedge
+    this thread, and the channel's send lock keeps the frames atomic
+    against concurrent job-thread sends.
+    """
+    seq = 0
+    while not stop.wait(interval):
+        seq += 1
+        try:
+            ctrl.send_nowait(("hb", seq))
+        except TransportError:
+            return
+
+
 def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
                       timeout: float | None, log,
                       max_jobs: int | None = None,
                       advertise: str | None = None,
-                      jobs_started: list[int] | None = None) -> None:
+                      jobs_started: list[int] | None = None,
+                      authkey: bytes | None = None) -> None:
     """Handshake + a job stream on one dispatcher connection.
 
     ``jobs_started`` (a one-element counter) is bumped as each job is
@@ -487,6 +527,13 @@ def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
     jobs until the dispatcher closes it (EOF ends the stream cleanly)
     or a job fails (:class:`_JobError` propagates and the caller drops
     the connection — its protocol state is suspect).
+
+    The hello may carry an options dict (protocol 4): ``{"heartbeat":
+    seconds}`` asks this worker to stream ``("hb", seq)`` frames at that
+    interval for liveness detection, and ``{"auth": True}`` announces
+    that the dispatcher holds an authkey and will challenge us after
+    answering ours.  A keyed worker always challenges; a keyed
+    dispatcher talking to a keyless worker is refused.
     """
     if jobs_started is None:
         jobs_started = [0]
@@ -500,6 +547,21 @@ def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
              f"dispatcher sent {msg[1]}")
         )
         raise _JobError(f"protocol version mismatch ({msg[1]})")
+    opts = msg[2] if len(msg) > 2 and isinstance(msg[2], dict) else {}
+    if authkey is not None:
+        try:
+            deliver_challenge(ctrl, authkey, timeout)
+            if opts.get("auth"):
+                answer_challenge(ctrl, authkey, timeout)
+        except AuthenticationError as exc:
+            raise _JobError(f"authentication failed: {exc}") from exc
+    elif opts.get("auth"):
+        ctrl.send(("error",
+                   "dispatcher requires authentication but this worker has no "
+                   "authkey (start it with --authkey / REPRO_AUTHKEY)"))
+        raise _JobError("dispatcher requires authentication, no authkey configured")
+    heartbeat = opts.get("heartbeat")
+    heartbeat = float(heartbeat) if heartbeat else None
     ctrl.send(
         (
             "ready",
@@ -511,33 +573,49 @@ def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
                 "host": _socket.gethostname(),
                 "python": sys.version.split()[0],
                 "cpus": os.cpu_count() or 1,
+                "auth": authkey is not None,
+                "heartbeat": heartbeat,
             },
         )
     )
-    while max_jobs is None or jobs_started[0] < max_jobs:
-        try:
-            # Idle between jobs: wait without a deadline — a healthy
-            # dispatcher may hold the connection open indefinitely, and
-            # a dead one delivers EOF.
-            msg = ctrl.recv(None)
-        except ChannelClosed:
-            break
-        if not (isinstance(msg, tuple) and len(msg) >= 2 and msg[0] == "job"
-                and isinstance(msg[1], dict)):
-            ctrl.send(("error", f"expected job, got {msg!r}"))
-            raise _JobError(f"bad job message: {msg!r}")
-        spec = msg[1]
-        kind = spec.get("kind")
-        jobs_started[0] += 1
-        log(f"worker: job accepted (kind={kind})")
-        if kind == "shard":
-            _run_shard_job(ctrl, spec, timeout)
-        elif kind == "partition":
-            _run_partition_job(ctrl, peer_listener, spec, timeout)
-        else:
-            ctrl.send(("error", f"unknown job kind {kind!r}"))
-            raise _JobError(f"unknown job kind {kind!r}")
-        log(f"worker: job done (kind={kind})")
+    hb_stop = threading.Event()
+    hb_thread = None
+    if heartbeat is not None and heartbeat > 0:
+        hb_thread = threading.Thread(
+            target=_heartbeat_loop, args=(ctrl, heartbeat, hb_stop),
+            name="worker-heartbeat", daemon=True,
+        )
+        hb_thread.start()
+    try:
+        while max_jobs is None or jobs_started[0] < max_jobs:
+            try:
+                # Idle between jobs: wait without a deadline — a healthy
+                # dispatcher may hold the connection open indefinitely, and
+                # a dead one delivers EOF.
+                msg = ctrl.recv(None)
+            except ChannelClosed:
+                break
+            if not (isinstance(msg, tuple) and len(msg) >= 2 and msg[0] == "job"
+                    and isinstance(msg[1], dict)):
+                ctrl.send(("error", f"expected job, got {msg!r}"))
+                raise _JobError(f"bad job message: {msg!r}")
+            spec = msg[1]
+            kind = spec.get("kind")
+            jobs_started[0] += 1
+            log(f"worker: job accepted (kind={kind})")
+            if kind == "shard":
+                _run_shard_job(ctrl, spec, timeout)
+            elif kind == "partition":
+                _run_partition_job(ctrl, peer_listener, spec, timeout,
+                                   authkey=authkey)
+            else:
+                ctrl.send(("error", f"unknown job kind {kind!r}"))
+                raise _JobError(f"unknown job kind {kind!r}")
+            log(f"worker: job done (kind={kind})")
+    finally:
+        if hb_thread is not None:
+            hb_stop.set()
+            hb_thread.join(timeout=5.0)
 
 
 def _run_shard_job(ctrl: Channel, spec: dict, timeout: float | None) -> None:
@@ -556,7 +634,8 @@ def _run_shard_job(ctrl: Channel, spec: dict, timeout: float | None) -> None:
 
 
 def _build_mesh(blocks: list[int], spec: dict, peer_listener: TcpListener,
-                timeout: float | None) -> dict[int, dict[int, Channel]]:
+                timeout: float | None,
+                authkey: bytes | None = None) -> dict[int, dict[int, Channel]]:
     """Establish this worker's halo channels for a partition job.
 
     Same-worker block pairs get loopback queue channels.  Cross-worker
@@ -566,6 +645,13 @@ def _build_mesh(blocks: list[int], spec: dict, peer_listener: TcpListener,
     ``("link", my_block, your_block)`` header frame.  All connects are
     issued before any accept — TCP completes a connect as soon as the
     listener's backlog queues it, so the two phases cannot deadlock.
+
+    With an ``authkey``, the (authenticated) job spec carries a per-job
+    ``link_nonce`` and every link header becomes ``("link", p, q,
+    sign_link(...))`` — a one-way signature rather than a challenge
+    round-trip, because an accept-side challenge would serialize the
+    connect-before-accept mesh phase into a deadlock.  Headers that fail
+    verification close the connection and abort the job.
     """
     peers: dict[int, dict[int, Channel]] = {p: {} for p in blocks}
     for a, b in spec.get("local_pairs", []):
@@ -573,12 +659,17 @@ def _build_mesh(blocks: list[int], spec: dict, peer_listener: TcpListener,
         peers[a][b] = ca
         peers[b][a] = cb
     tcp_options = spec.get("tcp", {})
+    nonce = spec.get("link_nonce")
+    signed = authkey is not None and nonce is not None
     expected_accepts = 0
     for p in blocks:
         for q, directive in spec.get("links", {}).get(p, {}).items():
             if directive[0] == "connect":
                 ch = tcp_connect(tuple(directive[1]), timeout=timeout, **tcp_options)
-                ch.send(("link", p, q))
+                if signed:
+                    ch.send(("link", p, q, sign_link(authkey, nonce, p, q)))
+                else:
+                    ch.send(("link", p, q))
                 peers[p][q] = ch
             elif directive[0] == "accept":
                 expected_accepts += 1
@@ -586,16 +677,29 @@ def _build_mesh(blocks: list[int], spec: dict, peer_listener: TcpListener,
                 raise ValueError(f"unknown link directive {directive!r}")
     for _ in range(expected_accepts):
         ch = peer_listener.accept(timeout)
-        tag, their_block, my_block = ch.recv(timeout)
-        if tag != "link" or my_block not in peers:  # pragma: no cover - defensive
+        header = ch.recv(timeout)
+        if not (isinstance(header, tuple) and len(header) >= 3 and header[0] == "link"):
+            ch.close()
+            raise ValueError(f"unexpected link header {header!r}")
+        tag, their_block, my_block = header[:3]
+        if my_block not in peers:  # pragma: no cover - defensive
             ch.close()
             raise ValueError(f"unexpected link header ({tag!r}, {their_block}, {my_block})")
+        if signed:
+            digest = header[3] if len(header) > 3 else None
+            if not verify_link(authkey, nonce, their_block, my_block, digest):
+                ch.close()
+                raise AuthenticationError(
+                    f"unauthenticated peer link for blocks "
+                    f"({their_block}, {my_block}) rejected"
+                )
         peers[my_block][their_block] = ch
     return peers
 
 
 def _run_partition_job(ctrl: Channel, peer_listener: TcpListener, spec: dict,
-                       timeout: float | None) -> None:
+                       timeout: float | None,
+                       authkey: bytes | None = None) -> None:
     """Host this worker's partition blocks: mesh setup + command fan-out.
 
     Each block runs :func:`run_block_loop` on its own thread behind a
@@ -606,7 +710,7 @@ def _run_partition_job(ctrl: Channel, peer_listener: TcpListener, spec: dict,
     blocks = list(spec["blocks"])
     job_timeout = spec.get("timeout", timeout)
     try:
-        peers = _build_mesh(blocks, spec, peer_listener, job_timeout)
+        peers = _build_mesh(blocks, spec, peer_listener, job_timeout, authkey)
     except (TransportError, ValueError, OSError) as exc:
         ctrl.send(("error", f"mesh setup failed: {exc}"))
         raise _JobError(f"mesh setup failed: {exc}") from exc

@@ -611,6 +611,10 @@ class _LocalProcessExecutor:
                 want_mov,
                 sim.overlap,
                 sim.delta_frames,
+                # Explicit start round (protocol 4): local runs always
+                # begin at 0; the remote dispatcher ships checkpoint
+                # rounds here so replayed blocks continue the counter.
+                0,
             )
             mine = [ctrl[p][1], *peers.values()]
             worker_ends.append(mine)

@@ -259,6 +259,11 @@ def shard_payloads(
     where the payloads later execute, so local pools and remote
     dispatchers produce interchangeable shards.  Returns at least one
     payload (``workers <= 1`` yields the whole batch as a single shard).
+
+    Placement independence is what makes shard dispatch fault-tolerant:
+    a payload re-queued onto a different worker after a crash re-runs on
+    the same RNG streams and produces the identical trace, so the merged
+    result is bit-for-bit stable no matter how many times shards move.
     """
     if backend is not None:
         balancer.backend = backend

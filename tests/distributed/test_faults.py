@@ -1,0 +1,193 @@
+"""Chaos suite: deterministic fault injection on the transport seam.
+
+Every scenario runs through :class:`FaultyChannel` wrapping a real
+channel pair, per transport, from a seeded :class:`FaultSchedule` — so a
+failing run replays exactly.  The invariant under test is the
+fault-tolerance contract: an injected fault surfaces as a *clean,
+bounded-time* error (``ChannelClosed``/``TransportError``) on whichever
+side observes it, never a hang and never silently corrupt data.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.distributed.faults import FaultSchedule, FaultyChannel, faulty_pair
+from repro.distributed.transport import (
+    ChannelClosed,
+    TransportError,
+    make_pair,
+)
+
+# The in-process pair-capable transports (mpi needs mpiexec; its wire
+# path shares the Channel seam these schedules exercise).
+TRANSPORTS = ["loopback", "mp-pipe", "tcp"]
+
+#: No individual chaos wait may exceed this (the "never a hang" bound).
+BOUND_S = 30.0
+
+
+def _close(*channels):
+    for ch in channels:
+        ch.close()
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_plan(self):
+        plans = []
+        for _ in range(2):
+            sched = FaultSchedule(seed=7, delay_prob=0.5, max_delay=0.01,
+                                  kill_after=25)
+            plans.append([sched.next_send() for _ in range(30)])
+        assert plans[0] == plans[1]
+
+    def test_different_seeds_differ(self):
+        def plan(seed):
+            sched = FaultSchedule(seed=seed, delay_prob=0.5)
+            return [sched.next_send() for _ in range(50)]
+
+        assert plan(1) != plan(2)
+
+    def test_terminal_fault_precedence_and_ordinals(self):
+        sched = FaultSchedule(drop_after=2)
+        assert [sched.next_send()[0] for _ in range(3)] == ["ok", "ok", "drop"]
+        sched = FaultSchedule(kill_after=1)
+        assert [sched.next_send()[0] for _ in range(2)] == ["ok", "kill"]
+        # When two terminal faults are both due, drop outranks kill.
+        sched = FaultSchedule(drop_after=0, kill_after=0)
+        assert sched.next_send()[0] == "drop"
+
+    def test_clean_schedule_is_all_ok(self):
+        sched = FaultSchedule(seed=3)
+        assert all(sched.next_send() == ("ok", 0.0) for _ in range(100))
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+class TestFaultyChannelPerTransport:
+    def test_delay_only_schedule_preserves_payloads_and_counters(self, transport):
+        """Seeded delays perturb timing but not content or accounting."""
+        a, b = faulty_pair(
+            transport,
+            schedule_a=FaultSchedule(seed=11, delay_prob=0.8, max_delay=0.001),
+        )
+        clean_a, clean_b = make_pair(transport)
+        try:
+            payloads = [
+                ("msg", i, np.arange(i * 7, dtype=np.float64)) for i in range(12)
+            ]
+            for obj in payloads:
+                a.send(obj)
+                clean_a.send(obj)
+            for obj in payloads:
+                got = b.recv(BOUND_S)
+                ref = clean_b.recv(BOUND_S)
+                assert got[:2] == obj[:2]
+                assert np.array_equal(got[2], obj[2])
+                assert np.array_equal(ref[2], got[2])
+            assert a.bytes_sent == clean_a.bytes_sent
+            assert a.messages_sent == clean_a.messages_sent
+        finally:
+            _close(a, b, clean_a, clean_b)
+
+    def test_drop_then_close_surfaces_as_eof_not_a_gap(self, transport):
+        """The peer of a dropping sender sees the pre-drop messages, then
+        EOF — exactly what a crashed sender looks like on a real socket."""
+        a, b = faulty_pair(transport, schedule_a=FaultSchedule(drop_after=3))
+        try:
+            for i in range(4):
+                a.send(("m", i))  # the 4th is silently dropped
+            for i in range(3):
+                assert b.recv(BOUND_S) == ("m", i)
+            start = time.monotonic()
+            with pytest.raises(ChannelClosed):
+                b.recv(BOUND_S)
+            assert time.monotonic() - start < BOUND_S
+            # The dropping side is dead for further traffic.
+            with pytest.raises(ChannelClosed):
+                a.send(("m", 99))
+        finally:
+            _close(a, b)
+
+    def test_truncated_frame_is_a_clean_error_never_a_hang(self, transport):
+        """A frame whose header promises more bytes than follow must
+        surface as ChannelClosed or a decode TransportError, promptly."""
+        a, b = faulty_pair(transport, schedule_a=FaultSchedule(truncate_after=1))
+        try:
+            a.send(("intact", np.ones(64)))
+            got = b.recv(BOUND_S)
+            assert got[0] == "intact"
+            with pytest.raises(ChannelClosed):
+                # Truncation also closes the sender (one-shot fault).
+                a.send(("garbled", np.zeros(256)))
+                a.send(("after",))
+            start = time.monotonic()
+            with pytest.raises(TransportError):  # ChannelClosed is a subclass
+                b.recv(BOUND_S)
+                b.recv(BOUND_S)
+            assert time.monotonic() - start < BOUND_S
+        finally:
+            _close(a, b)
+
+    def test_kill_after_k_delivers_exactly_k(self, transport):
+        K = 5
+        a, b = faulty_pair(transport, schedule_a=FaultSchedule(kill_after=K))
+        try:
+            delivered = []
+
+            def reader():
+                while True:
+                    try:
+                        delivered.append(b.recv(BOUND_S))
+                    except TransportError:
+                        return
+
+            t = threading.Thread(target=reader)
+            t.start()
+            sent = 0
+            with pytest.raises(ChannelClosed):
+                for i in range(K + 1):
+                    a.send(("m", i))
+                    sent += 1
+            assert sent == K
+            t.join(timeout=BOUND_S)
+            assert not t.is_alive(), "reader hung after kill"
+            assert delivered == [("m", i) for i in range(K)]
+        finally:
+            _close(a, b)
+
+    def test_receives_pass_through_until_killed(self, transport):
+        """Faults are send-side; the wrapped end still receives cleanly,
+        and a killed channel refuses further receives immediately."""
+        a, b = faulty_pair(transport, schedule_b=FaultSchedule(kill_after=0))
+        try:
+            a.send(("inbound", 1))
+            assert b.recv(BOUND_S) == ("inbound", 1)
+            with pytest.raises(ChannelClosed):
+                b.send(("outbound", 2))
+            with pytest.raises(ChannelClosed):
+                b.recv(0.1)
+        finally:
+            _close(a, b)
+
+
+class TestFaultyChannelWrapper:
+    def test_wraps_any_end_selectively(self):
+        a, b = faulty_pair("loopback", schedule_b=FaultSchedule(kill_after=2))
+        try:
+            assert not isinstance(a, FaultyChannel)
+            assert isinstance(b, FaultyChannel)
+            assert b.transport == "faulty"
+        finally:
+            _close(a, b)
+
+    def test_traffic_delegates_to_inner(self):
+        a, b = faulty_pair("loopback", schedule_a=FaultSchedule())
+        try:
+            a.send(("x", 1))
+            b.recv(BOUND_S)
+            assert a.traffic() == a.inner.traffic()
+            assert a.bytes_sent == a.inner.bytes_sent > 0
+        finally:
+            _close(a, b)
