@@ -752,6 +752,98 @@ def measure_distributed_section(smoke: bool, worker_addrs: list[str] | None = No
     }
 
 
+def measure_telemetry_overhead(side, mode, rounds, repeats: int = 5,
+                               backend: str | None = None) -> dict:
+    """Instrumented-vs-plain serial round loop, plus the tracing-on cost.
+
+    Three timings of the same ``(balancer, loads, seed)`` workload:
+
+    - ``plain``: a verbatim copy of the pre-telemetry round loop (step /
+      record / stopping check, no recorder interaction at all);
+    - ``tracing off``: the instrumented :class:`Simulator` loop with the
+      recorder disabled — the production default, whose only extra work
+      is a hoisted local-bool branch per round;
+    - ``tracing on``: the same loop with an in-memory tracing recorder
+      installed (per-round spans + per-kernel timings).
+
+    ``tracing_off_overhead`` is the fractional cost of carrying the
+    disabled instrumentation; the telemetry acceptance requires <= 2%
+    at full size.  Best-of-``repeats`` timings shed scheduler noise.
+    """
+    from repro.observability.recorder import Recorder, set_recorder
+    from repro.simulation.stopping import first_satisfied
+    from repro.simulation.trace import Trace
+
+    topo = torus_2d(side, side)
+    loads = _initial_loads(topo.n, mode == "discrete")
+
+    def run_plain() -> float:
+        # Verbatim pre-telemetry Simulator.run (same attribute-access
+        # patterns — a locals-hoisted copy would flatter the plain side).
+        sim = Simulator(_make_balancer(topo, mode, "diffusion", backend),
+                        stopping=[MaxRounds(rounds)], check_conservation=False)
+        start = time.perf_counter()
+        rng = np.random.default_rng(SEED)
+        sim.balancer.reset()
+        current = sim.balancer.validate_loads(loads.copy())
+        trace = Trace(balancer_name=sim.balancer.name,
+                      keep_snapshots=sim.keep_snapshots)
+        trace.record(current)
+        initial_sum = float(np.asarray(current, dtype=np.float64).sum())
+        rule = first_satisfied(sim.stopping, trace)
+        while rule is None:
+            current = sim.balancer.step(current, rng)
+            trace.record(current)
+            if sim.check_conservation:
+                sim._audit_conservation(current, initial_sum)
+            rule = first_satisfied(sim.stopping, trace)
+        trace.stopped_by = rule.reason
+        return time.perf_counter() - start
+
+    def run_instrumented() -> float:
+        bal = _make_balancer(topo, mode, "diffusion", backend)
+        sim = Simulator(bal, stopping=[MaxRounds(rounds)], check_conservation=False)
+        start = time.perf_counter()
+        sim.run(loads.copy(), SEED)
+        return time.perf_counter() - start
+
+    # Interleave the three variants inside each repeat (plain → off → on)
+    # so frequency scaling and cache warmth hit all of them alike.  The
+    # overheads gate at 2%, far below the burst noise a shared host can
+    # inject into any single window, so they are estimated as the MEDIAN
+    # of per-repeat paired ratios — one poisoned window shifts one ratio,
+    # not the estimate.  Throughputs report best-of-repeats as usual.
+    plain_ts, off_ts, on_ts = [], [], []
+    run_plain()  # shared warmup: first-touch allocations, kernel caches
+    for _ in range(repeats):
+        plain_ts.append(run_plain())
+        off_ts.append(run_instrumented())
+        previous = set_recorder(Recorder(enabled=True, role="bench"))
+        try:
+            on_ts.append(run_instrumented())
+        finally:
+            set_recorder(previous)
+
+    def median_ratio(num: list[float], den: list[float]) -> float:
+        ratios = sorted(a / b for a, b in zip(num, den))
+        mid = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[mid]
+        return (ratios[mid - 1] + ratios[mid]) / 2.0
+
+    return {
+        "n": topo.n,
+        "mode": mode,
+        "rounds": rounds,
+        "repeats": repeats,
+        "plain_rounds_per_sec": round(rounds / min(plain_ts), 1),
+        "tracing_off_rounds_per_sec": round(rounds / min(off_ts), 1),
+        "tracing_on_rounds_per_sec": round(rounds / min(on_ts), 1),
+        "tracing_off_overhead": round(median_ratio(off_ts, plain_ts) - 1.0, 4),
+        "tracing_on_overhead": round(median_ratio(on_ts, plain_ts) - 1.0, 4),
+    }
+
+
 def measure_backend_rows(smoke: bool, grid_rows: list[dict] | None = None) -> list[dict]:
     """Headline (n=4096, B=64) diffusion rows for every available backend.
 
@@ -892,6 +984,18 @@ def run_suite(smoke: bool = False, backend: str | None = None,
 
     # Transport microbench: the frame layer itself, per channel.
     transport_section = measure_transport_section(smoke)
+
+    # Telemetry overhead: the instrumented round loop with tracing off
+    # must cost (almost) nothing vs the plain pre-telemetry loop.
+    telemetry_row = measure_telemetry_overhead(
+        64, "continuous", 40 if smoke else 200, repeats=5 if smoke else 15,
+        backend=backend)
+    print(
+        f"{'telemetry':12s} n={telemetry_row['n']:5d} {telemetry_row['mode']:10s}: "
+        f"plain {telemetry_row['plain_rounds_per_sec']:>8.1f} r/s  "
+        f"tracing-off overhead {telemetry_row['tracing_off_overhead']:+.1%}  "
+        f"tracing-on overhead {telemetry_row['tracing_on_overhead']:+.1%}"
+    )
 
     def _row(n, replicas, mode, scheme):
         return next(
@@ -1060,6 +1164,20 @@ def run_suite(smoke: bool = False, backend: str | None = None,
                     delta_on["halo_bytes_per_round"] < delta_off["halo_bytes_per_round"]
                 ),
             },
+            "telemetry": {
+                "criterion": "the instrumented serial round loop with tracing off "
+                "(recorder disabled — the production default) costs <= 2% over a "
+                "verbatim copy of the plain pre-telemetry loop on the 4096-node "
+                "torus; the tracing-on cost is recorded alongside.  Smoke sizes "
+                "record the measured overheads with passed: null (short loops "
+                "are too noise-dominated to gate a 2% margin)",
+                "tracing_off_overhead": telemetry_row["tracing_off_overhead"],
+                "tracing_on_overhead": telemetry_row["tracing_on_overhead"],
+                "passed": (
+                    telemetry_row["tracing_off_overhead"] <= 0.02
+                    if not smoke else None
+                ),
+            },
             "transport-zero-copy": {
                 "criterion": "protocol-5 out-of-band frames move "
                 f">= {TRANSPORT_GATE_SLAB_MIB} MiB slabs at "
@@ -1084,6 +1202,7 @@ def run_suite(smoke: bool = False, backend: str | None = None,
         "partitioned": partitioned_rows,
         "distributed": distributed,
         "transport": transport_section,
+        "telemetry": telemetry_row,
         "smoke": smoke,
     }
 
@@ -1262,6 +1381,21 @@ def test_partitioned_overlap_delta_rows_well_formed():
     assert dense["loads"] == delta["loads"] == "near-balanced"
     assert 0 < delta["halo_bytes_per_round"] < dense["halo_bytes_per_round"], (
         dense["halo_bytes_per_round"], delta["halo_bytes_per_round"])
+
+
+def test_telemetry_overhead_row_well_formed():
+    """The instrumented-vs-plain row reports all three timings and the
+    disabled path is not a pathological slowdown (the precise <= 2% gate
+    is full-size-only; pytest sizes assert a loose sanity bound)."""
+    row = measure_telemetry_overhead(16, "continuous", 60, repeats=2)
+    assert row["plain_rounds_per_sec"] > 0
+    assert row["tracing_off_rounds_per_sec"] > 0
+    assert row["tracing_on_rounds_per_sec"] > 0
+    assert row["tracing_off_overhead"] < 0.5, row
+    from repro.observability import NULL_RECORDER
+    from repro.observability.recorder import get_recorder
+
+    assert get_recorder() is NULL_RECORDER  # bench restores the default
 
 
 def test_check_summary_lists_skipped_gates():

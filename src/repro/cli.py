@@ -15,7 +15,14 @@ Subcommands
 - ``dispatch`` — run partition blocks or replica shards on remote
   ``worker`` processes and combine the results exactly;
 - ``mpi-run`` — run partition blocks rank-per-block under ``mpiexec``
-  (needs ``mpi4py``; see :mod:`repro.distributed.mpi`).
+  (needs ``mpi4py``; see :mod:`repro.distributed.mpi`);
+- ``trace-report`` — render a ``--trace`` JSONL file into per-phase /
+  per-worker / per-link breakdown tables (or ``--json``).
+
+``run``, ``sweep``, ``worker`` and ``dispatch`` take ``--trace PATH``
+(JSONL event trace) and ``--metrics`` (aggregated metrics, dumped in
+Prometheus text format on exit); ``worker`` and ``dispatch`` take
+``--log-level`` for the structured ``repro.distributed`` logger.
 
 ``backends``, ``partition-info`` and ``dispatch`` take ``--json`` for
 machine-readable output (the dispatcher and scripts consume diagnostics
@@ -82,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_partitions_flag(p_run)
     _add_backend_flag(p_run)
+    _add_telemetry_flags(p_run)
 
     p_cmp = sub.add_parser("compare", help="run several balancers side by side")
     p_cmp.add_argument("--topology", required=True)
@@ -110,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_partitions_flag(p_sweep)
     _add_backend_flag(p_sweep)
+    _add_telemetry_flags(p_sweep)
 
     p_ver = sub.add_parser("verify", help="run the lemma checks on random states")
     p_ver.add_argument("--topology", default="torus:8x8")
@@ -177,6 +186,8 @@ def build_parser() -> argparse.ArgumentParser:
         "links (default: the REPRO_AUTHKEY environment variable; unset = "
         "unauthenticated, loopback-trust mode)",
     )
+    _add_log_level_flag(p_worker)
+    _add_telemetry_flags(p_worker)
 
     p_disp = sub.add_parser(
         "dispatch",
@@ -238,6 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
         "per-link bytes/round, control traffic, worker roster)",
     )
     _add_backend_flag(p_disp)
+    _add_log_level_flag(p_disp)
+    _add_telemetry_flags(p_disp)
 
     p_mpi = sub.add_parser(
         "mpi-run",
@@ -274,6 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the run summary as JSON (same shape as dispatch --json)",
     )
     _add_backend_flag(p_mpi)
+
+    p_trace = sub.add_parser(
+        "trace-report",
+        help="render a --trace JSONL file into per-phase/per-worker tables",
+    )
+    p_trace.add_argument("path", help="trace file written by --trace")
+    p_trace.add_argument(
+        "--json", action="store_true",
+        help="emit the full report (totals, per-worker shares, per-link "
+        "bytes/latency, counters) as JSON",
+    )
     return parser
 
 
@@ -301,6 +325,65 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
         "'auto' (fastest available; the default).  Backends are bit-for-bit "
         "interchangeable — this flag only affects speed.",
     )
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL event trace (per-round phase spans, kernel and "
+        "transport timings) to PATH; render it with 'repro-lb trace-report'. "
+        "Tracing is observation-only: trajectories are bit-for-bit identical "
+        "with it on or off.",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="aggregate timing metrics (count/sum/min/max/p50/p99) and dump "
+        "them in Prometheus text format on exit",
+    )
+
+
+def _add_log_level_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="level for the structured 'repro.distributed' logger "
+        "(timestamped, levelled lines on stdout)",
+    )
+
+
+def _telemetry_begin(args: argparse.Namespace, role: str = "main"):
+    """Install a recorder from ``--trace``/``--metrics``; None when off."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", False)
+    if not trace and not metrics:
+        return None
+    from repro.observability import configure
+
+    return configure(trace=trace, metrics=metrics, role=role)
+
+
+def _telemetry_end(rec, args: argparse.Namespace) -> None:
+    """Flush the trace file; print the Prometheus dump when ``--metrics``."""
+    if rec is None:
+        return
+    from repro.observability import metrics_to_prom, shutdown
+
+    shutdown()
+    if getattr(args, "metrics", False):
+        print(metrics_to_prom(rec.metrics_snapshot()), end="")
+
+
+def _with_telemetry(fn, role: str):
+    """Wrap a command so --trace/--metrics span its whole body."""
+
+    def wrapped(args: argparse.Namespace) -> int:
+        rec = _telemetry_begin(args, role=role)
+        try:
+            return fn(args)
+        finally:
+            _telemetry_end(rec, args)
+
+    return wrapped
 
 
 def _cmd_topologies(args: argparse.Namespace) -> int:
@@ -547,7 +630,9 @@ def _cmd_backends(args: argparse.Namespace) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.distributed.transport import TransportError
     from repro.distributed.worker import serve
+    from repro.observability import configure_logging
 
+    configure_logging(args.log_level)
     try:
         return serve(args.bind, max_jobs=args.max_jobs, timeout=args.timeout,
                      advertise=args.advertise, authkey=args.authkey)
@@ -563,7 +648,9 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         dispatch_sharded,
     )
     from repro.graphs.partition import parse_partitions
+    from repro.observability import configure_logging
 
+    configure_logging(args.log_level)
     topo = by_name(args.topology)
     bal = get_balancer(args.balancer, topo)
     backend, err = _resolve_backend_arg(args.backend)
@@ -582,6 +669,9 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     stopping = [MaxRounds(args.rounds)]
     if args.eps is not None:
         stopping.insert(0, PotentialFractionBelow(args.eps))
+    # Telemetry implies live progress: ask workers to piggyback periodic
+    # stats frames on the control channel next to heartbeats.
+    stats_interval = 0.5 if (args.trace or args.metrics) else None
     try:
         if args.partitions is not None:
             part_blocks, part_strategy = parse_partitions(args.partitions)
@@ -600,6 +690,7 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
                 authkey=args.authkey, heartbeat=args.heartbeat,
                 checkpoint_every=args.checkpoint_every,
                 retry_budget=args.retry_budget,
+                stats_interval=stats_interval,
             )
         else:
             if not getattr(bal, "supports_batch", False) and args.replicas > 1:
@@ -612,6 +703,7 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
                 stopping=stopping, backend=backend, timeout=args.timeout,
                 authkey=args.authkey, heartbeat=args.heartbeat,
                 retry_budget=args.retry_budget,
+                stats_interval=stats_interval,
             )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -649,6 +741,23 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
             f"{'recovery':>20}: {requeued} {what} re-queued over "
             f"{stats['retries']} reconnect attempt(s)"
         )
+    for label, live in sorted(stats.get("workers_live", {}).items()):
+        line = f"last seen {live['last_seen_age_s']:.2f}s ago"
+        if live.get("hb_count"):
+            line += f", {live['hb_count']} heartbeat(s)"
+            if "hb_interval_mean_s" in live:
+                line += (
+                    f" every {live['hb_interval_mean_s']:.2f}s "
+                    f"[{live['hb_interval_min_s']:.2f}-{live['hb_interval_max_s']:.2f}]"
+                )
+        snap = live.get("stats")
+        if snap:
+            line += (
+                f"; {snap.get('rounds_done', 0)} round(s), "
+                f"{snap.get('jobs_done', 0)}/{snap.get('jobs_accepted', 0)} job(s), "
+                f"busy {snap.get('busy_s', 0.0):.2f}s"
+            )
+        print(f"{'worker ' + label:>20}: {line}")
     return 0
 
 
@@ -756,6 +865,29 @@ def _cmd_mpi_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability import load_trace, render_report, trace_report, validate_trace
+
+    try:
+        events = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    problems = validate_trace(events)
+    if problems:
+        for p in problems:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        return 2
+    report = trace_report(events)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(render_report(report))
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.verify import check_lemma1_on_state, check_lemma10_identity, empirical_lemma9
 
@@ -808,17 +940,18 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "topologies": _cmd_topologies,
-    "run": _cmd_run,
+    "run": _with_telemetry(_cmd_run, "run"),
     "compare": _cmd_compare,
-    "sweep": _cmd_sweep,
+    "sweep": _with_telemetry(_cmd_sweep, "sweep"),
     "verify": _cmd_verify,
     "experiment": _cmd_experiment,
     "bounds": _cmd_bounds,
     "backends": _cmd_backends,
     "partition-info": _cmd_partition_info,
-    "worker": _cmd_worker,
-    "dispatch": _cmd_dispatch,
+    "worker": _with_telemetry(_cmd_worker, "worker"),
+    "dispatch": _with_telemetry(_cmd_dispatch, "dispatcher"),
     "mpi-run": _cmd_mpi_run,
+    "trace-report": _cmd_trace_report,
 }
 
 

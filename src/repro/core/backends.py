@@ -38,8 +38,11 @@ picks the fastest available backend (numba > scipy > numpy).
 from __future__ import annotations
 
 import os
+from time import perf_counter
 
 import numpy as np
+
+from ..observability.recorder import get_recorder
 
 __all__ = [
     "HAVE_SCIPY",
@@ -404,10 +407,71 @@ def resolve_backend(name: str | None) -> str:
     return name
 
 
+class _TimedBackend:
+    """Metric-recording delegate around a real backend instance.
+
+    Returned by :func:`get_backend` only while the process recorder is
+    enabled; times each kernel entry point into ``kernel.<name>.*_s``
+    metrics (aggregation only — per-call events would swamp a trace).
+    Fused kernels may return ``None`` to decline (staged fallback);
+    those calls are not recorded, so metric counts match executed work.
+    """
+
+    __slots__ = ("_inner", "_rec", "name", "priority")
+
+    def __init__(self, inner: KernelBackend, rec) -> None:
+        self._inner = inner
+        self._rec = rec
+        self.name = inner.name
+        self.priority = inner.priority
+
+    def matvec(self, csr, x, out):
+        t0 = perf_counter()
+        result = self._inner.matvec(csr, x, out)
+        self._rec.observe(f"kernel.{self.name}.matvec_s", perf_counter() - t0)
+        return result
+
+    def add_matvec(self, csr, base, x, out):
+        t0 = perf_counter()
+        result = self._inner.add_matvec(csr, base, x, out)
+        self._rec.observe(f"kernel.{self.name}.add_matvec_s", perf_counter() - t0)
+        return result
+
+    def fused_discrete_round(self, op, loads, out, use_recip):
+        t0 = perf_counter()
+        result = self._inner.fused_discrete_round(op, loads, out, use_recip)
+        if result is not None:
+            self._rec.observe(
+                f"kernel.{self.name}.fused_discrete_s", perf_counter() - t0)
+        return result
+
+    def fused_fos_round(self, op, alpha, loads, out):
+        t0 = perf_counter()
+        result = self._inner.fused_fos_round(op, alpha, loads, out)
+        if result is not None:
+            self._rec.observe(f"kernel.{self.name}.fused_fos_s", perf_counter() - t0)
+        return result
+
+
+_TIMED_INSTANCES: dict[str, _TimedBackend] = {}
+
+
 def get_backend(name: str | None) -> KernelBackend:
-    """The (singleton) backend instance for ``name`` (or the default)."""
+    """The (singleton) backend instance for ``name`` (or the default).
+
+    While the process recorder is enabled the instance arrives wrapped
+    in a :class:`_TimedBackend` so kernel timings land in the metric
+    registry; with telemetry off (the default) the raw singleton is
+    returned and the hot path carries zero instrumentation.
+    """
     resolved = resolve_backend(name)
     inst = _INSTANCES.get(resolved)
     if inst is None:
         inst = _INSTANCES[resolved] = _BACKEND_CLASSES[resolved]()
+    rec = get_recorder()
+    if rec.enabled:
+        timed = _TIMED_INSTANCES.get(resolved)
+        if timed is None or timed._rec is not rec:
+            timed = _TIMED_INSTANCES[resolved] = _TimedBackend(inst, rec)
+        return timed
     return inst

@@ -50,11 +50,14 @@ import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.protocols import Balancer
+from repro.observability.logs import get_logger
+from repro.observability.recorder import get_recorder
 from repro.distributed.transport import (
     PROTOCOL_VERSION,
     AuthenticationError,
@@ -111,6 +114,9 @@ _RECONNECT_OPTIONS = {"retries": 4, "retry_delay": 0.2, "deadline": 3.0}
 _RECONNECT_TIMEOUT = 5.0
 
 
+_logger = get_logger("dispatcher")
+
+
 class DispatcherError(RuntimeError):
     """A distributed run failed (unreachable/failed worker, bad reply)."""
 
@@ -147,6 +153,19 @@ class WorkerHandle:
     miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET
     authkey: bytes | None = field(default=None, repr=False)
     last_seen: float = field(default_factory=time.monotonic)
+    #: interval the worker was asked to stream progress frames at (None
+    #: = not requested; the worker then never sends one)
+    stats_interval: float | None = None
+    #: latest ``("stats", seq, payload)`` progress snapshot, if any
+    stats: dict | None = field(default=None, repr=False)
+    stats_seq: int = 0
+    #: observed heartbeat arrivals: count + inter-arrival extremes/total,
+    #: the measured counterpart of the configured ``heartbeat`` interval
+    hb_count: int = 0
+    hb_interval_min: float = field(default=float("inf"), repr=False)
+    hb_interval_max: float = field(default=0.0, repr=False)
+    hb_interval_sum: float = field(default=0.0, repr=False)
+    _hb_prev: float | None = field(default=None, repr=False)
 
     @property
     def label(self) -> str:
@@ -171,6 +190,61 @@ class WorkerHandle:
 
     def touch(self) -> None:
         self.last_seen = time.monotonic()
+
+    def _note_heartbeat(self) -> None:
+        now = time.monotonic()
+        if self._hb_prev is not None:
+            gap = now - self._hb_prev
+            self.hb_interval_min = min(self.hb_interval_min, gap)
+            self.hb_interval_max = max(self.hb_interval_max, gap)
+            self.hb_interval_sum += gap
+        self._hb_prev = now
+        self.hb_count += 1
+
+    def _consume_aside(self, msg) -> bool:
+        """True when ``msg`` is a liveness/progress side frame (consumed).
+
+        Heartbeats are 2-tuples ``("hb", seq)``; unsolicited progress
+        frames are 3-tuples ``("stats", seq, payload_dict)`` — shape-
+        disjoint from the job replies that share the ``"stats"`` tag
+        (the merged partition reply is ``("stats", {block: ...})``, a
+        2-tuple), so no reply is ever swallowed here.
+        """
+        if not (isinstance(msg, tuple) and msg):
+            return False
+        if msg[0] == "hb":
+            self._note_heartbeat()
+            return True
+        if (msg[0] == "stats" and len(msg) == 3
+                and isinstance(msg[1], int) and isinstance(msg[2], dict)):
+            if msg[1] >= self.stats_seq:
+                self.stats_seq = msg[1]
+                self.stats = msg[2]
+            return True
+        return False
+
+    def liveness(self) -> dict:
+        """Observed liveness for diagnostics (``dispatch --json``).
+
+        ``last_seen_age_s`` measures silence *now*; the ``hb_*`` fields
+        summarize heartbeat inter-arrival gaps over the run (the
+        measured round-trip behaviour next to the configured interval);
+        ``stats`` is the worker's latest progress snapshot, when the
+        rendezvous asked for one.
+        """
+        out: dict = {
+            "last_seen_age_s": time.monotonic() - self.last_seen,
+            "hb_count": self.hb_count,
+        }
+        if self.hb_count > 1:
+            gaps = self.hb_count - 1
+            out["hb_interval_mean_s"] = self.hb_interval_sum / gaps
+            out["hb_interval_min_s"] = self.hb_interval_min
+            out["hb_interval_max_s"] = self.hb_interval_max
+        if self.stats is not None:
+            out["stats_seq"] = self.stats_seq
+            out["stats"] = self.stats
+        return out
 
     def _liveness_check(self) -> None:
         if not self.heartbeat:
@@ -214,7 +288,7 @@ class WorkerHandle:
             else:
                 msg = self.channel.recv(budget)
             self.touch()
-            if isinstance(msg, tuple) and msg and msg[0] == "hb":
+            if self._consume_aside(msg):
                 continue
             return msg
 
@@ -232,23 +306,28 @@ class WorkerHandle:
             return None
         msg = self.channel.recv(frame_timeout)
         self.touch()
-        if isinstance(msg, tuple) and msg and msg[0] == "hb":
+        if self._consume_aside(msg):
             return None
         return msg
 
 
 def _handshake(channel: Channel, timeout: float, authkey: bytes | None,
-               heartbeat: float | None, label: str) -> dict:
+               heartbeat: float | None, label: str,
+               stats_interval: float | None = None) -> dict:
     """Hello + optional mutual HMAC auth; returns the worker's info dict.
 
     A keyed worker challenges first (we cannot know it will until its
     first reply arrives, hence the pre-received ``challenge=``
     pass-through); a keyed dispatcher then counter-challenges so both
-    sides prove possession before any job bytes flow.
+    sides prove possession before any job bytes flow.  ``stats_interval``
+    opts into the worker's periodic progress frames — a free-form opts
+    key, so a worker that predates it simply ignores the request.
     """
     opts: dict = {}
     if heartbeat:
         opts["heartbeat"] = float(heartbeat)
+    if stats_interval:
+        opts["stats"] = float(stats_interval)
     if authkey is not None:
         opts["auth"] = True
     channel.send(("hello", PROTOCOL_VERSION, opts) if opts else ("hello", PROTOCOL_VERSION))
@@ -275,7 +354,8 @@ def _connect_worker(address: tuple[str, int], *, timeout: float,
                     tcp_options: dict | None = None,
                     authkey: bytes | None = None,
                     heartbeat: float | None = None,
-                    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET) -> WorkerHandle:
+                    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET,
+                    stats_interval: float | None = None) -> WorkerHandle:
     """Connect + handshake one worker (``authkey`` already resolved)."""
     label = format_address(address)
     channel = None
@@ -285,7 +365,8 @@ def _connect_worker(address: tuple[str, int], *, timeout: float,
     options = {"deadline": timeout, **(tcp_options or {})}
     try:
         channel = tcp_connect(address, timeout=timeout, **options)
-        info = _handshake(channel, timeout, authkey, heartbeat, label)
+        info = _handshake(channel, timeout, authkey, heartbeat, label,
+                          stats_interval)
     except TransportError as exc:
         if channel is not None:
             channel.close()
@@ -298,6 +379,7 @@ def _connect_worker(address: tuple[str, int], *, timeout: float,
         address=address, channel=channel, info=info,
         heartbeat=float(heartbeat) if heartbeat else None,
         miss_budget=miss_budget, authkey=authkey,
+        stats_interval=float(stats_interval) if stats_interval else None,
     )
 
 
@@ -305,12 +387,15 @@ def connect_workers(addresses: Sequence[str | tuple[str, int]], *,
                     timeout: float = 30.0, tcp_options: dict | None = None,
                     authkey: str | bytes | None = None,
                     heartbeat: float | None = None,
-                    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET) -> list[WorkerHandle]:
+                    miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET,
+                    stats_interval: float | None = None) -> list[WorkerHandle]:
     """Connect + handshake with every worker address, in order.
 
     ``authkey`` (or the ``REPRO_AUTHKEY`` environment variable) enables
     mutual HMAC authentication; ``heartbeat`` asks each worker to stream
-    liveness frames at that interval.  Raises :class:`DispatcherError`
+    liveness frames at that interval; ``stats_interval`` additionally
+    asks for periodic progress snapshots (surfaced via
+    :meth:`WorkerHandle.liveness`).  Raises :class:`DispatcherError`
     naming the first unreachable or version-mismatched worker;
     already-opened channels are closed before the raise so a failed
     rendezvous leaves nothing dangling.
@@ -337,6 +422,7 @@ def connect_workers(addresses: Sequence[str | tuple[str, int]], *,
                 _connect_worker(
                     address, timeout=timeout, tcp_options=tcp_options,
                     authkey=key, heartbeat=heartbeat, miss_budget=miss_budget,
+                    stats_interval=stats_interval,
                 )
             )
     except BaseException:
@@ -359,7 +445,8 @@ def _abort(handles: Sequence[WorkerHandle]) -> None:
 
 def _resolve_handles(workers, timeout, tcp_options, *, authkey=None,
                      heartbeat=None,
-                     miss_budget=DEFAULT_HEARTBEAT_MISS_BUDGET):
+                     miss_budget=DEFAULT_HEARTBEAT_MISS_BUDGET,
+                     stats_interval=None):
     """Accept addresses or pre-connected handles; returns (handles, own)."""
     if not workers:
         raise DispatcherError("need at least one worker address")
@@ -368,6 +455,7 @@ def _resolve_handles(workers, timeout, tcp_options, *, authkey=None,
     handles = connect_workers(
         workers, timeout=timeout, tcp_options=tcp_options,
         authkey=authkey, heartbeat=heartbeat, miss_budget=miss_budget,
+        stats_interval=stats_interval,
     )
     return handles, True
 
@@ -417,6 +505,10 @@ class _RemoteBlockExecutor:
         self._miss_budget = (
             handles[0].miss_budget if handles else DEFAULT_HEARTBEAT_MISS_BUDGET
         )
+        self._stats_interval = handles[0].stats_interval if handles else None
+        # Captured once: whether chunk replies should carry per-phase
+        # trace events back for this process's recorder to merge.
+        self._telemetry = get_recorder().enabled
         self.checkpoint_every = int(checkpoint_every) if checkpoint_every else None
         self.retry_budget = retry_budget
         self.retries = 0
@@ -479,6 +571,7 @@ class _RemoteBlockExecutor:
                     getattr(sim, "overlap", False),
                     getattr(sim, "delta_frames", False),
                     start_round,
+                    self._telemetry,
                 )
                 for p in self.blocks_of[w]
             }
@@ -554,6 +647,8 @@ class _RemoteBlockExecutor:
         consumed them) — only the worker-side slab state matters.
         """
         detail = exc.detail
+        _logger.warning("partitioned recovery: %s", detail)
+        rec = get_recorder()
         while True:
             self.retries += 1
             if self.retries > self.retry_budget:
@@ -573,6 +668,7 @@ class _RemoteBlockExecutor:
                             tcp_options={**(self.tcp_options or {}), **_RECONNECT_OPTIONS},
                             authkey=self._authkey, heartbeat=self._heartbeat,
                             miss_budget=self._miss_budget,
+                            stats_interval=self._stats_interval,
                         )
                     )
                 except DispatcherError:
@@ -589,17 +685,30 @@ class _RemoteBlockExecutor:
             except _WorkerDied as exc2:
                 detail = exc2.detail
                 continue
-            self.requeued_blocks += sum(
+            moved = sum(
                 1 for p, host in self._block_host.items()
                 if prev_host.get(p) != host
             )
+            self.requeued_blocks += moved
+            _logger.warning(
+                "partitioned recovery succeeded: %d block(s) re-placed over "
+                "%d surviving worker(s), replaying from round %d",
+                moved, len(survivors), self._ckpt_round,
+            )
+            if rec.enabled:
+                rec.event("requeue", blocks=moved, round=self._ckpt_round,
+                          retries=self.retries)
             return
 
     def _checkpoint(self) -> None:
+        rec = get_recorder()
+        t0 = perf_counter() if rec.enabled else 0.0
         full = self._guarded(self._gather_once)  # replica-major (B, n)
         self._ckpt_L = np.ascontiguousarray(full.T)
         self._ckpt_round = self._round
         self._replay.clear()
+        if rec.enabled:
+            rec.record_span("checkpoint", t0, round=self._round)
 
     # -- executor interface (see simulation.partitioned) ---------------
     def run_chunk(self, chunk: int, frozen) -> tuple[list[list], int, dict[str, int]]:
@@ -648,6 +757,15 @@ class _RemoteBlockExecutor:
             for p in self.block_order
             for q, nbytes in by_block[p][2].items()
         }
+        if self._telemetry:
+            # Merge each block's shipped phase events into this process's
+            # trace, labelled with the worker that hosted the block —
+            # this is what makes the dispatcher-side trace cluster-wide.
+            rec = get_recorder()
+            for p in self.block_order:
+                rep = by_block[p]
+                if len(rep) > 3 and rep[3]:
+                    rec.ingest(rep[3], worker=self._block_host.get(p, "?"))
         return per_round, halo_values, link_bytes
 
     def gather(self) -> np.ndarray:
@@ -706,6 +824,7 @@ def dispatch_partitioned(
     miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET,
     checkpoint_every: int | None = None,
     retry_budget: int = DEFAULT_RETRY_BUDGET,
+    stats_interval: float | None = None,
 ) -> tuple[EnsembleTrace, dict]:
     """Run a partition-capable balancer as halo-exchanging blocks on
     remote workers; returns ``(trace, distributed_stats)``.
@@ -727,6 +846,7 @@ def dispatch_partitioned(
     handles, own = _resolve_handles(
         workers, timeout, tcp_options,
         authkey=authkey, heartbeat=heartbeat, miss_budget=miss_budget,
+        stats_interval=stats_interval,
     )
     sim = PartitionedSimulator(
         balancer,
@@ -775,12 +895,17 @@ def dispatch_partitioned(
         stats["control_traffic"] = executor.control_traffic()
         stats["retries"] = executor.retries
         stats["requeued_blocks"] = executor.requeued_blocks
+        stats["workers_live"] = {
+            h.label: h.liveness() for h in executor.handles
+        }
     else:  # pragma: no cover - factory never ran (early stop)
         stats["blocks_by_worker"] = {}
         stats["retries"] = 0
         stats["requeued_blocks"] = 0
+        stats["workers_live"] = {h.label: h.liveness() for h in handles}
     stats["auth"] = handles[0].authkey is not None
     stats["heartbeat"] = handles[0].heartbeat
+    stats["stats_interval"] = stats_interval
     stats["checkpoint_every"] = checkpoint_every
     return trace, stats
 
@@ -808,6 +933,7 @@ def dispatch_sharded(
     heartbeat: float | None = None,
     miss_budget: float = DEFAULT_HEARTBEAT_MISS_BUDGET,
     retry_budget: int = DEFAULT_RETRY_BUDGET,
+    stats_interval: float | None = None,
 ) -> tuple[EnsembleTrace, dict]:
     """Run a replica ensemble as shards on remote workers; returns
     ``(trace, distributed_stats)``.
@@ -836,6 +962,7 @@ def dispatch_sharded(
     handles, own = _resolve_handles(
         workers, timeout, tcp_options,
         authkey=authkey, heartbeat=heartbeat, miss_budget=miss_budget,
+        stats_interval=stats_interval,
     )
     key = handles[0].authkey
     hb = handles[0].heartbeat
@@ -880,6 +1007,7 @@ def dispatch_sharded(
 
     def _on_death(handle: WorkerHandle, st: dict, why) -> None:
         nonlocal retries, requeued_shards
+        _logger.warning("worker %s lost: %s", handle.label, why)
         handle.channel.close()
         states.pop(handle, None)
         lost = list(st["inflight"])
@@ -897,11 +1025,16 @@ def dispatch_sharded(
         # One bounded reconnect probe: a crashed worker refuses fast, a
         # live worker that dropped the job is accepting again shortly.
         retries += 1
+        if lost:
+            rec = get_recorder()
+            if rec.enabled:
+                rec.event("requeue", shards=len(lost), worker=handle.label)
         try:
             replacement = _connect_worker(
                 handle.address, timeout=_RECONNECT_TIMEOUT,
                 tcp_options={**(tcp_options or {}), **_RECONNECT_OPTIONS},
                 authkey=key, heartbeat=hb, miss_budget=budget,
+                stats_interval=stats_interval,
             )
         except DispatcherError:
             return
@@ -1014,6 +1147,8 @@ def dispatch_sharded(
         "requeued_shards": requeued_shards,
         "auth": key is not None,
         "heartbeat": hb,
+        "stats_interval": stats_interval,
         "control_traffic": {h.label: h.channel.traffic() for h in states},
+        "workers_live": {h.label: h.liveness() for h in states},
     }
     return merged, stats

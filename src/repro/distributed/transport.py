@@ -133,7 +133,10 @@ import struct
 import threading
 import time
 from collections import deque
+from time import perf_counter
 from typing import NamedTuple
+
+from ..observability.recorder import get_recorder
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -532,7 +535,14 @@ class Channel(abc.ABC):
         materialized slabs, so this never constrains them).
         """
         frame = encode_frame(obj)
-        self._send_frame(frame)
+        rec = get_recorder()
+        if rec.enabled:
+            _t0 = perf_counter()
+            self._send_frame(frame)
+            rec.observe(f"transport.{self.transport}.send_s", perf_counter() - _t0)
+            rec.add(f"transport.{self.transport}.bytes_sent", frame.nbytes)
+        else:
+            self._send_frame(frame)
         self.bytes_sent += frame.nbytes
         self.messages_sent += 1
         return frame.nbytes
@@ -551,6 +561,9 @@ class Channel(abc.ABC):
         """
         frame = encode_frame(obj)
         self._send_frame_nowait(frame)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.add(f"transport.{self.transport}.bytes_sent", frame.nbytes)
         self.bytes_sent += frame.nbytes
         self.messages_sent += 1
         return frame.nbytes
@@ -608,12 +621,20 @@ class Channel(abc.ABC):
         return self._recv(timeout, alloc)
 
     def _recv(self, timeout: float | None, alloc):
-        head_len, meta, buffers = self._recv_frame(timeout, alloc)
+        rec = get_recorder()
+        if rec.enabled:
+            _t0 = perf_counter()
+            head_len, meta, buffers = self._recv_frame(timeout, alloc)
+            rec.observe(f"transport.{self.transport}.recv_s", perf_counter() - _t0)
+        else:
+            head_len, meta, buffers = self._recv_frame(timeout, alloc)
         nbytes = _frame_total(
             head_len,
             memoryview(meta).nbytes,
             (memoryview(b).nbytes for b in buffers),
         )
+        if rec.enabled:
+            rec.add(f"transport.{self.transport}.bytes_received", nbytes)
         self.bytes_received += nbytes
         self.messages_received += 1
         try:

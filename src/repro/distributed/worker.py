@@ -35,10 +35,14 @@ import os
 import socket as _socket
 import sys
 import threading
+import time
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.backends import resolve_backend
+from repro.observability.logs import ensure_handler
+from repro.observability.recorder import Recorder, get_recorder
 from repro.distributed.transport import (
     PROTOCOL_VERSION,
     AuthenticationError,
@@ -63,6 +67,7 @@ __all__ = [
     "shard_process_main",
     "serve",
     "launch_worker_process",
+    "WorkerProgress",
 ]
 
 
@@ -139,6 +144,8 @@ class _SlabRunner:
         self.timeout = timeout
         #: logical halo values shipped (sum of send rows x batch width)
         self.halo_values = 0
+        #: set (with an enabled Recorder) before using :meth:`round_traced`
+        self.recorder: Recorder | None = None
         self._local = None
         self._cur: np.ndarray | None = None
         self._nxt: np.ndarray | None = None
@@ -245,6 +252,89 @@ class _SlabRunner:
         self._cur, self._nxt = nxt, cur
         return stats
 
+    def round_traced(self, local, balancer, frozen, r: int,
+                     want_disc: bool, want_mov: bool):
+        """:meth:`round` with per-phase spans on :attr:`recorder`.
+
+        A separate sibling (selected once per job, not per round) so the
+        untraced hot path stays byte-identical to before telemetry
+        existed.  Records ``halo_send``/``halo_wait`` per link (with the
+        link's frame-byte delta), plus ``interior``/``boundary`` compute
+        spans — sync mode's single full ``block_step`` is recorded as
+        ``interior``, since no boundary split exists there.  Arithmetic,
+        buffers and message ordering are identical to :meth:`round`, so
+        results stay bit-for-bit equal with tracing on or off.
+        """
+        rec = self.recorder
+        self.bind(local)
+        cur, nxt = self._cur, self._nxt
+        owned = cur[: local.n_owned]
+        out = nxt[: local.n_owned]
+        p = local.p
+        if self.overlap:
+            for link in local.links:
+                ch = self.peers[link.peer]
+                b0 = ch.bytes_sent
+                t0 = perf_counter()
+                self._post_send(link, owned, r, blocking=False)
+                rec.record_span("halo_send", t0, round=r,
+                                link=f"{p}->{link.peer}", bytes=ch.bytes_sent - b0)
+            t0 = perf_counter()
+            if local.interior.size:
+                balancer.block_step(local, cur, out=out, rows="interior")
+            rec.record_span("interior", t0, round=r, rows=int(local.interior.size))
+            for link in local.links:
+                ch = self.peers[link.peer]
+                b0 = ch.bytes_received
+                t0 = perf_counter()
+                self._drain_recv(link)
+                rec.record_span("halo_wait", t0, round=r,
+                                link=f"{link.peer}->{p}",
+                                bytes=ch.bytes_received - b0)
+            t0 = perf_counter()
+            if local.boundary.size:
+                balancer.block_step(local, cur, out=out, rows="boundary")
+            rec.record_span("boundary", t0, round=r, rows=int(local.boundary.size))
+        else:
+            for link in local.links:
+                ch = self.peers[link.peer]
+                if local.p < link.peer:
+                    b0 = ch.bytes_sent
+                    t0 = perf_counter()
+                    self._post_send(link, owned, r, blocking=True)
+                    rec.record_span("halo_send", t0, round=r,
+                                    link=f"{p}->{link.peer}",
+                                    bytes=ch.bytes_sent - b0)
+                    b0 = ch.bytes_received
+                    t0 = perf_counter()
+                    self._drain_recv(link)
+                    rec.record_span("halo_wait", t0, round=r,
+                                    link=f"{link.peer}->{p}",
+                                    bytes=ch.bytes_received - b0)
+                else:
+                    b0 = ch.bytes_received
+                    t0 = perf_counter()
+                    self._drain_recv(link)
+                    rec.record_span("halo_wait", t0, round=r,
+                                    link=f"{link.peer}->{p}",
+                                    bytes=ch.bytes_received - b0)
+                    b0 = ch.bytes_sent
+                    t0 = perf_counter()
+                    self._post_send(link, owned, r, blocking=True)
+                    rec.record_span("halo_send", t0, round=r,
+                                    link=f"{p}->{link.peer}",
+                                    bytes=ch.bytes_sent - b0)
+            t0 = perf_counter()
+            balancer.block_step(local, cur, out=out)
+            rec.record_span("interior", t0, round=r, rows=int(local.n_owned))
+        if frozen is not None and frozen.any():
+            out[:, frozen] = owned[:, frozen]
+        from repro.simulation.partitioned import _partial_stats
+
+        stats = _partial_stats(out, owned, want_disc, want_mov)
+        self._cur, self._nxt = nxt, cur
+        return stats
+
     def flush(self) -> None:
         """Drain every peer backlog (end of chunk, before the quiet wait)."""
         for ch in self.peers.values():
@@ -253,7 +343,8 @@ class _SlabRunner:
 
 def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
                    peer_timeout: float | None = None,
-                   inherited: list[Channel] | None = None) -> None:
+                   inherited: list[Channel] | None = None,
+                   progress: "WorkerProgress | None" = None) -> None:
     """Persistent block worker: owns one ``(n_block, B)`` slab.
 
     Commands (from the coordinator): ``("run", rounds, frozen_mask)``
@@ -265,9 +356,16 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
     ``("stop",)`` exits.  Any exception is reported as ``("error", msg)``
     so the coordinator can fail loudly instead of hanging.
 
-    The payload tuple may carry two trailing flags beyond the classic
-    eight fields: ``overlap`` (split-phase rounds with nonblocking
-    sends) and ``delta`` (changed-rows halo frames); both default off.
+    The payload tuple may carry trailing flags beyond the classic eight
+    fields: ``overlap`` (split-phase rounds with nonblocking sends),
+    ``delta`` (changed-rows halo frames), ``start_round`` (checkpoint
+    replay) and ``telemetry`` — when set, the block records per-phase
+    spans through a private buffering :class:`Recorder` and appends the
+    drained event list as a 5th element of the chunk reply (coordinators
+    that predate telemetry index only the first four, so the extra
+    element is backward-compatible).  ``progress``, when given, is this
+    worker's live :class:`WorkerProgress` aggregate for the periodic
+    stats frames.
     """
     from repro.simulation.partitioned import _PartitionMemo, block_local
 
@@ -286,6 +384,7 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
     # Checkpoint replay resumes mid-run: the round counter must continue
     # from the snapshot's round so dynamic topologies replay identically.
     start_round = int(rest[2]) if len(rest) > 2 else 0
+    telemetry = bool(rest[3]) if len(rest) > 3 else False
     try:
         balancer.reset()
         if backend is not None:
@@ -293,6 +392,14 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
         resolved = resolve_backend(backend)
         parts = _PartitionMemo(assignment, strategy)
         runner = _SlabRunner(peers, overlap=overlap, delta=delta, timeout=peer_timeout)
+        rec: Recorder | None = None
+        if telemetry:
+            rec = Recorder(enabled=True, role=f"block:{block_id}",
+                           base={"block": block_id})
+            runner.recorder = rec
+        # Selected once per job, never per round: the untraced loop body
+        # is byte-identical to the pre-telemetry one.
+        do_round = runner.round_traced if telemetry else runner.round
         L = np.ascontiguousarray(owned)
         bound = False
         r = start_round
@@ -303,14 +410,15 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
                 rows = []
                 values_before = runner.halo_values
                 sent_before = {q: ch.bytes_sent for q, ch in peers.items()}
+                chunk_t0 = time.monotonic() if progress is not None else 0.0
                 for _ in range(nrounds):
                     topo = balancer.partition_topology(r)
                     local = block_local(parts.get(topo), block_id, resolved)
                     if not bound:
                         runner.bind(local, L)
                         bound = True
-                    rows.append(runner.round(local, balancer, frozen, r,
-                                             want_disc, want_mov))
+                    rows.append(do_round(local, balancer, frozen, r,
+                                         want_disc, want_mov))
                     r += 1
                 # Mandatory before going quiet: a peer may still be
                 # blocked on our last frame's unpumped backlog bytes.
@@ -318,8 +426,22 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
                 bytes_by_peer = {
                     q: ch.bytes_sent - sent_before[q] for q, ch in peers.items()
                 }
-                ctrl.send(("stats", rows, runner.halo_values - values_before,
-                           bytes_by_peer))
+                if telemetry:
+                    events = rec.drain_events()
+                    grec = get_recorder()
+                    if grec.enabled and grec is not rec:
+                        # Worker-local --trace: keep a copy in this
+                        # process's own trace too.
+                        grec.ingest(list(events))
+                    if progress is not None:
+                        progress.add_phase_totals(events)
+                    ctrl.send(("stats", rows, runner.halo_values - values_before,
+                               bytes_by_peer, events))
+                else:
+                    ctrl.send(("stats", rows, runner.halo_values - values_before,
+                               bytes_by_peer))
+                if progress is not None:
+                    progress.add_rounds(nrounds, time.monotonic() - chunk_t0)
             elif msg[0] == "gather":
                 # Copy: the slab view is mutated by any later run command.
                 ctrl.send(("loads", np.array(runner.owned if bound else L)))
@@ -361,7 +483,77 @@ def shard_process_main(channel: Channel) -> None:
 # The ``repro-lb worker`` server
 # ----------------------------------------------------------------------
 def _default_log(msg: str) -> None:
-    print(msg, flush=True)
+    """Route server diagnostics through the ``repro.distributed`` logger.
+
+    Structured (timestamp + level) but still line-oriented on stdout, so
+    :func:`launch_worker_process`'s ``listening on H:P`` search keeps
+    matching and drained worker logs stay greppable.
+    """
+    ensure_handler().info(msg)
+
+
+class WorkerProgress:
+    """Thread-safe live aggregate a worker reports in its stats frames.
+
+    One instance per server; the connection handler, job runners and
+    block loops all feed it, and :func:`_stats_loop` snapshots it into
+    the periodic ``("stats", seq, payload)`` frames a dispatcher opted
+    into.  Everything here is an *aggregate* — no per-round event ever
+    crosses this object, so updating it costs a lock and a few adds.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._t0 = time.monotonic()
+        self.jobs_accepted = 0
+        self.jobs_done = 0
+        self.shards_done = 0
+        self.rounds_done = 0
+        self.busy_s = 0.0
+        self.inflight = 0
+        self.phase_s: dict[str, float] = {}
+
+    def job_started(self) -> None:
+        with self._lock:
+            self.jobs_accepted += 1
+            self.inflight += 1
+
+    def job_done(self) -> None:
+        with self._lock:
+            self.jobs_done += 1
+            self.inflight = max(self.inflight - 1, 0)
+
+    def shard_done(self) -> None:
+        with self._lock:
+            self.shards_done += 1
+
+    def add_rounds(self, n: int, busy_s: float = 0.0) -> None:
+        with self._lock:
+            self.rounds_done += int(n)
+            self.busy_s += float(busy_s)
+
+    def add_phase_totals(self, events: list[dict]) -> None:
+        """Fold a drained event list's span durations into phase totals."""
+        with self._lock:
+            for ev in events:
+                if ev.get("ev") == "span":
+                    name = ev.get("name", "")
+                    self.phase_s[name] = (
+                        self.phase_s.get(name, 0.0) + float(ev.get("dur", 0.0))
+                    )
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_s": time.monotonic() - self._t0,
+                "jobs_accepted": self.jobs_accepted,
+                "jobs_done": self.jobs_done,
+                "inflight": self.inflight,
+                "shards_done": self.shards_done,
+                "rounds_done": self.rounds_done,
+                "busy_s": self.busy_s,
+                "phase_s": dict(self.phase_s),
+            }
 
 
 def launch_worker_process(bind: str = "127.0.0.1:0", *, extra_args: tuple = ()):
@@ -460,6 +652,7 @@ def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
         f"{', auth on' if key is not None else ''})"
     )
     served = 0
+    progress = WorkerProgress()
     try:
         while max_jobs <= 0 or served < max_jobs:
             ctrl = listener.accept(timeout=None)
@@ -472,7 +665,7 @@ def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
             try:
                 _serve_connection(
                     ctrl, peer_listener, timeout, log, remaining, advertise,
-                    jobs_started, authkey=key,
+                    jobs_started, authkey=key, progress=progress,
                 )
             except _JobError as exc:
                 log(f"worker: job failed: {exc}")
@@ -513,12 +706,31 @@ def _heartbeat_loop(ctrl: Channel, interval: float, stop: threading.Event) -> No
             return
 
 
+def _stats_loop(ctrl: Channel, interval: float, stop: threading.Event,
+                progress: WorkerProgress) -> None:
+    """Stream ``("stats", seq, snapshot)`` progress frames until stopped.
+
+    The piggyback channel next to heartbeats: only started when the
+    dispatcher's hello opted in with ``{"stats": seconds}``, so peers
+    that never asked (protocol-4 dispatchers included) never see one.
+    Same nonblocking-send discipline as :func:`_heartbeat_loop`.
+    """
+    seq = 0
+    while not stop.wait(interval):
+        seq += 1
+        try:
+            ctrl.send_nowait(("stats", seq, progress.snapshot()))
+        except TransportError:
+            return
+
+
 def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
                       timeout: float | None, log,
                       max_jobs: int | None = None,
                       advertise: str | None = None,
                       jobs_started: list[int] | None = None,
-                      authkey: bytes | None = None) -> None:
+                      authkey: bytes | None = None,
+                      progress: WorkerProgress | None = None) -> None:
     """Handshake + a job stream on one dispatcher connection.
 
     ``jobs_started`` (a one-element counter) is bumped as each job is
@@ -530,13 +742,18 @@ def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
 
     The hello may carry an options dict (protocol 4): ``{"heartbeat":
     seconds}`` asks this worker to stream ``("hb", seq)`` frames at that
-    interval for liveness detection, and ``{"auth": True}`` announces
-    that the dispatcher holds an authkey and will challenge us after
-    answering ours.  A keyed worker always challenges; a keyed
-    dispatcher talking to a keyless worker is refused.
+    interval for liveness detection, ``{"stats": seconds}`` additionally
+    asks for periodic ``("stats", seq, snapshot)`` progress frames (a
+    free-form opts key, so no version bump — peers that do not send it
+    never receive one), and ``{"auth": True}`` announces that the
+    dispatcher holds an authkey and will challenge us after answering
+    ours.  A keyed worker always challenges; a keyed dispatcher talking
+    to a keyless worker is refused.
     """
     if jobs_started is None:
         jobs_started = [0]
+    if progress is None:
+        progress = WorkerProgress()
     msg = ctrl.recv(timeout)
     if not (isinstance(msg, tuple) and len(msg) >= 2 and msg[0] == "hello"):
         ctrl.send(("error", f"expected hello, got {msg!r}"))
@@ -562,6 +779,8 @@ def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
         raise _JobError("dispatcher requires authentication, no authkey configured")
     heartbeat = opts.get("heartbeat")
     heartbeat = float(heartbeat) if heartbeat else None
+    stats_every = opts.get("stats")
+    stats_every = float(stats_every) if stats_every else None
     ctrl.send(
         (
             "ready",
@@ -575,6 +794,7 @@ def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
                 "cpus": os.cpu_count() or 1,
                 "auth": authkey is not None,
                 "heartbeat": heartbeat,
+                "stats": stats_every,
             },
         )
     )
@@ -586,6 +806,13 @@ def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
             name="worker-heartbeat", daemon=True,
         )
         hb_thread.start()
+    stats_thread = None
+    if stats_every is not None and stats_every > 0:
+        stats_thread = threading.Thread(
+            target=_stats_loop, args=(ctrl, stats_every, hb_stop, progress),
+            name="worker-stats", daemon=True,
+        )
+        stats_thread.start()
     try:
         while max_jobs is None or jobs_started[0] < max_jobs:
             try:
@@ -602,29 +829,38 @@ def _serve_connection(ctrl: Channel, peer_listener: TcpListener,
             spec = msg[1]
             kind = spec.get("kind")
             jobs_started[0] += 1
+            progress.job_started()
             log(f"worker: job accepted (kind={kind})")
-            if kind == "shard":
-                _run_shard_job(ctrl, spec, timeout)
-            elif kind == "partition":
-                _run_partition_job(ctrl, peer_listener, spec, timeout,
-                                   authkey=authkey)
-            else:
-                ctrl.send(("error", f"unknown job kind {kind!r}"))
-                raise _JobError(f"unknown job kind {kind!r}")
+            try:
+                if kind == "shard":
+                    _run_shard_job(ctrl, spec, timeout, progress=progress)
+                elif kind == "partition":
+                    _run_partition_job(ctrl, peer_listener, spec, timeout,
+                                       authkey=authkey, progress=progress)
+                else:
+                    ctrl.send(("error", f"unknown job kind {kind!r}"))
+                    raise _JobError(f"unknown job kind {kind!r}")
+            finally:
+                progress.job_done()
             log(f"worker: job done (kind={kind})")
     finally:
+        hb_stop.set()
         if hb_thread is not None:
-            hb_stop.set()
             hb_thread.join(timeout=5.0)
+        if stats_thread is not None:
+            stats_thread.join(timeout=5.0)
 
 
-def _run_shard_job(ctrl: Channel, spec: dict, timeout: float | None) -> None:
+def _run_shard_job(ctrl: Channel, spec: dict, timeout: float | None,
+                   progress: WorkerProgress | None = None) -> None:
     """Run this worker's replica shards; stream each trace back."""
     from repro.simulation.sharding import run_shard_payload
 
     try:
         for idx, payload in spec["payloads"]:
             ctrl.send(("trace", idx, run_shard_payload(payload)))
+            if progress is not None:
+                progress.shard_done()
         ctrl.send(("done",))
     except TransportError:
         raise
@@ -699,7 +935,8 @@ def _build_mesh(blocks: list[int], spec: dict, peer_listener: TcpListener,
 
 def _run_partition_job(ctrl: Channel, peer_listener: TcpListener, spec: dict,
                        timeout: float | None,
-                       authkey: bytes | None = None) -> None:
+                       authkey: bytes | None = None,
+                       progress: WorkerProgress | None = None) -> None:
     """Host this worker's partition blocks: mesh setup + command fan-out.
 
     Each block runs :func:`run_block_loop` on its own thread behind a
@@ -723,7 +960,7 @@ def _run_partition_job(ctrl: Channel, peer_listener: TcpListener, spec: dict,
         threads[p] = threading.Thread(
             target=run_block_loop,
             args=(block_end, peers[p], spec["payloads"][p]),
-            kwargs={"peer_timeout": job_timeout},
+            kwargs={"peer_timeout": job_timeout, "progress": progress},
             name=f"block-{p}",
             daemon=True,
         )

@@ -1,0 +1,39 @@
+"""Zero-dependency runtime telemetry: tracing, metrics, structured logs.
+
+See ``recorder`` for the span/metric primitive, ``report`` for trace
+analysis (backing ``repro-lb trace-report``), and ``logs`` for the
+``repro.distributed`` structured logger.
+"""
+
+from .recorder import (
+    PHASES,
+    SCHEMA_VERSION,
+    NULL_RECORDER,
+    Recorder,
+    configure,
+    get_recorder,
+    metrics_to_prom,
+    set_recorder,
+    shutdown,
+)
+from .report import load_trace, render_report, trace_report, validate_trace
+from .logs import configure_logging, ensure_handler, get_logger
+
+__all__ = [
+    "PHASES",
+    "SCHEMA_VERSION",
+    "NULL_RECORDER",
+    "Recorder",
+    "configure",
+    "get_recorder",
+    "metrics_to_prom",
+    "set_recorder",
+    "shutdown",
+    "load_trace",
+    "render_report",
+    "trace_report",
+    "validate_trace",
+    "configure_logging",
+    "ensure_handler",
+    "get_logger",
+]

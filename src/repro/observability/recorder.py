@@ -1,0 +1,423 @@
+"""Process-local telemetry: monotonic spans, counters, JSONL traces.
+
+The :class:`Recorder` is the single telemetry primitive the whole stack
+shares.  Engines and transports time *phases* (interior compute,
+boundary compute, halo send/recv wait, checkpoint, requeue) around the
+code they already run — observation only, never altering arithmetic,
+buffers or protocol ordering, which is what keeps traced trajectories
+bit-for-bit identical to untraced ones.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  The module-level default
+   recorder is disabled; hot loops hoist ``rec = get_recorder()`` and a
+   local ``traced = rec.enabled`` bool before the loop, so the per-round
+   cost of tracing-off is one branch on a local — no allocation, no
+   attribute chase, no clock read.
+2. **Zero dependencies.**  Stdlib only (``json``, ``time``,
+   ``threading``); events are plain dicts, metrics are scalar folds plus
+   a bounded reservoir for percentiles.
+3. **Shippable events.**  A worker process records into a private
+   buffering recorder and drains the event list into its chunk reply;
+   the dispatcher :meth:`Recorder.ingest`\\ s them under a ``worker``
+   label, merging per-block phase timings into one cluster-wide trace.
+
+Event schema (one JSON object per line; see ``docs/TRACE_SCHEMA.md``):
+
+``{"ev": "meta", "schema": 1, "role": ..., "pid": ..., "host": ...,
+"t0_unix": ...}``
+    First line of every trace file: who recorded it and when.
+``{"ev": "span", "name": ..., "t": ..., "dur": ..., **labels}``
+    A timed phase.  ``t`` is seconds since the *emitting* process's
+    trace epoch (monotonic clock), ``dur`` the phase duration.
+``{"ev": "count", "name": ..., "value": ..., **labels}``
+    A discrete quantity attributed to a point in the run (halo bytes on
+    a link in a round, values exchanged, ...).
+``{"ev": "event", "name": ..., "t": ..., **labels}``
+    A point event (checkpoint taken, blocks re-queued, job accepted).
+
+Common labels: ``round`` (absolute round index), ``block`` (partition
+block id), ``peer``/``link`` (halo link), ``worker`` (host:port label,
+added by the dispatcher at ingest time), ``engine``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket as _socket
+import threading
+import time
+from time import perf_counter
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PHASES",
+    "Recorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "configure",
+    "shutdown",
+    "metrics_to_prom",
+]
+
+#: Trace schema version, stamped into every meta line.
+SCHEMA_VERSION = 1
+
+#: The per-round phase names the partitioned runtime records.
+PHASES = ("interior", "boundary", "halo_send", "halo_wait", "checkpoint", "requeue")
+
+
+class _NullSpan:
+    """Shared no-op context manager: the disabled ``span()`` result.
+
+    A singleton, so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager recording one span on exit (enabled path only)."""
+
+    __slots__ = ("_rec", "_name", "_fields", "_t0")
+
+    def __init__(self, rec: "Recorder", name: str, fields: dict):
+        self._rec = rec
+        self._name = name
+        self._fields = fields
+
+    def __enter__(self):
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._rec.record_span(self._name, self._t0, perf_counter(), **self._fields)
+        return False
+
+
+class _Metric:
+    """count/sum/min/max plus a bounded reservoir for p50/p99.
+
+    The reservoir is a deterministic ring (overwrite oldest once full):
+    percentiles reflect the most recent ``RESERVOIR`` observations, and
+    identical runs produce identical snapshots — no sampling randomness.
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax", "_ring")
+
+    RESERVOIR = 2048
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self._ring: list[float] = []
+
+    def observe(self, value: float) -> None:
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        self.total += value
+        ring = self._ring
+        if len(ring) < self.RESERVOIR:
+            ring.append(value)
+        else:
+            ring[self.count % self.RESERVOIR] = value
+        self.count += 1
+
+    @staticmethod
+    def _quantile(ordered: list[float], q: float) -> float:
+        if not ordered:
+            return 0.0
+        k = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[k]
+
+    def snapshot(self) -> dict:
+        ordered = sorted(self._ring)
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "p50": self._quantile(ordered, 0.50),
+            "p99": self._quantile(ordered, 0.99),
+        }
+
+
+class Recorder:
+    """Spans, counters and aggregated metrics for one process (or role).
+
+    ``enabled=False`` (the default for the module-level recorder) makes
+    every recording method a cheap no-op; hot loops additionally guard
+    with ``if rec.enabled:`` so the disabled path never even calls in.
+
+    ``path`` streams events to a JSONL file on :meth:`flush` /
+    :meth:`close`; without it events buffer in memory until
+    :meth:`drain_events` ships them (worker → dispatcher) or
+    :meth:`write` dumps them.  ``base`` labels (e.g. ``block=3``) are
+    merged into every event this recorder emits.
+    """
+
+    def __init__(self, enabled: bool = False, path: str | None = None,
+                 role: str = "main", base: dict | None = None) -> None:
+        self.enabled = bool(enabled)
+        self.path = path
+        self.role = role
+        self.base = dict(base) if base else {}
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._metrics: dict[str, _Metric] = {}
+        self._counters: dict[str, float] = {}
+        self._t0 = perf_counter()
+        self._t0_unix = time.time()
+        self._wrote_meta = False
+        self.n_events = 0
+
+    # -- clocks --------------------------------------------------------
+    def rel(self, t_abs: float) -> float:
+        """A ``perf_counter()`` reading as seconds since the trace epoch."""
+        return t_abs - self._t0
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **fields):
+        """Context manager timing a phase; no-op singleton when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, fields)
+
+    def record_span(self, name: str, t0: float, t1: float | None = None,
+                    **fields) -> None:
+        """Record one finished span from explicit ``perf_counter`` stamps.
+
+        The explicit form hot loops use: the caller reads the clock only
+        on the traced path, so the untraced loop stays allocation-free.
+        """
+        if not self.enabled:
+            return
+        if t1 is None:
+            t1 = perf_counter()
+        ev = {"ev": "span", "name": name,
+              "t": round(t0 - self._t0, 9), "dur": round(t1 - t0, 9)}
+        if self.base:
+            ev.update(self.base)
+        if fields:
+            ev.update(fields)
+        with self._lock:
+            self._events.append(ev)
+            self.n_events += 1
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = _Metric()
+            metric.observe(t1 - t0)
+
+    def event(self, name: str, **fields) -> None:
+        """Record a point event (checkpoint, requeue, job accepted...)."""
+        if not self.enabled:
+            return
+        ev = {"ev": "event", "name": name, "t": round(perf_counter() - self._t0, 9)}
+        if self.base:
+            ev.update(self.base)
+        if fields:
+            ev.update(fields)
+        with self._lock:
+            self._events.append(ev)
+            self.n_events += 1
+
+    def count(self, name: str, value: float, **fields) -> None:
+        """Record a counted quantity as an event *and* fold it into the
+        counter registry (halo bytes per link per round, ...)."""
+        if not self.enabled:
+            return
+        ev = {"ev": "count", "name": name, "value": value}
+        if self.base:
+            ev.update(self.base)
+        if fields:
+            ev.update(fields)
+        with self._lock:
+            self._events.append(ev)
+            self.n_events += 1
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Fold into a monotonic counter without emitting an event
+        (per-message transport byte counters would bloat the trace)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold a sample into an aggregated metric without an event
+        (per-call kernel and per-frame transport latencies)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = _Metric()
+            metric.observe(value)
+
+    # -- shipping / merging -------------------------------------------
+    def drain_events(self) -> list[dict]:
+        """Take (and clear) the buffered events — the worker → dispatcher
+        shipping hook.  Aggregated metrics/counters stay put."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def ingest(self, events: list[dict], **extra) -> None:
+        """Merge foreign events (a worker's drained buffer) into this
+        recorder, tagging each with ``extra`` labels (``worker=...``)
+        and folding span durations into the metric registry so
+        ``--metrics`` covers the whole cluster."""
+        if not self.enabled or not events:
+            return
+        with self._lock:
+            for ev in events:
+                if extra:
+                    ev = {**ev, **extra}
+                self._events.append(ev)
+                self.n_events += 1
+                if ev.get("ev") == "span":
+                    name = ev.get("name")
+                    metric = self._metrics.get(name)
+                    if metric is None:
+                        metric = self._metrics[name] = _Metric()
+                    metric.observe(float(ev.get("dur", 0.0)))
+                elif ev.get("ev") == "count":
+                    name = ev.get("name")
+                    self._counters[name] = (
+                        self._counters.get(name, 0) + ev.get("value", 0)
+                    )
+
+    # -- output --------------------------------------------------------
+    def _meta_event(self) -> dict:
+        return {
+            "ev": "meta",
+            "schema": SCHEMA_VERSION,
+            "role": self.role,
+            "pid": os.getpid(),
+            "host": _socket.gethostname(),
+            "t0_unix": self._t0_unix,
+            **({"base": self.base} if self.base else {}),
+        }
+
+    def flush(self) -> int:
+        """Append buffered events to ``path`` (meta line first, once);
+        returns the number of events written.  No-op without a path."""
+        if self.path is None:
+            return 0
+        with self._lock:
+            events, self._events = self._events, []
+            write_meta = not self._wrote_meta
+            self._wrote_meta = True
+        mode = "w" if write_meta else "a"
+        with open(self.path, mode, encoding="utf-8") as fh:
+            if write_meta:
+                fh.write(json.dumps(self._meta_event(), separators=(",", ":")) + "\n")
+            for ev in events:
+                fh.write(json.dumps(ev, separators=(",", ":")) + "\n")
+        return len(events) + (1 if write_meta else 0)
+
+    def close(self) -> None:
+        self.flush()
+
+    def metrics_snapshot(self) -> dict:
+        """``{"counters": {name: total}, "metrics": {name: {count, sum,
+        min, max, p50, p99}}}`` — the aggregation the bench rows and the
+        Prometheus export render."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "metrics": {k: m.snapshot() for k, m in sorted(self._metrics.items())},
+            }
+
+
+#: The immutable disabled recorder: what ``get_recorder()`` returns until
+#: :func:`configure` installs a live one.  Never enable this instance.
+NULL_RECORDER = Recorder(enabled=False, role="null")
+
+_current: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """The process's current recorder (disabled by default)."""
+    return _current
+
+
+def set_recorder(rec: Recorder | None) -> Recorder:
+    """Install ``rec`` as the process recorder (``None`` restores the
+    disabled default); returns the previous recorder."""
+    global _current
+    previous = _current
+    _current = rec if rec is not None else NULL_RECORDER
+    return previous
+
+
+def configure(trace: str | None = None, metrics: bool = False,
+              role: str = "main", base: dict | None = None) -> Recorder:
+    """Install and return a live recorder when telemetry was requested.
+
+    ``trace`` names the JSONL output file; ``metrics`` enables
+    aggregation without a trace file.  With neither, the disabled
+    default stays installed (and is returned) — CLI wiring calls this
+    unconditionally with its flag values.
+    """
+    if not trace and not metrics:
+        return _current
+    rec = Recorder(enabled=True, path=trace, role=role, base=base)
+    set_recorder(rec)
+    return rec
+
+
+def shutdown() -> Recorder:
+    """Flush and uninstall the current recorder; returns it (so callers
+    can still read its metrics after the run)."""
+    rec = _current
+    rec.close()
+    set_recorder(None)
+    return rec
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}_{safe}"
+
+
+def metrics_to_prom(snapshot: dict | None = None, prefix: str = "repro") -> str:
+    """Render a metrics snapshot as Prometheus text exposition format.
+
+    Counters become ``counter`` samples; aggregated metrics become
+    ``summary`` families with ``quantile`` labels (0.5, 0.99) plus
+    ``_sum``/``_count``, the standard pull-scrape shape.  With no
+    ``snapshot`` the current recorder's snapshot is rendered.
+    """
+    if snapshot is None:
+        snapshot = get_recorder().metrics_snapshot()
+    lines: list[str] = []
+    for name, total in sorted(snapshot.get("counters", {}).items()):
+        pname = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {total}")
+    for name, agg in sorted(snapshot.get("metrics", {}).items()):
+        pname = _prom_name(name, prefix) + "_seconds"
+        lines.append(f"# TYPE {pname} summary")
+        lines.append(f'{pname}{{quantile="0.5"}} {agg["p50"]}')
+        lines.append(f'{pname}{{quantile="0.99"}} {agg["p99"]}')
+        lines.append(f"{pname}_sum {agg['sum']}")
+        lines.append(f"{pname}_count {agg['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,221 @@
+"""Trace-file analysis: load, validate and render JSONL event traces.
+
+Backs the ``repro-lb trace-report`` CLI and the trace-schema tests.
+Zero dependencies — plain dict folding over the event stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .recorder import SCHEMA_VERSION
+
+__all__ = ["load_trace", "validate_trace", "trace_report", "render_report"]
+
+_EVENT_KINDS = ("meta", "span", "count", "event")
+
+#: Spans counted as "phase time" in the per-worker share table.
+_PHASE_SPANS = ("interior", "boundary", "halo_send", "halo_wait")
+
+
+def load_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts.
+
+    Blank lines are tolerated (a crashed writer may leave one);
+    malformed JSON raises ``ValueError`` naming the line.
+    """
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(ev, dict):
+                raise ValueError(f"{path}:{lineno}: event is not an object")
+            events.append(ev)
+    return events
+
+
+def validate_trace(events: list[dict]) -> list[str]:
+    """Schema-check a loaded trace; returns a list of problems (empty
+    when the trace is well-formed)."""
+    problems: list[str] = []
+    if not events:
+        return ["trace is empty"]
+    head = events[0]
+    if head.get("ev") != "meta":
+        problems.append("first event is not a meta header")
+    elif head.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema version {head.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    for i, ev in enumerate(events):
+        kind = ev.get("ev")
+        if kind not in _EVENT_KINDS:
+            problems.append(f"event {i}: unknown kind {kind!r}")
+            continue
+        if kind == "meta":
+            if i != 0:
+                problems.append(f"event {i}: meta header not first")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            problems.append(f"event {i}: missing name")
+        if kind == "span":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: span without non-negative dur")
+            t = ev.get("t")
+            if not isinstance(t, (int, float)):
+                problems.append(f"event {i}: span without timestamp")
+        elif kind == "count":
+            if not isinstance(ev.get("value"), (int, float)):
+                problems.append(f"event {i}: count without numeric value")
+    return problems
+
+
+def _worker_of(ev: dict) -> str:
+    return str(ev.get("worker", ev.get("block", "local")))
+
+
+def trace_report(events: list[dict]) -> dict:
+    """Fold a trace into the report structure the CLI renders.
+
+    Returns::
+
+        {"meta": {...},
+         "totals": {span_name: {"count", "sum", "min", "max"}},
+         "workers": {worker: {phase: seconds, ..., "share": {phase: frac}}},
+         "links": {link: {"bytes": int, "send_s": float, "wait_s": float,
+                          "rounds": int}},
+         "rounds": int,
+         "counters": {name: total}}
+    """
+    meta: dict = {}
+    totals: dict[str, dict] = {}
+    workers: dict[str, dict] = {}
+    links: dict[str, dict] = {}
+    counters: dict[str, float] = {}
+    max_round = -1
+    for ev in events:
+        kind = ev.get("ev")
+        if kind == "meta":
+            meta = ev
+            continue
+        rnd = ev.get("round")
+        if isinstance(rnd, int) and rnd > max_round:
+            max_round = rnd
+        if kind == "count":
+            name = ev.get("name", "")
+            counters[name] = counters.get(name, 0) + ev.get("value", 0)
+            if name == "halo_bytes" and "link" in ev:
+                link = links.setdefault(
+                    str(ev["link"]),
+                    {"bytes": 0, "send_s": 0.0, "wait_s": 0.0, "rounds": 0})
+                link["bytes"] += ev.get("value", 0)
+            continue
+        if kind != "span":
+            continue
+        name = ev.get("name", "")
+        dur = float(ev.get("dur", 0.0))
+        agg = totals.get(name)
+        if agg is None:
+            agg = totals[name] = {
+                "count": 0, "sum": 0.0, "min": float("inf"), "max": 0.0}
+        agg["count"] += 1
+        agg["sum"] += dur
+        agg["min"] = min(agg["min"], dur)
+        agg["max"] = max(agg["max"], dur)
+        if name in _PHASE_SPANS:
+            w = workers.setdefault(_worker_of(ev), {p: 0.0 for p in _PHASE_SPANS})
+            w[name] += dur
+        if name in ("halo_send", "halo_wait") and "link" in ev:
+            link = links.setdefault(
+                str(ev["link"]),
+                {"bytes": 0, "send_s": 0.0, "wait_s": 0.0, "rounds": 0})
+            key = "send_s" if name == "halo_send" else "wait_s"
+            link[key] += dur
+            if name == "halo_send":
+                link["rounds"] += 1
+                link["bytes"] += int(ev.get("bytes", 0))
+    for agg in totals.values():
+        if agg["min"] == float("inf"):
+            agg["min"] = 0.0
+    for w in workers.values():
+        total = sum(w[p] for p in _PHASE_SPANS)
+        w["share"] = {
+            p: (w[p] / total if total > 0 else 0.0) for p in _PHASE_SPANS}
+    return {
+        "meta": {k: v for k, v in meta.items() if k != "ev"},
+        "totals": totals,
+        "workers": workers,
+        "links": links,
+        "rounds": max_round + 1 if max_round >= 0 else 0,
+        "counters": counters,
+    }
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_report(report: dict) -> str:
+    """Human-readable tables for one trace report."""
+    lines: list[str] = []
+    meta = report.get("meta", {})
+    if meta:
+        role = meta.get("role", "?")
+        lines.append(
+            f"trace: role={role} host={meta.get('host', '?')} "
+            f"pid={meta.get('pid', '?')} schema={meta.get('schema', '?')}")
+    lines.append(f"rounds observed: {report.get('rounds', 0)}")
+    totals = report.get("totals", {})
+    if totals:
+        lines.append("")
+        lines.append(f"{'span':>16} {'count':>8} {'total':>10} "
+                     f"{'mean':>10} {'max':>10}")
+        for name in sorted(totals, key=lambda k: -totals[k]["sum"]):
+            agg = totals[name]
+            mean = agg["sum"] / agg["count"] if agg["count"] else 0.0
+            lines.append(
+                f"{name:>16} {agg['count']:>8} {_fmt_s(agg['sum']):>10} "
+                f"{_fmt_s(mean):>10} {_fmt_s(agg['max']):>10}")
+    workers = report.get("workers", {})
+    if workers:
+        lines.append("")
+        lines.append(f"{'worker':>24} {'interior':>9} {'boundary':>9} "
+                     f"{'halo_send':>10} {'halo_wait':>10}")
+        for name in sorted(workers):
+            w = workers[name]
+            share = w["share"]
+            lines.append(
+                f"{name:>24} "
+                f"{share['interior'] * 100:>8.1f}% "
+                f"{share['boundary'] * 100:>8.1f}% "
+                f"{share['halo_send'] * 100:>9.1f}% "
+                f"{share['halo_wait'] * 100:>9.1f}%")
+    links = report.get("links", {})
+    if links:
+        lines.append("")
+        lines.append(f"{'link':>16} {'bytes':>12} {'B/round':>10} "
+                     f"{'send':>10} {'wait':>10}")
+        for name in sorted(links):
+            link = links[name]
+            rounds = max(link["rounds"], 1)
+            lines.append(
+                f"{name:>16} {link['bytes']:>12} "
+                f"{link['bytes'] // rounds:>10} "
+                f"{_fmt_s(link['send_s']):>10} {_fmt_s(link['wait_s']):>10}")
+    counters = report.get("counters", {})
+    if counters:
+        lines.append("")
+        for name in sorted(counters):
+            lines.append(f"{'counter':>16}: {name} = {counters[name]}")
+    return "\n".join(lines)

@@ -21,11 +21,13 @@ every balancer, batched or not.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.protocols import Balancer
+from repro.observability.recorder import get_recorder
 from repro.simulation.stopping import MaxRounds, StoppingRule, first_satisfied
 from repro.simulation.trace import Trace
 
@@ -87,13 +89,21 @@ class Simulator:
         trace.record(current)
         initial_sum = float(np.asarray(current, dtype=np.float64).sum())
 
+        rec = get_recorder()
+        traced = rec.enabled
+        r = 0
         rule = first_satisfied(self.stopping, trace)
         while rule is None:
+            if traced:
+                _t0 = perf_counter()
             current = self.balancer.step(current, rng)
             trace.record(current)
             if self.check_conservation:
                 self._audit_conservation(current, initial_sum)
             rule = first_satisfied(self.stopping, trace)
+            if traced:
+                rec.record_span("round", _t0, round=r, engine="serial")
+            r += 1
         trace.stopped_by = rule.reason
         return trace
 

@@ -38,11 +38,13 @@ order); recorded *loads* never do.
 from __future__ import annotations
 
 from collections import Counter
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.protocols import Balancer
+from repro.observability.recorder import get_recorder
 from repro.simulation.engine import Simulator
 from repro.simulation.montecarlo import trial_rngs
 from repro.simulation.stopping import DiscrepancyBelow, MaxRounds, StoppingRule
@@ -459,7 +461,12 @@ class EnsembleSimulator:
         # matrix is recycled as the next round's output buffer (kernels
         # that ignore `out` simply leave it to be reused next round).
         spare = np.empty_like(L)
+        rec = get_recorder()
+        traced = rec.enabled
+        r = 0
         while active.any():
+            if traced:
+                _t0 = perf_counter()
             new = self.balancer.step_batch(L, rngs, out=spare)
             if new is L:
                 raise AssertionError(f"{self.balancer.name}.step_batch returned its input")
@@ -473,6 +480,10 @@ class EnsembleSimulator:
             if self.check_conservation:
                 self._audit(trace._sums[-1], initial_sums, is_discrete)
             self._apply_stopping(trace, active)
+            if traced:
+                rec.record_span("round", _t0, round=r, engine="ensemble",
+                                active=int(active.sum()))
+            r += 1
         trace._final_loads = L.T.copy()  # detach from the recycled buffers
         return trace
 

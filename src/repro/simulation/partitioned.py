@@ -67,11 +67,13 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.backends import PlainCSR, resolve_backend
+from repro.observability.recorder import get_recorder
 from repro.core.operators import RECIP_DIV_LIMIT, EdgeOperator, edge_operator
 from repro.core.protocols import Balancer
 from repro.distributed.transport import TransportError, make_pair
@@ -563,6 +565,7 @@ class _LocalProcessExecutor:
         self.owned = [np.flatnonzero(assignment == p) for p in range(P)]
         want_disc = sim._record_disc()
         want_mov = sim.record == "full"
+        self._telemetry = get_recorder().enabled
 
         # Pre-build the partition and every block's operator slices in
         # the parent: under the fork start method the workers inherit the
@@ -615,6 +618,9 @@ class _LocalProcessExecutor:
                 # begin at 0; the remote dispatcher ships checkpoint
                 # rounds here so replayed blocks continue the counter.
                 0,
+                # Telemetry flag (optional 12th field): workers record
+                # per-phase spans and ship them back in the chunk reply.
+                self._telemetry,
             )
             mine = [ctrl[p][1], *peers.values()]
             worker_ends.append(mine)
@@ -669,6 +675,11 @@ class _LocalProcessExecutor:
             for p, rep in enumerate(replies)
             for q, nbytes in rep[3].items()
         }
+        if self._telemetry:
+            rec = get_recorder()
+            for p, rep in enumerate(replies):
+                if len(rep) > 4 and rep[4]:
+                    rec.ingest(rep[4], worker=f"local:{p}")
         return per_round, halo_values, link_bytes
 
     def gather(self) -> np.ndarray:
@@ -907,8 +918,12 @@ class PartitionedSimulator:
         out = np.empty_like(L)
         resolved = resolve_backend(self.backend)
         parts = _PartitionMemo(assignment, self.strategy)
+        rec = get_recorder()
+        traced = rec.enabled
         rounds = 0
         while active.any():
+            if traced:
+                _t0 = perf_counter()
             part = parts.get(self.balancer.partition_topology(rounds))
             for p in range(part.blocks):
                 local = block_local(part, p, resolved)
@@ -917,6 +932,8 @@ class PartitionedSimulator:
                 ext = L[local.ext_ids]
                 out[local.owned] = self.balancer.block_step(local, ext)
                 self.halo_stats["halo_values"] += local.n_ghost * B
+            if traced:
+                rec.record_span("round", _t0, round=rounds, engine="partitioned")
             if not active.all():
                 frozen = ~active
                 out[:, frozen] = L[:, frozen]
@@ -964,6 +981,8 @@ class PartitionedSimulator:
         cap = self._max_rounds_only()
         rounds_done = 0
         hs = self.halo_stats
+        rec = get_recorder()
+        traced = rec.enabled
         while active.any():
             if cap is not None and not self.keep_snapshots:
                 # Free-running chunk: workers need no coordinator
@@ -972,7 +991,12 @@ class PartitionedSimulator:
             else:
                 chunk = 1
             frozen = None if active.all() else ~active
+            if traced:
+                _t0 = perf_counter()
             per_round, halo_values, link_bytes = executor.run_chunk(chunk, frozen)
+            if traced:
+                rec.record_span("chunk", _t0, rounds=chunk,
+                                start_round=rounds_done, engine="partitioned")
             hs["halo_values"] += halo_values
             hs["halo_bytes"] += sum(link_bytes.values())
             for link, nbytes in link_bytes.items():

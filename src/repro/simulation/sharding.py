@@ -49,12 +49,14 @@ import os
 import re
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.protocols import Balancer
 from repro.distributed.transport import TransportError, make_pair
+from repro.observability.recorder import get_recorder
 from repro.simulation.ensemble import EnsembleSimulator, EnsembleTrace, spawn_rngs
 from repro.simulation.montecarlo import trial_rng
 from repro.simulation.stopping import StoppingRule
@@ -233,7 +235,15 @@ def run_shard_payload(payload: tuple) -> EnsembleTrace:
         cons_tol=cons_tol,
         serial_singleton=whole_batch,
     )
-    return ens.run(loads, seed=rngs)
+    rec = get_recorder()
+    if not rec.enabled:
+        return ens.run(loads, seed=rngs)
+    t0 = perf_counter()
+    trace = ens.run(loads, seed=rngs)
+    rec.record_span("shard", t0, engine="sharded",
+                    replicas=len(rngs) if hasattr(rngs, "__len__") else 1,
+                    rounds=trace.rounds)
+    return trace
 
 
 def shard_payloads(

@@ -1,0 +1,121 @@
+"""CLI wiring for telemetry: --trace/--metrics flags, trace-report."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.observability import NULL_RECORDER, get_recorder, load_trace, validate_trace
+
+
+@pytest.fixture(autouse=True)
+def _recorder_stays_clean():
+    yield
+    # Every command must shut its recorder down on exit.
+    assert get_recorder() is NULL_RECORDER
+
+
+class TestParser:
+    def test_telemetry_flags_parse(self):
+        p = build_parser()
+        args = p.parse_args([
+            "run", "--balancer", "diffusion", "--topology", "cycle:8",
+            "--trace", "t.jsonl", "--metrics",
+        ])
+        assert args.trace == "t.jsonl" and args.metrics is True
+        args = p.parse_args(["trace-report", "t.jsonl", "--json"])
+        assert args.command == "trace-report" and args.json
+
+    def test_worker_log_level(self):
+        args = build_parser().parse_args(["worker", "--log-level", "debug"])
+        assert args.log_level == "debug"
+        args = build_parser().parse_args([
+            "dispatch", "--workers", "h:1", "--balancer", "diffusion",
+            "--topology", "cycle:8",
+        ])
+        assert args.log_level == "info"
+
+
+class TestRunTraced:
+    def test_run_writes_valid_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "20", "--trace", path,
+        ])
+        assert rc == 0
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        rounds = [ev for ev in events
+                  if ev.get("ev") == "span" and ev["name"] == "round"]
+        assert len(rounds) == 20
+
+    def test_run_metrics_prints_prom(self, capsys):
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "10", "--metrics",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_round_seconds summary" in out
+        assert "repro_round_seconds_count 10" in out
+
+    def test_traced_run_matches_untraced(self, tmp_path, capsys):
+        argv = ["run", "--balancer", "diffusion-discrete",
+                "--topology", "torus:4x4", "--rounds", "25"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace", str(tmp_path / "t.jsonl")]) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced  # summary (phi, discrepancy...) identical
+
+    def test_partitioned_run_traced(self, tmp_path, capsys):
+        path = str(tmp_path / "part.jsonl")
+        rc = main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "15", "--partitions", "2", "--trace", path,
+        ])
+        assert rc == 0
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        names = {ev["name"] for ev in events if ev.get("ev") == "span"}
+        assert "round" in names
+        rounds = [ev for ev in events
+                  if ev.get("ev") == "span" and ev["name"] == "round"]
+        assert {ev["engine"] for ev in rounds} == {"partitioned"}
+
+
+class TestTraceReport:
+    @pytest.fixture()
+    def trace_path(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main([
+            "run", "--balancer", "diffusion", "--topology", "torus:4x4",
+            "--rounds", "10", "--trace", path,
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_text(self, trace_path, capsys):
+        assert main(["trace-report", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "rounds observed: 10" in out
+        assert "round" in out and "span" in out
+
+    def test_json(self, trace_path, capsys):
+        assert main(["trace-report", trace_path, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["rounds"] == 10
+        assert report["totals"]["round"]["count"] == 10
+        assert report["meta"]["schema"] == 1
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ev":"span","name":"x"}\n')
+        assert main(["trace-report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid trace" in err

@@ -1,0 +1,200 @@
+"""Unit tests for the telemetry recorder: aggregation, JSONL round-trip,
+the disabled-path no-op guarantees, and the Prometheus export."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    NULL_RECORDER,
+    PHASES,
+    SCHEMA_VERSION,
+    Recorder,
+    configure,
+    get_recorder,
+    load_trace,
+    metrics_to_prom,
+    set_recorder,
+    shutdown,
+    validate_trace,
+)
+from repro.observability.recorder import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_recorder():
+    """Never leak an installed recorder into other tests."""
+    yield
+    set_recorder(None)
+
+
+class TestDisabledPath:
+    def test_default_recorder_is_disabled(self):
+        assert get_recorder() is NULL_RECORDER
+        assert not get_recorder().enabled
+
+    def test_span_returns_shared_null_singleton(self):
+        rec = Recorder(enabled=False)
+        # Identity, not just equality: the disabled path allocates nothing.
+        assert rec.span("a") is rec.span("b") is _NULL_SPAN
+        with rec.span("a"):
+            pass
+
+    def test_all_recording_methods_are_noops(self):
+        rec = Recorder(enabled=False)
+        rec.record_span("x", 0.0, 1.0)
+        rec.event("x")
+        rec.count("x", 3)
+        rec.add("x")
+        rec.observe("x", 0.5)
+        assert rec.n_events == 0
+        assert rec.drain_events() == []
+        snap = rec.metrics_snapshot()
+        assert snap == {"counters": {}, "metrics": {}}
+
+    def test_configure_without_flags_keeps_disabled_default(self):
+        rec = configure(trace=None, metrics=False)
+        assert rec is NULL_RECORDER
+        assert get_recorder() is NULL_RECORDER
+
+
+class TestAggregation:
+    def test_metric_snapshot_folds(self):
+        rec = Recorder(enabled=True)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            rec.observe("lat", v)
+        m = rec.metrics_snapshot()["metrics"]["lat"]
+        assert m["count"] == 4
+        assert m["sum"] == pytest.approx(1.0)
+        assert m["min"] == pytest.approx(0.1)
+        assert m["max"] == pytest.approx(0.4)
+        assert m["min"] <= m["p50"] <= m["p99"] <= m["max"]
+
+    def test_percentiles_deterministic_ring(self):
+        rec = Recorder(enabled=True)
+        # Overflow the reservoir: percentiles reflect recent observations
+        # and identical runs give identical snapshots.
+        for i in range(5000):
+            rec.observe("lat", float(i % 100))
+        m = rec.metrics_snapshot()["metrics"]["lat"]
+        assert m["count"] == 5000
+        assert m["p50"] == pytest.approx(50.0, abs=2.0)
+        assert m["p99"] == pytest.approx(99.0, abs=2.0)
+
+    def test_counters(self):
+        rec = Recorder(enabled=True)
+        rec.add("bytes", 100)
+        rec.add("bytes", 50)
+        rec.count("halo_bytes", 7, link="0->1", round=0)
+        assert rec.metrics_snapshot()["counters"] == {
+            "bytes": 150, "halo_bytes": 7}
+
+    def test_span_feeds_metric(self):
+        rec = Recorder(enabled=True)
+        rec.record_span("interior", 10.0, 10.5, round=0)
+        m = rec.metrics_snapshot()["metrics"]["interior"]
+        assert m["count"] == 1
+        assert m["sum"] == pytest.approx(0.5)
+
+    def test_span_context_manager(self):
+        rec = Recorder(enabled=True)
+        with rec.span("phase", round=3):
+            pass
+        (ev,) = rec.drain_events()
+        assert ev["ev"] == "span" and ev["name"] == "phase"
+        assert ev["round"] == 3 and ev["dur"] >= 0
+
+
+class TestShipping:
+    def test_drain_and_ingest_with_labels(self):
+        worker = Recorder(enabled=True, role="block:1", base={"block": 1})
+        worker.record_span("interior", 0.0, 0.25, round=4)
+        worker.count("halo_bytes", 64, link="1->0", round=4)
+        events = worker.drain_events()
+        assert worker.drain_events() == []  # drained
+
+        main = Recorder(enabled=True)
+        main.ingest(events, worker="host:1234")
+        merged = main.drain_events()
+        assert all(ev["worker"] == "host:1234" for ev in merged)
+        assert all(ev["block"] == 1 for ev in merged)
+        # Span durations and count values fold into the main registry.
+        snap = main.metrics_snapshot()
+        assert snap["metrics"]["interior"]["sum"] == pytest.approx(0.25)
+        assert snap["counters"]["halo_bytes"] == 64
+
+    def test_ingest_into_disabled_recorder_is_noop(self):
+        rec = Recorder(enabled=False)
+        rec.ingest([{"ev": "span", "name": "x", "t": 0, "dur": 1}])
+        assert rec.n_events == 0
+
+
+class TestJsonlRoundTrip:
+    def test_flush_load_validate(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        rec = Recorder(enabled=True, path=path, role="test")
+        rec.record_span("interior", 1.0, 1.5, round=0, block=0)
+        rec.count("halo_bytes", 32, link="0->1", round=0)
+        rec.event("checkpoint", round=0)
+        rec.flush()
+        rec.record_span("boundary", 2.0, 2.1, round=1, block=0)
+        rec.flush()  # appends; meta written exactly once
+
+        events = load_trace(path)
+        assert validate_trace(events) == []
+        assert events[0]["ev"] == "meta"
+        assert events[0]["schema"] == SCHEMA_VERSION
+        assert events[0]["role"] == "test"
+        kinds = [ev["ev"] for ev in events[1:]]
+        assert kinds == ["span", "count", "event", "span"]
+
+    def test_shutdown_flushes_and_restores_default(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        rec = configure(trace=path)
+        assert get_recorder() is rec and rec.enabled
+        rec.record_span("round", 0.0, 0.1, round=0)
+        out = shutdown()
+        assert out is rec
+        assert get_recorder() is NULL_RECORDER
+        assert validate_trace(load_trace(path)) == []
+
+    def test_validate_catches_malformed(self):
+        assert validate_trace([]) == ["trace is empty"]
+        assert validate_trace([{"ev": "span", "name": "x", "t": 0, "dur": 1}])
+        bad = [
+            {"ev": "meta", "schema": SCHEMA_VERSION},
+            {"ev": "span", "name": "x", "t": 0.0, "dur": -1.0},
+            {"ev": "count", "name": "y"},
+            {"ev": "bogus"},
+        ]
+        problems = validate_trace(bad)
+        assert len(problems) == 3
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev":"meta","schema":1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_trace(str(path))
+
+
+class TestPromExport:
+    def test_render(self):
+        rec = Recorder(enabled=True)
+        rec.add("transport.tcp.bytes_sent", 1024)
+        rec.observe("interior", 0.5)
+        rec.observe("interior", 1.5)
+        text = metrics_to_prom(rec.metrics_snapshot())
+        assert "# TYPE repro_transport_tcp_bytes_sent_total counter" in text
+        assert "repro_transport_tcp_bytes_sent_total 1024" in text
+        assert "# TYPE repro_interior_seconds summary" in text
+        assert 'repro_interior_seconds{quantile="0.5"}' in text
+        assert 'repro_interior_seconds{quantile="0.99"}' in text
+        assert "repro_interior_seconds_sum 2.0" in text
+        assert "repro_interior_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_snapshot(self):
+        assert metrics_to_prom({"counters": {}, "metrics": {}}) == ""
+
+    def test_phases_constant(self):
+        assert set(PHASES) >= {"interior", "boundary", "halo_send", "halo_wait"}
