@@ -17,12 +17,18 @@ Subcommands
 - ``mpi-run`` — run partition blocks rank-per-block under ``mpiexec``
   (needs ``mpi4py``; see :mod:`repro.distributed.mpi`);
 - ``trace-report`` — render a ``--trace`` JSONL file into per-phase /
-  per-worker / per-link breakdown tables (or ``--json``).
+  per-worker / per-link breakdown tables (or ``--json``); ``--follow``
+  tails a growing trace, folding incrementally;
+- ``top`` — live terminal dashboard: worker roster, phase shares, halo
+  bytes/round and the Φ-vs-bound sparkline, from a ``--serve-metrics``
+  endpoint (``--connect``) or a followed trace (``--trace --follow``).
 
 ``run``, ``sweep``, ``worker`` and ``dispatch`` take ``--trace PATH``
 (JSONL event trace) and ``--metrics`` (aggregated metrics, dumped in
 Prometheus text format on exit); ``worker`` and ``dispatch`` take
-``--log-level`` for the structured ``repro.distributed`` logger.
+``--log-level`` for the structured ``repro.distributed`` logger and
+``--serve-metrics HOST:PORT`` to expose live ``/metrics``, ``/healthz``
+and ``/status`` HTTP endpoints while the process runs.
 
 ``backends``, ``partition-info`` and ``dispatch`` take ``--json`` for
 machine-readable output (the dispatcher and scripts consume diagnostics
@@ -188,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_log_level_flag(p_worker)
     _add_telemetry_flags(p_worker)
+    _add_serve_metrics_flag(p_worker)
 
     p_disp = sub.add_parser(
         "dispatch",
@@ -251,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p_disp)
     _add_log_level_flag(p_disp)
     _add_telemetry_flags(p_disp)
+    _add_serve_metrics_flag(p_disp)
 
     p_mpi = sub.add_parser(
         "mpi-run",
@@ -298,6 +306,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full report (totals, per-worker shares, per-link "
         "bytes/latency, counters) as JSON",
     )
+    p_trace.add_argument(
+        "--follow", action="store_true",
+        help="tail a growing trace: re-render at --interval, folding only "
+        "newly appended events (never re-parsing from byte 0)",
+    )
+    p_trace.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval for --follow (default: 1.0)",
+    )
+    p_trace.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="with --follow: stop after N renders (0 = until interrupted)",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard: worker roster, phase shares, "
+        "halo traffic and Phi-vs-bound convergence",
+    )
+    src = p_top.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="poll a live --serve-metrics endpoint (/status + /healthz)",
+    )
+    src.add_argument(
+        "--trace", metavar="PATH",
+        help="render from a JSONL trace file instead of a live endpoint",
+    )
+    p_top.add_argument(
+        "--follow", action="store_true",
+        help="with --trace: keep tailing the file as it grows",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default: 1.0)",
+    )
+    p_top.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="stop after N frames (0 = until interrupted)",
+    )
+    p_top.add_argument(
+        "--no-clear", action="store_true",
+        help="print frames sequentially instead of clearing the screen "
+        "(for pipes and dumb terminals)",
+    )
     return parser
 
 
@@ -342,6 +395,18 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_serve_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--serve-metrics", default=None, metavar="HOST:PORT",
+        help="expose live HTTP endpoints while the command runs: GET /metrics "
+        "(Prometheus text format), /healthz (liveness + worker heartbeat "
+        "ages) and /status (current job, per-worker round progress, per-link "
+        "halo bytes).  Port 0 picks an ephemeral port; the actual address is "
+        "printed on startup.  Implies a metrics recorder; view live with "
+        "'repro-lb top --connect HOST:PORT'.",
+    )
+
+
 def _add_log_level_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--log-level", default="info",
@@ -374,13 +439,33 @@ def _telemetry_end(rec, args: argparse.Namespace) -> None:
 
 
 def _with_telemetry(fn, role: str):
-    """Wrap a command so --trace/--metrics span its whole body."""
+    """Wrap a command so --trace/--metrics/--serve-metrics span its body."""
 
     def wrapped(args: argparse.Namespace) -> int:
         rec = _telemetry_begin(args, role=role)
+        server = None
+        serve = getattr(args, "serve_metrics", None)
+        if serve:
+            import os
+
+            from repro.observability import configure, get_status_board, start_metrics_server
+
+            if rec is None:
+                # /metrics needs a live registry even without --metrics.
+                rec = configure(metrics=True, role=role)
+            get_status_board().update(role=role, pid=os.getpid())
+            try:
+                server = start_metrics_server(serve)
+            except (OSError, ValueError) as exc:
+                print(f"--serve-metrics: {exc}", file=sys.stderr)
+                _telemetry_end(rec, args)
+                return 2
+            print(f"serving metrics on {server.url}", flush=True)
         try:
             return fn(args)
         finally:
+            if server is not None:
+                server.stop()
             _telemetry_end(rec, args)
 
     return wrapped
@@ -671,7 +756,7 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         stopping.insert(0, PotentialFractionBelow(args.eps))
     # Telemetry implies live progress: ask workers to piggyback periodic
     # stats frames on the control channel next to heartbeats.
-    stats_interval = 0.5 if (args.trace or args.metrics) else None
+    stats_interval = 0.5 if (args.trace or args.metrics or args.serve_metrics) else None
     try:
         if args.partitions is not None:
             part_blocks, part_strategy = parse_partitions(args.partitions)
@@ -865,11 +950,43 @@ def _cmd_mpi_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_report_follow(args: argparse.Namespace) -> int:
+    """Tail a growing trace, folding only the newly appended events."""
+    import json
+    import time
+
+    from repro.observability import ReportBuilder, TraceFollower, render_report
+
+    follower = TraceFollower(args.path)
+    builder = ReportBuilder()
+    shown = 0
+    try:
+        while True:
+            try:
+                builder.add_many(follower.poll())
+            except ValueError as exc:
+                print(f"invalid trace: {exc}", file=sys.stderr)
+                return 2
+            report = builder.report()
+            if args.json:
+                print(json.dumps(report, indent=2), flush=True)
+            else:
+                print(render_report(report), flush=True)
+            shown += 1
+            if args.frames and shown >= args.frames:
+                return 0
+            time.sleep(args.interval)
+    except (KeyboardInterrupt, BrokenPipeError):
+        return 0
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     import json
 
     from repro.observability import load_trace, render_report, trace_report, validate_trace
 
+    if args.follow:
+        return _trace_report_follow(args)
     try:
         events = load_trace(args.path)
     except (OSError, ValueError) as exc:
@@ -886,6 +1003,23 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
         return 0
     print(render_report(report))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.observability.top import run_top
+
+    try:
+        return run_top(
+            connect=args.connect,
+            trace=args.trace,
+            follow=args.follow,
+            interval=args.interval,
+            frames=args.frames,
+            clear=not args.no_clear,
+        )
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -952,6 +1086,7 @@ _COMMANDS = {
     "dispatch": _with_telemetry(_cmd_dispatch, "dispatcher"),
     "mpi-run": _cmd_mpi_run,
     "trace-report": _cmd_trace_report,
+    "top": _cmd_top,
 }
 
 

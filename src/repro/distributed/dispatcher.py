@@ -58,6 +58,7 @@ import numpy as np
 from repro.core.protocols import Balancer
 from repro.observability.logs import get_logger
 from repro.observability.recorder import get_recorder
+from repro.observability.server import get_status_board
 from repro.distributed.transport import (
     PROTOCOL_VERSION,
     AuthenticationError,
@@ -872,9 +873,40 @@ def dispatch_partitioned(
         executor_box.append(executor)
         return executor
 
+    # Live /status provider (--serve-metrics): reads the executor's
+    # round counter and recovery counters, and the simulator's halo
+    # stats (mutated in place each round by _coordinate).
+    def _live_status() -> dict:
+        out: dict = {
+            "mode": "partitioned-dispatch",
+            "balancer": getattr(balancer, "name", "?"),
+            "workers": [h.label for h in handles],
+        }
+        hs = sim.halo_stats
+        if isinstance(hs, dict):
+            out["rounds"] = hs.get("rounds")
+            out["halo_bytes"] = hs.get("halo_bytes")
+            links = hs.get("links")
+            if isinstance(links, dict):
+                out["links"] = dict(links)
+        if executor_box:
+            executor = executor_box[0]
+            out["round"] = executor._round
+            out["retries"] = executor.retries
+            out["requeued_blocks"] = executor.requeued_blocks
+            out["workers_live"] = {
+                h.label: h.liveness() for h in executor.handles
+            }
+        else:
+            out["workers_live"] = {h.label: h.liveness() for h in handles}
+        return out
+
+    board = get_status_board()
+    board.register("job", _live_status)
     try:
         trace = sim.run_with_executor(loads, replicas, factory)
     finally:
+        board.unregister("job")
         if own:
             close_workers(handles)
         if executor_box:
@@ -997,6 +1029,24 @@ def dispatch_sharded(
     replacements: list[WorkerHandle] = []
     retries = 0
     requeued_shards = 0
+
+    # Live /status provider (--serve-metrics): snapshots the event
+    # loop's own state per request.  Dead workers are popped from
+    # `states` on detection, so their roster entries age out here.
+    def _live_status() -> dict:
+        return {
+            "mode": "sharded-dispatch",
+            "balancer": getattr(balancer, "name", "?"),
+            "shards": S,
+            "shards_done": len(traces),
+            "shards_pending": len(pending),
+            "retries": retries,
+            "requeued_shards": requeued_shards,
+            "workers_live": {h.label: h.liveness() for h in list(states)},
+        }
+
+    board = get_status_board()
+    board.register("job", _live_status)
 
     def _assign(handle: WorkerHandle, st: dict, idxs: list[int]) -> None:
         handle.channel.send(
@@ -1129,6 +1179,7 @@ def dispatch_sharded(
         _abort(replacements)
         raise
     finally:
+        board.unregister("job")
         if own:
             close_workers(handles)
         close_workers(replacements)

@@ -427,6 +427,13 @@ def run_block_loop(ctrl: Channel, peers: dict[int, Channel], payload: tuple,
                     q: ch.bytes_sent - sent_before[q] for q, ch in peers.items()
                 }
                 if telemetry:
+                    # One count per chunk (not per send — the per-link
+                    # breakdown is already on the halo_send spans): ships
+                    # with the events, so every ingesting recorder up the
+                    # chain scrapes it as repro_halo_bytes_total.
+                    chunk_bytes = sum(bytes_by_peer.values())
+                    if chunk_bytes:
+                        rec.count("halo_bytes", chunk_bytes)
                     events = rec.drain_events()
                     grec = get_recorder()
                     if grec.enabled and grec is not rec:
@@ -653,6 +660,17 @@ def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
     )
     served = 0
     progress = WorkerProgress()
+    # Feed the live /status endpoint (--serve-metrics): static identity
+    # plus a per-request snapshot of this worker's progress aggregate.
+    from repro.observability.server import get_status_board
+
+    board = get_status_board()
+    board.update(
+        role="worker", pid=os.getpid(),
+        control=f"{ctrl_addr[0]}:{ctrl_addr[1]}",
+        peer=f"{peer_addr[0]}:{peer_addr[1]}",
+    )
+    board.register("worker", progress.snapshot)
     try:
         while max_jobs <= 0 or served < max_jobs:
             ctrl = listener.accept(timeout=None)
@@ -682,6 +700,7 @@ def serve(bind: str = "127.0.0.1:0", *, max_jobs: int = 0,
     except KeyboardInterrupt:  # pragma: no cover - interactive use
         log("worker: interrupted, shutting down")
     finally:
+        board.unregister("worker")
         listener.close()
         peer_listener.close()
     return 0

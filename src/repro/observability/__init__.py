@@ -1,8 +1,12 @@
-"""Zero-dependency runtime telemetry: tracing, metrics, structured logs.
+"""Zero-dependency runtime telemetry: tracing, metrics, structured logs,
+live HTTP endpoints and convergence diagnostics.
 
 See ``recorder`` for the span/metric primitive, ``report`` for trace
-analysis (backing ``repro-lb trace-report``), and ``logs`` for the
-``repro.distributed`` structured logger.
+analysis (backing ``repro-lb trace-report``), ``server`` for the
+``--serve-metrics`` HTTP plane (``/metrics``, ``/healthz``,
+``/status``), ``convergence`` for the analytical-bound monitor, ``top``
+for the terminal dashboard, and ``logs`` for the ``repro.distributed``
+structured logger.
 """
 
 from .recorder import (
@@ -13,10 +17,26 @@ from .recorder import (
     configure,
     get_recorder,
     metrics_to_prom,
+    prom_sample,
     set_recorder,
     shutdown,
 )
-from .report import load_trace, render_report, trace_report, validate_trace
+from .report import (
+    ReportBuilder,
+    TraceFollower,
+    load_trace,
+    render_report,
+    trace_report,
+    validate_trace,
+)
+from .server import (
+    MetricsServer,
+    StatusBoard,
+    age_out_workers,
+    get_status_board,
+    start_metrics_server,
+)
+from .convergence import ConvergenceMonitor, monitor_for
 from .logs import configure_logging, ensure_handler, get_logger
 
 __all__ = [
@@ -27,12 +47,22 @@ __all__ = [
     "configure",
     "get_recorder",
     "metrics_to_prom",
+    "prom_sample",
     "set_recorder",
     "shutdown",
     "load_trace",
     "render_report",
     "trace_report",
     "validate_trace",
+    "ReportBuilder",
+    "TraceFollower",
+    "MetricsServer",
+    "StatusBoard",
+    "age_out_workers",
+    "get_status_board",
+    "start_metrics_server",
+    "ConvergenceMonitor",
+    "monitor_for",
     "configure_logging",
     "ensure_handler",
     "get_logger",

@@ -61,6 +61,7 @@ __all__ = [
     "configure",
     "shutdown",
     "metrics_to_prom",
+    "prom_sample",
 ]
 
 #: Trace schema version, stamped into every meta line.
@@ -393,9 +394,54 @@ def shutdown() -> Recorder:
     return rec
 
 
+_PROM_NAME_OK = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
 def _prom_name(name: str, prefix: str) -> str:
-    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    """Sanitize a metric name to the prom charset ``[a-zA-Z0-9_]``.
+
+    Dotted registry names (``transport.tcp.send_s``) become underscored
+    prom families; *every* other character — including non-ASCII
+    alphanumerics that ``str.isalnum()`` would wave through — is mapped
+    to ``_`` so the exposition always parses.
+    """
+    safe = "".join(c if c in _PROM_NAME_OK else "_" for c in name)
     return f"{prefix}_{safe}"
+
+
+def _prom_value(value) -> str:
+    """Render a sample value in prom text syntax (``+Inf``/``-Inf``/``NaN``)."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return "NaN"
+    if v != v:
+        return "NaN"
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    return repr(v)
+
+
+def _prom_label_value(value) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, newline."""
+    s = str(value)
+    return s.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prom_sample(name: str, labels: dict | None, value, prefix: str = "repro") -> str:
+    """One exposition sample line with sanitized name and escaped labels."""
+    pname = _prom_name(name, prefix)
+    if labels:
+        body = ",".join(
+            f'{_prom_name(k, "").lstrip("_") or "label"}="{_prom_label_value(v)}"'
+            for k, v in labels.items()
+        )
+        return f"{pname}{{{body}}} {_prom_value(value)}"
+    return f"{pname} {_prom_value(value)}"
 
 
 def metrics_to_prom(snapshot: dict | None = None, prefix: str = "repro") -> str:
@@ -412,12 +458,12 @@ def metrics_to_prom(snapshot: dict | None = None, prefix: str = "repro") -> str:
     for name, total in sorted(snapshot.get("counters", {}).items()):
         pname = _prom_name(name, prefix) + "_total"
         lines.append(f"# TYPE {pname} counter")
-        lines.append(f"{pname} {total}")
+        lines.append(f"{pname} {_prom_value(total)}")
     for name, agg in sorted(snapshot.get("metrics", {}).items()):
         pname = _prom_name(name, prefix) + "_seconds"
         lines.append(f"# TYPE {pname} summary")
-        lines.append(f'{pname}{{quantile="0.5"}} {agg["p50"]}')
-        lines.append(f'{pname}{{quantile="0.99"}} {agg["p99"]}')
-        lines.append(f"{pname}_sum {agg['sum']}")
-        lines.append(f"{pname}_count {agg['count']}")
+        lines.append(f'{pname}{{quantile="0.5"}} {_prom_value(agg["p50"])}')
+        lines.append(f'{pname}{{quantile="0.99"}} {_prom_value(agg["p99"])}')
+        lines.append(f"{pname}_sum {_prom_value(agg['sum'])}")
+        lines.append(f"{pname}_count {_prom_value(agg['count'])}")
     return "\n".join(lines) + ("\n" if lines else "")

@@ -1,21 +1,41 @@
-"""Trace-file analysis: load, validate and render JSONL event traces.
+"""Trace-file analysis: load, validate, follow and render JSONL traces.
 
 Backs the ``repro-lb trace-report`` CLI and the trace-schema tests.
 Zero dependencies — plain dict folding over the event stream.
+
+The fold is incremental: :class:`ReportBuilder` consumes events one at
+a time and can produce the report structure at any point, which is what
+``trace-report --follow`` and ``repro-lb top --trace … --follow`` build
+on; :class:`TraceFollower` tails a growing JSONL file from its last
+byte offset (never re-parsing from byte 0), buffering a partially
+written last line until the writer completes it.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import os
 
 from .recorder import SCHEMA_VERSION
 
-__all__ = ["load_trace", "validate_trace", "trace_report", "render_report"]
+__all__ = [
+    "load_trace",
+    "validate_trace",
+    "trace_report",
+    "render_report",
+    "ReportBuilder",
+    "TraceFollower",
+]
 
 _EVENT_KINDS = ("meta", "span", "count", "event")
 
 #: Spans counted as "phase time" in the per-worker share table.
 _PHASE_SPANS = ("interior", "boundary", "halo_send", "halo_wait")
+
+#: Convergence-diagnostic event names (see observability/convergence.py).
+_CONV_EVENTS = ("phi", "convergence_params", "convergence_summary",
+                "bound_violation", "stall_detected")
 
 
 def load_trace(path: str) -> list[dict]:
@@ -38,6 +58,64 @@ def load_trace(path: str) -> list[dict]:
                 raise ValueError(f"{path}:{lineno}: event is not an object")
             events.append(ev)
     return events
+
+
+class TraceFollower:
+    """Incrementally read a growing JSONL trace file.
+
+    Each :meth:`poll` parses only bytes appended since the previous
+    poll — the file is never re-read from byte 0.  A trailing partial
+    line (writer mid-``write``) is buffered and completed on a later
+    poll; a missing file yields no events (the writer may not have
+    created it yet); a *shrunk* file (truncated/rotated) resets the
+    offset and re-reads from the start.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._offset = 0
+        self._partial = b""
+        self._lineno = 0
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the next unread position."""
+        return self._offset
+
+    def poll(self) -> list[dict]:
+        """Return events from lines completed since the last poll."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self._offset:
+            self._offset = 0
+            self._partial = b""
+            self._lineno = 0
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            data = fh.read()
+            self._offset = fh.tell()
+        if not data:
+            return []
+        data = self._partial + data
+        lines = data.split(b"\n")
+        self._partial = lines.pop()
+        events: list[dict] = []
+        for raw in lines:
+            self._lineno += 1
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ValueError(
+                    f"{self.path}:{self._lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(ev, dict):
+                raise ValueError(f"{self.path}:{self._lineno}: event is not an object")
+            events.append(ev)
+        return events
 
 
 def validate_trace(events: list[dict]) -> list[str]:
@@ -81,6 +159,169 @@ def _worker_of(ev: dict) -> str:
     return str(ev.get("worker", ev.get("block", "local")))
 
 
+class ReportBuilder:
+    """Incremental fold of trace events into the report structure.
+
+    ``trace_report(events)`` is the one-shot form; ``--follow`` keeps
+    one builder alive and feeds it only the newly appended events.
+    """
+
+    def __init__(self) -> None:
+        self.meta: dict = {}
+        self.totals: dict[str, dict] = {}
+        self._workers: dict[str, dict] = {}
+        self.links: dict[str, dict] = {}
+        self.counters: dict[str, float] = {}
+        self.max_round = -1
+        self.n_events = 0
+        # Convergence diagnostics fold.
+        self.phi_rounds: dict[int, dict] = {}
+        self.conv_params: dict | None = None
+        self.conv_summary: dict | None = None
+        self.violations = 0
+        self.stalls = 0
+
+    def add_many(self, events) -> None:
+        for ev in events:
+            self.add(ev)
+
+    def add(self, ev: dict) -> None:
+        self.n_events += 1
+        kind = ev.get("ev")
+        if kind == "meta":
+            self.meta = ev
+            return
+        if kind == "event":
+            # Diagnostics events number rounds on their own axis (phi
+            # round r = "after r rounds", baseline at 0) — they must not
+            # skew the engine's 0-indexed rounds-observed figure.
+            self._add_conv(ev)
+            return
+        rnd = ev.get("round")
+        if isinstance(rnd, int) and rnd > self.max_round:
+            self.max_round = rnd
+        if kind == "count":
+            name = ev.get("name", "")
+            self.counters[name] = self.counters.get(name, 0) + ev.get("value", 0)
+            if name == "halo_bytes" and "link" in ev:
+                link = self.links.setdefault(
+                    str(ev["link"]),
+                    {"bytes": 0, "send_s": 0.0, "wait_s": 0.0, "rounds": 0})
+                link["bytes"] += ev.get("value", 0)
+            return
+        if kind != "span":
+            return
+        name = ev.get("name", "")
+        dur = float(ev.get("dur", 0.0))
+        agg = self.totals.get(name)
+        if agg is None:
+            agg = self.totals[name] = {
+                "count": 0, "sum": 0.0, "min": float("inf"), "max": 0.0}
+        agg["count"] += 1
+        agg["sum"] += dur
+        agg["min"] = min(agg["min"], dur)
+        agg["max"] = max(agg["max"], dur)
+        if name in _PHASE_SPANS:
+            w = self._workers.setdefault(_worker_of(ev), {p: 0.0 for p in _PHASE_SPANS})
+            w[name] += dur
+        if name in ("halo_send", "halo_wait") and "link" in ev:
+            link = self.links.setdefault(
+                str(ev["link"]),
+                {"bytes": 0, "send_s": 0.0, "wait_s": 0.0, "rounds": 0})
+            key = "send_s" if name == "halo_send" else "wait_s"
+            link[key] += dur
+            if name == "halo_send":
+                link["rounds"] += 1
+                link["bytes"] += int(ev.get("bytes", 0))
+
+    def _add_conv(self, ev: dict) -> None:
+        name = ev.get("name")
+        if name == "phi":
+            rnd = ev.get("round")
+            if isinstance(rnd, int):
+                row = {"phi": ev.get("value")}
+                if "drop" in ev:
+                    row["drop"] = ev["drop"]
+                if "bound" in ev:
+                    row["bound"] = ev["bound"]
+                self.phi_rounds[rnd] = row
+        elif name == "convergence_params":
+            self.conv_params = {k: v for k, v in ev.items() if k not in ("ev", "name", "t")}
+        elif name == "convergence_summary":
+            self.conv_summary = {k: v for k, v in ev.items() if k not in ("ev", "name", "t")}
+        elif name == "bound_violation":
+            self.violations += 1
+        elif name == "stall_detected":
+            self.stalls += 1
+
+    def _convergence_block(self) -> dict | None:
+        if self.conv_params is None and not self.phi_rounds and self.conv_summary is None:
+            return None
+        summary = self.conv_summary or {}
+        violations = summary.get("violations", self.violations)
+        stalls = summary.get("stalls", self.stalls)
+        emp = summary.get("empirical_drop_factor")
+        if emp is None and len(self.phi_rounds) >= 2:
+            # Geometric-mean drop over the recorded series (live view —
+            # the summary event, once written, is authoritative).
+            rounds = sorted(self.phi_rounds)
+            first, last = self.phi_rounds[rounds[0]], self.phi_rounds[rounds[-1]]
+            span = rounds[-1] - rounds[0]
+            try:
+                if span > 0 and first["phi"] > 0 and last["phi"] > 0:
+                    emp = 1.0 - (last["phi"] / first["phi"]) ** (1.0 / span)
+            except (TypeError, ZeroDivisionError, OverflowError):
+                emp = None
+        bound = (self.conv_params or {}).get("drop_bound", summary.get("drop_bound"))
+        if violations:
+            verdict = "violated"
+        elif stalls:
+            verdict = "stalled"
+        elif self.conv_params is not None or self.conv_summary is not None:
+            verdict = "ok"
+        else:
+            verdict = "n/a"
+        rounds_table = [
+            {"round": r, **self.phi_rounds[r]} for r in sorted(self.phi_rounds)
+        ]
+        return {
+            "verdict": verdict,
+            "violations": violations,
+            "stalls": stalls,
+            "empirical_drop_factor": emp,
+            "predicted_drop_bound": bound,
+            "params": self.conv_params,
+            "summary": self.conv_summary or None,
+            "rounds": rounds_table,
+        }
+
+    def report(self) -> dict:
+        """Materialize the report structure from the current fold state."""
+        totals = {
+            name: {**agg, "min": 0.0 if agg["min"] == float("inf") else agg["min"]}
+            for name, agg in self.totals.items()
+        }
+        workers = {}
+        for name, w in self._workers.items():
+            total = sum(w[p] for p in _PHASE_SPANS)
+            workers[name] = {
+                **{p: w[p] for p in _PHASE_SPANS},
+                "share": {p: (w[p] / total if total > 0 else 0.0) for p in _PHASE_SPANS},
+            }
+        out = {
+            "meta": {k: v for k, v in self.meta.items() if k != "ev"},
+            "totals": totals,
+            "workers": workers,
+            "links": {k: dict(v) for k, v in self.links.items()},
+            "rounds": self.max_round + 1 if self.max_round >= 0 else 0,
+            "counters": dict(self.counters),
+        }
+        conv = self._convergence_block()
+        if conv is not None:
+            out["convergence"] = conv
+        return out
+
+
 def trace_report(events: list[dict]) -> dict:
     """Fold a trace into the report structure the CLI renders.
 
@@ -92,70 +333,17 @@ def trace_report(events: list[dict]) -> dict:
          "links": {link: {"bytes": int, "send_s": float, "wait_s": float,
                           "rounds": int}},
          "rounds": int,
-         "counters": {name: total}}
+         "counters": {name: total},
+         "convergence": {...}}            # only when diagnostics present
+
+    The ``convergence`` block carries the verdict (``ok`` / ``violated``
+    / ``stalled``), violation/stall totals, the fitted empirical drop
+    factor vs the predicted bound, and a per-round ``[{round, phi,
+    drop, bound}]`` table.
     """
-    meta: dict = {}
-    totals: dict[str, dict] = {}
-    workers: dict[str, dict] = {}
-    links: dict[str, dict] = {}
-    counters: dict[str, float] = {}
-    max_round = -1
-    for ev in events:
-        kind = ev.get("ev")
-        if kind == "meta":
-            meta = ev
-            continue
-        rnd = ev.get("round")
-        if isinstance(rnd, int) and rnd > max_round:
-            max_round = rnd
-        if kind == "count":
-            name = ev.get("name", "")
-            counters[name] = counters.get(name, 0) + ev.get("value", 0)
-            if name == "halo_bytes" and "link" in ev:
-                link = links.setdefault(
-                    str(ev["link"]),
-                    {"bytes": 0, "send_s": 0.0, "wait_s": 0.0, "rounds": 0})
-                link["bytes"] += ev.get("value", 0)
-            continue
-        if kind != "span":
-            continue
-        name = ev.get("name", "")
-        dur = float(ev.get("dur", 0.0))
-        agg = totals.get(name)
-        if agg is None:
-            agg = totals[name] = {
-                "count": 0, "sum": 0.0, "min": float("inf"), "max": 0.0}
-        agg["count"] += 1
-        agg["sum"] += dur
-        agg["min"] = min(agg["min"], dur)
-        agg["max"] = max(agg["max"], dur)
-        if name in _PHASE_SPANS:
-            w = workers.setdefault(_worker_of(ev), {p: 0.0 for p in _PHASE_SPANS})
-            w[name] += dur
-        if name in ("halo_send", "halo_wait") and "link" in ev:
-            link = links.setdefault(
-                str(ev["link"]),
-                {"bytes": 0, "send_s": 0.0, "wait_s": 0.0, "rounds": 0})
-            key = "send_s" if name == "halo_send" else "wait_s"
-            link[key] += dur
-            if name == "halo_send":
-                link["rounds"] += 1
-                link["bytes"] += int(ev.get("bytes", 0))
-    for agg in totals.values():
-        if agg["min"] == float("inf"):
-            agg["min"] = 0.0
-    for w in workers.values():
-        total = sum(w[p] for p in _PHASE_SPANS)
-        w["share"] = {
-            p: (w[p] / total if total > 0 else 0.0) for p in _PHASE_SPANS}
-    return {
-        "meta": {k: v for k, v in meta.items() if k != "ev"},
-        "totals": totals,
-        "workers": workers,
-        "links": links,
-        "rounds": max_round + 1 if max_round >= 0 else 0,
-        "counters": counters,
-    }
+    builder = ReportBuilder()
+    builder.add_many(events)
+    return builder.report()
 
 
 def _fmt_s(seconds: float) -> str:
@@ -164,6 +352,17 @@ def _fmt_s(seconds: float) -> str:
     if seconds >= 1e-3:
         return f"{seconds * 1e3:.2f}ms"
     return f"{seconds * 1e6:.1f}us"
+
+
+def _fmt_g(value) -> str:
+    if not isinstance(value, (int, float)) or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:.4g}"
+
+
+#: Per-round convergence rows rendered before eliding the middle.
+_CONV_HEAD = 10
+_CONV_TAIL = 10
 
 
 def render_report(report: dict) -> str:
@@ -213,9 +412,57 @@ def render_report(report: dict) -> str:
                 f"{name:>16} {link['bytes']:>12} "
                 f"{link['bytes'] // rounds:>10} "
                 f"{_fmt_s(link['send_s']):>10} {_fmt_s(link['wait_s']):>10}")
+    conv = report.get("convergence")
+    if conv:
+        lines.append("")
+        lines.extend(_render_convergence(conv))
     counters = report.get("counters", {})
     if counters:
         lines.append("")
         for name in sorted(counters):
             lines.append(f"{'counter':>16}: {name} = {counters[name]}")
     return "\n".join(lines)
+
+
+def _render_convergence(conv: dict) -> list[str]:
+    lines: list[str] = []
+    params = conv.get("params") or {}
+    head = f"convergence: verdict={conv.get('verdict', 'n/a').upper()}"
+    if params:
+        head += (
+            f"  [{params.get('mode', '?')} n={params.get('n', '?')} "
+            f"delta={params.get('delta', '?')} "
+            f"lambda2={_fmt_g(params.get('lambda2'))}]"
+        )
+    lines.append(head)
+    emp = conv.get("empirical_drop_factor")
+    bound = conv.get("predicted_drop_bound")
+    rel = "-"
+    if isinstance(emp, (int, float)) and isinstance(bound, (int, float)) and bound:
+        rel = ">=" if emp >= bound else "<"
+    lines.append(
+        f"{'drop factor':>16}: empirical {_fmt_g(emp)} {rel} "
+        f"guaranteed {_fmt_g(bound)}"
+    )
+    threshold = params.get("threshold")
+    if isinstance(threshold, (int, float)) and threshold > 0:
+        lines.append(f"{'threshold':>16}: Phi* = {_fmt_g(threshold)} (Theorem 6)")
+    lines.append(
+        f"{'violations':>16}: {conv.get('violations', 0)} bound, "
+        f"{conv.get('stalls', 0)} stall(s)"
+    )
+    rows = conv.get("rounds") or []
+    if rows:
+        lines.append(f"{'round':>8} {'phi':>12} {'drop':>10} {'bound':>10}")
+        if len(rows) > _CONV_HEAD + _CONV_TAIL + 1:
+            shown = rows[:_CONV_HEAD] + [None] + rows[-_CONV_TAIL:]
+        else:
+            shown = rows
+        for row in shown:
+            if row is None:
+                lines.append(f"{'...':>8}")
+                continue
+            lines.append(
+                f"{row['round']:>8} {_fmt_g(row.get('phi')):>12} "
+                f"{_fmt_g(row.get('drop')):>10} {_fmt_g(row.get('bound')):>10}")
+    return lines

@@ -1,0 +1,302 @@
+"""``repro-lb top``: a live ANSI terminal dashboard.
+
+Renders, at a refresh interval, the worker roster (heartbeat ages, round
+progress, stale flags), per-worker phase shares, per-link halo
+bytes/round, and a Φ-vs-bound sparkline from the convergence monitor —
+from either of two sources:
+
+- ``--connect HOST:PORT`` — polls a live :mod:`observability.server`
+  (``/status`` + ``/healthz``) embedded in a running worker/dispatcher;
+- ``--trace PATH --follow`` — tails a growing JSONL trace through
+  :class:`~repro.observability.report.TraceFollower`, folding
+  incrementally (never re-parsing from byte 0).
+
+Plain ANSI (clear + home per frame) rather than curses: it degrades to
+sequential frames on a dumb terminal or a pipe, which is also what makes
+it testable — :func:`render_frame` is a pure dict -> str function.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import urllib.request
+
+from .report import ReportBuilder, TraceFollower
+
+__all__ = [
+    "fetch_endpoints",
+    "view_from_endpoints",
+    "view_from_report",
+    "render_frame",
+    "sparkline",
+    "run_top",
+]
+
+_CLEAR = "\x1b[2J\x1b[H"
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_SPARK_WIDTH = 48
+_PHASES = ("interior", "boundary", "halo_send", "halo_wait")
+
+
+def fetch_endpoints(base_url: str, timeout: float = 2.0) -> tuple[dict, dict]:
+    """GET ``/status`` and ``/healthz`` from a live metrics server."""
+    def get(path: str) -> dict:
+        with urllib.request.urlopen(base_url.rstrip("/") + path, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    return get("/status"), get("/healthz")
+
+
+def sparkline(values, width: int = _SPARK_WIDTH) -> str:
+    """Log-scale unicode sparkline of a positive series (last ``width``)."""
+    pts = [v for v in values if isinstance(v, (int, float)) and v > 0 and math.isfinite(v)]
+    pts = pts[-width:]
+    if not pts:
+        return ""
+    logs = [math.log10(v) for v in pts]
+    lo, hi = min(logs), max(logs)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(pts)
+    return "".join(
+        _BLOCKS[min(int((v - lo) / span * (len(_BLOCKS) - 1) + 0.5), len(_BLOCKS) - 1)]
+        for v in logs
+    )
+
+
+def _phase_shares(phase_s: dict | None) -> dict | None:
+    if not isinstance(phase_s, dict):
+        return None
+    total = sum(v for v in phase_s.values() if isinstance(v, (int, float)))
+    if total <= 0:
+        return None
+    return {p: phase_s.get(p, 0.0) / total for p in _PHASES}
+
+
+def view_from_endpoints(status: dict, health: dict | None = None) -> dict:
+    """Common dashboard view from live ``/status`` (+ ``/healthz``) JSON."""
+    health = health or {}
+    workers: dict = {}
+    job: dict = {}
+    links: dict = {}
+    for key, section in status.items():
+        if not isinstance(section, dict):
+            continue
+        live = section.get("workers_live")
+        if isinstance(live, dict):
+            for label, info in live.items():
+                if not isinstance(info, dict):
+                    continue
+                snap = info.get("stats") or {}
+                workers[label] = {
+                    "age": info.get("last_seen_age_s"),
+                    "stale": bool(info.get("stale", False)),
+                    "hb": info.get("hb_count", 0),
+                    "rounds_done": snap.get("rounds_done"),
+                    "jobs": (f"{snap.get('jobs_done', 0)}/{snap.get('jobs_accepted', 0)}"
+                             if snap else "-"),
+                    "busy_s": snap.get("busy_s"),
+                    "shares": _phase_shares(snap.get("phase_s")),
+                }
+            job = {k: v for k, v in section.items()
+                   if k != "workers_live" and isinstance(v, (str, int, float, bool))}
+            raw_links = section.get("links")
+            if isinstance(raw_links, dict):
+                rounds = section.get("rounds") or job.get("rounds") or 0
+                for link, nbytes in raw_links.items():
+                    if isinstance(nbytes, (int, float)):
+                        links[str(link)] = {
+                            "bytes": int(nbytes),
+                            "per_round": nbytes / rounds if rounds else None,
+                        }
+    conv = None
+    conv_raw = status.get("convergence")
+    if isinstance(conv_raw, dict) and "error" not in conv_raw:
+        conv = {
+            "phi_series": [p for _, p in conv_raw.get("phi_recent", [])],
+            "rounds": conv_raw.get("rounds_observed"),
+            "empirical": conv_raw.get("empirical_drop_factor"),
+            "bound": conv_raw.get("drop_bound"),
+            "violations": conv_raw.get("violations", 0),
+            "stalls": conv_raw.get("stalls", 0),
+        }
+    return {
+        "role": status.get("role", "?"),
+        "uptime_s": status.get("uptime_s"),
+        "health": health.get("status"),
+        "job": job,
+        "workers": workers,
+        "links": links,
+        "convergence": conv,
+        "worker_local": status.get("worker") if isinstance(status.get("worker"), dict) else None,
+    }
+
+
+def view_from_report(report: dict) -> dict:
+    """Common dashboard view from a (possibly partial) trace report."""
+    workers = {}
+    for label, w in report.get("workers", {}).items():
+        workers[label] = {
+            "age": None, "stale": False, "hb": None,
+            "rounds_done": None, "jobs": "-",
+            "busy_s": sum(w.get(p, 0.0) for p in _PHASES),
+            "shares": w.get("share"),
+        }
+    links = {}
+    rounds = report.get("rounds") or 0
+    for link, info in report.get("links", {}).items():
+        per = info.get("bytes", 0) / max(info.get("rounds") or rounds, 1)
+        links[link] = {"bytes": info.get("bytes", 0), "per_round": per}
+    conv = None
+    block = report.get("convergence")
+    if block:
+        conv = {
+            "phi_series": [row.get("phi") for row in block.get("rounds", [])],
+            "rounds": report.get("rounds"),
+            "empirical": block.get("empirical_drop_factor"),
+            "bound": block.get("predicted_drop_bound"),
+            "violations": block.get("violations", 0),
+            "stalls": block.get("stalls", 0),
+            "verdict": block.get("verdict"),
+        }
+    meta = report.get("meta", {})
+    return {
+        "role": meta.get("role", "?"),
+        "uptime_s": None,
+        "health": None,
+        "job": {"rounds": report.get("rounds", 0), "spans": len(report.get("totals", {}))},
+        "workers": workers,
+        "links": links,
+        "convergence": conv,
+        "worker_local": None,
+    }
+
+
+def _fmt(value, spec: str = "") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    try:
+        return format(value, spec) if spec else str(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def render_frame(view: dict, source: str = "") -> str:
+    """Pure renderer: one dashboard frame from a view dict."""
+    lines: list[str] = []
+    health = view.get("health")
+    badge = {"ok": "OK", "degraded": "DEGRADED"}.get(health, health or "-")
+    lines.append(
+        f"repro-lb top — {source or 'local'}  role={view.get('role', '?')}  "
+        f"health={badge}  uptime={_fmt(view.get('uptime_s'), '.1f')}s"
+    )
+    job = view.get("job") or {}
+    if job:
+        lines.append("  " + "  ".join(f"{k}={_fmt(v)}" for k, v in sorted(job.items())))
+    local = view.get("worker_local")
+    if local:
+        lines.append(
+            f"  this worker: {_fmt(local.get('rounds_done'))} round(s), "
+            f"{_fmt(local.get('jobs_done'))}/{_fmt(local.get('jobs_accepted'))} job(s), "
+            f"inflight {_fmt(local.get('inflight'))}, "
+            f"busy {_fmt(local.get('busy_s'), '.2f')}s"
+        )
+    workers = view.get("workers") or {}
+    if workers:
+        lines.append("")
+        lines.append(f"{'worker':>24} {'age':>7} {'hb':>6} {'rounds':>8} "
+                     f"{'jobs':>8} {'busy':>8}  phases (int/bnd/send/wait)")
+        for label in sorted(workers):
+            w = workers[label]
+            age = _fmt(w.get("age"), ".1f")
+            if w.get("stale"):
+                age += "!"
+            shares = w.get("shares")
+            if shares:
+                bar = "/".join(f"{shares.get(p, 0.0) * 100:.0f}%" for p in _PHASES)
+            else:
+                bar = "-"
+            lines.append(
+                f"{label:>24} {age:>7} {_fmt(w.get('hb')):>6} "
+                f"{_fmt(w.get('rounds_done')):>8} {_fmt(w.get('jobs')):>8} "
+                f"{_fmt(w.get('busy_s'), '.2f'):>8}  {bar}"
+            )
+    links = view.get("links") or {}
+    if links:
+        lines.append("")
+        lines.append(f"{'link':>24} {'bytes':>12} {'B/round':>10}")
+        for link in sorted(links):
+            info = links[link]
+            per = info.get("per_round")
+            lines.append(
+                f"{link:>24} {_fmt(info.get('bytes')):>12} "
+                f"{_fmt(round(per) if isinstance(per, (int, float)) else None):>10}"
+            )
+    conv = view.get("convergence")
+    if conv:
+        lines.append("")
+        emp, bound = conv.get("empirical"), conv.get("bound")
+        rel = "-"
+        if isinstance(emp, (int, float)) and isinstance(bound, (int, float)) \
+                and not math.isnan(emp) and bound:
+            rel = ">=" if emp >= bound else "< !!"
+        lines.append(
+            f"Phi rounds={_fmt(conv.get('rounds'))}  "
+            f"drop: empirical {_fmt(emp, '.4g')} {rel} bound {_fmt(bound, '.4g')}  "
+            f"violations={_fmt(conv.get('violations'))} stalls={_fmt(conv.get('stalls'))}"
+        )
+        spark = sparkline(conv.get("phi_series") or [])
+        if spark:
+            lines.append(f"Phi ↓ [log] {spark}")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    connect: str | None = None,
+    trace: str | None = None,
+    follow: bool = False,
+    interval: float = 1.0,
+    frames: int = 0,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """The ``repro-lb top`` loop; ``frames=0`` runs until interrupted."""
+    import sys
+
+    write = out if out is not None else sys.stdout.write
+    if (connect is None) == (trace is None):
+        raise ValueError("need exactly one of connect= or trace=")
+    follower = builder = None
+    if trace is not None:
+        follower = TraceFollower(trace)
+        builder = ReportBuilder()
+    base_url = None
+    if connect is not None:
+        base_url = connect if "://" in connect else f"http://{connect}"
+    shown = 0
+    try:
+        while True:
+            if base_url is not None:
+                try:
+                    status, health = fetch_endpoints(base_url)
+                    view = view_from_endpoints(status, health)
+                    frame = render_frame(view, source=base_url)
+                except (OSError, ValueError) as exc:
+                    frame = f"repro-lb top — {base_url} unreachable: {exc}\n"
+            else:
+                builder.add_many(follower.poll())
+                view = view_from_report(builder.report())
+                frame = render_frame(view, source=trace)
+            write((_CLEAR if clear else "") + frame)
+            shown += 1
+            if frames and shown >= frames:
+                return 0
+            if trace is not None and not follow:
+                return 0
+            time.sleep(interval)
+    except (KeyboardInterrupt, BrokenPipeError):
+        return 0

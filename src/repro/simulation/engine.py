@@ -91,6 +91,13 @@ class Simulator:
 
         rec = get_recorder()
         traced = rec.enabled
+        monitor = None
+        if traced:
+            from repro.observability.convergence import monitor_for
+
+            monitor = monitor_for(self.balancer, rec)
+            if monitor is not None:
+                monitor.observe(trace._potentials[-1])
         r = 0
         rule = first_satisfied(self.stopping, trace)
         while rule is None:
@@ -98,12 +105,16 @@ class Simulator:
                 _t0 = perf_counter()
             current = self.balancer.step(current, rng)
             trace.record(current)
+            if monitor is not None:
+                monitor.observe(trace._potentials[-1])
             if self.check_conservation:
                 self._audit_conservation(current, initial_sum)
             rule = first_satisfied(self.stopping, trace)
             if traced:
                 rec.record_span("round", _t0, round=r, engine="serial")
             r += 1
+        if monitor is not None:
+            monitor.finish()
         trace.stopped_by = rule.reason
         return trace
 

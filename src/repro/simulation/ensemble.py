@@ -463,6 +463,13 @@ class EnsembleSimulator:
         spare = np.empty_like(L)
         rec = get_recorder()
         traced = rec.enabled
+        monitor = None
+        if traced:
+            from repro.observability.convergence import monitor_for
+
+            monitor = monitor_for(self.balancer, rec)
+            if monitor is not None:
+                monitor.observe(trace.initial_potentials)
         r = 0
         while active.any():
             if traced:
@@ -475,6 +482,9 @@ class EnsembleSimulator:
                 new[:, frozen] = L[:, frozen]
             trace.record(new, prev=L)
             trace.advance(active)
+            if monitor is not None:
+                # `active` is still this round's pre-stopping mask here.
+                monitor.observe(trace.last_potentials, active)
             spare = L
             L = new
             if self.check_conservation:
@@ -484,6 +494,8 @@ class EnsembleSimulator:
                 rec.record_span("round", _t0, round=r, engine="ensemble",
                                 active=int(active.sum()))
             r += 1
+        if monitor is not None:
+            monitor.finish()
         trace._final_loads = L.T.copy()  # detach from the recycled buffers
         return trace
 

@@ -920,6 +920,13 @@ class PartitionedSimulator:
         parts = _PartitionMemo(assignment, self.strategy)
         rec = get_recorder()
         traced = rec.enabled
+        monitor = None
+        if traced:
+            from repro.observability.convergence import monitor_for
+
+            monitor = monitor_for(self.balancer, rec)
+            if monitor is not None:
+                monitor.observe(trace.initial_potentials)
         rounds = 0
         while active.any():
             if traced:
@@ -939,6 +946,9 @@ class PartitionedSimulator:
                 out[:, frozen] = L[:, frozen]
             trace.record(out, prev=L)
             trace.advance(active)
+            if monitor is not None:
+                # `active` is still this round's pre-stopping mask here.
+                monitor.observe(trace.last_potentials, active)
             if self.check_conservation:
                 audit_replica_sums(
                     self.balancer.name, trace._sums[-1], initial_sums, is_discrete, self.cons_tol
@@ -946,6 +956,8 @@ class PartitionedSimulator:
             apply_stopping(self.stopping, trace, active)
             L, out = out, L
             rounds += 1
+        if monitor is not None:
+            monitor.finish()
         self.halo_stats["rounds"] = rounds
         trace._final_loads = L.T.copy()
         return trace
@@ -983,6 +995,13 @@ class PartitionedSimulator:
         hs = self.halo_stats
         rec = get_recorder()
         traced = rec.enabled
+        monitor = None
+        if traced:
+            from repro.observability.convergence import monitor_for
+
+            monitor = monitor_for(self.balancer, rec)
+            if monitor is not None:
+                monitor.observe(trace.initial_potentials)
         while active.any():
             if cap is not None and not self.keep_snapshots:
                 # Free-running chunk: workers need no coordinator
@@ -1006,6 +1025,9 @@ class PartitionedSimulator:
                 phis, sums, disc, mov = _combine_stats(per_round[i], n)
                 trace.record_stats(phis, sums, disc, mov, snapshot=snapshot)
                 trace.advance(active)
+                if monitor is not None:
+                    # `active` is still this round's pre-stopping mask here.
+                    monitor.observe(trace.last_potentials, active)
                 if self.check_conservation:
                     audit_replica_sums(
                         self.balancer.name, trace._sums[-1], initial_sums,
@@ -1013,4 +1035,6 @@ class PartitionedSimulator:
                     )
                 apply_stopping(self.stopping, trace, active)
             rounds_done += chunk
+        if monitor is not None:
+            monitor.finish()
         hs["rounds"] = rounds_done

@@ -1,0 +1,118 @@
+"""Satellite acceptance: a SIGKILLed worker's entry disappears from the
+``/status`` roster within the eviction window.
+
+The dispatcher registers a live ``job`` provider on the status board;
+the metrics server ages each ``workers_live`` entry by its reported
+heartbeat silence. A killed worker therefore transits fresh -> stale ->
+evicted with no bookkeeping beyond the dispatcher's own death handling
+(which pops the handle from its state map as soon as the heartbeat
+monitor fires).
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import DiffusionBalancer
+from repro.distributed.dispatcher import dispatch_sharded
+from repro.distributed.worker import launch_worker_process
+from repro.graphs.generators import torus_2d
+from repro.observability.server import get_status_board, start_metrics_server
+from repro.simulation.stopping import MaxRounds
+
+
+@pytest.fixture(autouse=True)
+def _clean_board():
+    yield
+    get_status_board().clear()
+
+
+def _reap(*procs):
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        proc.wait(timeout=10)
+
+
+def _status(url: str) -> dict:
+    with urllib.request.urlopen(url + "/status", timeout=5) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _roster(url: str) -> dict:
+    job = _status(url).get("job")
+    if not isinstance(job, dict):
+        return {}
+    live = job.get("workers_live")
+    return live if isinstance(live, dict) else {}
+
+
+def _wait_until(pred, deadline: float, interval: float = 0.1):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        value = pred()
+        if value:
+            return value
+        time.sleep(interval)
+    return pred()
+
+
+class TestStatusAgeOut:
+    def test_sigkilled_worker_ages_out_of_roster(self):
+        procs, addrs = [], []
+        for _ in range(2):
+            proc, addr = launch_worker_process(extra_args=("--timeout", "60"))
+            procs.append(proc)
+            addrs.append(addr)
+        server = start_metrics_server(
+            "127.0.0.1:0", stale_after=0.5, evict_after=2.0)
+        result: dict = {}
+
+        def job():
+            topo = torus_2d(48, 48)
+            loads = np.random.default_rng(11).uniform(0.0, 10_000.0, topo.n)
+            try:
+                trace, stats = dispatch_sharded(
+                    DiffusionBalancer(topo), loads, addrs,
+                    shards=4, seed=0, replicas=4,
+                    stopping=[MaxRounds(30_000)],
+                    heartbeat=0.2, stats_interval=0.1, timeout=120.0,
+                )
+                result["trace"], result["stats"] = trace, stats
+            except Exception as exc:  # noqa: BLE001 — surfaced in asserts
+                result["error"] = exc
+
+        runner = threading.Thread(target=job, daemon=True)
+        runner.start()
+        try:
+            # Both workers must show up live in the roster first.
+            def full_roster():
+                roster = _roster(server.url)
+                return roster if len(roster) == 2 else None
+
+            roster = _wait_until(full_roster, deadline=30.0)
+            assert roster is not None and set(roster) == set(addrs), roster
+
+            procs[0].kill()
+            victim = addrs[0]
+
+            # The victim's entry must leave the aged roster: either the
+            # dispatcher popped it on heartbeat loss, or the eviction
+            # window (2s) swallowed its growing silence.
+            gone = _wait_until(
+                lambda: victim not in _roster(server.url), deadline=30.0)
+            assert gone, f"{victim} still in roster: {_roster(server.url)}"
+        finally:
+            runner.join(timeout=120)
+            server.stop()
+            _reap(*procs)
+        assert not runner.is_alive(), "dispatch never finished"
+        assert "error" not in result, result.get("error")
+        # The survivor absorbed the re-queued shards and finished the job.
+        assert result["stats"]["requeued_shards"] >= 1
+        assert result["trace"].final_loads.shape == (4, 48 * 48)

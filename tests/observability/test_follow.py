@@ -1,0 +1,125 @@
+"""Incremental trace tailing: TraceFollower byte-offset semantics and
+ReportBuilder's fold-equals-batch guarantee (what ``trace-report
+--follow`` and ``top --trace --follow`` are built on)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import DiffusionBalancer
+from repro.graphs.generators import torus_2d
+from repro.observability import (
+    Recorder,
+    ReportBuilder,
+    TraceFollower,
+    set_recorder,
+    trace_report,
+)
+from repro.observability.server import get_status_board
+from repro.simulation.engine import Simulator
+from repro.simulation.stopping import MaxRounds
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    get_status_board().clear()
+    set_recorder(None)
+
+
+def _lines(events):
+    return "".join(json.dumps(ev) + "\n" for ev in events)
+
+
+class TestTraceFollower:
+    def test_missing_file_polls_empty(self, tmp_path):
+        follower = TraceFollower(str(tmp_path / "nope.jsonl"))
+        assert follower.poll() == []
+        assert follower.offset == 0
+
+    def test_incremental_equals_batch(self, tmp_path):
+        events = [{"name": "phi", "round": r, "value": float(100 - r)} for r in range(9)]
+        path = tmp_path / "t.jsonl"
+        follower = TraceFollower(str(path))
+        seen = []
+        for chunk in (events[:3], events[3:4], events[4:]):
+            with open(path, "a") as fh:
+                fh.write(_lines(chunk))
+            seen.extend(follower.poll())
+        assert seen == events
+
+    def test_offset_advances_and_nothing_rereads(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n')
+        follower = TraceFollower(str(path))
+        assert follower.poll() == [{"a": 1}]
+        first_offset = follower.offset
+        assert first_offset == path.stat().st_size
+        assert follower.poll() == []
+        assert follower.offset == first_offset
+
+    def test_partial_line_buffered_until_newline(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a":')
+        follower = TraceFollower(str(path))
+        assert follower.poll() == []  # half a record: hold, don't fail
+        with open(path, "a") as fh:
+            fh.write(' 1}\n{"b": 2}\n')
+        assert follower.poll() == [{"a": 1}, {"b": 2}]
+
+    def test_truncated_file_resets(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n')
+        follower = TraceFollower(str(path))
+        follower.poll()
+        path.write_text('{"c": 3}\n')  # rotation: shorter than our offset
+        assert follower.poll() == [{"c": 3}]
+
+    def test_bad_json_raises_with_location(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        follower = TraceFollower(str(path))
+        with pytest.raises(ValueError, match=r"t\.jsonl:2: "):
+            follower.poll()
+
+
+class TestReportBuilderFold:
+    @pytest.fixture(scope="class")
+    def traced_events(self):
+        topo = torus_2d(4, 4)
+        rec = Recorder(enabled=True)
+        set_recorder(rec)
+        loads = np.zeros(topo.n)
+        loads[0] = 1600.0
+        try:
+            Simulator(
+                DiffusionBalancer(topo), stopping=[MaxRounds(20)],
+            ).run(loads, 0)
+        finally:
+            set_recorder(None)
+        return rec.drain_events()
+
+    def test_one_by_one_fold_equals_one_shot(self, traced_events):
+        builder = ReportBuilder()
+        for ev in traced_events:
+            builder.add(ev)
+        assert builder.report() == trace_report(traced_events)
+
+    def test_report_is_a_prefix_snapshot(self, traced_events):
+        builder = ReportBuilder()
+        half = len(traced_events) // 2
+        builder.add_many(traced_events[:half])
+        assert builder.report() == trace_report(traced_events[:half])
+        builder.add_many(traced_events[half:])
+        assert builder.report() == trace_report(traced_events)
+
+    def test_follower_to_builder_round_trip(self, tmp_path, traced_events):
+        path = tmp_path / "run.jsonl"
+        path.write_text(_lines(traced_events))
+        follower = TraceFollower(str(path))
+        builder = ReportBuilder()
+        builder.add_many(follower.poll())
+        report = builder.report()
+        assert report == trace_report(traced_events)
+        assert report["convergence"]["verdict"] == "ok"

@@ -1,0 +1,72 @@
+"""Prometheus exposition escaping: metric names outside the prom charset,
+label values with quotes/backslashes/newlines, and non-finite samples.
+
+The exposition format is strict — one bad character in a family name or
+an unescaped quote in a label value and the whole scrape fails to parse —
+so the sanitizers are pinned down here sample by sample.
+"""
+
+from repro.observability import Recorder, metrics_to_prom, prom_sample
+from repro.observability.recorder import _prom_label_value, _prom_name, _prom_value
+
+
+class TestNameSanitization:
+    def test_dots_become_underscores(self):
+        assert _prom_name("transport.tcp.send_s", "repro") == "repro_transport_tcp_send_s"
+
+    def test_spaces_and_dashes_mapped(self):
+        assert _prom_name("halo-bytes per round", "repro") == "repro_halo_bytes_per_round"
+
+    def test_non_ascii_alnum_not_waved_through(self):
+        # str.isalnum() is True for these; prom still rejects them.
+        assert _prom_name("Φ²", "repro") == "repro___"
+
+    def test_dotted_counter_round_trips_through_exposition(self):
+        rec = Recorder(enabled=True)
+        rec.add("transport.tcp.bytes", 10)
+        text = metrics_to_prom(rec.metrics_snapshot())
+        assert "# TYPE repro_transport_tcp_bytes_total counter" in text
+        assert "repro_transport_tcp_bytes_total 10" in text
+
+
+class TestValueRendering:
+    def test_ints_render_without_decimal(self):
+        assert _prom_value(1024) == "1024"
+
+    def test_floats_keep_float_syntax(self):
+        # Integral floats must NOT collapse to ints: summary sums are
+        # float-typed and scrapers (and our own tests) expect "2.0".
+        assert _prom_value(2.0) == "2.0"
+        assert _prom_value(0.5) == "0.5"
+
+    def test_bool_is_not_an_int(self):
+        assert _prom_value(True) == "1.0"
+        assert _prom_value(False) == "0.0"
+
+    def test_non_finite_spellings(self):
+        assert _prom_value(float("inf")) == "+Inf"
+        assert _prom_value(float("-inf")) == "-Inf"
+        assert _prom_value(float("nan")) == "NaN"
+
+    def test_unconvertible_becomes_nan(self):
+        assert _prom_value("bogus") == "NaN"
+        assert _prom_value(None) == "NaN"
+
+
+class TestLabelEscaping:
+    def test_quote_backslash_newline(self):
+        assert _prom_label_value('a"b') == 'a\\"b'
+        assert _prom_label_value("a\\b") == "a\\\\b"
+        assert _prom_label_value("a\nb") == "a\\nb"
+
+    def test_prom_sample_labeled(self):
+        line = prom_sample("worker_age", {"worker": "127.0.0.1:7001"}, 1.5)
+        assert line == 'repro_worker_age{worker="127.0.0.1:7001"} 1.5'
+
+    def test_prom_sample_sanitizes_label_names_and_escapes_values(self):
+        line = prom_sample("x", {"weird key": 'v"'}, 1)
+        assert line == 'repro_x{weird_key="v\\""} 1'
+
+    def test_prom_sample_unlabeled(self):
+        assert prom_sample("up", None, 1) == "repro_up 1"
+        assert prom_sample("up", {}, 1) == "repro_up 1"

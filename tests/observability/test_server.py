@@ -1,0 +1,185 @@
+"""The live observability plane: StatusBoard, roster aging, and the
+``/metrics`` / ``/healthz`` / ``/status`` HTTP endpoints."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.observability import Recorder, set_recorder
+from repro.observability.server import (
+    MetricsServer,
+    StatusBoard,
+    age_out_workers,
+    get_status_board,
+    parse_address,
+    start_metrics_server,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    get_status_board().clear()
+    set_recorder(None)
+
+
+def _get(url: str) -> tuple[int, str]:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+
+    def test_tuple_passes_through(self):
+        assert parse_address(("h", 1)) == ("h", 1)
+
+    def test_bare_port_rejected(self):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_address("8080")
+
+
+class TestStatusBoard:
+    def test_fields_and_providers_merge(self):
+        board = StatusBoard()
+        board.update(role="worker", pid=42)
+        board.register("job", lambda: {"shards": 4})
+        snap = board.snapshot()
+        assert snap["role"] == "worker" and snap["pid"] == 42
+        assert snap["job"] == {"shards": 4}
+        assert snap["uptime_s"] >= 0
+
+    def test_provider_exception_captured_per_section(self):
+        board = StatusBoard()
+        board.register("bad", lambda: 1 / 0)
+        board.register("good", lambda: {"ok": True})
+        snap = board.snapshot()
+        assert "ZeroDivisionError" in snap["bad"]["error"]
+        assert snap["good"] == {"ok": True}
+
+    def test_unregister(self):
+        board = StatusBoard()
+        board.register("x", lambda: 1)
+        board.unregister("x")
+        assert "x" not in board.snapshot()
+        board.unregister("x")  # idempotent
+
+    def test_global_board_is_a_singleton(self):
+        assert get_status_board() is get_status_board()
+
+
+class TestAgeOut:
+    def test_fresh_entries_pass_through(self):
+        live = {"w": {"last_seen_age_s": 0.5}}
+        assert age_out_workers(live) == live
+
+    def test_stale_entries_flagged(self):
+        out = age_out_workers({"w": {"last_seen_age_s": 30.0}})
+        assert out["w"]["stale"] is True
+
+    def test_dead_entries_evicted(self):
+        out = age_out_workers({
+            "dead": {"last_seen_age_s": 120.0},
+            "fresh": {"last_seen_age_s": 1.0},
+        })
+        assert "dead" not in out and "fresh" in out
+
+    def test_custom_windows(self):
+        live = {"w": {"last_seen_age_s": 1.0}}
+        assert age_out_workers(live, stale_after=0.5, evict_after=10.0)["w"]["stale"] is True
+        assert age_out_workers(live, stale_after=0.2, evict_after=0.5) == {}
+
+    def test_entries_without_numeric_age_untouched(self):
+        live = {"w": {"hb_count": 3}, "v": "odd"}
+        assert age_out_workers(live) == live
+
+    def test_input_roster_is_not_mutated(self):
+        live = {"w": {"last_seen_age_s": 30.0}}
+        age_out_workers(live)
+        assert "stale" not in live["w"]
+
+
+class TestEndpoints:
+    @pytest.fixture()
+    def server(self):
+        rec = Recorder(enabled=True)
+        rec.add("halo_bytes", 2048)
+        rec.observe("interior", 0.25)
+        board = StatusBoard()
+        board.update(role="worker", pid=1)
+        board.register("job", lambda: {
+            "shards": 2,
+            "workers_live": {
+                "fresh": {"last_seen_age_s": 0.1},
+                "lagging": {"last_seen_age_s": 30.0},
+                "dead": {"last_seen_age_s": 120.0},
+            },
+        })
+        srv = start_metrics_server("127.0.0.1:0", board=board, recorder=rec)
+        yield srv
+        srv.stop()
+
+    def test_ephemeral_port_resolved(self, server):
+        host, port = server.address
+        assert host == "127.0.0.1" and port != 0
+        assert server.url == f"http://127.0.0.1:{port}"
+
+    def test_metrics_exposition(self, server):
+        code, body = _get(server.url + "/metrics")
+        assert code == 200
+        assert "repro_halo_bytes_total 2048" in body
+        assert "# TYPE repro_interior_seconds summary" in body
+        assert 'repro_worker_last_seen_age_seconds{worker="fresh"}' in body
+        assert 'worker="dead"' not in body  # evicted from the gauge too
+
+    def test_healthz_degraded_by_stale_worker(self, server):
+        code, body = _get(server.url + "/healthz")
+        assert code == 200
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["role"] == "worker"
+        assert payload["workers"]["lagging"]["stale"] is True
+        assert payload["workers"]["fresh"]["stale"] is False
+        assert "dead" not in payload["workers"]
+
+    def test_status_roster_aged_out(self, server):
+        code, body = _get(server.url + "/status")
+        assert code == 200
+        payload = json.loads(body)
+        assert payload["role"] == "worker"
+        live = payload["job"]["workers_live"]
+        assert "dead" not in live
+        assert live["lagging"]["stale"] is True
+        assert payload["job"]["shards"] == 2
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_provider_error_never_breaks_the_endpoint(self):
+        board = StatusBoard()
+        board.register("job", lambda: 1 / 0)
+        with MetricsServer("127.0.0.1:0", board=board) as srv:
+            code, body = _get(srv.url + "/status")
+            assert code == 200
+            assert "ZeroDivisionError" in json.loads(body)["job"]["error"]
+
+    def test_render_status_does_not_mutate_provider_output(self):
+        section = {"workers_live": {"dead": {"last_seen_age_s": 120.0}}}
+        board = StatusBoard()
+        board.register("job", lambda: section)
+        srv = MetricsServer("127.0.0.1:0", board=board)
+        snap = srv.render_status()
+        assert snap["job"]["workers_live"] == {}
+        # The provider's live dict — dispatcher state — is untouched.
+        assert section["workers_live"]["dead"]["last_seen_age_s"] == 120.0
+
+    def test_context_manager_with_default_globals(self):
+        with MetricsServer("127.0.0.1:0") as srv:
+            code, body = _get(srv.url + "/healthz")
+            assert code == 200
+            assert json.loads(body)["status"] == "ok"

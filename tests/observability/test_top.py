@@ -1,0 +1,182 @@
+"""``repro-lb top``: sparkline, view builders, the pure frame renderer,
+and the run loop against both sources (a live endpoint and a trace)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import DiffusionBalancer
+from repro.graphs.generators import torus_2d
+from repro.observability import Recorder, set_recorder, trace_report
+from repro.observability.server import StatusBoard, get_status_board, start_metrics_server
+from repro.observability.top import (
+    render_frame,
+    run_top,
+    sparkline,
+    view_from_endpoints,
+    view_from_report,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.stopping import MaxRounds
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    get_status_board().clear()
+    set_recorder(None)
+
+
+class TestSparkline:
+    def test_log_scale_spans_blocks(self):
+        s = sparkline([1.0, 10.0, 100.0, 1000.0])
+        assert len(s) == 4
+        assert s[0] != s[-1]  # three decades apart: different glyphs
+
+    def test_empty_and_nonpositive_filtered(self):
+        assert sparkline([]) == ""
+        assert sparkline([0.0, -1.0, float("nan")]) == ""
+
+    def test_constant_series_is_flat(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(s) == 3 and len(set(s)) == 1
+
+    def test_width_keeps_the_tail(self):
+        assert len(sparkline(list(range(1, 100)), width=10)) == 10
+
+
+_STATUS = {
+    "role": "dispatcher",
+    "uptime_s": 12.5,
+    "job": {
+        "mode": "sharded-dispatch",
+        "shards": 8,
+        "shards_done": 3,
+        "rounds": 100,
+        "workers_live": {
+            "w1": {"last_seen_age_s": 0.2, "hb_count": 40,
+                   "stats": {"rounds_done": 50, "jobs_done": 2, "jobs_accepted": 3,
+                             "busy_s": 1.5,
+                             "phase_s": {"interior": 1.0, "boundary": 0.25,
+                                         "send": 0.15, "wait": 0.1}}},
+            "w2": {"last_seen_age_s": 30.0, "stale": True, "hb_count": 12},
+        },
+        "links": {"w1->w2": 4096},
+    },
+    "convergence": {
+        "phi_recent": [[0, 100.0], [1, 50.0], [2, 25.0]],
+        "rounds_observed": 2,
+        "empirical_drop_factor": 0.5,
+        "drop_bound": 0.03,
+        "violations": 0,
+        "stalls": 0,
+    },
+}
+
+
+class TestViews:
+    def test_view_from_endpoints(self):
+        view = view_from_endpoints(_STATUS, {"status": "degraded"})
+        assert view["role"] == "dispatcher" and view["health"] == "degraded"
+        assert view["job"]["shards_done"] == 3
+        w1 = view["workers"]["w1"]
+        assert w1["jobs"] == "2/3" and not w1["stale"]
+        assert w1["shares"]["interior"] == pytest.approx(1.0 / 1.5)
+        assert view["workers"]["w2"]["stale"] is True
+        assert view["links"]["w1->w2"] == {"bytes": 4096, "per_round": pytest.approx(40.96)}
+        conv = view["convergence"]
+        assert conv["phi_series"] == [100.0, 50.0, 25.0]
+        assert conv["empirical"] == 0.5 and conv["bound"] == 0.03
+
+    def test_view_from_endpoints_skips_error_sections(self):
+        view = view_from_endpoints({"role": "worker", "convergence": {"error": "boom"}})
+        assert view["convergence"] is None
+        assert view["workers"] == {}
+
+    def test_view_from_report_on_traced_run(self):
+        topo = torus_2d(4, 4)
+        rec = Recorder(enabled=True)
+        set_recorder(rec)
+        loads = np.zeros(topo.n)
+        loads[0] = 1600.0
+        try:
+            Simulator(DiffusionBalancer(topo), stopping=[MaxRounds(15)]).run(loads, 0)
+        finally:
+            set_recorder(None)
+        view = view_from_report(trace_report(rec.drain_events()))
+        conv = view["convergence"]
+        assert conv["verdict"] == "ok"
+        assert len(conv["phi_series"]) == 16
+        assert conv["empirical"] >= conv["bound"]
+
+
+class TestRenderFrame:
+    def test_frame_has_roster_links_and_conv(self):
+        frame = render_frame(
+            view_from_endpoints(_STATUS, {"status": "degraded"}), source="x:1")
+        assert "repro-lb top — x:1" in frame
+        assert "health=DEGRADED" in frame
+        assert "shards_done=3" in frame
+        assert "30.0!" in frame  # stale worker age flagged
+        assert "w1->w2" in frame and "4096" in frame
+        assert "violations=0" in frame
+        assert "Phi ↓ [log]" in frame
+
+    def test_empty_view_renders_header_only(self):
+        frame = render_frame(view_from_endpoints({"role": "worker"}))
+        assert frame.startswith("repro-lb top")
+        assert "worker" in frame
+
+
+class TestRunTop:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            run_top()
+        with pytest.raises(ValueError):
+            run_top(connect="h:1", trace="t.jsonl")
+
+    def test_trace_source_single_frame(self, tmp_path):
+        topo = torus_2d(4, 4)
+        rec = Recorder(enabled=True)
+        set_recorder(rec)
+        loads = np.zeros(topo.n)
+        loads[0] = 1600.0
+        try:
+            Simulator(DiffusionBalancer(topo), stopping=[MaxRounds(10)]).run(loads, 0)
+        finally:
+            set_recorder(None)
+        path = tmp_path / "run.jsonl"
+        with open(path, "w") as fh:
+            for ev in rec.drain_events():
+                fh.write(json.dumps(ev) + "\n")
+        chunks: list[str] = []
+        rc = run_top(trace=str(path), clear=False, out=chunks.append)
+        assert rc == 0
+        assert len(chunks) == 1  # no --follow: one frame, then exit
+        assert "repro-lb top" in chunks[0]
+        assert "Phi ↓ [log]" in chunks[0]
+
+    def test_connect_source_against_live_server(self):
+        board = StatusBoard()
+        board.update(role="worker", pid=1)
+        board.register("job", lambda: _STATUS["job"])
+        rec = Recorder(enabled=True)
+        rec.add("halo_bytes", 512)
+        srv = start_metrics_server("127.0.0.1:0", board=board, recorder=rec)
+        try:
+            chunks: list[str] = []
+            rc = run_top(connect=f"{srv.address[0]}:{srv.address[1]}",
+                         frames=1, clear=False, out=chunks.append)
+        finally:
+            srv.stop()
+        assert rc == 0
+        assert "health=OK" not in chunks[0]  # w2's 30s lag degrades health
+        assert "health=DEGRADED" in chunks[0]
+        assert "w1" in chunks[0]
+
+    def test_unreachable_endpoint_renders_error_frame(self):
+        chunks: list[str] = []
+        rc = run_top(connect="127.0.0.1:9", frames=1, clear=False, out=chunks.append)
+        assert rc == 0
+        assert "unreachable" in chunks[0]
